@@ -1,0 +1,287 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the experiment each iteration), plus real
+// kernel microbenchmarks (Table 3's Adam implementations, fp16 casting,
+// matmul) and ablation benches for the design choices DESIGN.md calls out
+// (bucket size, GPU-retained buckets, casting path, STV vs STE).
+//
+// Run: go test -bench=. -benchmem
+package superoffload
+
+import (
+	"fmt"
+	"testing"
+
+	"superoffload/internal/core"
+	"superoffload/internal/data"
+	"superoffload/internal/experiments"
+	"superoffload/internal/fp16"
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/sched"
+	"superoffload/internal/stv"
+	"superoffload/internal/tensor"
+)
+
+// benchExperiment regenerates one table/figure per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+
+// BenchmarkFig14 runs the real STV training slice and the 80k-iteration
+// envelope replay (shortened per iteration to keep bench time sane).
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14Real(40)
+		if !r.ExactSTE {
+			b.Fatal("exactness broken")
+		}
+		env := experiments.Fig14Envelope(20000)
+		if env.WarmupRolls == 0 {
+			b.Fatal("no warm-up rollbacks")
+		}
+	}
+}
+
+// ---- Table 3: real Adam kernels (measured, b.SetBytes reports GB/s) ----
+
+func benchAdam(b *testing.B, impl optim.Impl) {
+	const n = 4 << 20
+	rng := tensor.NewRNG(5)
+	p := make([]float32, n)
+	g := make([]float32, n)
+	for i := range p {
+		p[i] = rng.NormFloat32()
+		g[i] = rng.NormFloat32() * 0.1
+	}
+	s := optim.NewState(n)
+	cfg := optim.DefaultConfig()
+	b.SetBytes(int64(n) * 16) // p, g, m, v fp32 traffic per step
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		impl(cfg, p, g, s, i+1)
+	}
+}
+
+func BenchmarkTable3_PTCPU(b *testing.B)     { benchAdam(b, optim.NaiveAdam) }
+func BenchmarkTable3_CPUAdam(b *testing.B)   { benchAdam(b, optim.CPUAdam) }
+func BenchmarkTable3_GraceAdam(b *testing.B) { benchAdam(b, optim.GraceAdam) }
+
+// ---- casting kernels (the §4.5 payload producers) ----
+
+func BenchmarkFP16Cast(b *testing.B) {
+	const n = 1 << 22
+	src := make([]float32, n)
+	rng := tensor.NewRNG(9)
+	for i := range src {
+		src[i] = rng.NormFloat32()
+	}
+	dst := make([]fp16.Num, n)
+	b.SetBytes(n * 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp16.Cast(dst, src)
+	}
+}
+
+func BenchmarkFP16Uncast(b *testing.B) {
+	const n = 1 << 22
+	src := make([]fp16.Num, n)
+	for i := range src {
+		src[i] = fp16.FromFloat32(float32(i % 1000))
+	}
+	dst := make([]float32, n)
+	b.SetBytes(n * 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp16.Uncast(dst, src)
+	}
+}
+
+func BenchmarkFP16ScanBad(b *testing.B) {
+	const n = 1 << 22
+	xs := make([]fp16.Num, n)
+	b.SetBytes(n * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fp16.ScanBad(xs) {
+			b.Fatal("clean slice flagged")
+		}
+	}
+}
+
+// ---- tensor substrate ----
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	x := tensor.Randn(rng, 1, 256, 256)
+	y := tensor.Randn(rng, 1, 256, 256)
+	out := tensor.New(256, 256)
+	b.SetBytes(3 * 256 * 256 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+// ---- real STV vs STE training step ----
+
+func benchTrainer(b *testing.B, mode stv.Mode) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	a := optim.DefaultConfig()
+	tr := stv.NewTrainer(m, stv.Config{Adam: a, Impl: optim.GraceAdam, ClipNorm: 10, BucketElems: 100000, Mode: mode})
+	corpus := data.NewCorpus(128, 2)
+	batch := corpus.NextBatch(2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTrainStepSTV(b *testing.B) { benchTrainer(b, stv.STV) }
+func BenchmarkTrainStepSTE(b *testing.B) { benchTrainer(b, stv.STE) }
+
+// ---- ablation benches (design choices from DESIGN.md §4) ----
+
+// BenchmarkAblationBucketSize sweeps the transfer bucket size on the 5B
+// workload; per-iteration simulated throughput is reported as a custom
+// metric. The 64 MB knee (Fig. 7) should win.
+func BenchmarkAblationBucketSize(b *testing.B) {
+	m, _ := model.ByName("5B")
+	chip := hw.GH200()
+	flops := m.IterFLOPs(8, 1024)
+	for _, mb := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			bucketBytes := int64(mb) << 20
+			nb := m.GradBucketCount(bucketBytes)
+			var last float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := sched.Build(sched.OffloadPlan{
+					Chip: chip, Link: chip.Link, Model: m,
+					Exec: sched.Execution{MicroBatch: 8, GradAccum: 1}, Seq: 1024,
+					NBuckets: nb, BucketParams: m.Params() / int64(nb),
+					CastOnGPU: true, Speculative: true, CPUImpl: hw.AdamGrace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = flops / st.IterTime / 1e12
+			}
+			b.ReportMetric(last, "simTFLOPS")
+		})
+	}
+}
+
+// BenchmarkAblationGPUBuckets sweeps the number of GPU-retained buckets
+// (§4.3 repartitioning grid search).
+func BenchmarkAblationGPUBuckets(b *testing.B) {
+	m, _ := model.ByName("5B")
+	chip := hw.GH200()
+	nb := m.GradBucketCount(hw.SuperOffloadBucketBytes)
+	flops := m.IterFLOPs(8, 1024)
+	for _, n := range []int{0, 4, 16, 40} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := sched.Build(sched.OffloadPlan{
+					Chip: chip, Link: chip.Link, Model: m,
+					Exec: sched.Execution{MicroBatch: 8, GradAccum: 1}, Seq: 1024,
+					NBuckets: nb, BucketParams: m.Params() / int64(nb),
+					GPUBuckets: n, CastOnGPU: true, Speculative: true, CPUImpl: hw.AdamGrace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = flops / st.IterTime / 1e12
+			}
+			b.ReportMetric(last, "simTFLOPS")
+		})
+	}
+}
+
+// BenchmarkAblationCastPath compares the two §4.5 casting paths end to end
+// on the planner's cost model.
+func BenchmarkAblationCastPath(b *testing.B) {
+	chip := hw.GH200()
+	elems := int64(64 << 20)
+	for _, path := range []core.CastPath{core.CastGPUMoveFP32, core.CastCPUMoveFP16} {
+		b.Run(path.String(), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = core.CastCost(chip, path, elems)
+			}
+			b.ReportMetric(t*1e3, "modelMs")
+		})
+	}
+}
+
+// BenchmarkAblationNUMABinding quantifies the §4.7 binding effect on the
+// 20B 4-chip workload.
+func BenchmarkAblationNUMABinding(b *testing.B) {
+	m, _ := model.ByName("20B")
+	w := sched.Workload{Cluster: hw.ClusterFor(4), Model: m, GlobalBatch: 16, Seq: 1024}
+	for _, bound := range []bool{true, false} {
+		name := "bound"
+		if !bound {
+			name = "misbound"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.NUMABinding = bound
+			var last float64
+			for i := 0; i < b.N; i++ {
+				r := core.NewWith(opts).Plan(w)
+				if !r.Fits {
+					b.Fatal("20B should fit 4 chips")
+				}
+				last = r.TFLOPS
+			}
+			b.ReportMetric(last, "simTFLOPS")
+		})
+	}
+}
+
+// BenchmarkTable3Model regenerates the Grace-scale Table 3 model (no real
+// kernel measurement, so it stays fast).
+func BenchmarkTable3Model(b *testing.B) {
+	chip := hw.GH200()
+	for i := 0; i < b.N; i++ {
+		for _, p := range experiments.Table3Sizes {
+			if hw.AdamStepTime(chip, hw.AdamGrace, p) <= 0 {
+				b.Fatal("bad model")
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command superplan sizes a training workload on modeled GH200 hardware:
+// it reports the SuperOffload plan (policy, buckets, casting, execution)
+// and compares predicted throughput against every baseline system.
+//
+// Usage:
+//
+//	superplan -model 13B -chips 8 -batch 32 -seq 1024
+//	superplan -models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"superoffload"
+)
+
+func main() {
+	modelName := flag.String("model", "5B", "Appendix A model label")
+	chips := flag.Int("chips", 1, "Superchip count")
+	batch := flag.Int("batch", 0, "global batch size (default 8 per chip)")
+	seq := flag.Int("seq", 1024, "sequence length")
+	listModels := flag.Bool("models", false, "list the model zoo")
+	flag.Parse()
+
+	if *listModels {
+		fmt.Println("model zoo (Appendix A):", strings.Join(superoffload.ModelNames(), " "))
+		return
+	}
+
+	req := superoffload.PlanRequest{Model: *modelName, Chips: *chips, GlobalBatch: *batch, Seq: *seq}
+	results, err := superoffload.Compare(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s on %d GH200, global batch %d, seq %d\n",
+		*modelName, *chips, effBatch(*batch, *chips), *seq)
+	if d, err := superoffload.Describe(req); err == nil {
+		fmt.Printf("SuperOffload plan: %s, %s, %d buckets x %d MB (streaming efficiency %.0f%%)\n\n",
+			d.Policy, d.CastPath, d.NBuckets, d.BucketMB, 100*d.Efficiency)
+	} else {
+		fmt.Println()
+	}
+	fmt.Printf("%-15s %-8s %-10s %-7s %-9s %-22s\n", "system", "fits", "TFLOPS/GPU", "MFU", "GPU idle", "execution")
+	for _, r := range results {
+		if !r.Fits {
+			fmt.Printf("%-15s OOM      %s\n", r.System, r.OOMReason)
+			continue
+		}
+		exec := fmt.Sprintf("micro=%d accum=%d", r.MicroBatch, r.GradAccum)
+		if r.Checkpoint {
+			exec += " +ckpt"
+		}
+		fmt.Printf("%-15s yes      %-10.1f %-7.3f %-9.2f %-22s\n",
+			r.System, r.TFLOPS, r.MFU, r.GPUIdleFrac, exec)
+	}
+}
+
+func effBatch(b, chips int) int {
+	if b >= 1 {
+		return b
+	}
+	return 8 * chips
+}

@@ -1,0 +1,28 @@
+// Ablation: cumulative effect of GraceAdam, Superchip-aware casting,
+// speculation-then-validation, and bucketization repartitioning on the 5B
+// workload (the paper's Table 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superoffload"
+)
+
+func main() {
+	out, err := superoffload.RunExperiment("table2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	// The two schedules, side by side (Figs. 3 and 8).
+	for _, id := range []string{"fig3", "fig8"} {
+		g, err := superoffload.RunExperiment(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(g)
+	}
+}

@@ -1,0 +1,51 @@
+// Cross-hardware: the paper's central thesis is that PCIe-era offloading
+// decisions invert on Superchips. This example runs the planner's two key
+// decisions — casting placement (§4.5) and weight-flow viability (§4.2) —
+// across the three node generations of Table 1 and shows exactly where
+// each flips.
+package main
+
+import (
+	"fmt"
+
+	"superoffload/internal/core"
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+)
+
+func main() {
+	bucket := int64(32 << 20) // one 64 MB fp16 bucket
+	m := model.Nearest(7e9)
+
+	fmt.Println("Decision 1 — casting placement for one gradient bucket (§4.5):")
+	for _, chip := range hw.Registry() {
+		path := core.ChooseCastPath(chip, bucket)
+		fp32 := core.CastCost(chip, core.CastGPUMoveFP32, bucket)
+		fp16c := core.CastCost(chip, core.CastCPUMoveFP16, bucket)
+		fmt.Printf("  %-9s link %-9s -> %-20s (fp32 path %6.2f ms, fp16 path %6.2f ms)\n",
+			chip.Name, chip.Link.Name, path, fp32*1e3, fp16c*1e3)
+	}
+
+	fmt.Println("\nDecision 2 — can weight-flow hide weight streaming at batch 4, seq 1024 (Eq. 1-3)?")
+	for _, chip := range hw.Registry() {
+		eff := core.Efficiency(4, 1024, m.Params(),
+			chip.GPU.PeakFLOPS*hw.GEMMEfficiencyMax, chip.Link.PeakBW)
+		verdict := "no  (stay weight-stationary)"
+		if eff >= core.MinEfficiencyForFlow {
+			verdict = "yes (weight-flow viable)"
+		}
+		fmt.Printf("  %-9s efficiency %5.1f%% -> %s\n", chip.Name, 100*eff, verdict)
+	}
+
+	fmt.Println("\nDecision 3 — SA-DFG partition of the optimizer subgraph (§4.1):")
+	for _, chip := range hw.Registry() {
+		g := core.MixedPrecisionStepGraph(chip, bucket)
+		aware := g.SuperchipAware()
+		greedy := g.GreedyEdgeCut()
+		fmt.Printf("  %-9s greedy edge-cut: casts on %v/%v   superchip-aware: casts on %v/%v\n",
+			chip.Name, greedy[1], greedy[3], aware[1], aware[3])
+	}
+	fmt.Println("\nOn PCIe nodes the two partitioners agree (minimize volume); on the")
+	fmt.Println("GH200 the superchip-aware partition moves both casts to the GPU and")
+	fmt.Println("ships fp32 — the paper's Superchip-aware casting.")
+}

@@ -1,0 +1,21 @@
+// Long-sequence training: the paper's headline capability — a 13B model at
+// million-token sequences on 8 Superchips via SuperOffload-Ulysses
+// (Fig. 12), regenerated through the experiment harness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superoffload"
+)
+
+func main() {
+	out, err := superoffload.RunExperiment("fig12")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	fmt.Println("Headline: SuperOffload-Ulysses reaches 1M tokens (8x vanilla")
+	fmt.Println("Ulysses) on 8 GH200 for the 13B model, at >50% MFU.")
+}

@@ -1,0 +1,21 @@
+// Model scale: the largest trainable model per system on 1, 4 and 16
+// Superchips (the paper's Fig. 13), via the experiment harness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superoffload"
+)
+
+func main() {
+	out, err := superoffload.RunExperiment("fig13")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	fmt.Println("SuperOffload trains 25B on one Superchip (7x GPU-only), 50B on")
+	fmt.Println("four, and 200B on sixteen — while ZeRO-Offload stays bounded by")
+	fmt.Println("the full fp16 replica each GPU must hold.")
+}

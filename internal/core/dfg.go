@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"superoffload/internal/hw"
+)
+
+// SA-DFG (§4.1): each vertex is a tensor operator annotated with its
+// compute cost on the Hopper GPU and on the Grace CPU; each edge carries
+// the bytes that flow between the operators. An offload strategy is a
+// two-way partition of the vertices; its cost combines per-device compute
+// and the host-link transfers of cut edges (including the casting cost the
+// PCIe-era greedy edge-cut ignores).
+
+// Device is a partition side.
+type Device int
+
+const (
+	GPU Device = iota
+	CPU
+)
+
+func (d Device) String() string {
+	if d == GPU {
+		return "GPU"
+	}
+	return "CPU"
+}
+
+// Op is one SA-DFG vertex.
+type Op struct {
+	Name    string
+	GPUCost float64 // seconds if placed on the GPU
+	CPUCost float64 // seconds if placed on the CPU
+	// Pinned ops cannot move (e.g. the forward/backward kernels are
+	// GPU-only in any offload design; the optimizer-state residency may
+	// be fixed by memory capacity).
+	Pinned bool
+	Device Device // initial/pinned placement
+}
+
+// Edge is a directed dataflow edge carrying Bytes from Src to Dst. FP16
+// marks half-precision payloads: when such an edge crosses the cut toward
+// the CPU it lands in an unpinned staging buffer (the transfer-then-cast
+// pattern of §4.5), which is slower than pinned DMA.
+type Edge struct {
+	Src, Dst int
+	Bytes    int64
+	FP16     bool
+}
+
+// Graph is a SA-DFG.
+type Graph struct {
+	Ops   []Op
+	Edges []Edge
+	Chip  hw.Chip
+}
+
+// AddOp appends a vertex and returns its index.
+func (g *Graph) AddOp(o Op) int {
+	g.Ops = append(g.Ops, o)
+	return len(g.Ops) - 1
+}
+
+// AddEdge appends a dataflow edge.
+func (g *Graph) AddEdge(e Edge) {
+	if e.Src < 0 || e.Src >= len(g.Ops) || e.Dst < 0 || e.Dst >= len(g.Ops) {
+		panic(fmt.Sprintf("core: edge %d->%d out of range", e.Src, e.Dst))
+	}
+	g.Edges = append(g.Edges, e)
+}
+
+// Partition assigns each op to a device.
+type Partition []Device
+
+// CommVolume returns the total bytes crossing the cut — the objective the
+// PCIe-era greedy algorithm minimizes.
+func (g *Graph) CommVolume(p Partition) int64 {
+	var v int64
+	for _, e := range g.Edges {
+		if p[e.Src] != p[e.Dst] {
+			v += e.Bytes
+		}
+	}
+	return v
+}
+
+// Cost returns the Superchip-aware objective: compute on each device plus
+// transfer time for cut edges (pinned DMA for fp32 payloads, unpinned for
+// fp16 payloads entering the CPU via the staging pattern of §4.5).
+// Compute is assumed to serialize with transfers along the critical chain
+// — a pessimistic but consistent scalarization, sufficient for comparing
+// partitions of the optimizer subgraph.
+func (g *Graph) Cost(p Partition) float64 {
+	var total float64
+	for i, op := range g.Ops {
+		if p[i] == GPU {
+			total += op.GPUCost
+		} else {
+			total += op.CPUCost
+		}
+	}
+	for _, e := range g.Edges {
+		if p[e.Src] == p[e.Dst] {
+			continue
+		}
+		dir := hw.DeviceToHost
+		if p[e.Src] == CPU {
+			dir = hw.HostToDevice
+		}
+		pin := hw.Pinned
+		// The unpinned fp16 staging penalty is Grace-specific (§4.5);
+		// x86 offload stacks pin their fp16 buffers.
+		if e.FP16 && dir == hw.DeviceToHost && !hw.CPUCastFused(g.Chip) {
+			pin = hw.Unpinned
+		}
+		total += g.Chip.Link.TransferTime(e.Bytes, dir, pin)
+	}
+	return total
+}
+
+// valid reports whether the partition respects pinned ops.
+func (g *Graph) valid(p Partition) bool {
+	if len(p) != len(g.Ops) {
+		return false
+	}
+	for i, op := range g.Ops {
+		if op.Pinned && p[i] != op.Device {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyEdgeCut is the prior-work partitioner: starting from the pinned
+// placement, it assigns each free op to the side that minimizes cut
+// *bytes* (ignoring casting and pinning effects) — "minimum edge cut ...
+// based on the implicit assumption that minimizing the data communication
+// volume ... leads to performance improvements" (§4.5).
+func (g *Graph) GreedyEdgeCut() Partition {
+	p := g.basePlacement()
+	for i, op := range g.Ops {
+		if op.Pinned {
+			continue
+		}
+		p[i] = GPU
+		vGPU := g.CommVolume(p)
+		p[i] = CPU
+		vCPU := g.CommVolume(p)
+		if vGPU <= vCPU {
+			p[i] = GPU
+		}
+	}
+	return p
+}
+
+// SuperchipAware partitions by exhaustively minimizing the SA-DFG cost
+// over the free ops (the optimizer subgraph is small, so exhaustive search
+// is exact; 2^free ≤ 2^12 in all uses here).
+func (g *Graph) SuperchipAware() Partition {
+	var free []int
+	for i, op := range g.Ops {
+		if !op.Pinned {
+			free = append(free, i)
+		}
+	}
+	if len(free) > 16 {
+		panic("core: SA-DFG exhaustive partition limited to 16 free ops")
+	}
+	best := g.basePlacement()
+	bestCost := g.Cost(best)
+	p := g.basePlacement()
+	for mask := 0; mask < 1<<len(free); mask++ {
+		for bi, idx := range free {
+			if mask&(1<<bi) != 0 {
+				p[idx] = CPU
+			} else {
+				p[idx] = GPU
+			}
+		}
+		if c := g.Cost(p); c < bestCost {
+			bestCost = c
+			copy(best, p)
+		}
+	}
+	return best
+}
+
+func (g *Graph) basePlacement() Partition {
+	p := make(Partition, len(g.Ops))
+	for i, op := range g.Ops {
+		p[i] = op.Device
+	}
+	return p
+}
+
+// MixedPrecisionStepGraph builds the canonical offloaded-optimizer SA-DFG
+// of Fig. 5 for one gradient bucket: backward (GPU, pinned) produces fp16
+// gradients; a cast op converts them to fp32; the Adam step (CPU, pinned
+// by the offload decision) consumes fp32 gradients and produces fp32
+// params; a second cast yields fp16 params for the next forward (GPU,
+// pinned). The two cast ops are free — where they land decides the wire
+// format, which is exactly the §4.5 decision.
+func MixedPrecisionStepGraph(chip hw.Chip, bucketParams int64) *Graph {
+	g := &Graph{Chip: chip}
+	castGPU := hw.CastTime(chip, true, bucketParams)
+	castCPU := hw.CastTime(chip, false, bucketParams)
+	if hw.CPUCastFused(chip) {
+		castCPU = 0 // fused into the AVX optimizer kernel
+	}
+
+	bwd := g.AddOp(Op{Name: "BWD(g16)", Pinned: true, Device: GPU})
+	castG := g.AddOp(Op{Name: "CastG16→32", GPUCost: castGPU, CPUCost: castCPU})
+	step := g.AddOp(Op{Name: "AdamStep", Pinned: true, Device: CPU,
+		CPUCost: hw.AdamStepTime(chip, hw.AdamGrace, bucketParams),
+		GPUCost: hw.AdamStepTime(chip, hw.AdamGPU, bucketParams)})
+	castP := g.AddOp(Op{Name: "CastP32→16", GPUCost: castGPU, CPUCost: castCPU})
+	fwd := g.AddOp(Op{Name: "FWD(p16)", Pinned: true, Device: GPU})
+
+	// BWD → cast: fp16 payload; cast → step: fp32 payload.
+	g.AddEdge(Edge{Src: bwd, Dst: castG, Bytes: 2 * bucketParams, FP16: true})
+	g.AddEdge(Edge{Src: castG, Dst: step, Bytes: 4 * bucketParams})
+	// step → cast: fp32 params; cast → fwd: fp16 params.
+	g.AddEdge(Edge{Src: step, Dst: castP, Bytes: 4 * bucketParams})
+	g.AddEdge(Edge{Src: castP, Dst: fwd, Bytes: 2 * bucketParams, FP16: true})
+	return g
+}

@@ -1,0 +1,77 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := NewCorpus(64, 5)
+	b := NewCorpus(64, 5)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTokensInRange(t *testing.T) {
+	c := NewCorpus(32, 9)
+	for i := 0; i < 2000; i++ {
+		tok := c.Next()
+		if tok < 0 || tok >= 32 {
+			t.Fatalf("token %d out of range", tok)
+		}
+	}
+}
+
+func TestBatchLayout(t *testing.T) {
+	c := NewCorpus(64, 3)
+	b := c.NextBatch(4, 16)
+	if len(b.Tokens) != 64 || len(b.Targets) != 64 {
+		t.Fatalf("batch sizes %d/%d", len(b.Tokens), len(b.Targets))
+	}
+	// Within a row, targets shift tokens by one.
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 15; i++ {
+			if b.Targets[r*16+i] != b.Tokens[r*16+i+1] {
+				t.Fatalf("row %d pos %d: target %d != next token %d",
+					r, i, b.Targets[r*16+i], b.Tokens[r*16+i+1])
+			}
+		}
+	}
+}
+
+func TestStreamIsLearnable(t *testing.T) {
+	// Conditional entropy must be far below the uniform ln(V): the
+	// Markov structure is what the training experiments learn.
+	c := NewCorpus(64, 7)
+	h := c.BigramEntropy(50000)
+	uniform := math.Log(64)
+	if h > 0.75*uniform {
+		t.Errorf("conditional entropy %.3f too close to uniform %.3f — stream not learnable", h, uniform)
+	}
+	if h <= 0 {
+		t.Errorf("entropy %.3f must be positive (noise present)", h)
+	}
+}
+
+func TestZipfMarginalSkewed(t *testing.T) {
+	c := NewCorpus(128, 11)
+	counts := make([]int, 128)
+	for i := 0; i < 30000; i++ {
+		counts[c.sampleZipf()]++
+	}
+	if counts[0] <= counts[64] {
+		t.Errorf("zipf head (%d) not heavier than tail (%d)", counts[0], counts[64])
+	}
+}
+
+func TestVocabValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for vocab < 2")
+		}
+	}()
+	NewCorpus(1, 0)
+}

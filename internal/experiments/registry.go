@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one table or figure and returns its textual form.
+type Runner func() string
+
+// registry maps experiment ids (as used by `superbench -exp`) to runners.
+var registry = map[string]Runner{
+	"table1": func() string { return RenderTable1() },
+	"fig3":   Fig3,
+	"fig4":   func() string { return RenderIdle("Fig. 4: GPU idle with prior offloading (ZeRO-Offload)", Fig4()) },
+	"fig6":   RenderFig6,
+	"fig7":   RenderFig7,
+	"fig8":   Fig8,
+	"fig9":   RenderFig9,
+	"fig10": func() string {
+		return RenderThroughput("Fig. 10: single-Superchip throughput, batch 8", Fig10())
+	},
+	"fig11a": func() string {
+		return RenderThroughput("Fig. 11a: 4-Superchip throughput, batch 16", Fig11(4))
+	},
+	"fig11b": func() string {
+		return RenderThroughput("Fig. 11b: 16-Superchip throughput, batch 128", Fig11(16))
+	},
+	"fig12":    func() string { return RenderFig12(Fig12()) },
+	"fig13":    func() string { return RenderFig13(Fig13()) },
+	"table2":   func() string { return RenderTable2(Table2()) },
+	"table3":   func() string { return RenderTable3(Table3(0)) },
+	"fig14":    func() string { return RenderFig14(Fig14Real(150), Fig14Envelope(80000)) },
+	"fig15":    func() string { return RenderIdle("Fig. 15: GPU idle with SuperOffload", Fig15()) },
+	"ext-nvme": ExtNVMe,
+}
+
+// Names lists the available experiment ids in sorted order.
+func Names() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates the named experiment.
+func Run(name string) (string, error) {
+	r, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(), nil
+}

@@ -1,0 +1,187 @@
+// Package fp16 implements IEEE 754 binary16 in software. Mixed-precision
+// training (§4.5 of the paper) stores working weights and gradients in fp16
+// while the optimizer runs in fp32; this package provides the conversions,
+// the batch casting kernels whose placement the Superchip-aware casting
+// policy decides, and the NaN/Inf scans the speculation-then-validation
+// scheme performs during validation (§4.4).
+package fp16
+
+import "math"
+
+// Num is one binary16 value: 1 sign bit, 5 exponent bits, 10 mantissa bits.
+type Num uint16
+
+const (
+	signMask = 0x8000
+	expMask  = 0x7C00
+	fracMask = 0x03FF
+
+	// PosInf and NegInf are the fp16 infinities produced on overflow.
+	PosInf Num = 0x7C00
+	NegInf Num = 0xFC00
+	// QuietNaN is a canonical fp16 NaN.
+	QuietNaN Num = 0x7E00
+
+	// MaxValue is the largest finite fp16 magnitude (65504).
+	MaxValue = 65504.0
+	// MinNormal is the smallest positive normal fp16 (2^-14).
+	MinNormal = 6.103515625e-05
+)
+
+// FromFloat32 converts with round-to-nearest-even; values above MaxValue
+// overflow to infinity (the behaviour that makes loss-scale overflow checks
+// necessary in mixed-precision training).
+func FromFloat32(f float32) Num {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			return Num(sign | uint16(expMask) | 0x0200 | uint16(frac>>13))
+		}
+		return Num(sign | expMask)
+	case exp == 0 && frac == 0:
+		return Num(sign)
+	}
+
+	// Re-bias from 127 to 15.
+	e := exp - 127 + 15
+	if e >= 0x1F {
+		// Overflow to infinity.
+		return Num(sign | expMask)
+	}
+	if e <= 0 {
+		// Subnormal or underflow to zero.
+		if e < -10 {
+			return Num(sign)
+		}
+		// Add implicit leading 1, shift into subnormal position.
+		frac |= 0x800000
+		shift := uint32(14 - e)
+		half := uint32(1) << (shift - 1)
+		rounded := frac + half
+		// Round-to-nearest-even on ties.
+		if frac&(half*2-1) == half && rounded&(1<<shift) == 0 {
+			rounded--
+		}
+		return Num(sign | uint16(rounded>>shift))
+	}
+
+	// Normal: round mantissa from 23 to 10 bits, nearest-even.
+	out := uint32(e)<<10 | frac>>13
+	rem := frac & 0x1FFF
+	if rem > 0x1000 || (rem == 0x1000 && out&1 == 1) {
+		out++ // may carry into exponent; that is correct rounding behaviour
+	}
+	if out >= 0x7C00 {
+		return Num(sign | expMask)
+	}
+	return Num(sign | uint16(out))
+}
+
+// Float32 converts back to fp32 exactly (binary16 ⊂ binary32).
+func (n Num) Float32() float32 {
+	sign := uint32(n&signMask) << 16
+	exp := uint32(n&expMask) >> 10
+	frac := uint32(n & fracMask)
+
+	switch {
+	case exp == 0x1F: // Inf/NaN
+		return math.Float32frombits(sign | 0x7F800000 | frac<<13)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask
+		return math.Float32frombits(sign | e<<23 | frac<<13)
+	}
+	return math.Float32frombits(sign | (exp-15+127)<<23 | frac<<13)
+}
+
+// IsNaN reports whether n is any NaN encoding.
+func (n Num) IsNaN() bool { return n&expMask == expMask && n&fracMask != 0 }
+
+// IsInf reports whether n is ±Inf.
+func (n Num) IsInf() bool { return n&expMask == expMask && n&fracMask == 0 }
+
+// IsFinite reports a normal, subnormal or zero value.
+func (n Num) IsFinite() bool { return n&expMask != expMask }
+
+// Cast converts a fp32 slice to fp16, writing into dst (allocating when dst
+// is too small) and returning it. This is the Move_fp16 payload producer.
+func Cast(dst []Num, src []float32) []Num {
+	if cap(dst) < len(src) {
+		dst = make([]Num, len(src))
+	}
+	dst = dst[:len(src)]
+	// 4-way unrolled main loop: the Go analogue of the SVE batch
+	// conversion; keeps the conversion in registers.
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = FromFloat32(src[i])
+		dst[i+1] = FromFloat32(src[i+1])
+		dst[i+2] = FromFloat32(src[i+2])
+		dst[i+3] = FromFloat32(src[i+3])
+	}
+	for ; i < len(src); i++ {
+		dst[i] = FromFloat32(src[i])
+	}
+	return dst
+}
+
+// Uncast converts fp16 back to fp32 into dst.
+func Uncast(dst []float32, src []Num) []float32 {
+	if cap(dst) < len(src) {
+		dst = make([]float32, len(src))
+	}
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = src[i].Float32()
+		dst[i+1] = src[i+1].Float32()
+		dst[i+2] = src[i+2].Float32()
+		dst[i+3] = src[i+3].Float32()
+	}
+	for ; i < len(src); i++ {
+		dst[i] = src[i].Float32()
+	}
+	return dst
+}
+
+// ScanBad reports whether the fp16 slice contains any NaN or Inf — the
+// overflow check mixed-precision training performs before applying an
+// optimizer step, deferred to validation time under STV.
+func ScanBad(xs []Num) bool {
+	for _, x := range xs {
+		if x&expMask == expMask {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanBad32 is the fp32 variant used on master gradients.
+func ScanBad32(xs []float32) bool {
+	for _, x := range xs {
+		// NaN or |x| = Inf ⇔ exponent all-ones.
+		if math.Float32bits(x)&0x7F800000 == 0x7F800000 {
+			return true
+		}
+	}
+	return false
+}
+
+// RoundTripError returns |f - fp16(f)| for diagnostics; 0 for values
+// exactly representable in binary16.
+func RoundTripError(f float32) float64 {
+	return math.Abs(float64(f) - float64(FromFloat32(f).Float32()))
+}

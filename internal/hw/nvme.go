@@ -1,0 +1,51 @@
+package hw
+
+// NVMe models the third memory tier of ZeRO-Infinity's design (§2.2 of the
+// paper; the paper's evaluation disables it for fair comparison, this
+// repository implements it as the documented extension). Values follow the
+// ZeRO-Infinity paper's testbed: a striped array of NVMe drives per node.
+type NVMeSpec struct {
+	Name string
+	// ReadBW/WriteBW are sustained sequential rates in bytes/s.
+	ReadBW  float64
+	WriteBW float64
+	// Capacity in bytes per Superchip.
+	Capacity int64
+	// LatencyS is the per-IO setup latency through the aio stack.
+	LatencyS float64
+}
+
+// NodeNVMe is the per-Superchip NVMe array of a GH200 node.
+func NodeNVMe() NVMeSpec {
+	return NVMeSpec{
+		Name:     "NVMe-RAID",
+		ReadBW:   25 * GB,
+		WriteBW:  12 * GB,
+		Capacity: 8 * 1024 * GiB, // 8 TiB per Superchip
+		LatencyS: 100e-6,
+	}
+}
+
+// ReadTime returns seconds to read size bytes.
+func (n NVMeSpec) ReadTime(size int64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return n.LatencyS + float64(size)/n.ReadBW
+}
+
+// WriteTime returns seconds to write size bytes.
+func (n NVMeSpec) WriteTime(size int64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return n.LatencyS + float64(size)/n.WriteBW
+}
+
+// OptimizerSwapTime is the per-step NVMe traffic for swapping a shard's
+// optimizer states through DRAM: read fp32 master+moments (16 B/param),
+// write them back updated (12 B/param master+moments after the fused
+// kernel recombines, plus 4 B master) — 16 B read + 16 B write per param.
+func (n NVMeSpec) OptimizerSwapTime(params int64) float64 {
+	return n.ReadTime(16*params) + n.WriteTime(16*params)
+}

@@ -1,0 +1,138 @@
+package hw
+
+import "fmt"
+
+// Node is a K-way Superchip node: K chips joined GPU-to-GPU by an NVLink
+// fabric and CPU-to-CPU by the inter-socket link; each Superchip is one
+// NUMA domain (§4.7 "NUMA binding").
+type Node struct {
+	Chip      Chip
+	ChipCount int
+	// GPUFabric joins GPUs inside the node (NVLink switch).
+	GPUFabric LinkSpec
+	// CrossNUMA is the path taken when a CPU process touches another
+	// Superchip's memory; much slower than local C2C.
+	CrossNUMA LinkSpec
+}
+
+// Cluster is a set of identical nodes joined by an inter-node network.
+type Cluster struct {
+	Node      Node
+	NodeCount int
+	Network   LinkSpec // Slingshot-11 in the paper's testbed
+}
+
+// NewGH200Node builds the paper's single-node testbeds: a node of n GH200
+// Superchips (n=1 for §5.2 single-Superchip runs, n=4 for a 4-way node).
+func NewGH200Node(n int) Node {
+	chip := GH200()
+	if n > 1 {
+		// Multi-chip nodes in the testbed carry 240 GB DDR per chip.
+		chip = GH200NVL2()
+	}
+	cross := NVLinkC2C()
+	cross.Name = "cross-NUMA"
+	cross.PeakBW *= NUMAMisbindBWFraction
+	cross.LatencyS += NUMAMisbindExtraLatS
+	return Node{Chip: chip, ChipCount: n, GPUFabric: NVLink4(), CrossNUMA: cross}
+}
+
+// NewGH200Cluster builds the paper's multi-node testbed: nodes of
+// chipsPerNode GH200s connected by Slingshot-11 (§5.1).
+func NewGH200Cluster(nodes, chipsPerNode int) Cluster {
+	return Cluster{Node: NewGH200Node(chipsPerNode), NodeCount: nodes, Network: Slingshot11()}
+}
+
+// TotalChips returns the number of Superchips in the cluster.
+func (c Cluster) TotalChips() int { return c.NodeCount * c.Node.ChipCount }
+
+// TotalGPUMem returns aggregate HBM bytes.
+func (c Cluster) TotalGPUMem() int64 {
+	return int64(c.TotalChips()) * c.Node.Chip.GPU.MemBytes
+}
+
+// TotalCPUMem returns aggregate DDR bytes.
+func (c Cluster) TotalCPUMem() int64 {
+	return int64(c.TotalChips()) * c.Node.Chip.CPU.MemBytes
+}
+
+func (c Cluster) String() string {
+	return fmt.Sprintf("%dx%d %s", c.NodeCount, c.Node.ChipCount, c.Node.Chip.Name)
+}
+
+// ClusterFor returns the testbed used for a given total Superchip count,
+// following §5.1: single chips are the 480 GB-DDR GH200; multi-chip runs
+// use GH200-NVL2 nodes (2 chips, 240 GB DDR each) joined by Slingshot.
+func ClusterFor(totalChips int) Cluster {
+	switch {
+	case totalChips <= 1:
+		return Cluster{Node: NewGH200Node(1), NodeCount: 1, Network: Slingshot11()}
+	case totalChips == 2:
+		return NewGH200Cluster(1, 2)
+	default:
+		return NewGH200Cluster(totalChips/2, 2)
+	}
+}
+
+// DataParallelLink returns the effective link for bulk data-parallel
+// collectives across n ranks in the cluster: intra-node fabric if all ranks
+// share a node, otherwise the inter-node network bounds the ring.
+func (c Cluster) DataParallelLink(n int) LinkSpec {
+	if n <= c.Node.ChipCount && c.NodeCount >= 1 {
+		return c.Node.GPUFabric
+	}
+	return c.Network
+}
+
+// Binding describes CPU-core affinity of the training process for one
+// Superchip's rank (§4.7). A correctly bound process keeps its host traffic
+// on the local C2C link; a misbound process crosses NUMA domains.
+type Binding struct {
+	Rank      int
+	CoreStart int
+	CoreEnd   int // exclusive
+	Local     bool
+}
+
+// BindRanks produces the explicit core bindings SuperOffload applies: rank
+// i gets the cores of Superchip i.
+func (n Node) BindRanks() []Binding {
+	out := make([]Binding, n.ChipCount)
+	for i := 0; i < n.ChipCount; i++ {
+		out[i] = Binding{
+			Rank:      i,
+			CoreStart: i * n.Chip.CPU.Cores,
+			CoreEnd:   (i + 1) * n.Chip.CPU.Cores,
+			Local:     true,
+		}
+	}
+	return out
+}
+
+// MisboundRanks models the default launcher behaviour the paper warns
+// about: processes land on arbitrary cores, so each rank's host traffic has
+// probability (K-1)/K of crossing NUMA domains. We model the worst common
+// case: every rank shifted by one Superchip.
+func (n Node) MisboundRanks() []Binding {
+	out := make([]Binding, n.ChipCount)
+	for i := 0; i < n.ChipCount; i++ {
+		j := (i + 1) % n.ChipCount
+		out[i] = Binding{
+			Rank:      i,
+			CoreStart: j * n.Chip.CPU.Cores,
+			CoreEnd:   (j + 1) * n.Chip.CPU.Cores,
+			Local:     n.ChipCount == 1,
+		}
+	}
+	return out
+}
+
+// HostLinkFor returns the link a rank's host traffic takes under the given
+// binding: the local C2C link when correctly bound, the cross-NUMA path
+// otherwise.
+func (n Node) HostLinkFor(b Binding) LinkSpec {
+	if b.Local {
+		return n.Chip.Link
+	}
+	return n.CrossNUMA
+}

@@ -1,0 +1,95 @@
+// Package metrics provides the small formatting helpers the experiment
+// harness and CLIs share: fixed-width tables and unit formatting.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows for fixed-width rendering.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Add appends one row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddStrings appends one pre-formatted row.
+func (t *Table) AddStrings(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// TFLOPS formats a FLOP/s value in TFLOPS.
+func TFLOPS(flopsPerSec float64) string { return fmt.Sprintf("%.1f", flopsPerSec/1e12) }
+
+// GiB formats bytes in binary gigabytes.
+func GiB(b int64) string { return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30)) }
+
+// Seconds formats a duration with adaptive precision.
+func Seconds(s float64) string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%.1f µs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3f s", s)
+	}
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

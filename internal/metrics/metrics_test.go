@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.Add("short", 1.5)
+	tb.Add("a-much-longer-name", 123456.789)
+	tb.AddStrings("raw", "cell")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + sep + 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows share the first column width.
+	w := strings.Index(lines[0], "Value")
+	for i, l := range lines {
+		if i == 1 {
+			continue
+		}
+		if len(l) < w {
+			t.Errorf("row %d shorter than header column offset", i)
+		}
+	}
+	if !strings.Contains(out, "123456.79") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if TFLOPS(2.5e12) != "2.5" {
+		t.Errorf("TFLOPS: %s", TFLOPS(2.5e12))
+	}
+	if GiB(96<<30) != "96.0 GiB" {
+		t.Errorf("GiB: %s", GiB(96<<30))
+	}
+	cases := map[float64]string{
+		5e-7: "0.5 µs",
+		5e-3: "5.00 ms",
+		2.5:  "2.500 s",
+	}
+	for in, want := range cases {
+		if got := Seconds(in); got != want {
+			t.Errorf("Seconds(%v) = %s, want %s", in, got, want)
+		}
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct: %s", Pct(0.123))
+	}
+}

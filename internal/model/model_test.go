@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendixAParamCounts(t *testing.T) {
+	// Each named config's parameter count must land near its label
+	// (embedding included, so small models run a bit over).
+	cases := map[string]float64{
+		"1B": 1e9, "2B": 2e9, "3B": 3e9, "4B": 4e9, "5B": 5e9,
+		"6B": 6e9, "8B": 8e9, "10B": 10e9, "13B": 13e9, "15B": 15e9,
+		"20B": 20e9, "25B": 25e9, "50B": 50e9, "70B": 70e9,
+		"150B": 150e9, "200B": 200e9,
+	}
+	for name, want := range cases {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		got := float64(c.Params())
+		if got < want*0.9 || got > want*1.25 {
+			t.Errorf("%s: params = %.2fB, label %.0fB", name, got/1e9, want/1e9)
+		}
+	}
+}
+
+func TestAppendixATableShape(t *testing.T) {
+	// Spot-check the exact (layers, hidden) pairs from Table 4.
+	cases := []struct {
+		name           string
+		layers, hidden int
+	}{
+		{"1B", 20, 2048}, {"3B", 60, 2048}, {"4B", 64, 2304},
+		{"5B", 44, 3072}, {"8B", 72, 3072}, {"13B", 65, 4096},
+		{"15B", 78, 4096}, {"20B", 25, 8192}, {"25B", 30, 8192},
+		{"50B", 60, 8192}, {"200B", 60, 16384},
+	}
+	for _, c := range cases {
+		cfg, err := ByName(c.name)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if cfg.Layers != c.layers || cfg.Hidden != c.hidden {
+			t.Errorf("%s: got (L=%d,h=%d), want (L=%d,h=%d)", c.name, cfg.Layers, cfg.Hidden, c.layers, c.hidden)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("999B"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	if got := Nearest(5e9); got.Name != "5B" {
+		t.Errorf("Nearest(5B) = %s", got.Name)
+	}
+	if got := Nearest(190e9); got.Name != "200B" {
+		t.Errorf("Nearest(190B) = %s", got.Name)
+	}
+}
+
+func TestStateBytesIs16Psi(t *testing.T) {
+	c, _ := ByName("1B")
+	if c.StateBytes() != 16*c.Params() {
+		t.Errorf("state bytes = %d, want 16P", c.StateBytes())
+	}
+}
+
+func TestIterFLOPs(t *testing.T) {
+	c, _ := ByName("5B")
+	fwd := c.FwdFLOPsPerIter(8, 1024)
+	// Dense term dominates at seq 1024: 2*P*tokens.
+	dense := 2 * float64(c.Params()) * 8 * 1024
+	if fwd < dense || fwd > 1.5*dense {
+		t.Errorf("fwd FLOPs %.3e outside [dense, 1.5*dense] %.3e", fwd, dense)
+	}
+	if got := c.IterFLOPs(8, 1024); math.Abs(got-3*fwd) > 1 {
+		t.Errorf("iter = %v, want 3*fwd", got)
+	}
+}
+
+func TestAttentionTermGrowsWithSeq(t *testing.T) {
+	c, _ := ByName("13B")
+	perTokenShort := c.FwdFLOPsPerIter(1, 1024) / 1024
+	perTokenLong := c.FwdFLOPsPerIter(1, 1<<20) / (1 << 20)
+	if perTokenLong < 2*perTokenShort {
+		t.Errorf("attention quadratic term missing: %.3e vs %.3e", perTokenShort, perTokenLong)
+	}
+}
+
+func TestActivationBytes(t *testing.T) {
+	c, _ := ByName("3.5B")
+	noCkpt := c.ActivationBytes(8, 1024, false)
+	ckpt := c.ActivationBytes(8, 1024, true)
+	if ckpt >= noCkpt {
+		t.Errorf("checkpointing should shrink activations: %d vs %d", ckpt, noCkpt)
+	}
+	ratio := float64(noCkpt) / float64(ckpt)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("checkpoint ratio %.1f outside plausible range", ratio)
+	}
+}
+
+func TestActivationsDominateAtMillionTokens(t *testing.T) {
+	// §4.2: a 7B model needs ~112 GB of model states but TB-scale
+	// activation memory at 1M-token sequences.
+	c := Nearest(7e9)
+	states := c.StateBytes()
+	act := c.ActivationBytes(1, 1<<20, false)
+	if act < 8*states {
+		t.Errorf("1M-token activations (%d GB) should dwarf states (%d GB)",
+			act>>30, states>>30)
+	}
+}
+
+func TestGradBucketCount(t *testing.T) {
+	c, _ := ByName("5B")
+	n64 := c.GradBucketCount(64 << 20)
+	n8 := c.GradBucketCount(8 << 20)
+	if n8 <= n64 {
+		t.Errorf("smaller buckets must mean more of them: %d vs %d", n8, n64)
+	}
+	// 5B fp16 grads ≈ 10.3 GB → ~165 buckets of 64 MB.
+	if n64 < 140 || n64 > 190 {
+		t.Errorf("5B 64MB buckets = %d, want ~160", n64)
+	}
+	if New("t", 1, 128).GradBucketCount(1<<30) != 1 {
+		t.Error("tiny model should need one bucket")
+	}
+}
+
+func TestParamsMonotoneInLayersAndHidden(t *testing.T) {
+	f := func(l1, l2, h1 uint8) bool {
+		la, lb := int(l1%50)+1, int(l2%50)+1
+		if la > lb {
+			la, lb = lb, la
+		}
+		h := (int(h1%30) + 2) * 64
+		return New("a", la, h).Params() <= New("b", lb, h).Params()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTinyIsSmall(t *testing.T) {
+	if Tiny().Params() > 1e6 {
+		t.Errorf("tiny model too big: %d params", Tiny().Params())
+	}
+}
+
+func TestHeadsDefault(t *testing.T) {
+	if New("x", 2, 1024).Heads != 8 {
+		t.Errorf("heads = %d, want 8", New("x", 2, 1024).Heads)
+	}
+	if New("x", 2, 64).Heads < 1 {
+		t.Error("heads must be at least 1")
+	}
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+
+	"superoffload/internal/tensor"
+)
+
+// attnCache retains what causal self-attention needs for its backward pass.
+type attnCache struct {
+	x       *tensor.Tensor // block input after layernorm, (B*T, C)
+	qkv     *tensor.Tensor // fused projections, (B*T, 3C)
+	attnOut *tensor.Tensor // pre-projection concat of heads, (B*T, C)
+	probs   []*tensor.Tensor
+	// probs[b*heads+h] is the post-softmax score matrix (T, T).
+	batch, seq, heads int
+}
+
+// attention runs causal multi-head self-attention over x (B*T, C).
+func (blk *Block) attention(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *attnCache) {
+	c := x.Dim(1)
+	heads := blk.heads
+	hs := c / heads
+	scale := float32(1 / math.Sqrt(float64(hs)))
+
+	qkv := linear(x, blk.WQKV, blk.BQKV)
+	out := tensor.New(batch*seq, c)
+	cache := &attnCache{x: x, qkv: qkv, batch: batch, seq: seq, heads: heads,
+		probs: make([]*tensor.Tensor, batch*heads)}
+
+	q := tensor.New(seq, hs)
+	k := tensor.New(seq, hs)
+	v := tensor.New(seq, hs)
+	for b := 0; b < batch; b++ {
+		for h := 0; h < heads; h++ {
+			gatherHead(q, qkv, b, seq, 3*c, 0*c+h*hs, hs)
+			gatherHead(k, qkv, b, seq, 3*c, 1*c+h*hs, hs)
+			gatherHead(v, qkv, b, seq, 3*c, 2*c+h*hs, hs)
+
+			scores := tensor.MatMulT(q, k) // (T,T)
+			scores.Scale(scale)
+			applyCausalMask(scores)
+			scores.SoftmaxRows()
+			cache.probs[b*heads+h] = scores
+
+			o := tensor.MatMul(scores, v) // (T,hs)
+			scatterHead(out, o, b, seq, c, h*hs, hs)
+		}
+	}
+	proj := linear(out, blk.WO, blk.BO)
+	cache.attnOut = out
+	return proj, cache
+}
+
+// attentionBackward consumes dProj and returns dx, accumulating weight
+// gradients along the way.
+func (blk *Block) attentionBackward(dProj *tensor.Tensor, cache *attnCache) *tensor.Tensor {
+	c := cache.x.Dim(1)
+	heads := cache.heads
+	hs := c / heads
+	seq := cache.seq
+	scale := float32(1 / math.Sqrt(float64(hs)))
+
+	dOut := linearBackward(cache.attnOut, dProj, blk.WO, blk.BO)
+	dqkv := tensor.New(cache.batch*seq, 3*c)
+
+	q := tensor.New(seq, hs)
+	k := tensor.New(seq, hs)
+	v := tensor.New(seq, hs)
+	do := tensor.New(seq, hs)
+	for b := 0; b < cache.batch; b++ {
+		for h := 0; h < heads; h++ {
+			gatherHead(q, cache.qkv, b, seq, 3*c, 0*c+h*hs, hs)
+			gatherHead(k, cache.qkv, b, seq, 3*c, 1*c+h*hs, hs)
+			gatherHead(v, cache.qkv, b, seq, 3*c, 2*c+h*hs, hs)
+			gatherHead(do, dOut, b, seq, c, h*hs, hs)
+
+			p := cache.probs[b*heads+h]
+			dv := tensor.TMatMul(p, do) // (T,hs)
+			dp := tensor.MatMulT(do, v) // (T,T)
+
+			// Softmax backward row-wise: dS = P ⊙ (dP − rowSum(dP⊙P)).
+			ds := tensor.New(seq, seq)
+			for i := 0; i < seq; i++ {
+				prow := p.Row(i)
+				dprow := dp.Row(i)
+				var dot float64
+				for j := range prow {
+					dot += float64(prow[j]) * float64(dprow[j])
+				}
+				dsrow := ds.Row(i)
+				for j := range prow {
+					dsrow[j] = prow[j] * (dprow[j] - float32(dot))
+				}
+			}
+			ds.Scale(scale)
+
+			dq := tensor.MatMul(ds, k)  // (T,hs)
+			dk := tensor.TMatMul(ds, q) // (T,hs)
+
+			scatterHead(dqkv, dq, b, seq, 3*c, 0*c+h*hs, hs)
+			scatterHead(dqkv, dk, b, seq, 3*c, 1*c+h*hs, hs)
+			scatterHead(dqkv, dv, b, seq, 3*c, 2*c+h*hs, hs)
+		}
+	}
+	return linearBackward(cache.x, dqkv, blk.WQKV, blk.BQKV)
+}
+
+// gatherHead copies column window [col,col+hs) of rows b*seq..(b+1)*seq of
+// src (row width w) into dst (seq, hs).
+func gatherHead(dst, src *tensor.Tensor, b, seq, w, col, hs int) {
+	for t := 0; t < seq; t++ {
+		srow := src.Data[(b*seq+t)*w+col : (b*seq+t)*w+col+hs]
+		copy(dst.Data[t*hs:(t+1)*hs], srow)
+	}
+}
+
+// scatterHead adds src (seq, hs) into the column window of dst.
+func scatterHead(dst, src *tensor.Tensor, b, seq, w, col, hs int) {
+	for t := 0; t < seq; t++ {
+		drow := dst.Data[(b*seq+t)*w+col : (b*seq+t)*w+col+hs]
+		srow := src.Data[t*hs : (t+1)*hs]
+		for j := range drow {
+			drow[j] += srow[j]
+		}
+	}
+}
+
+// applyCausalMask sets strictly-upper-triangular entries to -inf before the
+// softmax so token i attends only to ≤ i.
+func applyCausalMask(scores *tensor.Tensor) {
+	t := scores.Dim(0)
+	negInf := float32(math.Inf(-1))
+	for i := 0; i < t; i++ {
+		row := scores.Row(i)
+		for j := i + 1; j < t; j++ {
+			row[j] = negInf
+		}
+	}
+}

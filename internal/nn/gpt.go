@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+
+	"superoffload/internal/model"
+	"superoffload/internal/tensor"
+)
+
+// Block is one pre-norm transformer block: x += Attn(LN1(x)); x += MLP(LN2(x)).
+type Block struct {
+	LN1G, LN1B *Param
+	WQKV, BQKV *Param
+	WO, BO     *Param
+	LN2G, LN2B *Param
+	W1, B1     *Param
+	W2, B2     *Param
+	heads      int
+}
+
+// GPT is a causal decoder-only transformer with learned positional
+// embeddings and an untied LM head.
+type GPT struct {
+	Cfg    model.Config
+	MaxSeq int
+
+	TokEmb *Param // (vocab, hidden)
+	PosEmb *Param // (maxSeq, hidden)
+	Blocks []*Block
+	LNFG   *Param // final layernorm gain
+	LNFB   *Param // final layernorm bias
+	Head   *Param // (hidden, vocab)
+
+	params Params
+}
+
+// NewGPT builds a model with N(0, 0.02) initialization (residual
+// projections scaled down by depth, GPT-2 style).
+func NewGPT(cfg model.Config, maxSeq int, rng *tensor.RNG) *GPT {
+	c := cfg.Hidden
+	g := &GPT{Cfg: cfg, MaxSeq: maxSeq}
+	add := func(p *Param) *Param {
+		g.params = append(g.params, p)
+		return p
+	}
+	const std = 0.02
+	resStd := float32(std / float32(1+cfg.Layers))
+
+	g.TokEmb = add(newParam("tok_emb", tensor.Randn(rng, std, cfg.Vocab, c)))
+	g.PosEmb = add(newParam("pos_emb", tensor.Randn(rng, std, maxSeq, c)))
+	for l := 0; l < cfg.Layers; l++ {
+		blk := &Block{heads: cfg.Heads}
+		name := func(s string) string { return fmt.Sprintf("h%d.%s", l, s) }
+		blk.LN1G = add(newParam(name("ln1.g"), ones(c)))
+		blk.LN1B = add(newParam(name("ln1.b"), tensor.New(c)))
+		blk.WQKV = add(newParam(name("attn.wqkv"), tensor.Randn(rng, std, c, 3*c)))
+		blk.BQKV = add(newParam(name("attn.bqkv"), tensor.New(3*c)))
+		blk.WO = add(newParam(name("attn.wo"), tensor.Randn(rng, resStd, c, c)))
+		blk.BO = add(newParam(name("attn.bo"), tensor.New(c)))
+		blk.LN2G = add(newParam(name("ln2.g"), ones(c)))
+		blk.LN2B = add(newParam(name("ln2.b"), tensor.New(c)))
+		blk.W1 = add(newParam(name("mlp.w1"), tensor.Randn(rng, std, c, 4*c)))
+		blk.B1 = add(newParam(name("mlp.b1"), tensor.New(4*c)))
+		blk.W2 = add(newParam(name("mlp.w2"), tensor.Randn(rng, resStd, 4*c, c)))
+		blk.B2 = add(newParam(name("mlp.b2"), tensor.New(c)))
+		g.Blocks = append(g.Blocks, blk)
+	}
+	g.LNFG = add(newParam("lnf.g", ones(c)))
+	g.LNFB = add(newParam("lnf.b", tensor.New(c)))
+	g.Head = add(newParam("head", tensor.Randn(rng, std, c, cfg.Vocab)))
+	return g
+}
+
+func ones(n int) *tensor.Tensor {
+	t := tensor.New(n)
+	t.Fill(1)
+	return t
+}
+
+// Params returns all trainable parameters in registration order — the
+// order the offload engine buckets them in.
+func (g *GPT) Params() Params { return g.params }
+
+// NumParams returns the total trainable element count.
+func (g *GPT) NumParams() int { return g.params.TotalSize() }
+
+// blockCache retains one block's forward intermediates.
+type blockCache struct {
+	xIn   *tensor.Tensor // block input
+	ln1   *layerNormCache
+	attn  *attnCache
+	res1  *tensor.Tensor // x + attn
+	ln2   *layerNormCache
+	ln2y  *tensor.Tensor
+	h1    *tensor.Tensor // pre-GELU
+	hGelu *tensor.Tensor
+}
+
+// fwdCache retains one iteration's intermediates for Backward.
+type fwdCache struct {
+	tokens     []int
+	batch, seq int
+	embedded   *tensor.Tensor
+	blocks     []*blockCache
+	lnf        *layerNormCache
+	lnfy       *tensor.Tensor
+	dlogits    *tensor.Tensor
+}
+
+// Forward runs the model over a (batch, seq) token matrix flattened
+// row-major into tokens, computing mean cross-entropy loss against targets
+// (same layout). Returns the loss; call Backward to populate gradients.
+func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fwdCache) {
+	if len(tokens) != batch*seq || len(targets) != batch*seq {
+		panic("nn: token/target shape mismatch")
+	}
+	if seq > g.MaxSeq {
+		panic(fmt.Sprintf("nn: seq %d exceeds max %d", seq, g.MaxSeq))
+	}
+	c := g.Cfg.Hidden
+	n := batch * seq
+
+	x := tensor.New(n, c)
+	for i, tok := range tokens {
+		if tok < 0 || tok >= g.Cfg.Vocab {
+			panic(fmt.Sprintf("nn: token %d out of vocab", tok))
+		}
+		t := i % seq
+		dst := x.Data[i*c : (i+1)*c]
+		te := g.TokEmb.W.Data[tok*c : (tok+1)*c]
+		pe := g.PosEmb.W.Data[t*c : (t+1)*c]
+		for j := 0; j < c; j++ {
+			dst[j] = te[j] + pe[j]
+		}
+	}
+
+	cache := &fwdCache{tokens: tokens, batch: batch, seq: seq, embedded: x}
+	for _, blk := range g.Blocks {
+		bc := &blockCache{xIn: x}
+		ln1y, ln1c := layerNorm(x, blk.LN1G, blk.LN1B)
+		bc.ln1 = ln1c
+		attnY, attnC := blk.attention(ln1y, batch, seq)
+		bc.attn = attnC
+		res1 := tensor.New(n, c)
+		tensor.AddInto(res1, x, attnY)
+		bc.res1 = res1
+
+		ln2y, ln2c := layerNorm(res1, blk.LN2G, blk.LN2B)
+		bc.ln2, bc.ln2y = ln2c, ln2y
+		h1 := linear(ln2y, blk.W1, blk.B1)
+		bc.h1 = h1
+		hg := gelu(h1)
+		bc.hGelu = hg
+		h2 := linear(hg, blk.W2, blk.B2)
+
+		x2 := tensor.New(n, c)
+		tensor.AddInto(x2, res1, h2)
+		x = x2
+		cache.blocks = append(cache.blocks, bc)
+	}
+
+	lnfy, lnfc := layerNorm(x, g.LNFG, g.LNFB)
+	cache.lnf, cache.lnfy = lnfc, lnfy
+	logits := linear(lnfy, g.Head, nil)
+	loss, dlogits := crossEntropy(logits, targets)
+	cache.dlogits = dlogits
+	return loss, cache
+}
+
+// Backward accumulates gradients for the iteration captured in cache.
+// Gradients add into Params().G, so gradient accumulation across
+// micro-batches works by not zeroing between calls. lossScale multiplies
+// the loss (mixed-precision loss scaling); gradients come out scaled.
+func (g *GPT) Backward(cache *fwdCache, lossScale float64) {
+	dlogits := cache.dlogits
+	if lossScale != 1 {
+		dlogits = cache.dlogits.Clone()
+		dlogits.Scale(float32(lossScale))
+	}
+	dlnfy := linearBackward(cache.lnfy, dlogits, g.Head, nil)
+	dx := layerNormBackward(dlnfy, cache.lnf, g.LNFG, g.LNFB)
+
+	for l := len(g.Blocks) - 1; l >= 0; l-- {
+		blk := g.Blocks[l]
+		bc := cache.blocks[l]
+
+		// MLP branch: x2 = res1 + W2·gelu(W1·ln2(res1)).
+		dh2 := dx
+		dhg := linearBackward(bc.hGelu, dh2, blk.W2, blk.B2)
+		dh1 := geluBackward(dhg, bc.h1)
+		dln2y := linearBackward(bc.ln2y, dh1, blk.W1, blk.B1)
+		dres1FromMLP := layerNormBackward(dln2y, bc.ln2, blk.LN2G, blk.LN2B)
+		dres1 := tensor.New(dx.Dim(0), dx.Dim(1))
+		tensor.AddInto(dres1, dx, dres1FromMLP)
+
+		// Attention branch: res1 = xIn + attn(ln1(xIn)).
+		dattn := dres1
+		dln1y := blk.attentionBackward(dattn, bc.attn)
+		dxFromAttn := layerNormBackward(dln1y, bc.ln1, blk.LN1G, blk.LN1B)
+		dxNext := tensor.New(dx.Dim(0), dx.Dim(1))
+		tensor.AddInto(dxNext, dres1, dxFromAttn)
+		dx = dxNext
+	}
+
+	// Embedding gradients.
+	c := g.Cfg.Hidden
+	for i, tok := range cache.tokens {
+		t := i % cache.seq
+		src := dx.Data[i*c : (i+1)*c]
+		te := g.TokEmb.G.Data[tok*c : (tok+1)*c]
+		pe := g.PosEmb.G.Data[t*c : (t+1)*c]
+		for j := 0; j < c; j++ {
+			te[j] += src[j]
+			pe[j] += src[j]
+		}
+	}
+}

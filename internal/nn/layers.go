@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"math"
+
+	"superoffload/internal/tensor"
+)
+
+// ---- Linear ----
+
+// linear computes y = x·W + b for x (n,in), W (in,out), b (out).
+func linear(x *tensor.Tensor, w, b *Param) *tensor.Tensor {
+	y := tensor.MatMul(x, w.W)
+	if b != nil {
+		n, out := y.Dim(0), y.Dim(1)
+		for i := 0; i < n; i++ {
+			row := y.Data[i*out : (i+1)*out]
+			for j := range row {
+				row[j] += b.W.Data[j]
+			}
+		}
+	}
+	return y
+}
+
+// linearBackward accumulates dW = xᵀ·dy, db = colsum(dy) and returns
+// dx = dy·Wᵀ.
+func linearBackward(x, dy *tensor.Tensor, w, b *Param) *tensor.Tensor {
+	dw := tensor.TMatMul(x, dy)
+	tensor.AXPY(1, dw.Data, w.G.Data)
+	if b != nil {
+		n, out := dy.Dim(0), dy.Dim(1)
+		for i := 0; i < n; i++ {
+			row := dy.Data[i*out : (i+1)*out]
+			for j := range row {
+				b.G.Data[j] += row[j]
+			}
+		}
+	}
+	return tensor.MatMulT(dy, w.W)
+}
+
+// ---- LayerNorm ----
+
+type layerNormCache struct {
+	x      *tensor.Tensor
+	invStd []float32
+	mean   []float32
+}
+
+const lnEps = 1e-5
+
+// layerNorm normalizes each row of x and applies gain g and bias b.
+func layerNorm(x *tensor.Tensor, g, b *Param) (*tensor.Tensor, *layerNormCache) {
+	n, c := x.Dim(0), x.Dim(1)
+	y := tensor.New(n, c)
+	cache := &layerNormCache{x: x, invStd: make([]float32, n), mean: make([]float32, n)}
+	for i := 0; i < n; i++ {
+		row := x.Data[i*c : (i+1)*c]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(c)
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(c)
+		invStd := float32(1 / math.Sqrt(variance+lnEps))
+		cache.invStd[i] = invStd
+		cache.mean[i] = float32(mean)
+		out := y.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			xhat := (v - float32(mean)) * invStd
+			out[j] = xhat*g.W.Data[j] + b.W.Data[j]
+		}
+	}
+	return y, cache
+}
+
+// layerNormBackward accumulates gain/bias grads and returns dx.
+func layerNormBackward(dy *tensor.Tensor, cache *layerNormCache, g, b *Param) *tensor.Tensor {
+	n, c := dy.Dim(0), dy.Dim(1)
+	dx := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		xrow := cache.x.Data[i*c : (i+1)*c]
+		dyRow := dy.Data[i*c : (i+1)*c]
+		invStd := cache.invStd[i]
+		mean := cache.mean[i]
+		// Accumulate the two row-reductions the backward needs.
+		var sumDxhat, sumDxhatXhat float64
+		dxhat := make([]float32, c)
+		for j := 0; j < c; j++ {
+			xhat := (xrow[j] - mean) * invStd
+			d := dyRow[j] * g.W.Data[j]
+			dxhat[j] = d
+			sumDxhat += float64(d)
+			sumDxhatXhat += float64(d) * float64(xhat)
+			g.G.Data[j] += dyRow[j] * xhat
+			b.G.Data[j] += dyRow[j]
+		}
+		mDxhat := float32(sumDxhat / float64(c))
+		mDxhatXhat := float32(sumDxhatXhat / float64(c))
+		out := dx.Data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			xhat := (xrow[j] - mean) * invStd
+			out[j] = (dxhat[j] - mDxhat - xhat*mDxhatXhat) * invStd
+		}
+	}
+	return dx
+}
+
+// ---- GELU (tanh approximation) ----
+
+const geluK = 0.7978845608028654 // sqrt(2/pi)
+
+func geluScalar(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluK*(x+0.044715*x*x*x)))
+}
+
+func geluGradScalar(x float64) float64 {
+	u := geluK * (x + 0.044715*x*x*x)
+	t := math.Tanh(u)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*geluK*(1+3*0.044715*x*x)
+}
+
+// gelu applies GELU elementwise, returning output (input retained by the
+// caller for backward).
+func gelu(x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(geluScalar(float64(v)))
+	}
+	return y
+}
+
+// geluBackward returns dx = dy ⊙ gelu'(x).
+func geluBackward(dy, x *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(x.Shape()...)
+	for i := range x.Data {
+		dx.Data[i] = dy.Data[i] * float32(geluGradScalar(float64(x.Data[i])))
+	}
+	return dx
+}
+
+// ---- softmax cross-entropy ----
+
+// crossEntropy computes mean token loss over logits (n, vocab) against
+// integer targets, and the gradient dlogits = (softmax - onehot)/n.
+func crossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	n, v := logits.Dim(0), logits.Dim(1)
+	if len(targets) != n {
+		panic("nn: target length mismatch")
+	}
+	dlogits := tensor.New(n, v)
+	var loss float64
+	invN := float32(1.0 / float64(n))
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*v : (i+1)*v]
+		maxv := row[0]
+		for _, x := range row[1:] {
+			if x > maxv {
+				maxv = x
+			}
+		}
+		var sum float64
+		for _, x := range row {
+			sum += math.Exp(float64(x - maxv))
+		}
+		logSum := math.Log(sum) + float64(maxv)
+		tgt := targets[i]
+		loss += logSum - float64(row[tgt])
+		drow := dlogits.Data[i*v : (i+1)*v]
+		for j, x := range row {
+			p := float32(math.Exp(float64(x) - logSum))
+			drow[j] = p * invN
+		}
+		drow[tgt] -= invN
+	}
+	return loss / float64(n), dlogits
+}

@@ -1,0 +1,129 @@
+package optim
+
+import (
+	"math"
+
+	"superoffload/internal/fp16"
+)
+
+// GlobalNorm returns the L2 norm over all gradient shards, accumulated in
+// float64 — the quantity gradient clipping needs globally (§4.4: "the
+// clipping of the gradient norm requires calculating the global gradient
+// norm").
+func GlobalNorm(shards [][]float32) float64 {
+	var s float64
+	for _, g := range shards {
+		for _, x := range g {
+			s += float64(x) * float64(x)
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipScale returns the factor gradients must be scaled by for the global
+// norm to respect maxNorm (1.0 when no clipping is needed).
+func ClipScale(globalNorm, maxNorm float64) float64 {
+	if maxNorm <= 0 || globalNorm <= maxNorm || globalNorm == 0 {
+		return 1.0
+	}
+	return maxNorm / globalNorm
+}
+
+// ScaleShards multiplies every gradient shard by scale in place.
+func ScaleShards(shards [][]float32, scale float64) {
+	if scale == 1.0 {
+		return
+	}
+	s := float32(scale)
+	for _, g := range shards {
+		for i := range g {
+			g[i] *= s
+		}
+	}
+}
+
+// HasBad reports whether any shard contains NaN or Inf — the mixed
+// precision validity check STV defers to the validation phase.
+func HasBad(shards [][]float32) bool {
+	for _, g := range shards {
+		if fp16.ScanBad32(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// MixedShard is one bucket of mixed-precision training state: fp32 master
+// weights and Adam moments (CPU-resident in the paper), plus the fp16
+// working copy that flows back to the GPU after each step.
+type MixedShard struct {
+	Master []float32  // fp32 master parameters
+	Half   []fp16.Num // fp16 working copy
+	State  *State
+}
+
+// NewMixedShard initializes a shard from fp32 parameters.
+func NewMixedShard(params []float32) *MixedShard {
+	m := &MixedShard{
+		Master: append([]float32(nil), params...),
+		State:  NewState(len(params)),
+	}
+	m.Half = fp16.Cast(nil, m.Master)
+	return m
+}
+
+// Step applies one fused mixed-precision update: Adam on the fp32 master
+// weights followed by the fp16 re-cast of the updated values. grad is
+// fp32 (the Cast_gpu→Move_fp32 path of §4.5 delivers fp32 gradients to the
+// CPU).
+func (m *MixedShard) Step(cfg Config, impl Impl, grad []float32) {
+	m.State.Step++
+	impl(cfg, m.Master, grad, m.State, m.State.Step)
+	m.Half = fp16.Cast(m.Half, m.Master)
+}
+
+// LossScaler implements static-threshold dynamic loss scaling: the scale
+// doubles after a growth interval of good steps and halves on overflow,
+// the standard mixed-precision recipe whose overflow checks STV validates
+// asynchronously.
+type LossScaler struct {
+	Scale          float64
+	GrowthInterval int
+	goodSteps      int
+	MinScale       float64
+	MaxScale       float64
+}
+
+// NewLossScaler returns the standard 2^16 initial scale.
+func NewLossScaler() *LossScaler {
+	return &LossScaler{Scale: 65536, GrowthInterval: 2000, MinScale: 1, MaxScale: 1 << 24}
+}
+
+// Update advances the scaler after a step: overflow halves the scale and
+// resets the streak; otherwise the streak grows and may double the scale.
+// It returns true when the step must be skipped (overflow).
+func (s *LossScaler) Update(overflow bool) bool {
+	if overflow {
+		s.Scale /= 2
+		if s.Scale < s.MinScale {
+			s.Scale = s.MinScale
+		}
+		s.goodSteps = 0
+		return true
+	}
+	s.goodSteps++
+	if s.goodSteps >= s.GrowthInterval {
+		s.Scale *= 2
+		if s.Scale > s.MaxScale {
+			s.Scale = s.MaxScale
+		}
+		s.goodSteps = 0
+	}
+	return false
+}
+
+// Unscale divides gradient shards by the current scale (fp16 backward
+// produces scaled gradients).
+func (s *LossScaler) Unscale(shards [][]float32) {
+	ScaleShards(shards, 1.0/s.Scale)
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+)
+
+// TestCoarseningPreservesSteadyTime: a plan with thousands of tiny buckets
+// is simulated as grouped tasks; the steady iteration time must stay close
+// to an equivalent plan expressed directly at the grouped granularity.
+func TestCoarseningPreservesSteadyTime(t *testing.T) {
+	m, _ := model.ByName("5B")
+	chip := hw.GH200()
+	base := OffloadPlan{
+		Chip: chip, Link: chip.Link, Model: m,
+		Exec: Execution{MicroBatch: 8, GradAccum: 1}, Seq: 1024,
+		CastOnGPU: true, Speculative: true, CPUImpl: hw.AdamGrace,
+	}
+
+	fine := base
+	fine.NBuckets = 2048 // > maxSimBuckets: triggers grouping (×4)
+	fine.BucketParams = m.Params() / 2048
+
+	grouped := base
+	grouped.NBuckets = 512
+	grouped.BucketParams = m.Params() / 512
+
+	_, stFine, err := Build(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stGrouped, err := Build(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not identical (per-bucket latency taxes differ by construction —
+	// the fine plan pays 4x the dispatch/latency count), but the
+	// coarsened simulation must not lose the totals: the fine plan is
+	// slower or equal, and within 2x.
+	if stFine.IterTime < stGrouped.IterTime*0.98 {
+		t.Errorf("fine-bucket plan (%.4f) faster than grouped (%.4f)?", stFine.IterTime, stGrouped.IterTime)
+	}
+	if stFine.IterTime > stGrouped.IterTime*2 {
+		t.Errorf("coarsening distorted totals: %.4f vs %.4f", stFine.IterTime, stGrouped.IterTime)
+	}
+}
+
+func TestIterTimeMonotoneInModelSize(t *testing.T) {
+	chip := hw.GH200()
+	prev := 0.0
+	for _, name := range []string{"1B", "2B", "3B"} {
+		m, _ := model.ByName(name)
+		nb := m.GradBucketCount(hw.SuperOffloadBucketBytes)
+		_, st, err := Build(OffloadPlan{
+			Chip: chip, Link: chip.Link, Model: m,
+			Exec: Execution{MicroBatch: 8, GradAccum: 1}, Seq: 1024,
+			NBuckets: nb, BucketParams: m.Params() / int64(nb),
+			CastOnGPU: true, Speculative: true, CPUImpl: hw.AdamGrace,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.IterTime <= prev {
+			t.Errorf("%s iteration (%.4f) not longer than smaller model (%.4f)", name, st.IterTime, prev)
+		}
+		prev = st.IterTime
+	}
+}
+
+func TestMisboundLinkSlowsTransfers(t *testing.T) {
+	m, _ := model.ByName("5B")
+	node := hw.NewGH200Node(4)
+	nb := m.GradBucketCount(hw.SuperOffloadBucketBytes)
+	mk := func(link hw.LinkSpec) float64 {
+		_, st, err := Build(OffloadPlan{
+			Chip: node.Chip, Link: link, Model: m,
+			Exec: Execution{MicroBatch: 8, GradAccum: 1}, Seq: 1024,
+			NBuckets: nb, BucketParams: m.Params() / int64(nb),
+			CastOnGPU: false, Speculative: false, CPUImpl: hw.AdamCPU,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.IterTime
+	}
+	local := mk(node.Chip.Link)
+	cross := mk(node.CrossNUMA)
+	if cross <= local {
+		t.Errorf("cross-NUMA schedule (%.3f) should be slower than local (%.3f)", cross, local)
+	}
+}
+
+func TestValidationTimeScalesWithParams(t *testing.T) {
+	m1, _ := model.ByName("1B")
+	m8, _ := model.ByName("8B")
+	mk := func(m model.Config) OffloadPlan {
+		nb := m.GradBucketCount(hw.SuperOffloadBucketBytes)
+		chip := hw.GH200()
+		return OffloadPlan{Chip: chip, Link: chip.Link, Model: m,
+			NBuckets: nb, BucketParams: m.Params() / int64(nb)}
+	}
+	v1 := mk(m1).validationTime()
+	v8 := mk(m8).validationTime()
+	ratio := v8 / v1
+	want := float64(m8.Params()) / float64(m1.Params())
+	if math.Abs(ratio-want)/want > 0.05 {
+		t.Errorf("validation time ratio %.2f, want ~%.2f", ratio, want)
+	}
+}

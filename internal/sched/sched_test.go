@@ -1,0 +1,308 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+)
+
+func planFor(m model.Config, bucketBytes int64, opts func(*OffloadPlan)) OffloadPlan {
+	chip := hw.GH200()
+	n := m.GradBucketCount(bucketBytes)
+	p := OffloadPlan{
+		Chip: chip, Link: chip.Link, Model: m,
+		Exec: Execution{MicroBatch: 8, GradAccum: 1}, Seq: 1024,
+		NBuckets: n, BucketParams: m.Params() / int64(n),
+		CPUImpl: hw.AdamCPU,
+	}
+	if opts != nil {
+		opts(&p)
+	}
+	return p
+}
+
+func iterTime(t *testing.T, p OffloadPlan) SteadyStats {
+	t.Helper()
+	_, st, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IterTime <= 0 {
+		t.Fatalf("non-positive iteration time: %+v", st)
+	}
+	return st
+}
+
+func TestChooseExecutionDirectFit(t *testing.T) {
+	e, ok := ChooseExecution(8, func(m int, ck bool) bool { return true },
+		func(e Execution) float64 { return 1 })
+	if !ok || e.MicroBatch != 8 || e.GradAccum != 1 || e.Checkpoint {
+		t.Fatalf("direct fit wrong: %+v", e)
+	}
+}
+
+func TestChooseExecutionPrefersFasterMitigation(t *testing.T) {
+	// micro 8 doesn't fit; micro ≤2 fits plain; micro ≤8 fits with ckpt.
+	fits := func(m int, ck bool) bool {
+		if ck {
+			return m <= 8
+		}
+		return m <= 2
+	}
+	// Time model: checkpointing is slower here.
+	timeOf := func(e Execution) float64 {
+		t := float64(e.GradAccum)
+		if e.Checkpoint {
+			t *= 10
+		}
+		return t
+	}
+	e, ok := ChooseExecution(8, fits, timeOf)
+	if !ok || e.Checkpoint || e.MicroBatch != 2 || e.GradAccum != 4 {
+		t.Fatalf("should pick accumulation: %+v", e)
+	}
+	// Flip the time model: checkpointing wins.
+	timeOf2 := func(e Execution) float64 {
+		t := float64(e.GradAccum) * 3
+		if e.Checkpoint {
+			t = 1
+		}
+		return t
+	}
+	e2, ok := ChooseExecution(8, fits, timeOf2)
+	if !ok || !e2.Checkpoint {
+		t.Fatalf("should pick checkpointing: %+v", e2)
+	}
+}
+
+func TestChooseExecutionOOM(t *testing.T) {
+	_, ok := ChooseExecution(4, func(int, bool) bool { return false },
+		func(Execution) float64 { return 1 })
+	if ok {
+		t.Fatal("nothing fits; should report failure")
+	}
+}
+
+func TestComputeTimes(t *testing.T) {
+	chip := hw.GH200()
+	m, _ := model.ByName("5B")
+	fwd, bwd := ComputeTimes(chip, m, 8, 1024, false)
+	if math.Abs(bwd-2*fwd) > 1e-9 {
+		t.Errorf("bwd should be 2x fwd: %v vs %v", bwd, fwd)
+	}
+	_, bwdCk := ComputeTimes(chip, m, 8, 1024, true)
+	if math.Abs(bwdCk-3*fwd) > 1e-9 {
+		t.Errorf("checkpointed bwd should add a recompute fwd: %v vs %v", bwdCk, 3*fwd)
+	}
+}
+
+func TestSTEExposesOptimizerPhase(t *testing.T) {
+	m, _ := model.ByName("5B")
+	ste := iterTime(t, planFor(m, hw.ZeROOffloadBucketBytes, nil))
+	fwd, bwd := ComputeTimes(hw.GH200(), m, 8, 1024, false)
+	if ste.IterTime < (fwd+bwd)*1.4 {
+		t.Errorf("STE iteration %.3fs should expose CPU phase beyond compute %.3fs", ste.IterTime, fwd+bwd)
+	}
+	// Fig. 4: GPU idle 40-55% per iteration for prior offloading.
+	if ste.GPUIdleFrac < 0.35 || ste.GPUIdleFrac > 0.65 {
+		t.Errorf("STE GPU idle = %.2f, want ~0.4-0.55", ste.GPUIdleFrac)
+	}
+}
+
+func TestSTVHidesOptimizerPhase(t *testing.T) {
+	m, _ := model.ByName("5B")
+	stv := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+		p.GPUBuckets = 4
+	}))
+	fwd, bwd := ComputeTimes(hw.GH200(), m, 8, 1024, false)
+	if stv.IterTime > (fwd+bwd)*1.05 {
+		t.Errorf("STV iteration %.3fs should approach compute-only %.3fs", stv.IterTime, fwd+bwd)
+	}
+	// Fig. 15: near-complete GPU utilization.
+	if stv.GPUUtil < 0.95 {
+		t.Errorf("SuperOffload GPU util = %.2f, want >0.95", stv.GPUUtil)
+	}
+}
+
+func TestAblationLadderMonotone(t *testing.T) {
+	// Table 2: each optimization must not hurt, and the full stack must
+	// be ≥1.8x the baseline.
+	m, _ := model.ByName("5B")
+	base := iterTime(t, planFor(m, hw.ZeROOffloadBucketBytes, nil)).IterTime
+	ga := iterTime(t, planFor(m, hw.ZeROOffloadBucketBytes, func(p *OffloadPlan) {
+		p.CPUImpl = hw.AdamGrace
+	})).IterTime
+	sac := iterTime(t, planFor(m, hw.ZeROOffloadBucketBytes, func(p *OffloadPlan) {
+		p.CPUImpl = hw.AdamGrace
+		p.CastOnGPU = true
+	})).IterTime
+	stvT := iterTime(t, planFor(m, hw.ZeROOffloadBucketBytes, func(p *OffloadPlan) {
+		p.CPUImpl = hw.AdamGrace
+		p.CastOnGPU = true
+		p.Speculative = true
+	})).IterTime
+	full := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.CPUImpl = hw.AdamGrace
+		p.CastOnGPU = true
+		p.Speculative = true
+		p.GPUBuckets = 4
+	})).IterTime
+
+	steps := []float64{base, ga, sac, stvT, full}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] > steps[i-1]*1.02 {
+			t.Errorf("ablation step %d regressed: %.3f -> %.3f", i, steps[i-1], steps[i])
+		}
+	}
+	if base/full < 1.8 {
+		t.Errorf("full stack speedup %.2fx, want ≥1.8x (paper: 2.06x)", base/full)
+	}
+}
+
+func TestWeightFlowStreamsWeights(t *testing.T) {
+	m, _ := model.ByName("5B")
+	wf := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+		p.WeightFlow = true
+	}))
+	ws := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+	}))
+	// At batch 8 / seq 1024 the compute-to-transfer ratio is healthy, so
+	// weight-flow should cost little but not be free.
+	if wf.IterTime < ws.IterTime*0.98 {
+		t.Errorf("weight-flow (%.3f) should not beat weight-stationary (%.3f) here", wf.IterTime, ws.IterTime)
+	}
+	if wf.IterTime > ws.IterTime*1.5 {
+		t.Errorf("weight-flow (%.3f) catastrophically slow vs %.3f — streaming not overlapped?", wf.IterTime, ws.IterTime)
+	}
+}
+
+func TestPerLayerSyncPenalty(t *testing.T) {
+	m, _ := model.ByName("5B")
+	base := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, nil))
+	fsdpish := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.PerLayerSync = hw.FSDPSyncPerLayerS
+		p.WeightFlow = true
+		p.UnpinnedWeights = true
+	}))
+	if fsdpish.IterTime < base.IterTime*1.1 {
+		t.Errorf("per-layer syncs should hurt: %.3f vs %.3f", fsdpish.IterTime, base.IterTime)
+	}
+	if fsdpish.GPUUtil > 0.9 {
+		t.Errorf("per-layer-sync schedule reports %.2f GPU util; stalls must count as idle", fsdpish.GPUUtil)
+	}
+}
+
+func TestSmallBucketsHurt(t *testing.T) {
+	// ZeRO-Infinity's 2MB buckets underuse the C2C link (§5.2).
+	m, _ := model.ByName("5B")
+	small := iterTime(t, planFor(m, hw.ZeROInfinityBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+		p.WeightFlow = true
+		p.UnpinnedWeights = true
+	}))
+	big := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+		p.WeightFlow = true
+	}))
+	if small.IterTime < big.IterTime*1.2 {
+		t.Errorf("2MB buckets (%.3f) should be much slower than 64MB (%.3f)", small.IterTime, big.IterTime)
+	}
+}
+
+func TestGradAccumulationScalesCompute(t *testing.T) {
+	m, _ := model.ByName("5B")
+	one := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+	}))
+	four := iterTime(t, planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+		p.Exec = Execution{MicroBatch: 8, GradAccum: 4}
+	}))
+	ratio := four.IterTime / one.IterTime
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4x accumulation should take ~4x: ratio %.2f", ratio)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	m, _ := model.ByName("1B")
+	p := planFor(m, hw.SuperOffloadBucketBytes, nil)
+	p.NBuckets = 0
+	if _, _, err := Build(p); err == nil {
+		t.Fatal("expected error for zero buckets")
+	}
+	p = planFor(m, hw.SuperOffloadBucketBytes, nil)
+	p.GPUBuckets = 10_000 // clamps to NBuckets
+	if _, _, err := Build(p); err != nil {
+		t.Fatalf("clamped GPU buckets should work: %v", err)
+	}
+}
+
+func TestSteadyStateIndependentOfIterationCount(t *testing.T) {
+	m, _ := model.ByName("5B")
+	p := planFor(m, hw.SuperOffloadBucketBytes, func(p *OffloadPlan) {
+		p.Speculative = true
+		p.CastOnGPU = true
+		p.CPUImpl = hw.AdamGrace
+		p.GPUBuckets = 4
+	})
+	p.Iterations = 3
+	a := iterTime(t, p)
+	p2 := p
+	p2.Iterations = 6
+	b := iterTime(t, p2)
+	if math.Abs(a.IterTime-b.IterTime)/a.IterTime > 0.01 {
+		t.Errorf("steady iteration time drifts with horizon: %.4f vs %.4f", a.IterTime, b.IterTime)
+	}
+}
+
+func TestEffBatchEfficiencyBounds(t *testing.T) {
+	if EffBatchEfficiency(8, 1024) != 1 {
+		t.Error("full batch should be full efficiency")
+	}
+	e := EffBatchEfficiency(1, 256)
+	if e <= 0.5 || e >= 1 {
+		t.Errorf("tiny batch efficiency %v out of (0.5,1)", e)
+	}
+	if EffBatchEfficiency(1, 1<<20) != 1 {
+		t.Error("long sequences saturate efficiency at micro=1")
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	m, _ := model.ByName("5B")
+	w := Workload{Cluster: hw.ClusterFor(4), Model: m, GlobalBatch: 16, Seq: 1024}
+	if w.Chips() != 4 || w.PerGPUBatch() != 4 {
+		t.Errorf("workload helpers: chips=%d perGPU=%d", w.Chips(), w.PerGPUBatch())
+	}
+	w.GlobalBatch = 2
+	if w.PerGPUBatch() != 1 {
+		t.Error("per-GPU batch floors at 1")
+	}
+	var r Result
+	r.Workload = w
+	r.Fits = false
+	r.Finalize(hw.GH200())
+	if r.TFLOPS != 0 {
+		t.Error("OOM result must have zero throughput")
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPoolNeverExceedsCapacity: at any time instant, the number of
+// concurrently running tasks on a pool must not exceed its capacity.
+func TestPoolNeverExceedsCapacity(t *testing.T) {
+	f := func(nTasks, capRaw uint8) bool {
+		n := int(nTasks%40) + 1
+		capacity := int(capRaw%6) + 1
+		e := New()
+		e.AddResource("pool", capacity)
+		for i := 0; i < n; i++ {
+			e.Add("w", "pool", float64(i%5)/10+0.1, TagOptim)
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		ivs := e.Resource("pool").Intervals
+		// Check overlap count at every interval start.
+		for _, probe := range ivs {
+			count := 0
+			mid := probe.Start + 1e-9
+			for _, iv := range ivs {
+				if iv.Start <= mid && mid < iv.End {
+					count++
+				}
+			}
+			if count > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopologicalOrderRespected: a task never starts before all its
+// dependencies finish, for random DAGs.
+func TestTopologicalOrderRespected(t *testing.T) {
+	f := func(seed uint16) bool {
+		e := New()
+		e.AddResource("a", 1)
+		e.AddResource("b", 2)
+		n := 30
+		tasks := make([]*Task, n)
+		for i := 0; i < n; i++ {
+			res := "a"
+			if i%3 == 0 {
+				res = "b"
+			}
+			tasks[i] = e.Add("t", res, float64((int(seed)+i)%7)/10+0.05, TagCompute)
+			// Random back-edges to earlier tasks only (acyclic).
+			for j := 0; j < i; j++ {
+				if (int(seed)+i*j)%5 == 0 {
+					tasks[i].After(tasks[j])
+				}
+			}
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if (int(seed)+i*j)%5 == 0 && tasks[i].Start < tasks[j].Finish-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationBetweenWindow(t *testing.T) {
+	e := New()
+	a := e.Add("a", "gpu", 2.0, TagCompute)
+	b := e.Add("b", "gpu", 2.0, TagCompute)
+	gap := e.Add("g", "cpu", 2.0, TagOptim)
+	gap.After(a)
+	b.After(gap)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Window [2,4] is entirely the gap: gpu idle.
+	u := e.UtilizationBetween("gpu", 2, 4)
+	if u.Fraction() != 0 {
+		t.Errorf("gap window utilization = %v", u.Fraction())
+	}
+	// Window [0,2] is fully busy.
+	u = e.UtilizationBetween("gpu", 0, 2)
+	if u.Fraction() != 1 {
+		t.Errorf("busy window utilization = %v", u.Fraction())
+	}
+	// Degenerate windows.
+	if e.UtilizationBetween("gpu", 4, 2).Fraction() != 0 {
+		t.Error("inverted window should be zero")
+	}
+	if e.UtilizationBetween("nope", 0, 1).Fraction() != 0 {
+		t.Error("unknown resource should be zero")
+	}
+}
+
+func TestGanttEmptyAndTinyWidth(t *testing.T) {
+	e := New()
+	if g := e.Gantt(50); g != "(empty schedule)" {
+		t.Errorf("empty gantt: %q", g)
+	}
+	e.Add("a", "gpu", 1, TagCompute)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g := e.Gantt(1); len(g) == 0 { // clamps to minimum width
+		t.Error("tiny-width gantt empty")
+	}
+}

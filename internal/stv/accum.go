@@ -1,0 +1,108 @@
+package stv
+
+import (
+	"superoffload/internal/data"
+)
+
+// Gradient accumulation (§5.2's OOM-mitigation strategy 1, on the real
+// trainer): run Accum micro-batches of forward+backward, accumulating
+// gradients on the model, then apply one optimizer step over the mean
+// gradient. Under STV the speculative step and background validation fire
+// only on the final micro-step; the previous step's validation still
+// resolves at the first forward of the window, exactly like the
+// single-micro-batch path.
+
+// StepAccum runs one optimizer step over the given micro-batches. With a
+// single batch it is equivalent to Step. Returns the mean loss.
+func (t *Trainer) StepAccum(batches []data.Batch) (float64, error) {
+	if len(t.buckets) == 0 || len(batches) == 0 {
+		return 0, nil
+	}
+	if len(batches) == 1 {
+		return t.Step(batches[0])
+	}
+	switch t.Cfg.Mode {
+	case STE:
+		return t.stepAccumSTE(batches)
+	case STV:
+		return t.stepAccumSTV(batches)
+	}
+	return t.Step(batches[0])
+}
+
+// accumBackward runs forward+backward over all micro-batches without
+// zeroing in between and stages the mean unscaled gradients.
+func (t *Trainer) accumBackward(batches []data.Batch) float64 {
+	t.Model.Params().ZeroGrads()
+	var lossSum float64
+	for _, b := range batches {
+		loss, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+		t.Model.Backward(cache, t.scale())
+		lossSum += loss
+	}
+	t.maybeInject()
+	inv := float32(1 / (t.scale() * float64(len(batches))))
+	for _, bk := range t.buckets {
+		bk.stageGrads(inv)
+	}
+	return lossSum / float64(len(batches))
+}
+
+func (t *Trainer) stepAccumSTE(batches []data.Batch) (float64, error) {
+	t.stepIndex++
+	loss := t.accumBackward(batches)
+	t.stats.Steps++
+	v := t.validate()
+	if v.bad {
+		t.stats.SkipRolls++
+		if t.Cfg.Scaler != nil {
+			t.Cfg.Scaler.Update(true)
+		}
+		return loss, nil
+	}
+	if t.Cfg.Scaler != nil {
+		t.Cfg.Scaler.Update(false)
+	}
+	t.applyDirectStep(v)
+	return loss, nil
+}
+
+func (t *Trainer) stepAccumSTV(batches []data.Batch) (float64, error) {
+	t.stepIndex++
+	// Resolve the previous step's validation at the window's first
+	// forward; a rollback redoes that forward (weights changed).
+	var loss float64
+	for {
+		l0, cache0 := t.Model.Forward(batches[0].Tokens, batches[0].Targets, batches[0].BatchSize, batches[0].Seq)
+		rolledBack, err := t.resolvePending()
+		if err != nil {
+			return 0, err
+		}
+		if rolledBack {
+			t.stats.Redos++
+			continue
+		}
+		// First micro-batch's backward; remaining micro-batches
+		// accumulate on top.
+		t.Model.Params().ZeroGrads()
+		t.Model.Backward(cache0, t.scale())
+		loss = l0
+		break
+	}
+	for _, b := range batches[1:] {
+		l, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+		t.Model.Backward(cache, t.scale())
+		loss += l
+	}
+	loss /= float64(len(batches))
+	t.maybeInject()
+	inv := float32(1 / (t.scale() * float64(len(batches))))
+	for _, bk := range t.buckets {
+		bk.stageGrads(inv)
+		bk.speculativeStep(t.stepAdam(), t.Cfg.Impl)
+	}
+	t.stats.Steps++
+	t.launchValidation()
+	t.lastLoss = loss
+	return loss, nil
+}

@@ -1,0 +1,160 @@
+// Package stv implements speculation-then-validation training (§4.4) on
+// real numerics: the CPU-resident optimizer applies per-bucket Adam steps
+// speculatively while validation (global-norm clipping check, NaN/Inf
+// scan) runs in the background, and rolls back exactly when validation
+// fails. The package also provides the synchronize-then-execute (STE)
+// baseline schedule so exactness can be asserted: STV training must
+// produce bit-identical weights to STE training on the same data.
+package stv
+
+import (
+	"fmt"
+
+	"superoffload/internal/fp16"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+)
+
+// bucket is one contiguous shard of the parameter space: the unit of
+// gradient offload, speculative stepping, and rollback. It owns the
+// CPU-side fp32 master copy and Adam moments (the offloaded optimizer
+// states) plus a gradient staging buffer standing in for the D2H transfer
+// target.
+type bucket struct {
+	params []*nn.Param // model tensors covered by this bucket, in order
+	shard  *optim.MixedShard
+	grad   []float32 // staged fp32 gradients (Cast_gpu → Move_fp32 path)
+	snap   *optim.Snapshot
+	dirty  bool // a speculative, not-yet-validated step has been applied
+}
+
+// newBucket flattens the given params into one shard.
+func newBucket(params []*nn.Param) *bucket {
+	n := 0
+	for _, p := range params {
+		n += p.Size()
+	}
+	flat := make([]float32, n)
+	off := 0
+	for _, p := range params {
+		copy(flat[off:], p.W.Data)
+		off += p.Size()
+	}
+	return &bucket{
+		params: params,
+		shard:  optim.NewMixedShard(flat),
+		grad:   make([]float32, n),
+	}
+}
+
+// size returns the bucket's element count.
+func (b *bucket) size() int { return len(b.grad) }
+
+// stageGrads copies (and unscales) the model gradients into the staging
+// buffer — the analogue of the bucket's gradient swap-out.
+func (b *bucket) stageGrads(invScale float32) {
+	off := 0
+	for _, p := range b.params {
+		g := p.G.Data
+		dst := b.grad[off : off+len(g)]
+		for i, v := range g {
+			dst[i] = v * invScale
+		}
+		off += len(g)
+	}
+}
+
+// writeBack publishes the shard's post-step weights to the model tensors,
+// rounding through fp16 exactly as the H2D parameter return does in mixed
+// precision (GPU working weights are fp16).
+func (b *bucket) writeBack() {
+	off := 0
+	for _, p := range b.params {
+		dst := p.W.Data
+		for i := range dst {
+			dst[i] = b.shard.Half[off+i].Float32()
+		}
+		off += len(dst)
+	}
+}
+
+// speculativeStep snapshots, applies Adam with the staged (unclipped)
+// gradients, and publishes the new weights.
+func (b *bucket) speculativeStep(cfg optim.Config, impl optim.Impl) {
+	b.snap = optim.TakeSnapshot(b.snap, b.shard)
+	b.shard.Step(cfg, impl, b.grad)
+	b.writeBack()
+	b.dirty = true
+}
+
+// commit discards rollback state after successful validation.
+func (b *bucket) commit() { b.dirty = false }
+
+// rollback restores the pre-step state bit-exactly and republishes weights.
+func (b *bucket) rollback() {
+	if !b.dirty {
+		return
+	}
+	b.snap.Restore(b.shard)
+	b.writeBack()
+	b.dirty = false
+}
+
+// reExecuteClipped rolls back and re-applies the step with gradients scaled
+// by clipScale (§4.4 rollback scenario 2).
+func (b *bucket) reExecuteClipped(cfg optim.Config, impl optim.Impl, clipScale float64) {
+	if !b.dirty {
+		return
+	}
+	optim.ReExecuteClipped(cfg, impl, b.shard, b.snap, b.grad, clipScale)
+	b.writeBack()
+	b.dirty = false
+}
+
+// directStep applies a committed (non-speculative) step with pre-scaled
+// gradients — the STE path.
+func (b *bucket) directStep(cfg optim.Config, impl optim.Impl, scale float64) {
+	if scale != 1.0 {
+		s := float32(scale)
+		for i := range b.grad {
+			b.grad[i] *= s
+		}
+	}
+	b.shard.Step(cfg, impl, b.grad)
+	b.writeBack()
+}
+
+// halfBytes returns the bucket's fp16 payload size in bytes (diagnostics).
+func (b *bucket) halfBytes() int { return 2 * len(b.shard.Half) }
+
+// refreshHalf re-derives the fp16 working copy from the master weights
+// (after a checkpoint load).
+func (b *bucket) refreshHalf() {
+	b.shard.Half = fp16.Cast(b.shard.Half, b.shard.Master)
+}
+
+var _ = fp16.Num(0) // fp16 is part of the package contract via MixedShard
+
+// partitionParams groups model parameters into buckets of at most
+// targetElems elements (a parameter larger than the target gets its own
+// bucket; tensors are never split so the optimizer sees whole tensors).
+func partitionParams(params nn.Params, targetElems int) []*bucket {
+	if targetElems <= 0 {
+		panic(fmt.Sprintf("stv: bucket size %d must be positive", targetElems))
+	}
+	var out []*bucket
+	var cur []*nn.Param
+	n := 0
+	for _, p := range params {
+		if n > 0 && n+p.Size() > targetElems {
+			out = append(out, newBucket(cur))
+			cur, n = nil, 0
+		}
+		cur = append(cur, p)
+		n += p.Size()
+	}
+	if len(cur) > 0 {
+		out = append(out, newBucket(cur))
+	}
+	return out
+}

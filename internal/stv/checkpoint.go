@@ -1,0 +1,107 @@
+package stv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Checkpointing: serialize the CPU-resident training state (fp32 master
+// weights, Adam moments, step counters, loss scale) so training can resume
+// exactly. The in-flight validation must be resolved first (Flush); a
+// checkpoint of a speculative, unvalidated step would not be exact.
+
+// checkpointMagic identifies the format; bump on layout changes.
+const checkpointMagic uint32 = 0x53_4F_43_31 // "SOC1"
+
+// Save writes the trainer state. It fails if a validation is in flight.
+func (t *Trainer) Save(w io.Writer) error {
+	if t.pending {
+		return fmt.Errorf("stv: Flush before Save (validation in flight)")
+	}
+	if err := binary.Write(w, binary.LittleEndian, checkpointMagic); err != nil {
+		return err
+	}
+	header := []int64{int64(len(t.buckets)), int64(t.stepIndex)}
+	if err := binary.Write(w, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	scale := 0.0
+	if t.Cfg.Scaler != nil {
+		scale = t.Cfg.Scaler.Scale
+	}
+	if err := binary.Write(w, binary.LittleEndian, scale); err != nil {
+		return err
+	}
+	for _, bk := range t.buckets {
+		if err := binary.Write(w, binary.LittleEndian, int64(bk.size())); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, int64(bk.shard.State.Step)); err != nil {
+			return err
+		}
+		for _, arr := range [][]float32{bk.shard.Master, bk.shard.State.M, bk.shard.State.V} {
+			if err := binary.Write(w, binary.LittleEndian, arr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load restores trainer state saved by Save into a trainer built over the
+// same model architecture and bucket configuration, then republishes the
+// fp16-rounded weights to the model.
+func (t *Trainer) Load(r io.Reader) error {
+	if t.pending {
+		return fmt.Errorf("stv: Flush before Load (validation in flight)")
+	}
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("stv: bad checkpoint magic %#x", magic)
+	}
+	header := make([]int64, 2)
+	if err := binary.Read(r, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	if int(header[0]) != len(t.buckets) {
+		return fmt.Errorf("stv: checkpoint has %d buckets, trainer has %d", header[0], len(t.buckets))
+	}
+	t.stepIndex = int(header[1])
+	var scale float64
+	if err := binary.Read(r, binary.LittleEndian, &scale); err != nil {
+		return err
+	}
+	if t.Cfg.Scaler != nil && scale > 0 {
+		t.Cfg.Scaler.Scale = scale
+	}
+	for _, bk := range t.buckets {
+		var n, step int64
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != bk.size() {
+			return fmt.Errorf("stv: bucket size mismatch: checkpoint %d, trainer %d", n, bk.size())
+		}
+		if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
+			return err
+		}
+		bk.shard.State.Step = int(step)
+		for _, arr := range [][]float32{bk.shard.Master, bk.shard.State.M, bk.shard.State.V} {
+			if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+				return err
+			}
+		}
+		bk.shard.Half = bk.shard.Half[:0]
+		bk.refreshHalf()
+		bk.writeBack()
+	}
+	return nil
+}
+
+// StepIndex reports how many optimizer steps the trainer has attempted
+// (restored by Load).
+func (t *Trainer) StepIndex() int { return t.stepIndex }

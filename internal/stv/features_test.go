@@ -1,0 +1,242 @@
+package stv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"superoffload/internal/data"
+	"superoffload/internal/optim"
+)
+
+// TestAccumulationMatchesLargeBatch: two accumulated micro-batches must
+// produce (numerically) the same update as the concatenated batch.
+func TestAccumulationMatchesLargeBatch(t *testing.T) {
+	corpus := data.NewCorpus(64, 5)
+	a := corpus.NextBatch(1, 8)
+	b := corpus.NextBatch(1, 8)
+	combined := data.Batch{
+		Tokens:    append(append([]int{}, a.Tokens...), b.Tokens...),
+		Targets:   append(append([]int{}, a.Targets...), b.Targets...),
+		BatchSize: 2, Seq: 8,
+	}
+
+	mk := func() *Trainer {
+		cfg := trainerConfig(STV)
+		cfg.ClipNorm = 0 // isolate accumulation from clipping
+		return NewTrainer(tinyGPT(42), cfg)
+	}
+	accum := mk()
+	if _, err := accum.StepAccum([]data.Batch{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := accum.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	big := mk()
+	if _, err := big.Step(combined); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := accum.MasterWeights(), big.MasterWeights()
+	var maxDiff float64
+	for i := range wa {
+		if d := math.Abs(float64(wa[i] - wb[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-4 {
+		t.Errorf("accumulated update diverges from combined batch: max diff %g", maxDiff)
+	}
+}
+
+func TestAccumSTVMatchesAccumSTE(t *testing.T) {
+	corpus := data.NewCorpus(64, 9)
+	var windows [][]data.Batch
+	for i := 0; i < 8; i++ {
+		windows = append(windows, []data.Batch{corpus.NextBatch(1, 8), corpus.NextBatch(1, 8)})
+	}
+	run := func(mode Mode) []float32 {
+		tr := NewTrainer(tinyGPT(7), trainerConfig(mode))
+		for _, w := range windows {
+			if _, err := tr.StepAccum(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return tr.MasterWeights()
+	}
+	a, b := run(STV), run(STE)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("accumulated STV diverges from STE at %d", i)
+		}
+	}
+}
+
+func TestStepAccumSingleBatchEqualsStep(t *testing.T) {
+	corpus := data.NewCorpus(64, 3)
+	b := corpus.NextBatch(2, 8)
+	t1 := NewTrainer(tinyGPT(5), trainerConfig(STV))
+	t2 := NewTrainer(tinyGPT(5), trainerConfig(STV))
+	if _, err := t1.Step(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.StepAccum([]data.Batch{b}); err != nil {
+		t.Fatal(err)
+	}
+	t1.Flush()
+	t2.Flush()
+	wa, wb := t1.MasterWeights(), t2.MasterWeights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("StepAccum([b]) != Step(b) at %d", i)
+		}
+	}
+}
+
+func TestWarmupCosineSchedule(t *testing.T) {
+	s := WarmupCosine(100, 1000, 0.1)
+	if s(0) <= 0 || s(0) > 0.02 {
+		t.Errorf("warm-up start = %v", s(0))
+	}
+	if math.Abs(s(99)-1.0) > 1e-9 {
+		t.Errorf("end of warm-up = %v, want 1.0", s(99))
+	}
+	if s(550) >= s(100) {
+		t.Error("cosine should decay after warm-up")
+	}
+	if got := s(2000); got != 0.1 {
+		t.Errorf("beyond total = %v, want min fraction", got)
+	}
+	// Monotone decay after warm-up.
+	prev := s(100)
+	for step := 150; step < 1000; step += 50 {
+		cur := s(step)
+		if cur > prev+1e-12 {
+			t.Errorf("schedule increased at %d: %v > %v", step, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestScheduledSTVMatchesScheduledSTE(t *testing.T) {
+	// Exactness must survive a moving learning rate, including clip
+	// re-execution with the step's own rate.
+	corpus := data.NewCorpus(64, 17)
+	var batches []data.Batch
+	for i := 0; i < 20; i++ {
+		batches = append(batches, corpus.NextBatch(2, 8))
+	}
+	run := func(mode Mode) []float32 {
+		cfg := trainerConfig(mode)
+		cfg.ClipNorm = 2.5 // force some clip rollbacks
+		cfg.Schedule = WarmupCosine(5, 20, 0.1)
+		tr := NewTrainer(tinyGPT(21), cfg)
+		for _, b := range batches {
+			if _, err := tr.Step(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Stats().ClipRolls == 0 {
+			t.Fatal("test needs clip events to be meaningful")
+		}
+		return tr.MasterWeights()
+	}
+	a, b := run(STV), run(STE)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scheduled STV diverges from STE at %d", i)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	corpus := data.NewCorpus(64, 23)
+	cfg := trainerConfig(STV)
+	cfg.Scaler = optim.NewLossScaler()
+	tr := NewTrainer(tinyGPT(31), cfg)
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// Restore into a fresh trainer over the same architecture.
+	cfg2 := trainerConfig(STV)
+	cfg2.Scaler = optim.NewLossScaler()
+	tr2 := NewTrainer(tinyGPT(999), cfg2) // different init — must be overwritten
+	if err := tr2.Load(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.StepIndex() != tr.StepIndex() {
+		t.Errorf("step index %d != %d", tr2.StepIndex(), tr.StepIndex())
+	}
+	wa, wb := tr.MasterWeights(), tr2.MasterWeights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("restored master differs at %d", i)
+		}
+	}
+	// Continue training both on identical data: must stay bit-exact.
+	cont := data.NewCorpus(64, 77)
+	cont2 := data.NewCorpus(64, 77)
+	for i := 0; i < 5; i++ {
+		if _, err := tr.Step(cont.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr2.Step(cont2.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Flush()
+	tr2.Flush()
+	wa, wb = tr.MasterWeights(), tr2.MasterWeights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("post-restore training diverges at %d", i)
+		}
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	tr := NewTrainer(tinyGPT(1), trainerConfig(STV))
+	corpus := data.NewCorpus(64, 2)
+	if _, err := tr.Step(corpus.NextBatch(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// In-flight validation blocks Save.
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err == nil {
+		t.Error("Save with pending validation should fail")
+	}
+	tr.Flush()
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt magic.
+	bad := append([]byte{0, 0, 0, 0}, buf.Bytes()[4:]...)
+	if err := tr.Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Mismatched architecture.
+	other := NewTrainer(tinyGPT(1), Config{Adam: optim.DefaultConfig(), BucketElems: 1 << 30})
+	if err := other.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("bucket-count mismatch accepted")
+	}
+}

@@ -1,0 +1,348 @@
+package stv
+
+import (
+	"fmt"
+	"math"
+
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+)
+
+// Mode selects the optimizer scheduling scheme.
+type Mode int
+
+const (
+	// STE is synchronize-then-execute: wait for all gradients, validate,
+	// clip, then step (ZeRO-Offload's schedule, Fig. 3).
+	STE Mode = iota
+	// STV is speculation-then-validation: step speculatively per bucket,
+	// validate in the background, roll back on failure (Fig. 8).
+	STV
+)
+
+func (m Mode) String() string {
+	if m == STE {
+		return "STE"
+	}
+	return "STV"
+}
+
+// Config parameterizes a Trainer.
+type Config struct {
+	Adam optim.Config
+	Impl optim.Impl
+	// ClipNorm is the global gradient-norm clipping threshold (0
+	// disables clipping).
+	ClipNorm float64
+	// BucketElems is the per-bucket element budget (the 64 MB fp16
+	// bucket is 32M elements; tests use small values).
+	BucketElems int
+	Mode        Mode
+	// Scaler enables mixed-precision loss scaling; nil trains unscaled.
+	Scaler *optim.LossScaler
+	// InjectBad, when non-nil, is consulted after each backward pass
+	// with the step index; returning true corrupts one gradient with
+	// +Inf — the fault-injection hook overflow tests and the Fig. 14
+	// experiment use.
+	InjectBad func(step int) bool
+	// Schedule, when non-nil, returns a learning-rate multiplier for
+	// the given 1-based step (warm-up, cosine decay, ...). Rollback
+	// re-execution uses the same step's rate, preserving exactness.
+	Schedule func(step int) float64
+}
+
+// WarmupCosine returns the standard warm-up + cosine-decay schedule used
+// by GPT pre-training recipes.
+func WarmupCosine(warmup, total int, minFrac float64) func(int) float64 {
+	return func(step int) float64 {
+		if step < warmup {
+			return float64(step+1) / float64(warmup)
+		}
+		if step >= total {
+			return minFrac
+		}
+		progress := float64(step-warmup) / float64(total-warmup)
+		cos := 0.5 * (1 + cosApprox(progress))
+		return minFrac + (1-minFrac)*cos
+	}
+}
+
+// cosApprox computes cos(pi*x) for x in [0,1] via math.Cos; kept as a
+// helper so the schedule stays testable.
+func cosApprox(x float64) float64 { return math.Cos(math.Pi * x) }
+
+// Stats counts validation outcomes — the Fig. 14 telemetry.
+type Stats struct {
+	Steps     int // optimizer steps attempted
+	Commits   int // steps that validated clean
+	ClipRolls int // rollback + re-execute with clipped gradients
+	SkipRolls int // rollback + skip (NaN/Inf)
+	Redos     int // forward passes redone after a rollback
+}
+
+// Rollbacks returns total rollback events.
+func (s Stats) Rollbacks() int { return s.ClipRolls + s.SkipRolls }
+
+// valResult is what the background validator reports: the deferred global
+// state of §4.4.
+type valResult struct {
+	bad        bool
+	globalNorm float64
+}
+
+// Trainer drives mixed-precision training of a real GPT with either
+// schedule.
+type Trainer struct {
+	Model *nn.GPT
+	Cfg   Config
+
+	buckets []*bucket
+	stats   Stats
+
+	// STV pipeline state: an in-flight validation for the last
+	// speculative step.
+	pending     bool
+	pendingAdam optim.Config // the hyperparameters the in-flight step used
+	validCh     chan valResult
+	lastLoss    float64
+	stepIndex   int
+}
+
+// stepAdam returns the Adam config for the current step, with the
+// learning-rate schedule applied.
+func (t *Trainer) stepAdam() optim.Config {
+	a := t.Cfg.Adam
+	if t.Cfg.Schedule != nil {
+		a.LR *= t.Cfg.Schedule(t.stepIndex)
+	}
+	return a
+}
+
+// NewTrainer buckets the model and prepares the optimizer state.
+func NewTrainer(m *nn.GPT, cfg Config) *Trainer {
+	if cfg.Impl == nil {
+		cfg.Impl = optim.GraceAdam
+	}
+	if cfg.BucketElems <= 0 {
+		cfg.BucketElems = 32 << 20 // 64 MB of fp16
+	}
+	return &Trainer{
+		Model:   m,
+		Cfg:     cfg,
+		buckets: partitionParams(m.Params(), cfg.BucketElems),
+		validCh: make(chan valResult, 1),
+	}
+}
+
+// NumBuckets reports the partition size (diagnostics).
+func (t *Trainer) NumBuckets() int { return len(t.buckets) }
+
+// Stats returns validation counters.
+func (t *Trainer) Stats() Stats { return t.stats }
+
+// Step runs one training iteration on the batch and returns its loss.
+//
+// Under STV the sequencing mirrors Fig. 8: the forward pass runs first;
+// only then is the previous step's validation resolved (it has been
+// running in the background). If validation demands a rollback, the
+// weights change and the forward pass is redone — the "RB → F1" arrow in
+// the figure.
+func (t *Trainer) Step(b data.Batch) (float64, error) {
+	switch t.Cfg.Mode {
+	case STE:
+		return t.stepSTE(b)
+	case STV:
+		return t.stepSTV(b)
+	}
+	return 0, fmt.Errorf("stv: unknown mode %d", t.Cfg.Mode)
+}
+
+// scale returns the current loss scale (1 when scaling is disabled).
+func (t *Trainer) scale() float64 {
+	if t.Cfg.Scaler == nil {
+		return 1
+	}
+	return t.Cfg.Scaler.Scale
+}
+
+// backwardAndStage runs backward and stages unscaled gradients in every
+// bucket.
+func (t *Trainer) backwardAndStage(b data.Batch) float64 {
+	loss, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+	t.Model.Params().ZeroGrads()
+	t.Model.Backward(cache, t.scale())
+	t.maybeInject()
+	inv := float32(1 / t.scale())
+	for _, bk := range t.buckets {
+		bk.stageGrads(inv)
+	}
+	return loss
+}
+
+func (t *Trainer) maybeInject() {
+	if t.Cfg.InjectBad != nil && t.Cfg.InjectBad(t.stepIndex) {
+		g := t.Model.Params()[0].G.Data
+		g[0] = float32(math.Inf(1))
+	}
+}
+
+// validate computes the deferred global state over staged gradients.
+func (t *Trainer) validate() valResult {
+	shards := make([][]float32, len(t.buckets))
+	for i, bk := range t.buckets {
+		shards[i] = bk.grad
+	}
+	return valResult{bad: optim.HasBad(shards), globalNorm: optim.GlobalNorm(shards)}
+}
+
+// ---- STE (ZeRO-Offload schedule) ----
+
+func (t *Trainer) stepSTE(b data.Batch) (float64, error) {
+	t.stepIndex++
+	loss := t.backwardAndStage(b)
+	t.stats.Steps++
+
+	// Synchronize: full validation before any optimizer work (Fig. 3's
+	// gray block on the critical path).
+	v := t.validate()
+	if v.bad {
+		t.stats.SkipRolls++
+		if t.Cfg.Scaler != nil {
+			t.Cfg.Scaler.Update(true)
+		}
+		return loss, nil // skip step entirely
+	}
+	if t.Cfg.Scaler != nil {
+		t.Cfg.Scaler.Update(false)
+	}
+	t.applyDirectStep(v)
+	return loss, nil
+}
+
+// applyDirectStep applies a committed (synchronous) optimizer step over
+// all buckets with the clip scale derived from the validated global norm.
+func (t *Trainer) applyDirectStep(v valResult) {
+	clip := optim.ClipScale(v.globalNorm, t.Cfg.ClipNorm)
+	if clip != 1.0 {
+		t.stats.ClipRolls++ // a clip event, for comparability with STV
+	} else {
+		t.stats.Commits++
+	}
+	adam := t.stepAdam()
+	for _, bk := range t.buckets {
+		bk.directStep(adam, t.Cfg.Impl, clip)
+	}
+}
+
+// ---- STV (SuperOffload schedule) ----
+
+func (t *Trainer) stepSTV(b data.Batch) (float64, error) {
+	t.stepIndex++
+	// Forward; resolve the previous iteration's validation "after the
+	// forward pass" (§4.4). A rollback changes weights ⇒ redo forward.
+	for {
+		loss, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+		rolledBack, err := t.resolvePending()
+		if err != nil {
+			return 0, err
+		}
+		if rolledBack {
+			t.stats.Redos++
+			continue
+		}
+		t.lastLoss = loss
+		t.Model.Params().ZeroGrads()
+		t.Model.Backward(cache, t.scale())
+		break
+	}
+	t.maybeInject()
+	inv := float32(1 / t.scale())
+	adam := t.stepAdam()
+	for _, bk := range t.buckets {
+		bk.stageGrads(inv)
+		// Speculative per-bucket step: in the real system this
+		// overlaps the remaining backward on the GPU.
+		bk.speculativeStep(adam, t.Cfg.Impl)
+	}
+	t.stats.Steps++
+	t.launchValidation()
+	return t.lastLoss, nil
+}
+
+// launchValidation starts the background validator (the Python-
+// multiprocessing worker of §4.4): global norm and NaN/Inf scan off the
+// critical path, delivered through the queue.
+func (t *Trainer) launchValidation() {
+	t.pendingAdam = t.stepAdam()
+	go func(v chan<- valResult, buckets []*bucket) {
+		shards := make([][]float32, len(buckets))
+		for i, bk := range buckets {
+			shards[i] = bk.grad
+		}
+		v <- valResult{bad: optim.HasBad(shards), globalNorm: optim.GlobalNorm(shards)}
+	}(t.validCh, t.buckets)
+	t.pending = true
+}
+
+// resolvePending consumes an outstanding validation, applying rollback /
+// re-execution / commit. Returns whether weights changed (forward must be
+// redone).
+func (t *Trainer) resolvePending() (bool, error) {
+	if !t.pending {
+		return false, nil
+	}
+	v := <-t.validCh
+	t.pending = false
+
+	if v.bad {
+		// Scenario 1: NaN/Inf ⇒ the iteration is skipped; undo the
+		// speculative update entirely.
+		for _, bk := range t.buckets {
+			bk.rollback()
+		}
+		t.stats.SkipRolls++
+		if t.Cfg.Scaler != nil {
+			t.Cfg.Scaler.Update(true)
+		}
+		return true, nil
+	}
+	if t.Cfg.Scaler != nil {
+		t.Cfg.Scaler.Update(false)
+	}
+	clip := optim.ClipScale(v.globalNorm, t.Cfg.ClipNorm)
+	if clip != 1.0 {
+		// Scenario 2: clipping violated ⇒ revert and re-execute with
+		// clipped gradients, using the hyperparameters the
+		// speculative step used (the schedule may have moved on).
+		for _, bk := range t.buckets {
+			bk.reExecuteClipped(t.pendingAdam, t.Cfg.Impl, clip)
+		}
+		t.stats.ClipRolls++
+		return true, nil
+	}
+	for _, bk := range t.buckets {
+		bk.commit()
+	}
+	t.stats.Commits++
+	return false, nil
+}
+
+// Flush resolves any in-flight validation (call at end of training so the
+// final step is validated). Returns whether the final step was rolled
+// back or re-executed.
+func (t *Trainer) Flush() (bool, error) { return t.resolvePending() }
+
+// MasterWeights exposes the CPU-side fp32 master parameters, concatenated
+// in bucket order — the ground truth for exactness comparisons.
+func (t *Trainer) MasterWeights() []float32 {
+	n := 0
+	for _, bk := range t.buckets {
+		n += bk.size()
+	}
+	out := make([]float32, 0, n)
+	for _, bk := range t.buckets {
+		out = append(out, bk.shard.Master...)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the FLOP count below which MatMul stays single
+// threaded: goroutine fan-out costs more than it saves on tiny products.
+const parallelThreshold = 1 << 20
+
+// MatMul returns a × b for 2D tensors: (m,k) × (k,n) → (m,n).
+// The kernel is a cache-blocked ikj loop parallelized over row bands —
+// the same optimization hierarchy (tiling + multicore) GraceAdam uses.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Dim(0), b.Dim(1))
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a × b, reusing out's storage.
+func MatMulInto(out, a, b *Tensor) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul requires 2D operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dims differ")
+	}
+	if out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: MatMulInto output shape mismatch")
+	}
+	out.Zero()
+	flops := 2 * m * k * n
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers == 1 || m == 1 {
+		matmulRows(out.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := min(lo+band, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(out.Data, a.Data, b.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of out += a×b with an ikj loop and 4-way
+// unrolled inner update that the compiler keeps in registers.
+func matmulRows(out, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				orow[j] += av * brow[j]
+				orow[j+1] += av * brow[j+1]
+				orow[j+2] += av * brow[j+2]
+				orow[j+3] += av * brow[j+3]
+			}
+			for ; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulT returns a × bᵀ for 2D tensors: (m,k) × (n,k)ᵀ → (m,n). Used by
+// backward passes to avoid materializing transposes.
+func MatMulT(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMulT inner dims differ")
+	}
+	out := New(m, n)
+	worker := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s0, s1, s2, s3 float32
+				kk := 0
+				for ; kk+4 <= k; kk += 4 {
+					s0 += arow[kk] * brow[kk]
+					s1 += arow[kk+1] * brow[kk+1]
+					s2 += arow[kk+2] * brow[kk+2]
+					s3 += arow[kk+3] * brow[kk+3]
+				}
+				s := s0 + s1 + s2 + s3
+				for ; kk < k; kk++ {
+					s += arow[kk] * brow[kk]
+				}
+				out.Data[i*n+j] = s
+			}
+		}
+	}
+	parallelRows(m, 2*m*k*n, worker)
+	return out
+}
+
+// TMatMul returns aᵀ × b: (k,m)ᵀ × (k,n) → (m,n). Used for weight
+// gradients (xᵀ · dy).
+func TMatMul(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: TMatMul inner dims differ")
+	}
+	out := New(m, n)
+	worker := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := a.Data[kk*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+	parallelRows(m, 2*m*k*n, worker)
+	return out
+}
+
+// parallelRows splits [0,m) into bands across GOMAXPROCS workers when the
+// work is large enough.
+func parallelRows(m, flops int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers == 1 || m == 1 {
+		f(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := min(lo+band, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic PCG32 generator so tensors, datasets and
+// training runs are exactly reproducible across machines without importing
+// math/rand's global state.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+// NewRNG seeds a generator; distinct streams come from distinct seeds.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{inc: (seed << 1) | 1}
+	r.state = seed*6364136223846793005 + r.inc
+	r.Uint32()
+	return r
+}
+
+// Uint32 returns the next 32 random bits (PCG-XSH-RR).
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*6364136223846793005 + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Float64 returns a uniform value in [0,1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	hi := uint64(r.Uint32()) >> 5 // 27 bits
+	lo := uint64(r.Uint32()) >> 6 // 26 bits
+	return float64(hi<<26|lo) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0,1).
+func (r *RNG) Float32() float32 { return float32(r.Uint32()>>8) / (1 << 24) }
+
+// Intn returns a uniform int in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn non-positive bound")
+	}
+	return int(r.Uint32() % uint32(n))
+}
+
+// NormFloat32 returns a standard normal sample (Box–Muller; one value per
+// call, the pair's twin discarded for simplicity).
+func (r *RNG) NormFloat32() float32 {
+	for {
+		u1 := r.Float32()
+		if u1 <= 1e-12 {
+			continue
+		}
+		u2 := r.Float32()
+		return float32(math.Sqrt(-2*math.Log(float64(u1))) * math.Cos(2*math.Pi*float64(u2)))
+	}
+}
+
+// Randn fills a new tensor with N(0, std²) samples.
+func Randn(rng *RNG, std float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat32() * std
+	}
+	return t
+}
+
+// Uniform fills a new tensor with U[lo,hi) samples.
+func Uniform(rng *RNG, lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*rng.Float32()
+	}
+	return t
+}

@@ -1,0 +1,177 @@
+// Package ulysses implements DeepSpeed-Ulysses-style sequence parallelism
+// and its integration with SuperOffload (§4.7, "SuperOffload-Ulysses").
+// The sequence dimension is split across S ranks; attention switches to
+// head parallelism through two all-to-alls per layer per pass. Vanilla
+// Ulysses keeps model states on the GPUs (ZeRO-1-style sharding, its
+// release default), which caps sequence length; SuperOffload-Ulysses
+// offloads optimizer states and weights with the adaptive weight-flow
+// policy, freeing HBM for activations (§4.7) and reaching 8× longer
+// sequences (Fig. 12).
+package ulysses
+
+import (
+	"fmt"
+
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+)
+
+// SeqLadder is the sequence-length sweep of Fig. 12.
+var SeqLadder = []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+
+// System selects the sequence-parallel training stack.
+type System int
+
+const (
+	// Vanilla is DeepSpeed-Ulysses with GPU-resident model states.
+	Vanilla System = iota
+	// SuperOffloadUlysses combines Ulysses with SuperOffload's
+	// weight-flow offloading.
+	SuperOffloadUlysses
+)
+
+func (s System) String() string {
+	if s == Vanilla {
+		return "Ulysses"
+	}
+	return "SuperOffload-Ulysses"
+}
+
+// Point is one bar of Fig. 12: a (system, seq) cell.
+type Point struct {
+	System System
+	Seq    int
+	Fits   bool
+	MFU    float64
+	IterS  float64
+}
+
+const (
+	fragFactor = 1.1
+	// attnPeakFrac is the fraction of tensor-core peak the fused
+	// attention kernels reach on very long sequences (large, regular
+	// tiles).
+	attnPeakFrac = 0.85
+	// attnEffHalfSeq is the sequence length at which attention kernels
+	// reach half of attnPeakFrac.
+	attnEffHalfSeq = 32768.0
+	// flowWorkingBytes is SuperOffload-Ulysses's HBM working set:
+	// streamed weight buckets, gradient staging, all-to-all buffers.
+	flowWorkingBytes = int64(3) << 30
+)
+
+// statesBytesVanilla is per-rank GPU state memory for vanilla Ulysses:
+// fp16 params + fp16 grads replicated, optimizer states sharded (ZeRO-1).
+func statesBytesVanilla(p int64, s int) float64 {
+	return (4*float64(p) + 12*float64(p)/float64(s)) * fragFactor
+}
+
+// actBytesPerRank is the checkpointed activation footprint per rank: the
+// sequence dimension shards S ways.
+func actBytesPerRank(m model.Config, seq, s int, ckpt bool) float64 {
+	return float64(m.ActivationBytes(1, seq, ckpt)) / float64(s)
+}
+
+// Fits reports whether the (system, seq) cell fits the cluster.
+func Fits(sys System, cl hw.Cluster, m model.Config, seq int) bool {
+	s := cl.TotalChips()
+	chip := cl.Node.Chip
+	hbm := float64(chip.GPU.MemBytes - hw.GPUMemoryOverheadBytes)
+	act := actBytesPerRank(m, seq, s, true)
+	switch sys {
+	case Vanilla:
+		return statesBytesVanilla(m.Params(), s)+act <= hbm
+	case SuperOffloadUlysses:
+		if float64(flowWorkingBytes)+act > hbm {
+			return false
+		}
+		cpu := m.Params()/int64(s)*model.BytesCPUStatesFull + hw.CPUMemoryOverheadBytes
+		return cpu <= chip.CPU.MemBytes
+	}
+	return false
+}
+
+// blendedEfficiency returns the achievable fraction of GPU peak for a
+// long-sequence transformer: the dense GEMMs run at the hidden-size-bound
+// efficiency while the attention products approach attnPeakFrac as the
+// sequence grows; the blend weights by FLOP share.
+func blendedEfficiency(m model.Config, seq int) float64 {
+	tokens := float64(seq)
+	dense := 2 * float64(m.Params()) * tokens
+	attn := 4 * float64(m.Layers) * float64(m.Hidden) * float64(seq) * tokens
+	denseEff := hw.GEMMEfficiency(m.Hidden, 1024)
+	attnEff := attnPeakFrac * float64(seq) / (float64(seq) + attnEffHalfSeq)
+	return (dense*denseEff + attn*attnEff) / (dense + attn)
+}
+
+// IterTime returns the per-iteration wall time for the cell (batch 1,
+// full activation checkpointing — mandatory at these lengths).
+func IterTime(sys System, cl hw.Cluster, m model.Config, seq int) float64 {
+	s := cl.TotalChips()
+	chip := cl.Node.Chip
+	flops := m.IterFLOPs(1, seq) / float64(s)
+	eff := blendedEfficiency(m, seq)
+	compute := flops * 4.0 / 3.0 / (chip.GPU.PeakFLOPS * eff) // ckpt recompute
+
+	// Two all-to-alls per layer per pass (4 per layer per iteration),
+	// each moving the rank's fp16 activation shard.
+	a2aBytes := int64(2 * seq / s * m.Hidden)
+	link := cl.DataParallelLink(s)
+	comm := 4 * float64(m.Layers) * hw.CollectiveTime(hw.AllToAll, s, a2aBytes, link)
+
+	t := compute + comm
+	if sys == SuperOffloadUlysses {
+		// Weight streaming overlaps compute at these arithmetic
+		// intensities (Eq. 1-3 efficiency ≈ 1); only the per-layer
+		// tail and optimizer pipeline tail remain.
+		t += hw.AdamStepTime(chip, hw.AdamGrace, m.Params()/int64(s)) * 0.1
+	} else {
+		// Vanilla Ulysses runs its (sharded) optimizer on the GPU.
+		t += hw.AdamStepTime(chip, hw.AdamGPU, m.Params()/int64(s))
+	}
+	return t
+}
+
+// MFU returns model FLOPs utilization (recompute excluded, §5.2).
+func MFU(sys System, cl hw.Cluster, m model.Config, seq int) float64 {
+	t := IterTime(sys, cl, m, seq)
+	if t <= 0 {
+		return 0
+	}
+	flops := m.IterFLOPs(1, seq) / float64(cl.TotalChips())
+	return flops / t / cl.Node.Chip.GPU.PeakFLOPS
+}
+
+// Sweep produces the Fig. 12 series for one panel (model × cluster).
+func Sweep(cl hw.Cluster, m model.Config) []Point {
+	var out []Point
+	for _, sys := range []System{Vanilla, SuperOffloadUlysses} {
+		for _, seq := range SeqLadder {
+			p := Point{System: sys, Seq: seq, Fits: Fits(sys, cl, m, seq)}
+			if p.Fits {
+				p.IterS = IterTime(sys, cl, m, seq)
+				p.MFU = MFU(sys, cl, m, seq)
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MaxSeq returns the longest ladder entry that fits (0 when none).
+func MaxSeq(sys System, cl hw.Cluster, m model.Config) int {
+	max := 0
+	for _, seq := range SeqLadder {
+		if Fits(sys, cl, m, seq) {
+			max = seq
+		}
+	}
+	return max
+}
+
+func (p Point) String() string {
+	if !p.Fits {
+		return fmt.Sprintf("%s seq=%dK OOM", p.System, p.Seq>>10)
+	}
+	return fmt.Sprintf("%s seq=%dK MFU=%.2f", p.System, p.Seq>>10, p.MFU)
+}

@@ -1,0 +1,149 @@
+package ulysses
+
+import (
+	"testing"
+
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+)
+
+func cfg13B() model.Config {
+	m, err := model.ByName("13B")
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func cfg30B() model.Config {
+	m, err := model.ByName("30B")
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestHeadline13BMillionTokens(t *testing.T) {
+	// The paper's headline (§1, Fig. 12b): SuperOffload-Ulysses trains a
+	// 13B model at 1M-token sequences on 8 GH200 at ~55% MFU.
+	cl := hw.ClusterFor(8)
+	m := cfg13B()
+	if !Fits(SuperOffloadUlysses, cl, m, 1<<20) {
+		t.Fatal("SuperOffload-Ulysses must fit 13B @ 1M tokens on 8 chips")
+	}
+	mfu := MFU(SuperOffloadUlysses, cl, m, 1<<20)
+	if mfu < 0.45 || mfu > 0.75 {
+		t.Errorf("MFU @1M = %.2f, paper reports 0.55", mfu)
+	}
+}
+
+func Test8xLongerSequences(t *testing.T) {
+	// Fig. 12: SuperOffload-Ulysses supports 8x longer sequences than
+	// vanilla Ulysses (13B on 8 chips: 1M vs 128K).
+	cl := hw.ClusterFor(8)
+	m := cfg13B()
+	so := MaxSeq(SuperOffloadUlysses, cl, m)
+	v := MaxSeq(Vanilla, cl, m)
+	if so != 1<<20 {
+		t.Errorf("SuperOffload-Ulysses max seq = %dK, want 1024K", so>>10)
+	}
+	if v != 128<<10 {
+		t.Errorf("Ulysses max seq = %dK, want 128K", v>>10)
+	}
+	if so/v != 8 {
+		t.Errorf("ratio = %dx, paper says 8x", so/v)
+	}
+}
+
+func TestVanillaOOMsWhereSuperOffloadFits(t *testing.T) {
+	cl := hw.ClusterFor(8)
+	m := cfg13B()
+	for _, seq := range []int{256 << 10, 512 << 10, 1 << 20} {
+		if Fits(Vanilla, cl, m, seq) {
+			t.Errorf("vanilla Ulysses should OOM at %dK", seq>>10)
+		}
+		if !Fits(SuperOffloadUlysses, cl, m, seq) {
+			t.Errorf("SuperOffload-Ulysses should fit %dK", seq>>10)
+		}
+	}
+}
+
+func TestMFUAdvantageWhereBothFit(t *testing.T) {
+	// Fig. 12: "For sequence lengths that Ulysses can handle,
+	// SuperOffload-Ulysses consistently achieves higher MFU."
+	cl := hw.ClusterFor(8)
+	m := cfg13B()
+	for _, seq := range []int{32 << 10, 64 << 10, 128 << 10} {
+		if !Fits(Vanilla, cl, m, seq) {
+			continue
+		}
+		so := MFU(SuperOffloadUlysses, cl, m, seq)
+		v := MFU(Vanilla, cl, m, seq)
+		if so < v {
+			t.Errorf("seq %dK: SO-Ulysses MFU %.3f < Ulysses %.3f", seq>>10, so, v)
+		}
+	}
+}
+
+func TestMFUGrowsWithSeq(t *testing.T) {
+	cl := hw.ClusterFor(8)
+	m := cfg13B()
+	prev := 0.0
+	for _, seq := range SeqLadder {
+		mfu := MFU(SuperOffloadUlysses, cl, m, seq)
+		if mfu < prev*0.95 {
+			t.Errorf("MFU dropped sharply at %dK: %.3f -> %.3f", seq>>10, prev, mfu)
+		}
+		prev = mfu
+	}
+}
+
+func Test30BPanel(t *testing.T) {
+	// Fig. 12c: 30B on 8 Superchips — vanilla Ulysses cannot hold the
+	// states at all; SuperOffload-Ulysses still reaches very long
+	// sequences.
+	cl := hw.ClusterFor(8)
+	m := cfg30B()
+	if v := MaxSeq(Vanilla, cl, m); v != 0 {
+		t.Errorf("vanilla Ulysses 30B max seq = %dK, want OOM everywhere", v>>10)
+	}
+	if so := MaxSeq(SuperOffloadUlysses, cl, m); so < 512<<10 {
+		t.Errorf("SuperOffload-Ulysses 30B max seq = %dK, want ≥512K", so>>10)
+	}
+}
+
+func Test4ChipPanel(t *testing.T) {
+	// Fig. 12a: 13B on 4 Superchips.
+	cl := hw.ClusterFor(4)
+	m := cfg13B()
+	so := MaxSeq(SuperOffloadUlysses, cl, m)
+	v := MaxSeq(Vanilla, cl, m)
+	if so < 256<<10 {
+		t.Errorf("SO-Ulysses 4-chip max = %dK, want ≥256K", so>>10)
+	}
+	if v >= so {
+		t.Errorf("vanilla (%dK) should trail SO-Ulysses (%dK)", v>>10, so>>10)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	pts := Sweep(hw.ClusterFor(8), cfg13B())
+	if len(pts) != 2*len(SeqLadder) {
+		t.Fatalf("sweep size %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Fits && (p.MFU <= 0 || p.MFU > 1) {
+			t.Errorf("bad MFU in %v", p)
+		}
+		if !p.Fits && p.MFU != 0 {
+			t.Errorf("OOM cell has MFU: %v", p)
+		}
+		_ = p.String()
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	if Vanilla.String() == SuperOffloadUlysses.String() {
+		t.Error("system strings collide")
+	}
+}

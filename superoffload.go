@@ -1,0 +1,315 @@
+// Package superoffload is a Go reproduction of "SuperOffload: Unleashing
+// the Power of Large-Scale LLM Training on Superchips" (ASPLOS 2026): a
+// Superchip-centric offloading system that overlaps CPU optimizer work
+// with GPU computation via speculation-then-validation, picks bucket sizes
+// and weight residency adaptively, and chooses casting placement for the
+// NVLink-C2C link.
+//
+// The package exposes three layers:
+//
+//   - A real training engine (Init/Step, mirroring the paper's Fig. 1
+//     two-line enablement) that trains an actual GPT on real numerics with
+//     speculative per-bucket Adam steps, background validation, and exact
+//     rollback.
+//
+//   - A planner (Plan/Describe) that sizes workloads against modeled
+//     GH200 clusters and predicts throughput for SuperOffload and the
+//     seven baseline systems.
+//
+//   - The experiment harness (RunExperiment) that regenerates every table
+//     and figure of the paper's evaluation; see EXPERIMENTS.md.
+package superoffload
+
+import (
+	"fmt"
+	"io"
+
+	"superoffload/internal/core"
+	"superoffload/internal/data"
+	"superoffload/internal/experiments"
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/sched"
+	"superoffload/internal/stv"
+	"superoffload/internal/tensor"
+)
+
+// ---- real training engine (Fig. 1 facade) ----
+
+// ModelConfig describes a transformer to train for real.
+type ModelConfig struct {
+	Layers int
+	Hidden int
+	Heads  int
+	Vocab  int
+	MaxSeq int
+}
+
+// Model is a real GPT with hand-written forward/backward.
+type Model struct {
+	gpt *nn.GPT
+}
+
+// NewModel builds a model with deterministic initialization from seed.
+func NewModel(cfg ModelConfig, seed uint64) (*Model, error) {
+	if cfg.Layers < 1 || cfg.Hidden < 8 || cfg.Vocab < 2 {
+		return nil, fmt.Errorf("superoffload: invalid model config %+v", cfg)
+	}
+	if cfg.Heads < 1 {
+		cfg.Heads = cfg.Hidden / 64
+		if cfg.Heads < 1 {
+			cfg.Heads = 1
+		}
+	}
+	if cfg.Hidden%cfg.Heads != 0 {
+		return nil, fmt.Errorf("superoffload: hidden %d not divisible by heads %d", cfg.Hidden, cfg.Heads)
+	}
+	if cfg.MaxSeq < 1 {
+		cfg.MaxSeq = 128
+	}
+	mc := model.Config{Name: "user", Layers: cfg.Layers, Hidden: cfg.Hidden, Heads: cfg.Heads, Vocab: cfg.Vocab}
+	return &Model{gpt: nn.NewGPT(mc, cfg.MaxSeq, tensor.NewRNG(seed))}, nil
+}
+
+// NumParams returns the trainable parameter count.
+func (m *Model) NumParams() int { return m.gpt.NumParams() }
+
+// OptimizerConfig is the Adam hyperparameter set plus SuperOffload's
+// scheduling knobs.
+type OptimizerConfig struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+	// ClipNorm enables global-norm gradient clipping (0 disables).
+	ClipNorm float64
+	// BucketElems overrides the per-bucket parameter budget (default:
+	// 32M elements = one 64 MB fp16 bucket, §4.3).
+	BucketElems int
+	// Synchronous falls back to the synchronize-then-execute schedule
+	// (for comparisons); the default is speculation-then-validation.
+	Synchronous bool
+	// LossScaling enables dynamic fp16 loss scaling.
+	LossScaling bool
+	// WarmupSteps/TotalSteps enable the warm-up + cosine-decay learning
+	// rate schedule when TotalSteps > 0; MinLRFrac is the decay floor
+	// (fraction of LR). Rollback re-execution uses the rolled-back
+	// step's own rate, preserving exactness.
+	WarmupSteps int
+	TotalSteps  int
+	MinLRFrac   float64
+}
+
+// DefaultOptimizer returns the standard GPT training recipe.
+func DefaultOptimizer() OptimizerConfig {
+	d := optim.DefaultConfig()
+	return OptimizerConfig{LR: d.LR, Beta1: d.Beta1, Beta2: d.Beta2, Eps: d.Eps, ClipNorm: 1.0}
+}
+
+// Batch is one training batch in flattened (batch*seq) layout.
+type Batch = data.Batch
+
+// Engine trains a Model with SuperOffload's schedule: CPU-resident fp32
+// master weights and Adam moments, bucketized speculative updates,
+// background validation, and exact rollback (§4.4).
+type Engine struct {
+	trainer *stv.Trainer
+}
+
+// Init wraps a model and optimizer into a SuperOffload engine — the
+// counterpart of the paper's `SuperOffload.init(model, optimizer)`.
+func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("superoffload: nil model")
+	}
+	mode := stv.STV
+	if cfg.Synchronous {
+		mode = stv.STE
+	}
+	var scaler *optim.LossScaler
+	if cfg.LossScaling {
+		scaler = optim.NewLossScaler()
+	}
+	a := optim.Config{LR: cfg.LR, Beta1: cfg.Beta1, Beta2: cfg.Beta2, Eps: cfg.Eps, WeightDecay: cfg.WeightDecay}
+	if a.LR == 0 {
+		a = optim.DefaultConfig()
+	}
+	var schedule func(int) float64
+	if cfg.TotalSteps > 0 {
+		schedule = stv.WarmupCosine(cfg.WarmupSteps, cfg.TotalSteps, cfg.MinLRFrac)
+	}
+	tr := stv.NewTrainer(m.gpt, stv.Config{
+		Adam: a, Impl: optim.GraceAdam, ClipNorm: cfg.ClipNorm,
+		BucketElems: cfg.BucketElems, Mode: mode, Scaler: scaler,
+		Schedule: schedule,
+	})
+	return &Engine{trainer: tr}, nil
+}
+
+// Step runs one training iteration (forward, backward, speculative
+// optimizer step, background validation) and returns the batch loss.
+func (e *Engine) Step(b Batch) (float64, error) { return e.trainer.Step(b) }
+
+// StepAccum runs one optimizer step over several accumulated micro-batches
+// (the §5.2 OOM-mitigation path) and returns the mean loss.
+func (e *Engine) StepAccum(batches []Batch) (float64, error) { return e.trainer.StepAccum(batches) }
+
+// Save serializes the training state (fp32 masters, Adam moments, step
+// counters, loss scale). Call Flush first; an in-flight validation blocks
+// checkpointing.
+func (e *Engine) Save(w io.Writer) error { return e.trainer.Save(w) }
+
+// Load restores state saved by Save into an engine over the same model
+// architecture and bucket configuration.
+func (e *Engine) Load(r io.Reader) error { return e.trainer.Load(r) }
+
+// Flush resolves the final in-flight validation; call once after the last
+// Step.
+func (e *Engine) Flush() error {
+	_, err := e.trainer.Flush()
+	return err
+}
+
+// Stats reports validation outcomes (commits, clip rollbacks, NaN skips).
+type Stats = stv.Stats
+
+// Stats returns the engine's validation counters.
+func (e *Engine) Stats() Stats { return e.trainer.Stats() }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *Engine) NumBuckets() int { return e.trainer.NumBuckets() }
+
+// NewCorpus returns the deterministic synthetic corpus used throughout the
+// examples and experiments (the Pile stand-in; see DESIGN.md).
+func NewCorpus(vocab int, seed uint64) *data.Corpus { return data.NewCorpus(vocab, seed) }
+
+// ---- planning / simulation ----
+
+// PlanRequest describes a workload to size on modeled GH200 hardware.
+type PlanRequest struct {
+	// Model is an Appendix A label ("5B", "13B", ...).
+	Model string
+	// Chips is the Superchip count (1, 2, 4, 8, 16, ...).
+	Chips int
+	// GlobalBatch and Seq define the iteration.
+	GlobalBatch int
+	Seq         int
+}
+
+// PlanResult is the planner's verdict for one system.
+type PlanResult struct {
+	System      string
+	Fits        bool
+	OOMReason   string
+	TFLOPS      float64
+	MFU         float64
+	IterSeconds float64
+	GPUIdleFrac float64
+	MicroBatch  int
+	GradAccum   int
+	Checkpoint  bool
+}
+
+func toWorkload(req PlanRequest) (sched.Workload, error) {
+	m, err := model.ByName(req.Model)
+	if err != nil {
+		return sched.Workload{}, err
+	}
+	if req.Chips < 1 {
+		req.Chips = 1
+	}
+	if req.GlobalBatch < 1 {
+		req.GlobalBatch = 8 * req.Chips
+	}
+	if req.Seq < 1 {
+		req.Seq = 1024
+	}
+	return sched.Workload{Cluster: hw.ClusterFor(req.Chips), Model: m, GlobalBatch: req.GlobalBatch, Seq: req.Seq}, nil
+}
+
+func fromResult(r sched.Result) PlanResult {
+	return PlanResult{
+		System: r.System, Fits: r.Fits, OOMReason: r.OOM,
+		TFLOPS: r.TFLOPS, MFU: r.MFU, IterSeconds: r.IterTime, GPUIdleFrac: r.GPUIdleFrac,
+		MicroBatch: r.Exec.MicroBatch, GradAccum: r.Exec.GradAccum, Checkpoint: r.Exec.Checkpoint,
+	}
+}
+
+// Plan sizes the workload under SuperOffload.
+func Plan(req PlanRequest) (PlanResult, error) {
+	w, err := toWorkload(req)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	return fromResult(core.New().Plan(w)), nil
+}
+
+// PlanDescription is SuperOffload's decision record for a workload: the
+// §4.2 policy, the §4.5 casting path, and the §4.3 bucket plan.
+type PlanDescription struct {
+	Policy     string  // "weight-stationary" or "weight-flow"
+	CastPath   string  // "Cast_gpu↔Move_fp32" or "Cast_cpu↔Move_fp16"
+	BucketMB   int     // transfer bucket size
+	NBuckets   int     // bucket count for the per-rank shard
+	Efficiency float64 // Eq. 1-3 efficiency of weight streaming
+	MicroBatch int
+	GradAccum  int
+	Checkpoint bool
+}
+
+// Describe returns the planner's decisions without running the full grid
+// search (fast path for tooling).
+func Describe(req PlanRequest) (PlanDescription, error) {
+	w, err := toWorkload(req)
+	if err != nil {
+		return PlanDescription{}, err
+	}
+	p, ok := core.New().Describe(w)
+	if !ok {
+		return PlanDescription{}, fmt.Errorf("superoffload: %s does not fit %d chip(s)", req.Model, w.Chips())
+	}
+	return PlanDescription{
+		Policy:     p.Policy.String(),
+		CastPath:   p.CastPath.String(),
+		BucketMB:   int(p.BucketBytes >> 20),
+		NBuckets:   p.NBuckets,
+		Efficiency: p.Efficiency,
+		MicroBatch: p.Exec.MicroBatch,
+		GradAccum:  p.Exec.GradAccum,
+		Checkpoint: p.Exec.Checkpoint,
+	}, nil
+}
+
+// Compare sizes the workload under SuperOffload and every baseline.
+func Compare(req PlanRequest) ([]PlanResult, error) {
+	w, err := toWorkload(req)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlanResult
+	for _, s := range experiments.Systems() {
+		out = append(out, fromResult(s.Plan(w)))
+	}
+	return out, nil
+}
+
+// ModelNames lists the Appendix A workload labels.
+func ModelNames() []string {
+	var out []string
+	for _, c := range model.AppendixA() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// ---- experiments ----
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (e.g. "fig10", "table2"); ExperimentNames lists the ids.
+func RunExperiment(name string) (string, error) { return experiments.Run(name) }
+
+// ExperimentNames lists the available experiment ids.
+func ExperimentNames() []string { return experiments.Names() }

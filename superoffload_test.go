@@ -1,0 +1,215 @@
+package superoffload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig1Facade(t *testing.T) {
+	// The paper's Fig. 1: enable SuperOffload with a few lines.
+	m, err := NewModel(ModelConfig{Layers: 2, Hidden: 32, Vocab: 64, MaxSeq: 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Init(m, DefaultOptimizer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := NewCorpus(64, 2)
+	var first, last float64
+	const steps = 100
+	for i := 0; i < steps; i++ {
+		loss, err := eng.Step(corpus.NextBatch(2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(last) || last > first {
+		t.Errorf("training did not progress: %.3f -> %.3f", first, last)
+	}
+	st := eng.Stats()
+	if st.Steps != steps {
+		t.Errorf("steps = %d, want %d", st.Steps, steps)
+	}
+	if eng.NumBuckets() < 1 {
+		t.Error("no buckets")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(ModelConfig{Layers: 0, Hidden: 32, Vocab: 64}, 1); err == nil {
+		t.Error("zero layers accepted")
+	}
+	if _, err := NewModel(ModelConfig{Layers: 1, Hidden: 30, Heads: 4, Vocab: 64}, 1); err == nil {
+		t.Error("indivisible heads accepted")
+	}
+	m, err := NewModel(ModelConfig{Layers: 1, Hidden: 64, Vocab: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() < 1000 {
+		t.Error("param count implausible")
+	}
+	if _, err := Init(nil, DefaultOptimizer()); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestSynchronousFallback(t *testing.T) {
+	m, _ := NewModel(ModelConfig{Layers: 1, Hidden: 32, Vocab: 32, MaxSeq: 8}, 3)
+	cfg := DefaultOptimizer()
+	cfg.Synchronous = true
+	eng, err := Init(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := NewCorpus(32, 4)
+	if _, err := eng.Step(corpus.NextBatch(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanHeadline(t *testing.T) {
+	r, err := Plan(PlanRequest{Model: "5B", Chips: 1, GlobalBatch: 8, Seq: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Fits {
+		t.Fatalf("5B must fit: %s", r.OOMReason)
+	}
+	if r.TFLOPS < 200 {
+		t.Errorf("5B single-chip = %.1f TFLOPS, expected ≈239", r.TFLOPS)
+	}
+	if r.MicroBatch < 1 || r.IterSeconds <= 0 {
+		t.Errorf("plan fields: %+v", r)
+	}
+	if _, err := Plan(PlanRequest{Model: "9999B"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestPlanDefaults(t *testing.T) {
+	r, err := Plan(PlanRequest{Model: "5B"}) // chips/batch/seq defaulted
+	if err != nil || !r.Fits {
+		t.Fatalf("defaulted plan failed: %v %v", r, err)
+	}
+}
+
+func TestCompareIncludesAllSystems(t *testing.T) {
+	rs, err := Compare(PlanRequest{Model: "5B", Chips: 1, GlobalBatch: 8, Seq: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 {
+		t.Fatalf("expected 8 systems, got %d", len(rs))
+	}
+	if rs[0].System != "SuperOffload" {
+		t.Errorf("first system = %s", rs[0].System)
+	}
+	// SuperOffload beats every fitting baseline on this workload.
+	for _, r := range rs[1:] {
+		if r.Fits && r.TFLOPS >= rs[0].TFLOPS {
+			t.Errorf("%s (%.0f) ≥ SuperOffload (%.0f)", r.System, r.TFLOPS, rs[0].TFLOPS)
+		}
+	}
+}
+
+func TestModelNamesAndExperiments(t *testing.T) {
+	names := ModelNames()
+	if len(names) < 20 {
+		t.Errorf("model zoo too small: %d", len(names))
+	}
+	exps := ExperimentNames()
+	if len(exps) != 17 {
+		t.Errorf("experiment registry has %d entries, want 17", len(exps))
+	}
+	out, err := RunExperiment("table1")
+	if err != nil || !strings.Contains(out, "GH200") {
+		t.Errorf("table1: %v\n%s", err, out)
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestDescribeDecisions(t *testing.T) {
+	// Weight-stationary at moderate scale...
+	d, err := Describe(PlanRequest{Model: "5B", Chips: 1, GlobalBatch: 8, Seq: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Policy != "weight-stationary" {
+		t.Errorf("5B policy = %s", d.Policy)
+	}
+	if d.CastPath != "Cast_gpu↔Move_fp32" {
+		t.Errorf("cast path = %s", d.CastPath)
+	}
+	if d.BucketMB != 64 {
+		t.Errorf("bucket = %d MB, want 64", d.BucketMB)
+	}
+	// ...weight-flow when the states outgrow HBM.
+	d25, err := Describe(PlanRequest{Model: "25B", Chips: 1, GlobalBatch: 8, Seq: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d25.Policy != "weight-flow" {
+		t.Errorf("25B policy = %s", d25.Policy)
+	}
+	if d25.Efficiency <= 0.6 {
+		t.Errorf("25B streaming efficiency = %.2f, should clear the 60%% bar", d25.Efficiency)
+	}
+	if _, err := Describe(PlanRequest{Model: "50B", Chips: 1}); err == nil {
+		t.Error("50B on one chip should not be plannable")
+	}
+}
+
+func TestEngineAccumScheduleCheckpoint(t *testing.T) {
+	m, _ := NewModel(ModelConfig{Layers: 1, Hidden: 32, Vocab: 64, MaxSeq: 8}, 4)
+	cfg := DefaultOptimizer()
+	cfg.ClipNorm = 5
+	cfg.WarmupSteps = 5
+	cfg.TotalSteps = 50
+	cfg.MinLRFrac = 0.1
+	eng, err := Init(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := NewCorpus(64, 8)
+	for i := 0; i < 10; i++ {
+		if _, err := eng.StepAccum([]Batch{corpus.NextBatch(1, 8), corpus.NextBatch(1, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewModel(ModelConfig{Layers: 1, Hidden: 32, Vocab: 64, MaxSeq: 8}, 999)
+	eng2, _ := Init(m2, cfg)
+	if err := eng2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := eng.Step(NewCorpus(64, 55).NextBatch(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := eng2.Step(NewCorpus(64, 55).NextBatch(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Fatalf("restored engine diverges: %v vs %v", l1, l2)
+	}
+}
