@@ -1,11 +1,14 @@
 // Command supertrain trains a real (small) GPT with the SuperOffload
 // engine: speculative per-bucket Adam steps on CPU-resident fp32 master
 // weights, background validation, and exact rollback. It demonstrates the
-// paper's Fig. 1 enablement and Fig. 14 behaviour on real numerics.
+// paper's Fig. 1 enablement and Fig. 14 behaviour on real numerics, and —
+// with -ranks > 1 — the multi-superchip data-parallel engine with
+// ZeRO-sharded optimizer state (the 2× and 4× GH200 configurations).
 //
 // Usage:
 //
 //	supertrain -steps 300 -layers 2 -hidden 64 -mode stv
+//	supertrain -steps 300 -ranks 4 -batch 8
 package main
 
 import (
@@ -16,15 +19,24 @@ import (
 	"superoffload"
 )
 
+// engine is the surface shared by the single-rank and multi-rank engines.
+type engine interface {
+	Step(b superoffload.Batch) (float64, error)
+	Flush() error
+	Stats() superoffload.Stats
+	NumBuckets() int
+}
+
 func main() {
 	steps := flag.Int("steps", 300, "training iterations")
 	layers := flag.Int("layers", 2, "transformer layers")
 	hidden := flag.Int("hidden", 64, "hidden size")
 	vocab := flag.Int("vocab", 128, "vocabulary size")
-	batch := flag.Int("batch", 4, "batch size")
+	batch := flag.Int("batch", 4, "global batch size (must divide by -ranks)")
 	seq := flag.Int("seq", 16, "sequence length")
 	mode := flag.String("mode", "stv", "schedule: stv (speculative) or ste (synchronous)")
 	clip := flag.Float64("clip", 4.0, "global gradient-norm clip (0 disables)")
+	ranks := flag.Int("ranks", 1, "simulated superchip ranks (data parallelism)")
 	seed := flag.Uint64("seed", 42, "initialization seed")
 	flag.Parse()
 
@@ -38,17 +50,35 @@ func main() {
 	cfg.ClipNorm = *clip
 	cfg.Synchronous = *mode == "ste"
 	cfg.LossScaling = true
-	engine, err := superoffload.Init(model, cfg)
-	if err != nil {
-		log.Fatal(err)
+
+	if *ranks < 1 {
+		log.Fatalf("ranks must be >= 1, got %d", *ranks)
+	}
+	var eng engine
+	if *ranks > 1 {
+		if *batch%*ranks != 0 {
+			log.Fatalf("batch %d not divisible by %d ranks", *batch, *ranks)
+		}
+		dpe, err := superoffload.InitDP(model, cfg, superoffload.DPConfig{Ranks: *ranks})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dpe.Close()
+		eng = dpe
+	} else {
+		e, err := superoffload.Init(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = e
 	}
 
-	fmt.Printf("supertrain: %d params in %d buckets, %s schedule\n",
-		model.NumParams(), engine.NumBuckets(), *mode)
+	fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %d rank(s)\n",
+		model.NumParams(), eng.NumBuckets(), *mode, *ranks)
 
 	corpus := superoffload.NewCorpus(*vocab, *seed+1)
 	for i := 1; i <= *steps; i++ {
-		loss, err := engine.Step(corpus.NextBatch(*batch, *seq))
+		loss, err := eng.Step(corpus.NextBatch(*batch, *seq))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,10 +86,10 @@ func main() {
 			fmt.Printf("step %4d  loss %.4f\n", i, loss)
 		}
 	}
-	if err := engine.Flush(); err != nil {
+	if err := eng.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	st := engine.Stats()
+	st := eng.Stats()
 	fmt.Printf("done: %d steps, %d commits, %d clip-rollbacks, %d skip-rollbacks, %d forward redos\n",
 		st.Steps, st.Commits, st.ClipRolls, st.SkipRolls, st.Redos)
 }

@@ -1,0 +1,96 @@
+// Multi-superchip: the paper's headline multi-chip scale points — a
+// 30B-class model on 2× GH200 (Qwen3-30B in §6.2) and a 70B-class model
+// on 4× GH200 (Llama-70B) with ZeRO-3-style sharding — first sized
+// analytically with the planner over the Appendix A workloads that fit
+// the modeled memory envelope (25B on 2×, 50B on 4×), then demonstrated
+// for real with the data-parallel engine: R simulated ranks,
+// bucket-sharded optimizer state, gradient reduce-scatter, weight
+// all-gather, and a loss trajectory bit-identical to single-rank
+// training.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superoffload"
+)
+
+func main() {
+	// ---- analytical: the 2× and 4× workloads on modeled hardware ----
+	for _, w := range []struct {
+		model string
+		chips int
+		batch int
+	}{
+		{"25B", 2, 16}, // the 2× GH200 scale point (Qwen3-30B class)
+		{"50B", 4, 32}, // the 4× GH200 scale point (Llama-70B class)
+	} {
+		plan, err := superoffload.Plan(superoffload.PlanRequest{
+			Model: w.model, Chips: w.chips, GlobalBatch: w.batch, Seq: 4096,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !plan.Fits {
+			log.Fatalf("%s on %d chips should fit: %s", w.model, w.chips, plan.OOMReason)
+		}
+		fmt.Printf("%s on %d Superchips: %.0f TFLOPS/GPU (MFU %.2f), micro-batch %d, accum %d\n",
+			w.model, w.chips, plan.TFLOPS, plan.MFU, plan.MicroBatch, plan.GradAccum)
+	}
+
+	// ---- real numerics: the same sharded schedule at toy scale ----
+	cfg := superoffload.DefaultOptimizer()
+	cfg.ClipNorm = 4.0
+	// Shrink the bucket budget so the toy model splits into enough
+	// buckets for every rank to own a real ZeRO shard (at paper scale
+	// the default 64 MB buckets give hundreds per rank).
+	cfg.BucketElems = 16384
+
+	fmt.Println("\ntraining one GPT across 1, 2 and 4 simulated ranks (same global batch):")
+	finalLoss := map[int]float64{}
+	for _, ranks := range []int{1, 2, 4} {
+		model, err := superoffload.NewModel(superoffload.ModelConfig{
+			Layers: 2, Hidden: 64, Vocab: 128, MaxSeq: 16,
+		}, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err := superoffload.InitDP(model, cfg, superoffload.DPConfig{Ranks: ranks})
+		if err != nil {
+			log.Fatal(err)
+		}
+		corpus := superoffload.NewCorpus(128, 11)
+		var losses []float64
+		for step := 1; step <= 60; step++ {
+			// Each rank takes batch/ranks rows; gradients reduce in
+			// rank order; the owners' speculative Adam steps and the
+			// background validation overlap the channel traffic.
+			loss, err := engine.Step(corpus.NextBatch(4, 16))
+			if err != nil {
+				log.Fatal(err)
+			}
+			losses = append(losses, loss)
+		}
+		if err := engine.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		st := engine.Stats()
+		fmt.Printf("  %d rank(s): loss %.4f → %.4f over %d buckets (%d commits, %d rollbacks)\n",
+			ranks, losses[0], losses[len(losses)-1], engine.NumBuckets(), st.Commits, st.Rollbacks())
+		finalLoss[ranks] = losses[len(losses)-1]
+		if err := engine.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each rank count decomposes the global batch differently (R
+	// micro-batches of batch/R rows), so the runs differ only by
+	// floating-point reduction order. (The bit-exact claim — an R-rank
+	// engine reproduces the single-rank engine on the *same*
+	// decomposition — is asserted by the internal/dp tests.)
+	fmt.Printf("\nfinal-loss gaps: 1 vs 2 ranks %.2e, 2 vs 4 ranks %.2e (reduction-order noise only)\n",
+		finalLoss[1]-finalLoss[2], finalLoss[2]-finalLoss[4])
+	fmt.Println("ZeRO-style sharding: each rank holds 1/R of the fp32 masters and")
+	fmt.Println("Adam moments; fp16 replicas stay full so forward/backward is local.")
+}

@@ -1,0 +1,3 @@
+module superoffload
+
+go 1.24

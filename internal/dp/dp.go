@@ -1,0 +1,101 @@
+// Package dp is the multi-superchip data-parallel training engine: it runs
+// R simulated superchip ranks over the real GPT numerics of internal/nn,
+// with a ZeRO-style partition of the fp32 master weights and Adam moments
+// across ranks (following the partitioned-optimizer-state design of
+// ZeRO-Offload that SuperOffload extends to Superchips — the paper's 2×
+// and 4× GH200 configurations).
+//
+// The partition follows the existing internal/stv bucket boundaries, so
+// buckets remain the unit of offload, reduction, and rollback. Each rank
+// runs forward/backward on its own micro-batch on a full model replica,
+// then the engine performs a bucketized gradient reduce-scatter (each
+// bucket's owner receives and sums every rank's contribution) and a
+// post-step fp16 weight all-gather. Rank links are modeled as goroutine
+// channels; STV's speculative per-bucket step and background validation
+// overlap with communication exactly as §4.4 prescribes, and rollback
+// stays exact across ranks: a clip or NaN verdict rolls back the globally
+// reduced step on every rank.
+//
+// Determinism contract: for the same global batch, an R-rank engine
+// reproduces — bit for bit — the loss trajectory of a single-rank
+// stv.Trainer that processes the same R-way micro-batch decomposition via
+// gradient accumulation. All cross-rank reductions happen in a fixed
+// order: gradient contributions sum in (micro-batch, rank) order, global
+// gradient-norm partials sum in bucket order, and losses sum in
+// (micro-batch, rank) order.
+package dp
+
+import (
+	"superoffload/internal/data"
+	"superoffload/internal/optim"
+)
+
+// Config parameterizes a data-parallel Engine. The optimizer fields mirror
+// stv.Config so the two engines stay trajectory-compatible.
+type Config struct {
+	// Ranks is the simulated superchip count R (the paper evaluates 1, 2,
+	// 4, and 16).
+	Ranks int
+	Adam  optim.Config
+	Impl  optim.Impl
+	// ClipNorm is the global gradient-norm clipping threshold (0
+	// disables clipping).
+	ClipNorm float64
+	// BucketElems is the per-bucket element budget shared with stv.
+	BucketElems int
+	// Synchronous resolves every validation before Step returns (the
+	// synchronize-then-execute baseline); the default overlaps
+	// validation with the next step's forward (STV).
+	Synchronous bool
+	// Scaler enables mixed-precision loss scaling; nil trains unscaled.
+	Scaler *optim.LossScaler
+	// Schedule, when non-nil, returns a learning-rate multiplier for the
+	// given 1-based step.
+	Schedule func(step int) float64
+	// InjectBad, when non-nil, is consulted per step; returning true
+	// corrupts the reduced gradient of bucket 0 with +Inf (fault
+	// injection for overflow/rollback tests).
+	InjectBad func(step int) bool
+}
+
+// resolution is the verdict for the previous speculative step, broadcast
+// to every rank: the deferred global state of §4.4 applied across the
+// cluster.
+type resolution struct {
+	action    int          // aNone, aCommit, aSkip, aClip
+	clipScale float64      // aClip: gradient scale restoring the norm bound
+	adam      optim.Config // aClip: hyperparameters the speculative step used
+}
+
+const (
+	aNone = iota // nothing pending (first step)
+	aCommit
+	aSkip // NaN/Inf: roll the step back everywhere, skip it
+	aClip // clip violation: re-execute everywhere with scaled gradients
+)
+
+// weightsChanged reports whether applying the resolution modifies model
+// weights (forcing a forward redo mid-step).
+func (v resolution) weightsChanged() bool { return v.action == aSkip || v.action == aClip }
+
+// goMsg releases a rank into the backward phase of the current step with
+// the state the coordinator resolved after validation (loss scale may have
+// just changed).
+type goMsg struct {
+	adam   optim.Config
+	scale  float64 // current loss scale
+	inject bool    // corrupt the reduced gradient of bucket 0
+}
+
+// command drives a rank's top-level loop.
+type command struct {
+	kind   int          // cmdStep, cmdResolve, cmdStop
+	micros []data.Batch // cmdStep: this rank's micro-batches, in order
+	res    resolution   // cmdResolve
+}
+
+const (
+	cmdStep = iota
+	cmdResolve // apply a resolution outside a step (Flush)
+	cmdStop
+)

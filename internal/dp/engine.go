@@ -1,0 +1,330 @@
+package dp
+
+import (
+	"fmt"
+	"io"
+
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+)
+
+// Engine coordinates R rank goroutines through the STV schedule. Its API
+// mirrors stv.Trainer (Step, StepAccum, Flush, Save, Load, Stats) so the
+// facade can surface either engine behind the same surface. Methods are
+// not safe for concurrent use — like the single-rank trainer, one
+// goroutine drives training.
+type Engine struct {
+	cfg   Config
+	w     *world
+	ranks []*rank
+	// buckets is the global bucket order; entry b points at the owning
+	// rank's optimizer state (used for checkpointing and diagnostics).
+	buckets []*stv.Bucket
+
+	stepIndex   int
+	pending     bool
+	pendingAdam optim.Config
+	stats       stv.Stats
+	closed      bool
+}
+
+// New builds a data-parallel engine over the model. The model becomes rank
+// 0's replica; ranks 1..R-1 train on bit-identical clones. The fp32
+// masters and Adam moments are partitioned across ranks along bucket
+// boundaries (round-robin), never replicated.
+func New(model *nn.GPT, cfg Config) (*Engine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("dp: nil model")
+	}
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("dp: Ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	if cfg.Impl == nil {
+		cfg.Impl = optim.GraceAdam
+	}
+	if cfg.BucketElems <= 0 {
+		cfg.BucketElems = 32 << 20 // 64 MB of fp16, §4.3
+	}
+	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
+	w := newWorld(cfg.Ranks, nBuckets)
+	e := &Engine{cfg: cfg, w: w, buckets: make([]*stv.Bucket, nBuckets)}
+	for id := 0; id < cfg.Ranks; id++ {
+		replica := model
+		if id > 0 {
+			replica = model.Clone()
+		}
+		rk := newRank(id, w, replica, cfg.Impl, cfg.BucketElems)
+		for _, ob := range rk.owned {
+			e.buckets[ob.idx] = ob.b
+		}
+		e.ranks = append(e.ranks, rk)
+		go rk.run()
+	}
+	go w.aggregate()
+	return e, nil
+}
+
+// Ranks reports the data-parallel degree R.
+func (e *Engine) Ranks() int { return e.w.R }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *Engine) NumBuckets() int { return len(e.buckets) }
+
+// Stats returns the engine's validation counters.
+func (e *Engine) Stats() stv.Stats { return e.stats }
+
+// StepIndex reports how many optimizer steps the engine has attempted.
+func (e *Engine) StepIndex() int { return e.stepIndex }
+
+// scale returns the current loss scale (1 when scaling is disabled).
+func (e *Engine) scale() float64 {
+	if e.cfg.Scaler == nil {
+		return 1
+	}
+	return e.cfg.Scaler.Scale
+}
+
+// stepAdam returns the Adam config for the current step with the
+// learning-rate schedule applied.
+func (e *Engine) stepAdam() optim.Config {
+	a := e.cfg.Adam
+	if e.cfg.Schedule != nil {
+		a.LR *= e.cfg.Schedule(e.stepIndex)
+	}
+	return a
+}
+
+// split slices a global batch into R per-rank micro-batches along the
+// batch dimension. Rank r takes rows [r·B/R, (r+1)·B/R).
+func (e *Engine) split(b data.Batch) ([]data.Batch, error) {
+	if b.BatchSize%e.w.R != 0 {
+		return nil, fmt.Errorf("dp: global batch %d not divisible by %d ranks", b.BatchSize, e.w.R)
+	}
+	per := b.BatchSize / e.w.R
+	out := make([]data.Batch, e.w.R)
+	for r := 0; r < e.w.R; r++ {
+		lo, hi := r*per*b.Seq, (r+1)*per*b.Seq
+		out[r] = data.Batch{
+			Tokens:    b.Tokens[lo:hi],
+			Targets:   b.Targets[lo:hi],
+			BatchSize: per,
+			Seq:       b.Seq,
+		}
+	}
+	return out, nil
+}
+
+// Step runs one training iteration over the global batch: each rank takes
+// its row slice, gradients reduce across ranks, the owners step
+// speculatively, and validation runs in the background. Returns the mean
+// loss over micro-batches — bit-identical to the single-rank engine's loss
+// for the same decomposition.
+func (e *Engine) Step(b data.Batch) (float64, error) {
+	slices, err := e.split(b)
+	if err != nil {
+		return 0, err
+	}
+	micross := make([][]data.Batch, e.w.R)
+	for r, s := range slices {
+		micross[r] = []data.Batch{s}
+	}
+	return e.step(micross)
+}
+
+// StepAccum runs one optimizer step over several accumulated global
+// micro-batches (the §5.2 OOM-mitigation path): every global micro-batch
+// splits across ranks, contributions reduce per micro-batch in
+// (micro-batch, rank) order, and one optimizer step applies at the end.
+func (e *Engine) StepAccum(batches []data.Batch) (float64, error) {
+	if len(batches) == 0 {
+		return 0, nil
+	}
+	micross := make([][]data.Batch, e.w.R)
+	for _, b := range batches {
+		slices, err := e.split(b)
+		if err != nil {
+			return 0, err
+		}
+		for r, s := range slices {
+			micross[r] = append(micross[r], s)
+		}
+	}
+	return e.step(micross)
+}
+
+// step drives one iteration: dispatch the per-rank micro-batches, resolve
+// the previous step's validation while forwards run, release the ranks,
+// and reduce their losses in canonical order.
+func (e *Engine) step(micross [][]data.Batch) (float64, error) {
+	if e.closed {
+		return 0, fmt.Errorf("dp: engine closed")
+	}
+	e.stepIndex++
+	adam := e.stepAdam()
+	for r := 0; r < e.w.R; r++ {
+		e.w.cmd[r] <- command{kind: cmdStep, micros: micross[r]}
+	}
+	// Ranks are now forwarding; the pending verdict resolves in parallel
+	// with that compute, exactly like the single-rank background
+	// validator.
+	res := e.resolvePending()
+	for r := 0; r < e.w.R; r++ {
+		e.w.resolution[r] <- res
+	}
+	if res.weightsChanged() {
+		e.stats.Redos++
+	}
+	g := goMsg{
+		adam:   adam,
+		scale:  e.scale(),
+		inject: e.cfg.InjectBad != nil && e.cfg.InjectBad(e.stepIndex),
+	}
+	for r := 0; r < e.w.R; r++ {
+		e.w.goCh[r] <- g
+	}
+	e.pendingAdam = adam
+
+	// Losses sum in (micro-batch, rank) order — the same order the
+	// single-rank trainer accumulates them.
+	perRank := make([][]float64, e.w.R)
+	for r := 0; r < e.w.R; r++ {
+		perRank[r] = <-e.w.results[r]
+	}
+	m := len(micross[0])
+	var loss float64
+	for mi := 0; mi < m; mi++ {
+		for r := 0; r < e.w.R; r++ {
+			loss += perRank[r][mi]
+		}
+	}
+	loss /= float64(m * e.w.R)
+	e.stats.Steps++
+	e.pending = true
+
+	if e.cfg.Synchronous {
+		// Synchronize-then-execute: resolve before returning, putting
+		// validation back on the critical path (the ZeRO-Offload
+		// schedule, for comparisons).
+		if _, err := e.Flush(); err != nil {
+			return loss, err
+		}
+	}
+	return loss, nil
+}
+
+// resolvePending consumes the outstanding validation verdict (blocking on
+// the background aggregator if it is still running) and converts it into
+// the resolution every rank must apply. Counters and the loss scaler
+// update exactly as the single-rank trainer's resolvePending does.
+func (e *Engine) resolvePending() resolution {
+	if !e.pending {
+		return resolution{action: aNone}
+	}
+	v := <-e.w.val
+	e.pending = false
+	if v.bad {
+		e.stats.SkipRolls++
+		if e.cfg.Scaler != nil {
+			e.cfg.Scaler.Update(true)
+		}
+		return resolution{action: aSkip}
+	}
+	if e.cfg.Scaler != nil {
+		e.cfg.Scaler.Update(false)
+	}
+	clip := optim.ClipScale(v.norm, e.cfg.ClipNorm)
+	if clip != 1.0 {
+		e.stats.ClipRolls++
+		return resolution{action: aClip, clipScale: clip, adam: e.pendingAdam}
+	}
+	e.stats.Commits++
+	return resolution{action: aCommit}
+}
+
+// Flush resolves any in-flight validation (call at end of training so the
+// final step is validated). Returns whether the final step was rolled back
+// or re-executed.
+func (e *Engine) Flush() (bool, error) {
+	if e.closed {
+		return false, fmt.Errorf("dp: engine closed")
+	}
+	if !e.pending {
+		return false, nil
+	}
+	res := e.resolvePending()
+	for r := 0; r < e.w.R; r++ {
+		e.w.cmd[r] <- command{kind: cmdResolve, res: res}
+	}
+	for r := 0; r < e.w.R; r++ {
+		<-e.w.results[r]
+	}
+	return res.weightsChanged(), nil
+}
+
+// Save serializes the training state in the stv checkpoint format, over
+// the global bucket order — byte-identical to a single-rank engine on the
+// same trajectory, so checkpoints move freely between rank counts. It
+// fails if a validation is in flight.
+func (e *Engine) Save(w io.Writer) error {
+	if e.pending {
+		return fmt.Errorf("dp: Flush before Save (validation in flight)")
+	}
+	return stv.WriteCheckpoint(w, e.stepIndex, e.cfg.Scaler, e.buckets)
+}
+
+// Load restores state saved by Save (from either engine) into this one,
+// scattering each bucket to its owner and republishing the fp16-rounded
+// weights to every replica.
+func (e *Engine) Load(r io.Reader) error {
+	if e.pending {
+		return fmt.Errorf("dp: Flush before Load (validation in flight)")
+	}
+	stepIndex, err := stv.ReadCheckpoint(r, e.cfg.Scaler, e.buckets)
+	if err != nil {
+		return err
+	}
+	e.stepIndex = stepIndex
+	// ReadCheckpoint republished into owner replicas; propagate to the
+	// others (the ranks are quiescent between commands).
+	for bi, bk := range e.buckets {
+		for r := 0; r < e.w.R; r++ {
+			if r == e.w.owner(bi) {
+				continue
+			}
+			stv.PublishHalf(e.ranks[r].groups[bi], bk.Half())
+		}
+	}
+	return nil
+}
+
+// MasterWeights returns the fp32 master parameters gathered from their
+// owners, concatenated in bucket order — the ground truth for exactness
+// comparisons against the single-rank engine.
+func (e *Engine) MasterWeights() []float32 {
+	n := 0
+	for _, bk := range e.buckets {
+		n += bk.Size()
+	}
+	out := make([]float32, 0, n)
+	for _, bk := range e.buckets {
+		out = append(out, bk.Master()...)
+	}
+	return out
+}
+
+// Close resolves any pending validation and stops the rank goroutines and
+// the validation aggregator. The engine is unusable afterwards.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	_, err := e.Flush()
+	for r := 0; r < e.w.R; r++ {
+		e.w.cmd[r] <- command{kind: cmdStop}
+	}
+	close(e.w.partial)
+	e.closed = true
+	return err
+}

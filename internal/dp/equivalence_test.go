@@ -1,0 +1,301 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"superoffload/internal/data"
+	"superoffload/internal/model"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+	"superoffload/internal/tensor"
+)
+
+func tinyGPT(seed uint64) *nn.GPT {
+	cfg := model.Config{Name: "t", Layers: 2, Hidden: 32, Heads: 2, Vocab: 64}
+	return nn.NewGPT(cfg, 16, tensor.NewRNG(seed))
+}
+
+func baseConfig(ranks int) Config {
+	a := optim.DefaultConfig()
+	a.LR = 3e-3
+	return Config{
+		Ranks:       ranks,
+		Adam:        a,
+		Impl:        optim.GraceAdam,
+		ClipNorm:    1.0,
+		BucketElems: 20000, // several buckets for the tiny model
+	}
+}
+
+func stvConfig(c Config) stv.Config {
+	return stv.Config{
+		Adam:        c.Adam,
+		Impl:        c.Impl,
+		ClipNorm:    c.ClipNorm,
+		BucketElems: c.BucketElems,
+		Mode:        stv.STV,
+		Scaler:      c.Scaler,
+		Schedule:    c.Schedule,
+		InjectBad:   c.InjectBad,
+	}
+}
+
+// splitBatch mirrors Engine.split for building the single-rank reference
+// decomposition.
+func splitBatch(b data.Batch, ranks int, t *testing.T) []data.Batch {
+	t.Helper()
+	if b.BatchSize%ranks != 0 {
+		t.Fatalf("batch %d not divisible by %d", b.BatchSize, ranks)
+	}
+	per := b.BatchSize / ranks
+	out := make([]data.Batch, ranks)
+	for r := 0; r < ranks; r++ {
+		lo, hi := r*per*b.Seq, (r+1)*per*b.Seq
+		out[r] = data.Batch{Tokens: b.Tokens[lo:hi], Targets: b.Targets[lo:hi], BatchSize: per, Seq: b.Seq}
+	}
+	return out
+}
+
+// runPair trains a DP engine with R ranks and a single-rank stv.Trainer on
+// the same global batches (the trainer consumes each batch as the R-way
+// gradient-accumulation decomposition) and returns both loss trajectories
+// plus the engines for further inspection. Callers own Close.
+func runPair(t *testing.T, cfg Config, refCfg stv.Config, steps int, dataSeed uint64, batch int) (*Engine, *stv.Trainer, []float64, []float64) {
+	t.Helper()
+	eng, err := New(tinyGPT(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := stv.NewTrainer(tinyGPT(42), refCfg)
+
+	corpus := data.NewCorpus(64, dataSeed)
+	refCorpus := data.NewCorpus(64, dataSeed)
+	var dpLosses, refLosses []float64
+	for i := 0; i < steps; i++ {
+		b := corpus.NextBatch(batch, 8)
+		l, err := eng.Step(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpLosses = append(dpLosses, l)
+
+		rb := refCorpus.NextBatch(batch, 8)
+		rl, err := ref.StepAccum(splitBatch(rb, cfg.Ranks, t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refLosses = append(refLosses, rl)
+	}
+	if _, err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, ref, dpLosses, refLosses
+}
+
+func assertSameTrajectory(t *testing.T, ranks int, dpLosses, refLosses []float64, eng *Engine, ref *stv.Trainer) {
+	t.Helper()
+	for i := range dpLosses {
+		if dpLosses[i] != refLosses[i] {
+			t.Fatalf("R=%d: loss diverges at step %d: dp %v vs single-rank %v",
+				ranks, i, dpLosses[i], refLosses[i])
+		}
+	}
+	dw, rw := eng.MasterWeights(), ref.MasterWeights()
+	if len(dw) != len(rw) {
+		t.Fatalf("R=%d: master sizes differ: %d vs %d", ranks, len(dw), len(rw))
+	}
+	for i := range dw {
+		if dw[i] != rw[i] {
+			t.Fatalf("R=%d: master weights diverge at %d: %v vs %v", ranks, i, dw[i], rw[i])
+		}
+	}
+	if eng.Stats() != ref.Stats() {
+		t.Errorf("R=%d: stats diverge: dp %+v vs single-rank %+v", ranks, eng.Stats(), ref.Stats())
+	}
+}
+
+// TestEquivalenceAcrossRanks is the engine's central invariant: for a
+// fixed seed and global batch, R ∈ {1,2,4} ranks reproduce the single-rank
+// trainer's loss trajectory bit for bit (the single-rank trainer processes
+// the same R-way micro-batch decomposition, since data parallelism over R
+// ranks is gradient accumulation over R micro-batches). ClipNorm 1.0
+// makes the run trigger clip rollbacks, so the exactness claim covers the
+// rollback path too.
+func TestEquivalenceAcrossRanks(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		cfg := baseConfig(ranks)
+		eng, ref, dpLosses, refLosses := runPair(t, cfg, stvConfig(cfg), 25, 123, 4)
+		if eng.Stats().Rollbacks() == 0 {
+			t.Errorf("R=%d: run triggered no rollbacks; equivalence untested on rollback path", ranks)
+		}
+		assertSameTrajectory(t, ranks, dpLosses, refLosses, eng, ref)
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEquivalenceWithInjectedOverflow covers the NaN/Inf skip-rollback
+// scenario: both engines observe a corrupted global gradient on the same
+// step and must skip it identically, with the loss scaler halving in both.
+func TestEquivalenceWithInjectedOverflow(t *testing.T) {
+	for _, ranks := range []int{2, 4} {
+		cfg := baseConfig(ranks)
+		cfg.InjectBad = func(step int) bool { return step == 5 || step == 9 }
+		cfg.Scaler = optim.NewLossScaler()
+		ref := stvConfig(cfg)
+		ref.Scaler = optim.NewLossScaler()
+		eng, trainer, dpLosses, refLosses := runPair(t, cfg, ref, 15, 7, 4)
+		if eng.Stats().SkipRolls != 2 {
+			t.Errorf("R=%d: skip rollbacks = %d, want 2", ranks, eng.Stats().SkipRolls)
+		}
+		if cfg.Scaler.Scale != ref.Scaler.Scale {
+			t.Errorf("R=%d: loss scales diverge: %v vs %v", ranks, cfg.Scaler.Scale, ref.Scaler.Scale)
+		}
+		assertSameTrajectory(t, ranks, dpLosses, refLosses, eng, trainer)
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEquivalenceWithSchedule: exactness must survive a moving learning
+// rate, including clip re-execution with the rolled-back step's own rate.
+func TestEquivalenceWithSchedule(t *testing.T) {
+	cfg := baseConfig(2)
+	cfg.ClipNorm = 2.5
+	cfg.Schedule = stv.WarmupCosine(5, 20, 0.1)
+	eng, ref, dpLosses, refLosses := runPair(t, cfg, stvConfig(cfg), 20, 17, 4)
+	if eng.Stats().ClipRolls == 0 {
+		t.Error("test needs clip events to be meaningful")
+	}
+	assertSameTrajectory(t, 2, dpLosses, refLosses, eng, ref)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepAccumEquivalence: the §5.2 gradient-accumulation path composes
+// with data parallelism — M global micro-batches over R ranks must match
+// the single-rank trainer accumulating the same M·R slices in
+// (micro-batch, rank) order.
+func TestStepAccumEquivalence(t *testing.T) {
+	const ranks, accum, steps = 2, 3, 10
+	cfg := baseConfig(ranks)
+	eng, err := New(tinyGPT(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ref := stv.NewTrainer(tinyGPT(42), stvConfig(cfg))
+
+	corpus := data.NewCorpus(64, 31)
+	refCorpus := data.NewCorpus(64, 31)
+	for i := 0; i < steps; i++ {
+		var window []data.Batch
+		for m := 0; m < accum; m++ {
+			window = append(window, corpus.NextBatch(2, 8))
+		}
+		l, err := eng.StepAccum(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refWindow []data.Batch
+		for m := 0; m < accum; m++ {
+			refWindow = append(refWindow, splitBatch(refCorpus.NextBatch(2, 8), ranks, t)...)
+		}
+		rl, err := ref.StepAccum(refWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != rl {
+			t.Fatalf("accum loss diverges at step %d: %v vs %v", i, l, rl)
+		}
+	}
+	if _, err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dw, rw := eng.MasterWeights(), ref.MasterWeights()
+	for i := range dw {
+		if dw[i] != rw[i] {
+			t.Fatalf("accumulated masters diverge at %d", i)
+		}
+	}
+}
+
+// TestSynchronousMatchesSTV: the synchronize-then-execute schedule must
+// land on bit-identical weights (the repo-wide STV ≡ STE exactness claim,
+// now across ranks).
+func TestSynchronousMatchesSTV(t *testing.T) {
+	run := func(sync bool) []float32 {
+		cfg := baseConfig(2)
+		cfg.Synchronous = sync
+		eng, err := New(tinyGPT(42), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		corpus := data.NewCorpus(64, 11)
+		for i := 0; i < 15; i++ {
+			if _, err := eng.Step(corpus.NextBatch(4, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.MasterWeights()
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("synchronous diverges from STV at %d", i)
+		}
+	}
+}
+
+// TestTrainingLearnsAcrossRanks: beyond exactness, the multi-rank engine
+// must actually train.
+func TestTrainingLearnsAcrossRanks(t *testing.T) {
+	cfg := baseConfig(4)
+	eng, err := New(tinyGPT(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	corpus := data.NewCorpus(64, 99)
+	var losses []float64
+	for i := 0; i < 120; i++ {
+		l, err := eng.Step(corpus.NextBatch(4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("loss corrupted at step %d: %v", i, l)
+		}
+		losses = append(losses, l)
+	}
+	if _, err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first, last := avg(losses[:10]), avg(losses[len(losses)-10:])
+	if last > first*0.85 {
+		t.Errorf("multi-rank training not learning: first %.3f last %.3f", first, last)
+	}
+}
+
+func avg(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,196 @@
+package dp
+
+import (
+	"math"
+
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+)
+
+// ownedBucket is one entry of a rank's ZeRO partition: the fp32 master
+// weights, Adam moments, and rollback snapshot for a bucket this rank
+// owns. Non-owned buckets have no optimizer state on this rank — only the
+// fp16 replica weights inside the model.
+type ownedBucket struct {
+	idx int // global bucket index
+	b   *stv.Bucket
+}
+
+// rank is one simulated superchip: a full fp16 model replica for
+// forward/backward, plus optimizer state for its owned buckets only.
+type rank struct {
+	id     int
+	w      *world
+	model  *nn.GPT
+	impl   optim.Impl
+	groups []nn.Params   // global bucket layout over this replica
+	owned  []ownedBucket // this rank's partition, ascending bucket index
+	// sendBufs[m][b] stages the gradient contribution for micro-batch m
+	// and bucket b. Buffers are distinct per micro-batch within a step
+	// (the owner may still be reading micro m while this rank computes
+	// m+1) and reused across steps: the coordinator collects every
+	// rank's results before releasing the next step, so all owner reads
+	// of step N happen before any step-N+1 write.
+	sendBufs [][][]float32
+}
+
+// newRank partitions the replica and allocates optimizer state for the
+// buckets this rank owns.
+func newRank(id int, w *world, model *nn.GPT, impl optim.Impl, bucketElems int) *rank {
+	r := &rank{id: id, w: w, model: model, impl: impl}
+	r.groups = stv.PartitionGroups(model.Params(), bucketElems)
+	for bi, g := range r.groups {
+		if w.owner(bi) == id {
+			r.owned = append(r.owned, ownedBucket{idx: bi, b: stv.NewBucket(g)})
+		}
+	}
+	return r
+}
+
+// run is the rank's top-level loop.
+func (r *rank) run() {
+	for c := range r.w.cmd[r.id] {
+		switch c.kind {
+		case cmdStep:
+			r.step(c.micros)
+		case cmdResolve:
+			r.apply(c.res)
+			r.w.results[r.id] <- nil
+		case cmdStop:
+			return
+		}
+	}
+}
+
+// apply executes a validation resolution on this rank: owners mutate their
+// partition, and if weights changed every rank republishes via all-gather.
+func (r *rank) apply(v resolution) {
+	switch v.action {
+	case aCommit:
+		for _, ob := range r.owned {
+			ob.b.Commit()
+		}
+	case aSkip:
+		for _, ob := range r.owned {
+			ob.b.Rollback()
+		}
+		r.allGather()
+	case aClip:
+		for _, ob := range r.owned {
+			ob.b.ReExecuteClipped(v.adam, r.impl, v.clipScale)
+		}
+		r.allGather()
+	}
+}
+
+// step runs one training iteration over this rank's micro-batches,
+// mirroring stv.Trainer's STV sequencing: forward first, then resolve the
+// previous step's validation (it has been running in the background); a
+// rollback changes weights, so the forward is redone before backward.
+func (r *rank) step(micros []data.Batch) {
+	losses := make([]float64, 0, len(micros))
+	var g goMsg
+	redone := false
+	for {
+		b := micros[0]
+		loss, cache := r.model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+		if !redone {
+			v := <-r.w.resolution[r.id]
+			r.apply(v)
+			if v.weightsChanged() {
+				redone = true
+				continue
+			}
+		}
+		g = <-r.w.goCh[r.id]
+		r.model.Params().ZeroGrads()
+		r.model.Backward(cache, g.scale)
+		losses = append(losses, loss)
+		break
+	}
+	r.contribute(0)
+	for m := 1; m < len(micros); m++ {
+		b := micros[m]
+		loss, cache := r.model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+		r.model.Params().ZeroGrads()
+		r.model.Backward(cache, g.scale)
+		losses = append(losses, loss)
+		r.contribute(m)
+	}
+
+	// Speculative phase on the owned partition: normalize the reduced
+	// sum, apply per-bucket Adam, publish fp16 weights to every rank.
+	inv := float32(1 / (g.scale * float64(len(micros)*r.w.R)))
+	for _, ob := range r.owned {
+		if ob.idx == 0 && g.inject {
+			ob.b.Grad()[0] = float32(math.Inf(1))
+		}
+		ob.b.ScaleGrad(inv)
+		ob.b.SpeculativeStep(g.adam, r.impl)
+	}
+	r.allGather()
+
+	// Background validation: stream this partition's per-bucket partials
+	// off the critical path; the next step's forward overlaps with this.
+	go func(owned []ownedBucket) {
+		for _, ob := range owned {
+			grad := ob.b.Grad()
+			r.w.partial <- partialMsg{
+				idx:   ob.idx,
+				sumsq: optim.SumSquares(grad),
+				bad:   optim.HasBad([][]float32{grad}),
+			}
+		}
+	}(r.owned)
+
+	r.w.results[r.id] <- losses
+}
+
+// contribute sends this rank's raw gradient contribution for every bucket
+// to the bucket's owner, then (as owner) folds the incoming contributions
+// for micro-batch m into the owned reduction buffers. Contributions sum in
+// (micro-batch, rank) order — the same order a single-rank trainer's
+// gradient accumulation stages them — so the reduced sum is bit-identical.
+func (r *rank) contribute(m int) {
+	for len(r.sendBufs) <= m {
+		r.sendBufs = append(r.sendBufs, make([][]float32, len(r.groups)))
+	}
+	for bi, g := range r.groups {
+		payload := r.sendBufs[m][bi]
+		if payload == nil {
+			payload = make([]float32, g.TotalSize())
+			r.sendBufs[m][bi] = payload
+		}
+		stv.GatherGrads(g, payload, true)
+		r.w.reduce[bi][r.id] <- payload
+	}
+	for _, ob := range r.owned {
+		dst := ob.b.Grad()
+		for src := 0; src < r.w.R; src++ {
+			c := <-r.w.reduce[ob.idx][src]
+			stv.AccumInto(dst, c, m == 0 && src == 0)
+		}
+	}
+}
+
+// allGather publishes every owned bucket's fp16 weights to the other
+// ranks and installs the payloads this rank receives into its replica.
+// Owned buckets are skipped on the receive side: the speculative step,
+// rollback, and clip re-execution already wrote them back locally.
+func (r *rank) allGather() {
+	for _, ob := range r.owned {
+		half := ob.b.Half()
+		for dst := 0; dst < r.w.R; dst++ {
+			if dst != r.id {
+				r.w.gather[ob.idx][dst] <- half
+			}
+		}
+	}
+	for bi, g := range r.groups {
+		if r.w.owner(bi) != r.id {
+			stv.PublishHalf(g, <-r.w.gather[bi][r.id])
+		}
+	}
+}

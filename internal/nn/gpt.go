@@ -37,6 +37,14 @@ type GPT struct {
 // NewGPT builds a model with N(0, 0.02) initialization (residual
 // projections scaled down by depth, GPT-2 style).
 func NewGPT(cfg model.Config, maxSeq int, rng *tensor.RNG) *GPT {
+	return newGPT(cfg, maxSeq, func(std float32, shape ...int) *tensor.Tensor {
+		return tensor.Randn(rng, std, shape...)
+	})
+}
+
+// newGPT wires the architecture with the given weight initializer (random
+// for fresh models, zero for replicas about to be overwritten).
+func newGPT(cfg model.Config, maxSeq int, randn func(std float32, shape ...int) *tensor.Tensor) *GPT {
 	c := cfg.Hidden
 	g := &GPT{Cfg: cfg, MaxSeq: maxSeq}
 	add := func(p *Param) *Param {
@@ -46,28 +54,28 @@ func NewGPT(cfg model.Config, maxSeq int, rng *tensor.RNG) *GPT {
 	const std = 0.02
 	resStd := float32(std / float32(1+cfg.Layers))
 
-	g.TokEmb = add(newParam("tok_emb", tensor.Randn(rng, std, cfg.Vocab, c)))
-	g.PosEmb = add(newParam("pos_emb", tensor.Randn(rng, std, maxSeq, c)))
+	g.TokEmb = add(newParam("tok_emb", randn(std, cfg.Vocab, c)))
+	g.PosEmb = add(newParam("pos_emb", randn(std, maxSeq, c)))
 	for l := 0; l < cfg.Layers; l++ {
 		blk := &Block{heads: cfg.Heads}
 		name := func(s string) string { return fmt.Sprintf("h%d.%s", l, s) }
 		blk.LN1G = add(newParam(name("ln1.g"), ones(c)))
 		blk.LN1B = add(newParam(name("ln1.b"), tensor.New(c)))
-		blk.WQKV = add(newParam(name("attn.wqkv"), tensor.Randn(rng, std, c, 3*c)))
+		blk.WQKV = add(newParam(name("attn.wqkv"), randn(std, c, 3*c)))
 		blk.BQKV = add(newParam(name("attn.bqkv"), tensor.New(3*c)))
-		blk.WO = add(newParam(name("attn.wo"), tensor.Randn(rng, resStd, c, c)))
+		blk.WO = add(newParam(name("attn.wo"), randn(resStd, c, c)))
 		blk.BO = add(newParam(name("attn.bo"), tensor.New(c)))
 		blk.LN2G = add(newParam(name("ln2.g"), ones(c)))
 		blk.LN2B = add(newParam(name("ln2.b"), tensor.New(c)))
-		blk.W1 = add(newParam(name("mlp.w1"), tensor.Randn(rng, std, c, 4*c)))
+		blk.W1 = add(newParam(name("mlp.w1"), randn(std, c, 4*c)))
 		blk.B1 = add(newParam(name("mlp.b1"), tensor.New(4*c)))
-		blk.W2 = add(newParam(name("mlp.w2"), tensor.Randn(rng, resStd, 4*c, c)))
+		blk.W2 = add(newParam(name("mlp.w2"), randn(resStd, 4*c, c)))
 		blk.B2 = add(newParam(name("mlp.b2"), tensor.New(c)))
 		g.Blocks = append(g.Blocks, blk)
 	}
 	g.LNFG = add(newParam("lnf.g", ones(c)))
 	g.LNFB = add(newParam("lnf.b", tensor.New(c)))
-	g.Head = add(newParam("head", tensor.Randn(rng, std, c, cfg.Vocab)))
+	g.Head = add(newParam("head", randn(std, c, cfg.Vocab)))
 	return g
 }
 
@@ -80,6 +88,19 @@ func ones(n int) *tensor.Tensor {
 // Params returns all trainable parameters in registration order — the
 // order the offload engine buckets them in.
 func (g *GPT) Params() Params { return g.params }
+
+// Clone returns a new GPT with the same architecture and bit-identical
+// weights — a data-parallel replica. Gradients start zeroed. Weights are
+// copied, not re-sampled, so cloning costs one pass over the parameters.
+func (g *GPT) Clone() *GPT {
+	c := newGPT(g.Cfg, g.MaxSeq, func(_ float32, shape ...int) *tensor.Tensor {
+		return tensor.New(shape...)
+	})
+	for i, p := range g.params {
+		copy(c.params[i].W.Data, p.W.Data)
+	}
+	return c
+}
 
 // NumParams returns the total trainable element count.
 func (g *GPT) NumParams() int { return g.params.TotalSize() }

@@ -6,16 +6,26 @@ import (
 	"superoffload/internal/fp16"
 )
 
+// SumSquares returns the float64 sum of squares of one gradient shard —
+// the per-bucket partial a distributed global-norm reduction exchanges.
+func SumSquares(g []float32) float64 {
+	var s float64
+	for _, x := range g {
+		s += float64(x) * float64(x)
+	}
+	return s
+}
+
 // GlobalNorm returns the L2 norm over all gradient shards, accumulated in
 // float64 — the quantity gradient clipping needs globally (§4.4: "the
 // clipping of the gradient norm requires calculating the global gradient
-// norm").
+// norm"). Partial sums are formed per shard and combined in shard order,
+// so a data-parallel engine that reduces per-bucket partials in bucket
+// order computes the identical value bit-for-bit.
 func GlobalNorm(shards [][]float32) float64 {
 	var s float64
 	for _, g := range shards {
-		for _, x := range g {
-			s += float64(x) * float64(x)
-		}
+		s += SumSquares(g)
 	}
 	return math.Sqrt(s)
 }
@@ -89,9 +99,12 @@ func (m *MixedShard) Step(cfg Config, impl Impl, grad []float32) {
 type LossScaler struct {
 	Scale          float64
 	GrowthInterval int
-	goodSteps      int
-	MinScale       float64
-	MaxScale       float64
+	// GoodSteps is the current overflow-free streak. It is part of the
+	// checkpointed state: resuming without it would delay the next scale
+	// doubling and silently fork the trajectory.
+	GoodSteps int
+	MinScale  float64
+	MaxScale  float64
 }
 
 // NewLossScaler returns the standard 2^16 initial scale.
@@ -108,16 +121,16 @@ func (s *LossScaler) Update(overflow bool) bool {
 		if s.Scale < s.MinScale {
 			s.Scale = s.MinScale
 		}
-		s.goodSteps = 0
+		s.GoodSteps = 0
 		return true
 	}
-	s.goodSteps++
-	if s.goodSteps >= s.GrowthInterval {
+	s.GoodSteps++
+	if s.GoodSteps >= s.GrowthInterval {
 		s.Scale *= 2
 		if s.Scale > s.MaxScale {
 			s.Scale = s.MaxScale
 		}
-		s.goodSteps = 0
+		s.GoodSteps = 0
 	}
 	return false
 }

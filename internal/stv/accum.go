@@ -1,16 +1,23 @@
 package stv
 
 import (
+	"math"
+
 	"superoffload/internal/data"
 )
 
 // Gradient accumulation (§5.2's OOM-mitigation strategy 1, on the real
-// trainer): run Accum micro-batches of forward+backward, accumulating
-// gradients on the model, then apply one optimizer step over the mean
-// gradient. Under STV the speculative step and background validation fire
-// only on the final micro-step; the previous step's validation still
-// resolves at the first forward of the window, exactly like the
-// single-micro-batch path.
+// trainer): run Accum micro-batches of forward+backward, staging each
+// micro-batch's raw gradients and summing them one whole contribution at a
+// time in micro-batch order, then apply one optimizer step over the mean
+// gradient. Summing whole per-micro-batch contributions (rather than
+// accumulating inside the model's gradient tensors across backward passes)
+// fixes the floating-point reduction order, so an R-rank data-parallel
+// engine that reduces per-rank contributions in rank order reproduces the
+// accumulated update bit-for-bit. Under STV the speculative step and
+// background validation fire only on the final micro-step; the previous
+// step's validation still resolves at the first forward of the window,
+// exactly like the single-micro-batch path.
 
 // StepAccum runs one optimizer step over the given micro-batches. With a
 // single batch it is equivalent to Step. Returns the mean loss.
@@ -30,27 +37,44 @@ func (t *Trainer) StepAccum(batches []data.Batch) (float64, error) {
 	return t.Step(batches[0])
 }
 
-// accumBackward runs forward+backward over all micro-batches without
-// zeroing in between and stages the mean unscaled gradients.
-func (t *Trainer) accumBackward(batches []data.Batch) float64 {
+// accumMicro runs forward+backward for one micro-batch from zeroed
+// gradients and stages its raw contribution into every bucket (overwriting
+// on the first micro-batch, summing afterwards). Returns the micro loss.
+func (t *Trainer) accumMicro(b data.Batch, first bool) float64 {
+	loss, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
 	t.Model.Params().ZeroGrads()
-	var lossSum float64
-	for _, b := range batches {
-		loss, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
-		t.Model.Backward(cache, t.scale())
-		lossSum += loss
-	}
-	t.maybeInject()
-	inv := float32(1 / (t.scale() * float64(len(batches))))
+	t.Model.Backward(cache, t.scale())
 	for _, bk := range t.buckets {
-		bk.stageGrads(inv)
+		bk.AccumGrad(first)
 	}
-	return lossSum / float64(len(batches))
+	return loss
+}
+
+// maybeInjectStaged corrupts the accumulated staged gradient (the analogue
+// of maybeInject for the per-micro staging path).
+func (t *Trainer) maybeInjectStaged() {
+	if t.Cfg.InjectBad != nil && t.Cfg.InjectBad(t.stepIndex) {
+		t.buckets[0].grad[0] = float32(math.Inf(1))
+	}
+}
+
+// finishAccum normalizes the staged sums by 1/(lossScale·n).
+func (t *Trainer) finishAccum(n int) {
+	t.maybeInjectStaged()
+	inv := float32(1 / (t.scale() * float64(n)))
+	for _, bk := range t.buckets {
+		bk.ScaleGrad(inv)
+	}
 }
 
 func (t *Trainer) stepAccumSTE(batches []data.Batch) (float64, error) {
 	t.stepIndex++
-	loss := t.accumBackward(batches)
+	var loss float64
+	for i, b := range batches {
+		loss += t.accumMicro(b, i == 0)
+	}
+	loss /= float64(len(batches))
+	t.finishAccum(len(batches))
 	t.stats.Steps++
 	v := t.validate()
 	if v.bad {
@@ -82,24 +106,24 @@ func (t *Trainer) stepAccumSTV(batches []data.Batch) (float64, error) {
 			t.stats.Redos++
 			continue
 		}
-		// First micro-batch's backward; remaining micro-batches
-		// accumulate on top.
+		// First micro-batch's backward; remaining micro-batches sum on
+		// top of its staged contribution.
 		t.Model.Params().ZeroGrads()
 		t.Model.Backward(cache0, t.scale())
+		for _, bk := range t.buckets {
+			bk.AccumGrad(true)
+		}
 		loss = l0
 		break
 	}
 	for _, b := range batches[1:] {
-		l, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
-		t.Model.Backward(cache, t.scale())
-		loss += l
+		loss += t.accumMicro(b, false)
 	}
 	loss /= float64(len(batches))
-	t.maybeInject()
-	inv := float32(1 / (t.scale() * float64(len(batches))))
+	t.finishAccum(len(batches))
+	adam := t.stepAdam()
 	for _, bk := range t.buckets {
-		bk.stageGrads(inv)
-		bk.speculativeStep(t.stepAdam(), t.Cfg.Impl)
+		bk.SpeculativeStep(adam, t.Cfg.Impl)
 	}
 	t.stats.Steps++
 	t.launchValidation()

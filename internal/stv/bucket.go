@@ -5,6 +5,11 @@
 // fails. The package also provides the synchronize-then-execute (STE)
 // baseline schedule so exactness can be asserted: STV training must
 // produce bit-identical weights to STE training on the same data.
+//
+// The bucket partition and its per-bucket gradient/master accessors are
+// exported so internal/dp can shard optimizer state across simulated
+// superchip ranks along the same bucket boundaries (buckets stay the unit
+// of offload, reduction, and rollback).
 package stv
 
 import (
@@ -15,46 +20,55 @@ import (
 	"superoffload/internal/optim"
 )
 
-// bucket is one contiguous shard of the parameter space: the unit of
+// Bucket is one contiguous shard of the parameter space: the unit of
 // gradient offload, speculative stepping, and rollback. It owns the
 // CPU-side fp32 master copy and Adam moments (the offloaded optimizer
 // states) plus a gradient staging buffer standing in for the D2H transfer
 // target.
-type bucket struct {
-	params []*nn.Param // model tensors covered by this bucket, in order
-	shard  *optim.MixedShard
-	grad   []float32 // staged fp32 gradients (Cast_gpu → Move_fp32 path)
-	snap   *optim.Snapshot
-	dirty  bool // a speculative, not-yet-validated step has been applied
+type Bucket struct {
+	group nn.Params // model tensors covered by this bucket, in order
+	shard *optim.MixedShard
+	grad  []float32 // staged fp32 gradients (Cast_gpu → Move_fp32 path)
+	snap  *optim.Snapshot
+	dirty bool // a speculative, not-yet-validated step has been applied
 }
 
-// newBucket flattens the given params into one shard.
-func newBucket(params []*nn.Param) *bucket {
-	n := 0
-	for _, p := range params {
-		n += p.Size()
-	}
+// NewBucket flattens the given parameter group into one shard, seeding the
+// fp32 masters from the group's current weights.
+func NewBucket(group nn.Params) *Bucket {
+	n := group.TotalSize()
 	flat := make([]float32, n)
 	off := 0
-	for _, p := range params {
+	for _, p := range group {
 		copy(flat[off:], p.W.Data)
 		off += p.Size()
 	}
-	return &bucket{
-		params: params,
-		shard:  optim.NewMixedShard(flat),
-		grad:   make([]float32, n),
+	return &Bucket{
+		group: group,
+		shard: optim.NewMixedShard(flat),
+		grad:  make([]float32, n),
 	}
 }
 
-// size returns the bucket's element count.
-func (b *bucket) size() int { return len(b.grad) }
+// Size returns the bucket's element count.
+func (b *Bucket) Size() int { return len(b.grad) }
 
-// stageGrads copies (and unscales) the model gradients into the staging
+// Grad exposes the bucket's staged gradient buffer. Under data parallelism
+// the bucket owner reduces rank contributions into it before stepping.
+func (b *Bucket) Grad() []float32 { return b.grad }
+
+// Master exposes the bucket's fp32 master weights.
+func (b *Bucket) Master() []float32 { return b.shard.Master }
+
+// Half exposes the bucket's fp16 working copy — the payload the post-step
+// all-gather broadcasts to every rank's replica.
+func (b *Bucket) Half() []fp16.Num { return b.shard.Half }
+
+// StageGrads copies (and unscales) the model gradients into the staging
 // buffer — the analogue of the bucket's gradient swap-out.
-func (b *bucket) stageGrads(invScale float32) {
+func (b *Bucket) StageGrads(invScale float32) {
 	off := 0
-	for _, p := range b.params {
+	for _, p := range b.group {
 		g := p.G.Data
 		dst := b.grad[off : off+len(g)]
 		for i, v := range g {
@@ -64,34 +78,84 @@ func (b *bucket) stageGrads(invScale float32) {
 	}
 }
 
-// writeBack publishes the shard's post-step weights to the model tensors,
+// AccumGrad stages the model's raw (still loss-scaled) gradients into the
+// buffer, overwriting on the first contribution and adding element-wise
+// afterwards. Gradient accumulation and the data-parallel reduce both sum
+// contributions this way, one whole contribution at a time in a fixed
+// order, so the two produce bit-identical sums.
+func (b *Bucket) AccumGrad(first bool) {
+	GatherGrads(b.group, b.grad, first)
+}
+
+// ScaleGrad multiplies the staged gradient buffer by inv in place (the
+// final 1/(lossScale·contributions) normalization of an accumulated sum).
+func (b *Bucket) ScaleGrad(inv float32) {
+	for i := range b.grad {
+		b.grad[i] *= inv
+	}
+}
+
+// GatherGrads flattens the group's raw gradients into dst, overwriting
+// when first is true and accumulating otherwise.
+func GatherGrads(group nn.Params, dst []float32, first bool) {
+	off := 0
+	for _, p := range group {
+		g := p.G.Data
+		d := dst[off : off+len(g)]
+		if first {
+			copy(d, g)
+		} else {
+			for i, v := range g {
+				d[i] += v
+			}
+		}
+		off += len(g)
+	}
+}
+
+// AccumInto adds src into dst element-wise (the owner side of the
+// data-parallel reduce; contribution order is the caller's contract).
+func AccumInto(dst, src []float32, first bool) {
+	if first {
+		copy(dst, src)
+		return
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// PublishHalf writes the fp16 payload into the group's model tensors,
 // rounding through fp16 exactly as the H2D parameter return does in mixed
 // precision (GPU working weights are fp16).
-func (b *bucket) writeBack() {
+func PublishHalf(group nn.Params, half []fp16.Num) {
 	off := 0
-	for _, p := range b.params {
+	for _, p := range group {
 		dst := p.W.Data
 		for i := range dst {
-			dst[i] = b.shard.Half[off+i].Float32()
+			dst[i] = half[off+i].Float32()
 		}
 		off += len(dst)
 	}
 }
 
-// speculativeStep snapshots, applies Adam with the staged (unclipped)
+// writeBack publishes the shard's post-step weights to the model tensors.
+func (b *Bucket) writeBack() { PublishHalf(b.group, b.shard.Half) }
+
+// SpeculativeStep snapshots, applies Adam with the staged (unclipped)
 // gradients, and publishes the new weights.
-func (b *bucket) speculativeStep(cfg optim.Config, impl optim.Impl) {
+func (b *Bucket) SpeculativeStep(cfg optim.Config, impl optim.Impl) {
 	b.snap = optim.TakeSnapshot(b.snap, b.shard)
 	b.shard.Step(cfg, impl, b.grad)
 	b.writeBack()
 	b.dirty = true
 }
 
-// commit discards rollback state after successful validation.
-func (b *bucket) commit() { b.dirty = false }
+// Commit discards rollback state after successful validation.
+func (b *Bucket) Commit() { b.dirty = false }
 
-// rollback restores the pre-step state bit-exactly and republishes weights.
-func (b *bucket) rollback() {
+// Rollback restores the pre-step state bit-exactly and republishes weights.
+func (b *Bucket) Rollback() {
 	if !b.dirty {
 		return
 	}
@@ -100,9 +164,9 @@ func (b *bucket) rollback() {
 	b.dirty = false
 }
 
-// reExecuteClipped rolls back and re-applies the step with gradients scaled
+// ReExecuteClipped rolls back and re-applies the step with gradients scaled
 // by clipScale (§4.4 rollback scenario 2).
-func (b *bucket) reExecuteClipped(cfg optim.Config, impl optim.Impl, clipScale float64) {
+func (b *Bucket) ReExecuteClipped(cfg optim.Config, impl optim.Impl, clipScale float64) {
 	if !b.dirty {
 		return
 	}
@@ -111,9 +175,9 @@ func (b *bucket) reExecuteClipped(cfg optim.Config, impl optim.Impl, clipScale f
 	b.dirty = false
 }
 
-// directStep applies a committed (non-speculative) step with pre-scaled
+// DirectStep applies a committed (non-speculative) step with pre-scaled
 // gradients — the STE path.
-func (b *bucket) directStep(cfg optim.Config, impl optim.Impl, scale float64) {
+func (b *Bucket) DirectStep(cfg optim.Config, impl optim.Impl, scale float64) {
 	if scale != 1.0 {
 		s := float32(scale)
 		for i := range b.grad {
@@ -125,36 +189,47 @@ func (b *bucket) directStep(cfg optim.Config, impl optim.Impl, scale float64) {
 }
 
 // halfBytes returns the bucket's fp16 payload size in bytes (diagnostics).
-func (b *bucket) halfBytes() int { return 2 * len(b.shard.Half) }
+func (b *Bucket) halfBytes() int { return 2 * len(b.shard.Half) }
 
 // refreshHalf re-derives the fp16 working copy from the master weights
 // (after a checkpoint load).
-func (b *bucket) refreshHalf() {
+func (b *Bucket) refreshHalf() {
 	b.shard.Half = fp16.Cast(b.shard.Half, b.shard.Master)
 }
 
-var _ = fp16.Num(0) // fp16 is part of the package contract via MixedShard
-
-// partitionParams groups model parameters into buckets of at most
-// targetElems elements (a parameter larger than the target gets its own
-// bucket; tensors are never split so the optimizer sees whole tensors).
-func partitionParams(params nn.Params, targetElems int) []*bucket {
+// PartitionGroups splits params into ordered groups of at most targetElems
+// elements without allocating optimizer state (a parameter larger than the
+// target gets its own group; tensors are never split so the optimizer sees
+// whole tensors). Every rank of a data-parallel engine derives the same
+// layout from its replica, so bucket indices agree across ranks.
+func PartitionGroups(params nn.Params, targetElems int) []nn.Params {
 	if targetElems <= 0 {
 		panic(fmt.Sprintf("stv: bucket size %d must be positive", targetElems))
 	}
-	var out []*bucket
-	var cur []*nn.Param
+	var out []nn.Params
+	var cur nn.Params
 	n := 0
 	for _, p := range params {
 		if n > 0 && n+p.Size() > targetElems {
-			out = append(out, newBucket(cur))
+			out = append(out, cur)
 			cur, n = nil, 0
 		}
 		cur = append(cur, p)
 		n += p.Size()
 	}
 	if len(cur) > 0 {
-		out = append(out, newBucket(cur))
+		out = append(out, cur)
+	}
+	return out
+}
+
+// partitionParams groups model parameters into buckets of at most
+// targetElems elements.
+func partitionParams(params nn.Params, targetElems int) []*Bucket {
+	groups := PartitionGroups(params, targetElems)
+	out := make([]*Bucket, len(groups))
+	for i, g := range groups {
+		out[i] = NewBucket(g)
 	}
 	return out
 }

@@ -4,37 +4,43 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"superoffload/internal/optim"
 )
 
 // Checkpointing: serialize the CPU-resident training state (fp32 master
 // weights, Adam moments, step counters, loss scale) so training can resume
 // exactly. The in-flight validation must be resolved first (Flush); a
 // checkpoint of a speculative, unvalidated step would not be exact.
+//
+// The format is defined over the global bucket order, independent of which
+// rank owns each bucket, so a single-rank engine and an R-rank
+// data-parallel engine on the same trajectory write byte-identical
+// checkpoints and can restore each other's.
 
 // checkpointMagic identifies the format; bump on layout changes.
-const checkpointMagic uint32 = 0x53_4F_43_31 // "SOC1"
+const checkpointMagic uint32 = 0x53_4F_43_32 // "SOC2"
 
-// Save writes the trainer state. It fails if a validation is in flight.
-func (t *Trainer) Save(w io.Writer) error {
-	if t.pending {
-		return fmt.Errorf("stv: Flush before Save (validation in flight)")
-	}
+// WriteCheckpoint serializes training state over buckets in the given
+// (global) order. The scaler (nil when loss scaling is off) contributes
+// the scale and the overflow-free streak, both needed for exact resume.
+func WriteCheckpoint(w io.Writer, stepIndex int, scaler *optim.LossScaler, buckets []*Bucket) error {
 	if err := binary.Write(w, binary.LittleEndian, checkpointMagic); err != nil {
 		return err
 	}
-	header := []int64{int64(len(t.buckets)), int64(t.stepIndex)}
+	scale, goodSteps := 0.0, 0
+	if scaler != nil {
+		scale, goodSteps = scaler.Scale, scaler.GoodSteps
+	}
+	header := []int64{int64(len(buckets)), int64(stepIndex), int64(goodSteps)}
 	if err := binary.Write(w, binary.LittleEndian, header); err != nil {
 		return err
-	}
-	scale := 0.0
-	if t.Cfg.Scaler != nil {
-		scale = t.Cfg.Scaler.Scale
 	}
 	if err := binary.Write(w, binary.LittleEndian, scale); err != nil {
 		return err
 	}
-	for _, bk := range t.buckets {
-		if err := binary.Write(w, binary.LittleEndian, int64(bk.size())); err != nil {
+	for _, bk := range buckets {
+		if err := binary.Write(w, binary.LittleEndian, int64(bk.Size())); err != nil {
 			return err
 		}
 		if err := binary.Write(w, binary.LittleEndian, int64(bk.shard.State.Step)); err != nil {
@@ -49,6 +55,67 @@ func (t *Trainer) Save(w io.Writer) error {
 	return nil
 }
 
+// ReadCheckpoint restores state written by WriteCheckpoint into buckets
+// (which must match the checkpoint's layout), republishing the
+// fp16-rounded weights to each bucket's model tensors. A non-nil scaler
+// receives the checkpointed scale and overflow-free streak (skipped when
+// the checkpoint trained unscaled). Returns the restored step index.
+func ReadCheckpoint(r io.Reader, scaler *optim.LossScaler, buckets []*Bucket) (stepIndex int, err error) {
+	var magic uint32
+	if err = binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return 0, err
+	}
+	if magic != checkpointMagic {
+		return 0, fmt.Errorf("stv: bad checkpoint magic %#x", magic)
+	}
+	header := make([]int64, 3)
+	if err = binary.Read(r, binary.LittleEndian, header); err != nil {
+		return 0, err
+	}
+	if int(header[0]) != len(buckets) {
+		return 0, fmt.Errorf("stv: checkpoint has %d buckets, engine has %d", header[0], len(buckets))
+	}
+	stepIndex = int(header[1])
+	var scale float64
+	if err = binary.Read(r, binary.LittleEndian, &scale); err != nil {
+		return 0, err
+	}
+	if scaler != nil && scale > 0 {
+		scaler.Scale = scale
+		scaler.GoodSteps = int(header[2])
+	}
+	for _, bk := range buckets {
+		var n, step int64
+		if err = binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return 0, err
+		}
+		if int(n) != bk.Size() {
+			return 0, fmt.Errorf("stv: bucket size mismatch: checkpoint %d, engine %d", n, bk.Size())
+		}
+		if err = binary.Read(r, binary.LittleEndian, &step); err != nil {
+			return 0, err
+		}
+		bk.shard.State.Step = int(step)
+		for _, arr := range [][]float32{bk.shard.Master, bk.shard.State.M, bk.shard.State.V} {
+			if err = binary.Read(r, binary.LittleEndian, arr); err != nil {
+				return 0, err
+			}
+		}
+		bk.shard.Half = bk.shard.Half[:0]
+		bk.refreshHalf()
+		bk.writeBack()
+	}
+	return stepIndex, nil
+}
+
+// Save writes the trainer state. It fails if a validation is in flight.
+func (t *Trainer) Save(w io.Writer) error {
+	if t.pending {
+		return fmt.Errorf("stv: Flush before Save (validation in flight)")
+	}
+	return WriteCheckpoint(w, t.stepIndex, t.Cfg.Scaler, t.buckets)
+}
+
 // Load restores trainer state saved by Save into a trainer built over the
 // same model architecture and bucket configuration, then republishes the
 // fp16-rounded weights to the model.
@@ -56,49 +123,11 @@ func (t *Trainer) Load(r io.Reader) error {
 	if t.pending {
 		return fmt.Errorf("stv: Flush before Load (validation in flight)")
 	}
-	var magic uint32
-	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+	stepIndex, err := ReadCheckpoint(r, t.Cfg.Scaler, t.buckets)
+	if err != nil {
 		return err
 	}
-	if magic != checkpointMagic {
-		return fmt.Errorf("stv: bad checkpoint magic %#x", magic)
-	}
-	header := make([]int64, 2)
-	if err := binary.Read(r, binary.LittleEndian, header); err != nil {
-		return err
-	}
-	if int(header[0]) != len(t.buckets) {
-		return fmt.Errorf("stv: checkpoint has %d buckets, trainer has %d", header[0], len(t.buckets))
-	}
-	t.stepIndex = int(header[1])
-	var scale float64
-	if err := binary.Read(r, binary.LittleEndian, &scale); err != nil {
-		return err
-	}
-	if t.Cfg.Scaler != nil && scale > 0 {
-		t.Cfg.Scaler.Scale = scale
-	}
-	for _, bk := range t.buckets {
-		var n, step int64
-		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-			return err
-		}
-		if int(n) != bk.size() {
-			return fmt.Errorf("stv: bucket size mismatch: checkpoint %d, trainer %d", n, bk.size())
-		}
-		if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
-			return err
-		}
-		bk.shard.State.Step = int(step)
-		for _, arr := range [][]float32{bk.shard.Master, bk.shard.State.M, bk.shard.State.V} {
-			if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
-				return err
-			}
-		}
-		bk.shard.Half = bk.shard.Half[:0]
-		bk.refreshHalf()
-		bk.writeBack()
-	}
+	t.stepIndex = stepIndex
 	return nil
 }
 

@@ -1,0 +1,89 @@
+package stv
+
+import (
+	"bytes"
+	"testing"
+
+	"superoffload/internal/data"
+	"superoffload/internal/optim"
+)
+
+// TestBackgroundValidationStress hammers the Step/StepAccum/Flush/Save
+// interleavings that keep a background validation in flight, over many
+// tiny buckets so the validator goroutine's scan is long enough to overlap
+// the next step's forward, backward, and gradient staging. Run under
+// -race in CI, this is the harness that proves the §4.4 background
+// validator (launchValidation / resolvePending) shares no unsynchronized
+// state with the training loop.
+func TestBackgroundValidationStress(t *testing.T) {
+	cfg := trainerConfig(STV)
+	cfg.BucketElems = 400 // dozens of buckets → long validator scans
+	cfg.ClipNorm = 0.4    // rollbacks nearly every step
+	cfg.Scaler = optim.NewLossScaler()
+	cfg.InjectBad = func(step int) bool { return step%11 == 7 }
+	tr := NewTrainer(tinyGPT(13), cfg)
+	if tr.NumBuckets() < 20 {
+		t.Fatalf("stress needs many buckets, got %d", tr.NumBuckets())
+	}
+	corpus := data.NewCorpus(64, 29)
+
+	var checkpoint bytes.Buffer
+	for i := 0; i < 60; i++ {
+		switch i % 6 {
+		case 0, 1, 2, 3:
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			// Accumulation window with the previous validation still
+			// in flight: the resolve happens at the window's first
+			// forward while the validator may still be scanning.
+			w := []data.Batch{corpus.NextBatch(1, 8), corpus.NextBatch(1, 8)}
+			if _, err := tr.StepAccum(w); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			// Save must be refused while the validation is pending,
+			// then succeed after Flush — interleaving checkpoint I/O
+			// with the validator's lifecycle.
+			if err := tr.Save(&checkpoint); err == nil {
+				t.Fatal("Save with validation in flight should be refused")
+			}
+			if _, err := tr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			checkpoint.Reset()
+			if err := tr.Save(&checkpoint); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flush with nothing pending is a no-op.
+	if rolled, err := tr.Flush(); err != nil || rolled {
+		t.Fatalf("idle Flush: rolled=%v err=%v", rolled, err)
+	}
+
+	// Load back the last checkpoint and keep training: the restored
+	// state must accept new speculative steps and validations.
+	if err := tr.Load(bytes.NewReader(checkpoint.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Rollbacks() == 0 {
+		t.Error("stress run produced no rollbacks; the validator path was idle")
+	}
+	if st.Commits+st.Rollbacks() != st.Steps {
+		t.Errorf("stats don't add up: %+v", st)
+	}
+}

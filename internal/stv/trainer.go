@@ -97,7 +97,7 @@ type Trainer struct {
 	Model *nn.GPT
 	Cfg   Config
 
-	buckets []*bucket
+	buckets []*Bucket
 	stats   Stats
 
 	// STV pipeline state: an in-flight validation for the last
@@ -175,7 +175,7 @@ func (t *Trainer) backwardAndStage(b data.Batch) float64 {
 	t.maybeInject()
 	inv := float32(1 / t.scale())
 	for _, bk := range t.buckets {
-		bk.stageGrads(inv)
+		bk.StageGrads(inv)
 	}
 	return loss
 }
@@ -231,7 +231,7 @@ func (t *Trainer) applyDirectStep(v valResult) {
 	}
 	adam := t.stepAdam()
 	for _, bk := range t.buckets {
-		bk.directStep(adam, t.Cfg.Impl, clip)
+		bk.DirectStep(adam, t.Cfg.Impl, clip)
 	}
 }
 
@@ -260,10 +260,10 @@ func (t *Trainer) stepSTV(b data.Batch) (float64, error) {
 	inv := float32(1 / t.scale())
 	adam := t.stepAdam()
 	for _, bk := range t.buckets {
-		bk.stageGrads(inv)
+		bk.StageGrads(inv)
 		// Speculative per-bucket step: in the real system this
 		// overlaps the remaining backward on the GPU.
-		bk.speculativeStep(adam, t.Cfg.Impl)
+		bk.SpeculativeStep(adam, t.Cfg.Impl)
 	}
 	t.stats.Steps++
 	t.launchValidation()
@@ -275,7 +275,7 @@ func (t *Trainer) stepSTV(b data.Batch) (float64, error) {
 // critical path, delivered through the queue.
 func (t *Trainer) launchValidation() {
 	t.pendingAdam = t.stepAdam()
-	go func(v chan<- valResult, buckets []*bucket) {
+	go func(v chan<- valResult, buckets []*Bucket) {
 		shards := make([][]float32, len(buckets))
 		for i, bk := range buckets {
 			shards[i] = bk.grad
@@ -299,7 +299,7 @@ func (t *Trainer) resolvePending() (bool, error) {
 		// Scenario 1: NaN/Inf ⇒ the iteration is skipped; undo the
 		// speculative update entirely.
 		for _, bk := range t.buckets {
-			bk.rollback()
+			bk.Rollback()
 		}
 		t.stats.SkipRolls++
 		if t.Cfg.Scaler != nil {
@@ -316,13 +316,13 @@ func (t *Trainer) resolvePending() (bool, error) {
 		// clipped gradients, using the hyperparameters the
 		// speculative step used (the schedule may have moved on).
 		for _, bk := range t.buckets {
-			bk.reExecuteClipped(t.pendingAdam, t.Cfg.Impl, clip)
+			bk.ReExecuteClipped(t.pendingAdam, t.Cfg.Impl, clip)
 		}
 		t.stats.ClipRolls++
 		return true, nil
 	}
 	for _, bk := range t.buckets {
-		bk.commit()
+		bk.Commit()
 	}
 	t.stats.Commits++
 	return false, nil
@@ -338,7 +338,7 @@ func (t *Trainer) Flush() (bool, error) { return t.resolvePending() }
 func (t *Trainer) MasterWeights() []float32 {
 	n := 0
 	for _, bk := range t.buckets {
-		n += bk.size()
+		n += bk.Size()
 	}
 	out := make([]float32, 0, n)
 	for _, bk := range t.buckets {

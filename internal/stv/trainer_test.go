@@ -61,7 +61,7 @@ func TestBucketPartition(t *testing.T) {
 	// flattened sizes add up.
 	total := 0
 	for _, bk := range tr.buckets {
-		total += bk.size()
+		total += bk.Size()
 	}
 	if total != m.NumParams() {
 		t.Errorf("bucketed %d elems, model has %d", total, m.NumParams())
@@ -72,9 +72,9 @@ func TestPartitionRespectsBudgetWhenPossible(t *testing.T) {
 	m := tinyGPT(1)
 	buckets := partitionParams(m.Params(), 50000)
 	for i, bk := range buckets {
-		if len(bk.params) > 1 && bk.size() > 50000 {
+		if len(bk.group) > 1 && bk.Size() > 50000 {
 			t.Errorf("bucket %d exceeds budget with %d elems across %d tensors",
-				i, bk.size(), len(bk.params))
+				i, bk.Size(), len(bk.group))
 		}
 	}
 }

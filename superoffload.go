@@ -10,7 +10,10 @@
 //   - A real training engine (Init/Step, mirroring the paper's Fig. 1
 //     two-line enablement) that trains an actual GPT on real numerics with
 //     speculative per-bucket Adam steps, background validation, and exact
-//     rollback.
+//     rollback — and its multi-superchip variant (InitDP) that runs R
+//     simulated ranks with ZeRO-sharded optimizer state, bucketized
+//     gradient reduce-scatter, and post-step weight all-gather, on a
+//     bit-identical loss trajectory.
 //
 //   - A planner (Plan/Describe) that sizes workloads against modeled
 //     GH200 clusters and predicts throughput for SuperOffload and the
@@ -26,6 +29,7 @@ import (
 
 	"superoffload/internal/core"
 	"superoffload/internal/data"
+	"superoffload/internal/dp"
 	"superoffload/internal/experiments"
 	"superoffload/internal/hw"
 	"superoffload/internal/model"
@@ -119,6 +123,26 @@ type Engine struct {
 	trainer *stv.Trainer
 }
 
+// translate expands an OptimizerConfig into the Adam config, loss scaler,
+// and learning-rate schedule both engines share — one place, so the
+// single-rank and data-parallel engines can never diverge on
+// hyperparameter wiring.
+func (cfg OptimizerConfig) translate() (optim.Config, *optim.LossScaler, func(int) float64) {
+	a := optim.Config{LR: cfg.LR, Beta1: cfg.Beta1, Beta2: cfg.Beta2, Eps: cfg.Eps, WeightDecay: cfg.WeightDecay}
+	if a.LR == 0 {
+		a = optim.DefaultConfig()
+	}
+	var scaler *optim.LossScaler
+	if cfg.LossScaling {
+		scaler = optim.NewLossScaler()
+	}
+	var schedule func(int) float64
+	if cfg.TotalSteps > 0 {
+		schedule = stv.WarmupCosine(cfg.WarmupSteps, cfg.TotalSteps, cfg.MinLRFrac)
+	}
+	return a, scaler, schedule
+}
+
 // Init wraps a model and optimizer into a SuperOffload engine — the
 // counterpart of the paper's `SuperOffload.init(model, optimizer)`.
 func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
@@ -129,18 +153,7 @@ func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
 	if cfg.Synchronous {
 		mode = stv.STE
 	}
-	var scaler *optim.LossScaler
-	if cfg.LossScaling {
-		scaler = optim.NewLossScaler()
-	}
-	a := optim.Config{LR: cfg.LR, Beta1: cfg.Beta1, Beta2: cfg.Beta2, Eps: cfg.Eps, WeightDecay: cfg.WeightDecay}
-	if a.LR == 0 {
-		a = optim.DefaultConfig()
-	}
-	var schedule func(int) float64
-	if cfg.TotalSteps > 0 {
-		schedule = stv.WarmupCosine(cfg.WarmupSteps, cfg.TotalSteps, cfg.MinLRFrac)
-	}
+	a, scaler, schedule := cfg.translate()
 	tr := stv.NewTrainer(m.gpt, stv.Config{
 		Adam: a, Impl: optim.GraceAdam, ClipNorm: cfg.ClipNorm,
 		BucketElems: cfg.BucketElems, Mode: mode, Scaler: scaler,
@@ -181,6 +194,89 @@ func (e *Engine) Stats() Stats { return e.trainer.Stats() }
 
 // NumBuckets reports how many offload buckets the parameter space uses.
 func (e *Engine) NumBuckets() int { return e.trainer.NumBuckets() }
+
+// ---- multi-superchip data-parallel engine ----
+
+// DPConfig configures multi-superchip data parallelism.
+type DPConfig struct {
+	// Ranks is the simulated Superchip count R (the paper's headline
+	// configurations are 2× and 4× GH200 with ZeRO-3-style sharding).
+	Ranks int
+}
+
+// DPEngine trains a Model across R simulated superchip ranks: every rank
+// runs forward/backward on its slice of the global batch over a full
+// model replica, while the fp32 master weights and Adam moments are
+// partitioned across ranks along bucket boundaries (ZeRO-style). Gradients
+// reduce-scatter and post-step fp16 weights all-gather over channel links,
+// overlapping with STV's speculative step and background validation; a
+// clip or NaN rollback on any rank rolls back the globally reduced step on
+// every rank. For the same global batch, the loss trajectory is
+// bit-identical to the single-rank Engine processing the same R-way
+// micro-batch decomposition.
+type DPEngine struct {
+	engine *dp.Engine
+}
+
+// InitDP wraps a model and optimizer into a data-parallel SuperOffload
+// engine. Its Step/StepAccum/Save/Load/Stats surface matches Engine's;
+// checkpoints are interchangeable between rank counts (including with the
+// single-rank Engine). Call Close when done to stop the rank goroutines.
+func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("superoffload: nil model")
+	}
+	a, scaler, schedule := cfg.translate()
+	e, err := dp.New(m.gpt, dp.Config{
+		Ranks:       dpc.Ranks,
+		Adam:        a,
+		Impl:        optim.GraceAdam,
+		ClipNorm:    cfg.ClipNorm,
+		BucketElems: cfg.BucketElems,
+		Synchronous: cfg.Synchronous,
+		Scaler:      scaler,
+		Schedule:    schedule,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DPEngine{engine: e}, nil
+}
+
+// Step runs one training iteration over the global batch (its rows split
+// evenly across ranks) and returns the mean loss.
+func (e *DPEngine) Step(b Batch) (float64, error) { return e.engine.Step(b) }
+
+// StepAccum runs one optimizer step over several accumulated global
+// micro-batches, each split across ranks.
+func (e *DPEngine) StepAccum(batches []Batch) (float64, error) { return e.engine.StepAccum(batches) }
+
+// Save serializes the sharded training state (gathered into the global
+// bucket order, so the checkpoint is identical to a single-rank one).
+func (e *DPEngine) Save(w io.Writer) error { return e.engine.Save(w) }
+
+// Load restores state saved by either engine's Save.
+func (e *DPEngine) Load(r io.Reader) error { return e.engine.Load(r) }
+
+// Flush resolves the final in-flight validation; call once after the last
+// Step.
+func (e *DPEngine) Flush() error {
+	_, err := e.engine.Flush()
+	return err
+}
+
+// Stats returns the engine's validation counters.
+func (e *DPEngine) Stats() Stats { return e.engine.Stats() }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *DPEngine) NumBuckets() int { return e.engine.NumBuckets() }
+
+// Ranks reports the data-parallel degree.
+func (e *DPEngine) Ranks() int { return e.engine.Ranks() }
+
+// Close stops the rank goroutines (resolving any pending validation
+// first). The engine is unusable afterwards.
+func (e *DPEngine) Close() error { return e.engine.Close() }
 
 // NewCorpus returns the deterministic synthetic corpus used throughout the
 // examples and experiments (the Pile stand-in; see DESIGN.md).

@@ -213,3 +213,107 @@ func TestEngineAccumScheduleCheckpoint(t *testing.T) {
 		t.Fatalf("restored engine diverges: %v vs %v", l1, l2)
 	}
 }
+
+// TestInitDPFacade mirrors the paper's multi-superchip enablement: the
+// data-parallel engine behind the same two-line surface, on a loss
+// trajectory bit-identical to the single-rank engine consuming the same
+// R-way micro-batch decomposition — including across a rollback.
+func TestInitDPFacade(t *testing.T) {
+	const ranks, steps = 2, 20
+	mk := func(seed uint64) *Model {
+		m, err := NewModel(ModelConfig{Layers: 2, Hidden: 32, Vocab: 64, MaxSeq: 16}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cfg := DefaultOptimizer()
+	cfg.LR = 3e-3
+	cfg.ClipNorm = 1.0 // tight enough to trigger rollbacks on this workload
+	cfg.BucketElems = 20000
+
+	dpe, err := InitDP(mk(42), cfg, DPConfig{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dpe.Close()
+	single, err := Init(mk(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpe.Ranks() != ranks || dpe.NumBuckets() != single.NumBuckets() {
+		t.Fatalf("layout mismatch: ranks=%d buckets %d vs %d", dpe.Ranks(), dpe.NumBuckets(), single.NumBuckets())
+	}
+
+	corpus := NewCorpus(64, 123)
+	refCorpus := NewCorpus(64, 123)
+	for i := 0; i < steps; i++ {
+		b := corpus.NextBatch(4, 8)
+		dl, err := dpe.Step(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb := refCorpus.NextBatch(4, 8)
+		half := rb.BatchSize / ranks * rb.Seq
+		sl, err := single.StepAccum([]Batch{
+			{Tokens: rb.Tokens[:half], Targets: rb.Targets[:half], BatchSize: rb.BatchSize / ranks, Seq: rb.Seq},
+			{Tokens: rb.Tokens[half:], Targets: rb.Targets[half:], BatchSize: rb.BatchSize / ranks, Seq: rb.Seq},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dl != sl {
+			t.Fatalf("step %d: DP loss %v != single-rank loss %v", i, dl, sl)
+		}
+	}
+	if err := dpe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if dpe.Stats() != single.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", dpe.Stats(), single.Stats())
+	}
+	if dpe.Stats().Rollbacks() == 0 {
+		t.Error("facade equivalence run triggered no rollbacks")
+	}
+
+	// Checkpoints are interchangeable between the two engines.
+	var buf bytes.Buffer
+	if err := dpe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Init(mk(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := restored.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("DP checkpoint does not round-trip through the single-rank engine")
+	}
+}
+
+func TestInitDPValidation(t *testing.T) {
+	if _, err := InitDP(nil, DefaultOptimizer(), DPConfig{Ranks: 2}); err == nil {
+		t.Error("nil model accepted")
+	}
+	m, _ := NewModel(ModelConfig{Layers: 1, Hidden: 32, Vocab: 32, MaxSeq: 8}, 1)
+	if _, err := InitDP(m, DefaultOptimizer(), DPConfig{Ranks: 0}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	eng, err := InitDP(m, DefaultOptimizer(), DPConfig{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Step(NewCorpus(32, 2).NextBatch(3, 8)); err == nil {
+		t.Error("batch not divisible by ranks accepted")
+	}
+}
