@@ -13,6 +13,7 @@ import (
 
 	"superoffload/internal/core"
 	"superoffload/internal/data"
+	"superoffload/internal/dp"
 	"superoffload/internal/experiments"
 	"superoffload/internal/fp16"
 	"superoffload/internal/hw"
@@ -172,6 +173,63 @@ func benchTrainer(b *testing.B, mode stv.Mode) {
 
 func BenchmarkTrainStepSTV(b *testing.B) { benchTrainer(b, stv.STV) }
 func BenchmarkTrainStepSTE(b *testing.B) { benchTrainer(b, stv.STE) }
+
+// BenchmarkTrainStepSTVNVMe is the STV step with optimizer state behind
+// the file-backed NVMe store (2-bucket window, real file IO on the bench
+// host; the hw.NVMeSpec throttle is virtual and costs nothing here).
+func BenchmarkTrainStepSTVNVMe(b *testing.B) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	store, err := stv.NewNVMeStore(stv.NVMeStoreConfig{Dir: b.TempDir(), ResidentBuckets: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := optim.DefaultConfig()
+	tr := stv.NewTrainer(m, stv.Config{
+		Adam: a, Impl: optim.GraceAdam, ClipNorm: 10,
+		BucketElems: 20000, Mode: stv.STV, Store: store,
+	})
+	defer tr.Close()
+	corpus := data.NewCorpus(128, 2)
+	batch := corpus.NextBatch(2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTrainStepDP is one data-parallel step over 2 simulated ranks
+// (channel reduce-scatter + all-gather on the critical path).
+func BenchmarkTrainStepDP(b *testing.B) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	eng, err := dp.New(m, dp.Config{
+		Ranks: 2, Adam: optim.DefaultConfig(), Impl: optim.GraceAdam,
+		ClipNorm: 10, BucketElems: 20000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	corpus := data.NewCorpus(128, 2)
+	batch := corpus.NextBatch(2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
 
 // ---- ablation benches (design choices from DESIGN.md §4) ----
 

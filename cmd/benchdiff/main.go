@@ -1,0 +1,185 @@
+// Command benchdiff turns `go test -bench` output into a JSON artifact
+// and gates CI on benchmark regressions: every benchmark named in a
+// committed baseline must be present in the current run and may not be
+// slower than threshold× its baseline ns/op.
+//
+// Usage (the CI bench job):
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.txt
+//	go run ./cmd/benchdiff -bench bench.txt -baseline BENCH_baseline.json -out BENCH_ci.json
+//
+// Regenerate the baseline after an intentional perf change:
+//
+//	go run ./cmd/benchdiff -bench bench.txt -write-baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g. "BenchmarkTrainStepSTV-8  1  9357906 ns/op".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// Baseline is the committed regression gate: benchmark name (sans the
+// "Benchmark" prefix and -procs suffix) → ns/op. Only the benchmarks
+// listed here are gated; the artifact reports everything parsed.
+type Baseline struct {
+	// Threshold is the allowed slowdown ratio (e.g. 1.25 = +25%). The
+	// baseline carries it so loosening the gate is a reviewed change.
+	Threshold  float64            `json:"threshold"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// parseBench extracts ns/op per benchmark, keeping the minimum across
+// duplicates (sub-benchmarks keep their full slash-path name).
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	benchPath := flag.String("bench", "", "benchmark output file (default stdin)")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
+	outPath := flag.String("out", "", "write the parsed results as a JSON artifact")
+	writeBaseline := flag.String("write-baseline", "", "write a fresh baseline JSON from the current run and exit")
+	threshold := flag.Float64("threshold", 0, "override the baseline's slowdown gate (0: use the baseline's)")
+	normalize := flag.String("normalize", "", "divide all ns/op by this benchmark's in both runs before gating (machine-speed-invariant comparison; the reference must be in the baseline)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *outPath != "" {
+		if err := writeJSON(*outPath, map[string]any{"benchmarks": current}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d results to %s\n", len(current), *outPath)
+	}
+
+	if *writeBaseline != "" {
+		th := *threshold
+		if th == 0 {
+			th = 1.25
+		}
+		if err := writeJSON(*writeBaseline, Baseline{Threshold: th, Benchmarks: current}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote baseline with %d benchmarks to %s\n", len(current), *writeBaseline)
+		return
+	}
+	if *baselinePath == "" {
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+	th := base.Threshold
+	if *threshold != 0 {
+		th = *threshold
+	}
+	if th <= 1 {
+		fatal(fmt.Errorf("threshold must exceed 1.0, got %v", th))
+	}
+	// Normalization turns absolute ns/op into ratios against a reference
+	// benchmark measured in the same run, so a committed baseline from
+	// one machine gates runs on another: uniform machine-speed
+	// differences cancel, relative regressions do not.
+	curScale, baseScale := 1.0, 1.0
+	if *normalize != "" {
+		var ok bool
+		if curScale, ok = current[*normalize]; !ok || curScale <= 0 {
+			fatal(fmt.Errorf("normalize reference %q missing from the current run", *normalize))
+		}
+		if baseScale, ok = base.Benchmarks[*normalize]; !ok || baseScale <= 0 {
+			fatal(fmt.Errorf("normalize reference %q missing from the baseline", *normalize))
+		}
+		fmt.Printf("benchdiff: normalizing by %s (current %.0f ns/op, baseline %.0f ns/op)\n",
+			*normalize, curScale, baseScale)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		if name == *normalize {
+			continue // the reference gates itself trivially
+		}
+		want := base.Benchmarks[name]
+		got, ok := current[name]
+		if !ok {
+			fmt.Printf("FAIL %-28s missing from the current run (renamed or deleted?)\n", name)
+			failures++
+			continue
+		}
+		ratio := (got / curScale) / (want / baseScale)
+		status := "ok  "
+		if ratio > th {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-28s %12.0f ns/op vs baseline %12.0f (%.2fx, gate %.2fx)\n",
+			status, name, got, want, ratio, th)
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed past %.0f%% of baseline", failures, 100*(th-1)))
+	}
+	fmt.Printf("benchdiff: %d gated benchmarks within %.0f%% of baseline\n", len(names), 100*(th-1))
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

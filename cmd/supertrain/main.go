@@ -25,6 +25,8 @@ type engine interface {
 	Flush() error
 	Stats() superoffload.Stats
 	NumBuckets() int
+	StoreTelemetry() (superoffload.StoreTelemetry, bool)
+	Close() error
 }
 
 func main() {
@@ -38,6 +40,10 @@ func main() {
 	clip := flag.Float64("clip", 4.0, "global gradient-norm clip (0 disables)")
 	ranks := flag.Int("ranks", 1, "simulated superchip ranks (data parallelism)")
 	seed := flag.Uint64("seed", 42, "initialization seed")
+	offload := flag.String("offload", "dram", "optimizer-state tier: dram (resident) or nvme (file-backed window)")
+	offloadDir := flag.String("offload-dir", "", "directory for nvme backing files (default: system temp)")
+	resident := flag.Int("resident-buckets", 2, "nvme store resident-bucket window")
+	bucketElems := flag.Int("bucket-elems", 0, "per-bucket element budget (0: the 64 MB default; shrink so toy models split into several buckets)")
 	flag.Parse()
 
 	model, err := superoffload.NewModel(superoffload.ModelConfig{
@@ -50,6 +56,10 @@ func main() {
 	cfg.ClipNorm = *clip
 	cfg.Synchronous = *mode == "ste"
 	cfg.LossScaling = true
+	cfg.BucketElems = *bucketElems
+	cfg.Offload = superoffload.OffloadConfig{
+		Backend: *offload, Dir: *offloadDir, ResidentBuckets: *resident,
+	}
 
 	if *ranks < 1 {
 		log.Fatalf("ranks must be >= 1, got %d", *ranks)
@@ -63,7 +73,6 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer dpe.Close()
 		eng = dpe
 	} else {
 		e, err := superoffload.Init(model, cfg)
@@ -72,9 +81,10 @@ func main() {
 		}
 		eng = e
 	}
+	defer eng.Close()
 
-	fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %d rank(s)\n",
-		model.NumParams(), eng.NumBuckets(), *mode, *ranks)
+	fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %d rank(s), %s offload\n",
+		model.NumParams(), eng.NumBuckets(), *mode, *ranks, *offload)
 
 	corpus := superoffload.NewCorpus(*vocab, *seed+1)
 	for i := 1; i <= *steps; i++ {
@@ -92,6 +102,14 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("done: %d steps, %d commits, %d clip-rollbacks, %d skip-rollbacks, %d forward redos\n",
 		st.Steps, st.Commits, st.ClipRolls, st.SkipRolls, st.Redos)
+	if tel, ok := eng.StoreTelemetry(); ok {
+		n := float64(*steps)
+		fmt.Printf("nvme tier: %d reads (%.1f MB), %d writes (%.1f MB)\n",
+			tel.Reads, float64(tel.BytesRead)/1e6, tel.Writes, float64(tel.BytesWritten)/1e6)
+		fmt.Printf("modeled step time: %.3f ms pipelined vs %.3f ms serialized (prefetch overlap hides %.0f%%)\n",
+			1e3*tel.PipelinedSeconds()/n, 1e3*tel.SerializedSeconds()/n,
+			100*(1-tel.PipelinedSeconds()/tel.SerializedSeconds()))
+	}
 }
 
 func max(a, b int) int {

@@ -1,0 +1,91 @@
+// NVMe offload: the repository's documented ext-nvme extension, on both
+// layers. Analytically, ZeRO-Infinity's flash tier extends trainable
+// model scale on a single Superchip far past the DDR bound (at a swap
+// throughput price). For real, the same third tier runs under the STV
+// engine: fp32 masters and Adam moments live in a file-backed store that
+// keeps only a two-bucket window resident, prefetches the next bucket
+// while the current one steps, and flushes write-behind — with a loss
+// trajectory bit-identical to the DRAM-resident engine, rollbacks and
+// all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superoffload"
+)
+
+func main() {
+	// ---- analytical: what the flash tier buys on modeled hardware ----
+	out, err := superoffload.RunExperiment("ext-nvme")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	// ---- real numerics: the STV engine with windowed optimizer state ----
+	const steps = 40
+	train := func(backend string) ([]float64, superoffload.Stats, *superoffload.StoreTelemetry) {
+		model, err := superoffload.NewModel(superoffload.ModelConfig{
+			Layers: 2, Hidden: 64, Vocab: 128, MaxSeq: 16,
+		}, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := superoffload.DefaultOptimizer()
+		cfg.ClipNorm = 4.0
+		// Small buckets so the toy model splits into dozens of buckets;
+		// the nvme backend then streams ~15× its resident window through
+		// the backing file every step.
+		cfg.BucketElems = 4096
+		cfg.Offload = superoffload.OffloadConfig{Backend: backend, ResidentBuckets: 2}
+		engine, err := superoffload.Init(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer engine.Close()
+		corpus := superoffload.NewCorpus(128, 11)
+		var losses []float64
+		for step := 1; step <= steps; step++ {
+			loss, err := engine.Step(corpus.NextBatch(4, 16))
+			if err != nil {
+				log.Fatal(err)
+			}
+			losses = append(losses, loss)
+		}
+		if err := engine.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if tel, ok := engine.StoreTelemetry(); ok {
+			return losses, engine.Stats(), &tel
+		}
+		return losses, engine.Stats(), nil
+	}
+
+	fmt.Println("training the same GPT with DRAM-resident and NVMe-windowed optimizer state:")
+	dramLosses, dramStats, _ := train("dram")
+	nvmeLosses, nvmeStats, tel := train("nvme")
+
+	exact := true
+	for i := range dramLosses {
+		if dramLosses[i] != nvmeLosses[i] {
+			exact = false
+			break
+		}
+	}
+	fmt.Printf("  dram: loss %.4f → %.4f (%d commits, %d rollbacks)\n",
+		dramLosses[0], dramLosses[steps-1], dramStats.Commits, dramStats.Rollbacks())
+	fmt.Printf("  nvme: loss %.4f → %.4f (%d commits, %d rollbacks)\n",
+		nvmeLosses[0], nvmeLosses[steps-1], nvmeStats.Commits, nvmeStats.Rollbacks())
+	if !exact {
+		log.Fatal("trajectories diverged: the store broke bit-exactness")
+	}
+	fmt.Println("  trajectories are bit-identical: residency is invisible to the numerics")
+
+	fmt.Printf("\nflash traffic over %d steps: %d reads (%.1f MB), %d writes (%.1f MB)\n",
+		steps, tel.Reads, float64(tel.BytesRead)/1e6, tel.Writes, float64(tel.BytesWritten)/1e6)
+	fmt.Printf("modeled step time: %.3f ms pipelined vs %.3f ms serialized — the\n",
+		1e3*tel.PipelinedSeconds()/steps, 1e3*tel.SerializedSeconds()/steps)
+	fmt.Println("double-buffered prefetch keeps the Adam step off the fetch+flush critical path.")
+}

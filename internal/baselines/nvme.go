@@ -57,8 +57,7 @@ func (z ZeROInfinityNVMe) Plan(w sched.Workload) sched.Result {
 		// fp16 weights are re-read from flash for each pass; the aio
 		// pipeline overlaps poorly with the synchronous schedule, so
 		// both are exposed.
-		t := st.IterTime + nvme.OptimizerSwapTime(shard) +
-			2*nvme.ReadTime(int64(model.BytesFP16Param)*shard)
+		t := st.IterTime + nvme.StepSwapTime(shard, model.BytesFP16Param, 2)
 		if n > 1 {
 			link := w.Cluster.DataParallelLink(n)
 			t += 2*hw.CollectiveTime(hw.AllGather, n, 2*w.Model.Params(), link) +

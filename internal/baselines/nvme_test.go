@@ -52,3 +52,17 @@ func TestNVMeSpecTimes(t *testing.T) {
 		t.Errorf("1B swap = %.2fs, expected ≈2s", got)
 	}
 }
+
+func TestStepSwapTimeComposesSpecPrimitives(t *testing.T) {
+	// The shared per-step model must be exactly the spec's primitives —
+	// no second copy of the bandwidth math anywhere.
+	n := hw.NodeNVMe()
+	const params = int64(1e9)
+	want := n.OptimizerSwapTime(params) + 2*n.ReadTime(2*params)
+	if got := n.StepSwapTime(params, 2, 2); got != want {
+		t.Errorf("StepSwapTime = %v, want %v", got, want)
+	}
+	if n.StepSwapTime(params, 2, 0) != n.OptimizerSwapTime(params) {
+		t.Error("zero weight passes should reduce to the optimizer swap alone")
+	}
+}

@@ -28,6 +28,7 @@ package dp
 import (
 	"superoffload/internal/data"
 	"superoffload/internal/optim"
+	"superoffload/internal/stv"
 )
 
 // Config parameterizes a data-parallel Engine. The optimizer fields mirror
@@ -56,6 +57,11 @@ type Config struct {
 	// corrupts the reduced gradient of bucket 0 with +Inf (fault
 	// injection for overflow/rollback tests).
 	InjectBad func(step int) bool
+	// NewStore, when non-nil, builds the bucket store holding each
+	// rank's ZeRO shard of optimizer state (each rank gets its own store
+	// keyed by global bucket index). Nil keeps every shard DRAM-resident.
+	// The engine owns the stores: Close closes them.
+	NewStore func(rank int) (stv.BucketStore, error)
 }
 
 // resolution is the verdict for the previous speculative step, broadcast
@@ -95,7 +101,7 @@ type command struct {
 }
 
 const (
-	cmdStep = iota
+	cmdStep    = iota
 	cmdResolve // apply a resolution outside a step (Flush)
 	cmdStop
 )

@@ -50,12 +50,29 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
 	w := newWorld(cfg.Ranks, nBuckets)
 	e := &Engine{cfg: cfg, w: w, buckets: make([]*stv.Bucket, nBuckets)}
+	// Build every rank's store before starting any goroutine, so a
+	// failing store constructor can unwind cleanly.
+	stores := make([]stv.BucketStore, cfg.Ranks)
+	for id := 0; id < cfg.Ranks; id++ {
+		if cfg.NewStore == nil {
+			stores[id] = stv.NewDRAMStore()
+			continue
+		}
+		st, err := cfg.NewStore(id)
+		if err != nil {
+			for _, s := range stores[:id] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("dp: building rank %d store: %w", id, err)
+		}
+		stores[id] = st
+	}
 	for id := 0; id < cfg.Ranks; id++ {
 		replica := model
 		if id > 0 {
 			replica = model.Clone()
 		}
-		rk := newRank(id, w, replica, cfg.Impl, cfg.BucketElems)
+		rk := newRank(id, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
 		for _, ob := range rk.owned {
 			e.buckets[ob.idx] = ob.b
 		}
@@ -64,6 +81,20 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 	}
 	go w.aggregate()
 	return e, nil
+}
+
+// StoreTelemetry sums the modeled NVMe telemetry over every rank's store.
+// ok is false when no rank uses an NVMe-backed store.
+func (e *Engine) StoreTelemetry() (stv.StoreTelemetry, bool) {
+	var sum stv.StoreTelemetry
+	any := false
+	for _, rk := range e.ranks {
+		if s, isNVMe := rk.store.(*stv.NVMeStore); isNVMe {
+			sum = sum.Add(s.Telemetry())
+			any = true
+		}
+	}
+	return sum, any
 }
 
 // Ranks reports the data-parallel degree R.
@@ -287,13 +318,15 @@ func (e *Engine) Load(r io.Reader) error {
 	}
 	e.stepIndex = stepIndex
 	// ReadCheckpoint republished into owner replicas; propagate to the
-	// others (the ranks are quiescent between commands).
+	// others (the ranks are quiescent between commands). One store
+	// acquire per bucket, shared across all receiving ranks.
 	for bi, bk := range e.buckets {
+		half := bk.Half()
 		for r := 0; r < e.w.R; r++ {
 			if r == e.w.owner(bi) {
 				continue
 			}
-			stv.PublishHalf(e.ranks[r].groups[bi], bk.Half())
+			stv.PublishHalf(e.ranks[r].groups[bi], half)
 		}
 	}
 	return nil
@@ -309,13 +342,14 @@ func (e *Engine) MasterWeights() []float32 {
 	}
 	out := make([]float32, 0, n)
 	for _, bk := range e.buckets {
-		out = append(out, bk.Master()...)
+		out = bk.AppendMaster(out)
 	}
 	return out
 }
 
-// Close resolves any pending validation and stops the rank goroutines and
-// the validation aggregator. The engine is unusable afterwards.
+// Close resolves any pending validation, stops the rank goroutines and
+// the validation aggregator, and closes every rank's bucket store. The
+// engine is unusable afterwards.
 func (e *Engine) Close() error {
 	if e.closed {
 		return nil
@@ -325,6 +359,11 @@ func (e *Engine) Close() error {
 		e.w.cmd[r] <- command{kind: cmdStop}
 	}
 	close(e.w.partial)
+	for _, rk := range e.ranks {
+		if cerr := rk.store.Close(); err == nil {
+			err = cerr
+		}
+	}
 	e.closed = true
 	return err
 }

@@ -19,12 +19,14 @@ type ownedBucket struct {
 }
 
 // rank is one simulated superchip: a full fp16 model replica for
-// forward/backward, plus optimizer state for its owned buckets only.
+// forward/backward, plus optimizer state for its owned buckets only,
+// held behind this rank's own bucket store.
 type rank struct {
 	id     int
 	w      *world
 	model  *nn.GPT
 	impl   optim.Impl
+	store  stv.BucketStore
 	groups []nn.Params   // global bucket layout over this replica
 	owned  []ownedBucket // this rank's partition, ascending bucket index
 	// sendBufs[m][b] stages the gradient contribution for micro-batch m
@@ -36,14 +38,15 @@ type rank struct {
 	sendBufs [][][]float32
 }
 
-// newRank partitions the replica and allocates optimizer state for the
-// buckets this rank owns.
-func newRank(id int, w *world, model *nn.GPT, impl optim.Impl, bucketElems int) *rank {
-	r := &rank{id: id, w: w, model: model, impl: impl}
+// newRank partitions the replica and seeds this rank's store with the
+// buckets it owns (keyed by global bucket index, so the store's prefetch
+// cycle walks the rank's ZeRO shard in reduction order).
+func newRank(id int, w *world, model *nn.GPT, impl optim.Impl, bucketElems int, store stv.BucketStore) *rank {
+	r := &rank{id: id, w: w, model: model, impl: impl, store: store}
 	r.groups = stv.PartitionGroups(model.Params(), bucketElems)
 	for bi, g := range r.groups {
 		if w.owner(bi) == id {
-			r.owned = append(r.owned, ownedBucket{idx: bi, b: stv.NewBucket(g)})
+			r.owned = append(r.owned, ownedBucket{idx: bi, b: stv.NewBucket(g, store, bi)})
 		}
 	}
 	return r

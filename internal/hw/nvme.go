@@ -42,10 +42,25 @@ func (n NVMeSpec) WriteTime(size int64) float64 {
 	return n.LatencyS + float64(size)/n.WriteBW
 }
 
+// OptimizerSwapBytesPerParam is the per-direction flash traffic of one
+// parameter's optimizer states: fp32 master + moments in (16 B), the
+// recombined 12 B moments plus 4 B master back out.
+const OptimizerSwapBytesPerParam = 16
+
 // OptimizerSwapTime is the per-step NVMe traffic for swapping a shard's
-// optimizer states through DRAM: read fp32 master+moments (16 B/param),
-// write them back updated (12 B/param master+moments after the fused
-// kernel recombines, plus 4 B master) — 16 B read + 16 B write per param.
+// optimizer states through DRAM — OptimizerSwapBytesPerParam in each
+// direction.
 func (n NVMeSpec) OptimizerSwapTime(params int64) float64 {
-	return n.ReadTime(16*params) + n.WriteTime(16*params)
+	return n.ReadTime(OptimizerSwapBytesPerParam*params) + n.WriteTime(OptimizerSwapBytesPerParam*params)
+}
+
+// StepSwapTime is the full per-step flash traffic of an NVMe-resident
+// shard on a synchronous schedule: the optimizer-state swap plus
+// weightPasses sequential re-reads of the working weights
+// (weightBytesPerParam each — fp16 for the mixed-precision engines).
+// This is the one transfer model shared by the analytical baselines and
+// the real file-backed store's throttle, so the two tiers can never
+// drift apart on bandwidth math.
+func (n NVMeSpec) StepSwapTime(params, weightBytesPerParam int64, weightPasses int) float64 {
+	return n.OptimizerSwapTime(params) + float64(weightPasses)*n.ReadTime(weightBytesPerParam*params)
 }

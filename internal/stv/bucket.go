@@ -9,7 +9,10 @@
 // The bucket partition and its per-bucket gradient/master accessors are
 // exported so internal/dp can shard optimizer state across simulated
 // superchip ranks along the same bucket boundaries (buckets stay the unit
-// of offload, reduction, and rollback).
+// of offload, reduction, and rollback). Where a bucket's fp32 masters and
+// Adam moments live between touches is delegated to a BucketStore (see
+// store.go): permanently resident DRAM, or a windowed file-backed NVMe
+// tier with prefetch/write-behind.
 package stv
 
 import (
@@ -21,21 +24,21 @@ import (
 )
 
 // Bucket is one contiguous shard of the parameter space: the unit of
-// gradient offload, speculative stepping, and rollback. It owns the
-// CPU-side fp32 master copy and Adam moments (the offloaded optimizer
-// states) plus a gradient staging buffer standing in for the D2H transfer
-// target.
+// gradient offload, speculative stepping, and rollback. The gradient
+// staging buffer (the D2H transfer target) stays DRAM-resident on the
+// bucket; the fp32 master copy, Adam moments, and rollback snapshot live
+// behind the bucket's store and are acquired only while being touched.
 type Bucket struct {
 	group nn.Params // model tensors covered by this bucket, in order
-	shard *optim.MixedShard
 	grad  []float32 // staged fp32 gradients (Cast_gpu → Move_fp32 path)
-	snap  *optim.Snapshot
+	store BucketStore
+	idx   int  // index within the store (the global bucket index)
 	dirty bool // a speculative, not-yet-validated step has been applied
 }
 
 // NewBucket flattens the given parameter group into one shard, seeding the
-// fp32 masters from the group's current weights.
-func NewBucket(group nn.Params) *Bucket {
+// store's fp32 masters from the group's current weights.
+func NewBucket(group nn.Params, store BucketStore, idx int) *Bucket {
 	n := group.TotalSize()
 	flat := make([]float32, n)
 	off := 0
@@ -43,26 +46,48 @@ func NewBucket(group nn.Params) *Bucket {
 		copy(flat[off:], p.W.Data)
 		off += p.Size()
 	}
+	store.Seed(idx, flat)
 	return &Bucket{
 		group: group,
-		shard: optim.NewMixedShard(flat),
 		grad:  make([]float32, n),
+		store: store,
+		idx:   idx,
 	}
 }
 
 // Size returns the bucket's element count.
 func (b *Bucket) Size() int { return len(b.grad) }
 
+// Index returns the bucket's global index (its store key).
+func (b *Bucket) Index() int { return b.idx }
+
 // Grad exposes the bucket's staged gradient buffer. Under data parallelism
 // the bucket owner reduces rank contributions into it before stepping.
 func (b *Bucket) Grad() []float32 { return b.grad }
 
-// Master exposes the bucket's fp32 master weights.
-func (b *Bucket) Master() []float32 { return b.shard.Master }
+// Master returns a copy of the bucket's fp32 master weights (a copy, not
+// a view: the state may be evicted by the store after this returns).
+func (b *Bucket) Master() []float32 {
+	return b.AppendMaster(make([]float32, 0, b.Size()))
+}
+
+// AppendMaster appends the bucket's fp32 master weights to dst.
+func (b *Bucket) AppendMaster(dst []float32) []float32 {
+	st := b.store.Acquire(b.idx)
+	dst = append(dst, st.Shard.Master...)
+	b.store.Release(b.idx, ReleaseClean)
+	return dst
+}
 
 // Half exposes the bucket's fp16 working copy — the payload the post-step
-// all-gather broadcasts to every rank's replica.
-func (b *Bucket) Half() []fp16.Num { return b.shard.Half }
+// all-gather broadcasts to every rank's replica. The slice is valid until
+// the bucket's next mutating access (which re-derives it).
+func (b *Bucket) Half() []fp16.Num {
+	st := b.store.Acquire(b.idx)
+	half := st.Shard.Half
+	b.store.Release(b.idx, ReleaseClean)
+	return half
+}
 
 // StageGrads copies (and unscales) the model gradients into the staging
 // buffer — the analogue of the bucket's gradient swap-out.
@@ -139,19 +164,21 @@ func PublishHalf(group nn.Params, half []fp16.Num) {
 	}
 }
 
-// writeBack publishes the shard's post-step weights to the model tensors.
-func (b *Bucket) writeBack() { PublishHalf(b.group, b.shard.Half) }
-
-// SpeculativeStep snapshots, applies Adam with the staged (unclipped)
-// gradients, and publishes the new weights.
+// SpeculativeStep acquires the bucket's state, snapshots it, applies Adam
+// with the staged (unclipped) gradients, and publishes the new weights.
+// The snapshot is stored on the state, so it survives eviction until the
+// deferred validation resolves.
 func (b *Bucket) SpeculativeStep(cfg optim.Config, impl optim.Impl) {
-	b.snap = optim.TakeSnapshot(b.snap, b.shard)
-	b.shard.Step(cfg, impl, b.grad)
-	b.writeBack()
+	st := b.store.Acquire(b.idx)
+	st.Snap = optim.TakeSnapshot(st.Snap, st.Shard)
+	st.Shard.Step(cfg, impl, b.grad)
+	PublishHalf(b.group, st.Shard.Half)
+	b.store.Release(b.idx, ReleaseStep)
 	b.dirty = true
 }
 
-// Commit discards rollback state after successful validation.
+// Commit discards rollback state after successful validation. No store
+// access: the speculative state is already the committed state.
 func (b *Bucket) Commit() { b.dirty = false }
 
 // Rollback restores the pre-step state bit-exactly and republishes weights.
@@ -159,8 +186,10 @@ func (b *Bucket) Rollback() {
 	if !b.dirty {
 		return
 	}
-	b.snap.Restore(b.shard)
-	b.writeBack()
+	st := b.store.Acquire(b.idx)
+	st.Snap.Restore(st.Shard)
+	PublishHalf(b.group, st.Shard.Half)
+	b.store.Release(b.idx, ReleaseFlush)
 	b.dirty = false
 }
 
@@ -170,8 +199,10 @@ func (b *Bucket) ReExecuteClipped(cfg optim.Config, impl optim.Impl, clipScale f
 	if !b.dirty {
 		return
 	}
-	optim.ReExecuteClipped(cfg, impl, b.shard, b.snap, b.grad, clipScale)
-	b.writeBack()
+	st := b.store.Acquire(b.idx)
+	optim.ReExecuteClipped(cfg, impl, st.Shard, st.Snap, b.grad, clipScale)
+	PublishHalf(b.group, st.Shard.Half)
+	b.store.Release(b.idx, ReleaseStep)
 	b.dirty = false
 }
 
@@ -184,17 +215,10 @@ func (b *Bucket) DirectStep(cfg optim.Config, impl optim.Impl, scale float64) {
 			b.grad[i] *= s
 		}
 	}
-	b.shard.Step(cfg, impl, b.grad)
-	b.writeBack()
-}
-
-// halfBytes returns the bucket's fp16 payload size in bytes (diagnostics).
-func (b *Bucket) halfBytes() int { return 2 * len(b.shard.Half) }
-
-// refreshHalf re-derives the fp16 working copy from the master weights
-// (after a checkpoint load).
-func (b *Bucket) refreshHalf() {
-	b.shard.Half = fp16.Cast(b.shard.Half, b.shard.Master)
+	st := b.store.Acquire(b.idx)
+	st.Shard.Step(cfg, impl, b.grad)
+	PublishHalf(b.group, st.Shard.Half)
+	b.store.Release(b.idx, ReleaseStep)
 }
 
 // PartitionGroups splits params into ordered groups of at most targetElems
@@ -224,12 +248,12 @@ func PartitionGroups(params nn.Params, targetElems int) []nn.Params {
 }
 
 // partitionParams groups model parameters into buckets of at most
-// targetElems elements.
-func partitionParams(params nn.Params, targetElems int) []*Bucket {
+// targetElems elements over the given store.
+func partitionParams(params nn.Params, targetElems int, store BucketStore) []*Bucket {
 	groups := PartitionGroups(params, targetElems)
 	out := make([]*Bucket, len(groups))
 	for i, g := range groups {
-		out[i] = NewBucket(g)
+		out[i] = NewBucket(g, store, i)
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"superoffload/internal/fp16"
 	"superoffload/internal/optim"
 )
 
@@ -40,16 +41,30 @@ func WriteCheckpoint(w io.Writer, stepIndex int, scaler *optim.LossScaler, bucke
 		return err
 	}
 	for _, bk := range buckets {
-		if err := binary.Write(w, binary.LittleEndian, int64(bk.Size())); err != nil {
+		if err := bk.writeRecord(w); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, int64(bk.shard.State.Step)); err != nil {
+	}
+	return nil
+}
+
+// writeRecord streams one bucket's state (acquired from its store, so a
+// windowed NVMe store pages the bucket in just for the write). The layout
+// carries only shard state, never rollback snapshots — checkpoints are
+// taken flushed, with no speculation outstanding — so the bytes are
+// identical across store backends.
+func (b *Bucket) writeRecord(w io.Writer) error {
+	st := b.store.Acquire(b.idx)
+	defer b.store.Release(b.idx, ReleaseClean)
+	if err := binary.Write(w, binary.LittleEndian, int64(b.Size())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(st.Shard.State.Step)); err != nil {
+		return err
+	}
+	for _, arr := range [][]float32{st.Shard.Master, st.Shard.State.M, st.Shard.State.V} {
+		if err := binary.Write(w, binary.LittleEndian, arr); err != nil {
 			return err
-		}
-		for _, arr := range [][]float32{bk.shard.Master, bk.shard.State.M, bk.shard.State.V} {
-			if err := binary.Write(w, binary.LittleEndian, arr); err != nil {
-				return err
-			}
 		}
 	}
 	return nil
@@ -85,27 +100,40 @@ func ReadCheckpoint(r io.Reader, scaler *optim.LossScaler, buckets []*Bucket) (s
 		scaler.GoodSteps = int(header[2])
 	}
 	for _, bk := range buckets {
-		var n, step int64
-		if err = binary.Read(r, binary.LittleEndian, &n); err != nil {
+		if err = bk.readRecord(r); err != nil {
 			return 0, err
 		}
-		if int(n) != bk.Size() {
-			return 0, fmt.Errorf("stv: bucket size mismatch: checkpoint %d, engine %d", n, bk.Size())
-		}
-		if err = binary.Read(r, binary.LittleEndian, &step); err != nil {
-			return 0, err
-		}
-		bk.shard.State.Step = int(step)
-		for _, arr := range [][]float32{bk.shard.Master, bk.shard.State.M, bk.shard.State.V} {
-			if err = binary.Read(r, binary.LittleEndian, arr); err != nil {
-				return 0, err
-			}
-		}
-		bk.shard.Half = bk.shard.Half[:0]
-		bk.refreshHalf()
-		bk.writeBack()
 	}
 	return stepIndex, nil
+}
+
+// readRecord restores one bucket's state through its store, discarding any
+// stale rollback snapshot, re-deriving the fp16 working copy, and
+// republishing the rounded weights to the bucket's model tensors.
+func (b *Bucket) readRecord(r io.Reader) error {
+	st := b.store.Acquire(b.idx)
+	defer b.store.Release(b.idx, ReleaseFlush)
+	var n, step int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != b.Size() {
+		return fmt.Errorf("stv: bucket size mismatch: checkpoint %d, engine %d", n, b.Size())
+	}
+	if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
+		return err
+	}
+	st.Shard.State.Step = int(step)
+	for _, arr := range [][]float32{st.Shard.Master, st.Shard.State.M, st.Shard.State.V} {
+		if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	st.Snap = nil
+	b.dirty = false
+	st.Shard.Half = fp16.Cast(st.Shard.Half[:0], st.Shard.Master)
+	PublishHalf(b.group, st.Shard.Half)
+	return nil
 }
 
 // Save writes the trainer state. It fails if a validation is in flight.

@@ -1,0 +1,498 @@
+package stv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"superoffload/internal/fp16"
+	"superoffload/internal/hw"
+	"superoffload/internal/optim"
+)
+
+// NVMeStore spills bucket optimizer state to a backing file, keeping only
+// a small window of buckets resident — the third memory tier of
+// ZeRO-Infinity's design brought to the real STV engine. All file IO runs
+// on one background worker in FIFO order: Acquire auto-prefetches the
+// next bucket's read while the consumer is still stepping the current
+// one (double buffering), and evictions enqueue write-behind flushes the
+// consumer never waits for. Numerics round-trip through the file
+// bit-exactly, so every exactness contract of the engine (STV ≡ STE, DP ≡
+// single-rank, checkpoint portability) holds unchanged.
+//
+// Alongside the real (host-speed) file IO, the store keeps a virtual
+// timeline throttled by hw.NVMeSpec: a device clock serializes modeled
+// transfer times in issue order, and a consumer clock advances by modeled
+// Adam compute (on mutating releases) and by stalls (when an Acquire's
+// read has not completed on the device timeline). Telemetry exposes both
+// the pipelined time this schedule achieves and the serialized
+// fetch+step+flush time a non-overlapped schedule would pay.
+
+// NVMeStoreConfig parameterizes an NVMeStore.
+type NVMeStoreConfig struct {
+	// Dir is where the backing file is created (default os.TempDir()).
+	Dir string
+	// Spec is the transfer-time model (default hw.NodeNVMe()).
+	Spec hw.NVMeSpec
+	// ResidentBuckets caps the resident window (default and minimum 2:
+	// the bucket being stepped plus the one being prefetched).
+	ResidentBuckets int
+	// ComputeTime models the overlappable CPU work of one bucket's Adam
+	// step, in seconds for an elems-sized bucket (default: GraceAdam on
+	// the GH200 Grace CPU via hw.AdamStepTime).
+	ComputeTime func(elems int) float64
+}
+
+// StoreTelemetry is the NVMe store's modeled-time accounting. All seconds
+// are virtual (hw.NVMeSpec-throttled), not wall clock.
+type StoreTelemetry struct {
+	Reads        int
+	Writes       int
+	BytesRead    int64
+	BytesWritten int64
+	// ReadSeconds/WriteSeconds are modeled device occupancy.
+	ReadSeconds  float64
+	WriteSeconds float64
+	// StallSeconds is modeled consumer time spent waiting for fetches.
+	StallSeconds float64
+	// ComputeSeconds is modeled Adam time over mutating holds.
+	ComputeSeconds float64
+}
+
+// PipelinedSeconds is the modeled consumer wall time of the overlapped
+// schedule: compute plus the fetch stalls prefetching could not hide.
+func (t StoreTelemetry) PipelinedSeconds() float64 { return t.ComputeSeconds + t.StallSeconds }
+
+// SerializedSeconds is the modeled wall time of a schedule with no
+// overlap: every fetch, step, and flush lands on the critical path.
+func (t StoreTelemetry) SerializedSeconds() float64 {
+	return t.ReadSeconds + t.WriteSeconds + t.ComputeSeconds
+}
+
+// Sub returns the telemetry delta since an earlier snapshot.
+func (t StoreTelemetry) Sub(o StoreTelemetry) StoreTelemetry {
+	return StoreTelemetry{
+		Reads:          t.Reads - o.Reads,
+		Writes:         t.Writes - o.Writes,
+		BytesRead:      t.BytesRead - o.BytesRead,
+		BytesWritten:   t.BytesWritten - o.BytesWritten,
+		ReadSeconds:    t.ReadSeconds - o.ReadSeconds,
+		WriteSeconds:   t.WriteSeconds - o.WriteSeconds,
+		StallSeconds:   t.StallSeconds - o.StallSeconds,
+		ComputeSeconds: t.ComputeSeconds - o.ComputeSeconds,
+	}
+}
+
+// Add accumulates another store's telemetry (per-rank stores of a
+// data-parallel engine sum into one figure).
+func (t StoreTelemetry) Add(o StoreTelemetry) StoreTelemetry {
+	return StoreTelemetry{
+		Reads:          t.Reads + o.Reads,
+		Writes:         t.Writes + o.Writes,
+		BytesRead:      t.BytesRead + o.BytesRead,
+		BytesWritten:   t.BytesWritten + o.BytesWritten,
+		ReadSeconds:    t.ReadSeconds + o.ReadSeconds,
+		WriteSeconds:   t.WriteSeconds + o.WriteSeconds,
+		StallSeconds:   t.StallSeconds + o.StallSeconds,
+		ComputeSeconds: t.ComputeSeconds + o.ComputeSeconds,
+	}
+}
+
+// nvmeRecord is a bucket's fixed slot in the backing file.
+type nvmeRecord struct {
+	elems int
+	off   int64
+	bytes int64
+	read  *nvmeOp // in-flight fetch, if any
+}
+
+// nvmeResident is a bucket currently held in the DRAM window.
+type nvmeResident struct {
+	st       *BucketState
+	held     bool
+	modified bool  // changed since fetch: eviction must write back
+	lastUse  int64 // LRU tick
+}
+
+// nvmeOp is one unit of worker IO.
+type nvmeOp struct {
+	off    int64
+	buf    []byte
+	write  bool
+	doneAt float64 // modeled completion on the device timeline
+	err    error
+	done   chan struct{}
+}
+
+// NVMeStore implements BucketStore over a backing file. See the package
+// comment on store.go for the residency contract.
+type NVMeStore struct {
+	cfg  NVMeStoreConfig
+	file *os.File
+	path string
+	ops  chan *nvmeOp
+	wg   sync.WaitGroup
+
+	// errMu/ioErr latch the first background IO failure. A separate
+	// mutex: the worker must never take mu (enqueueLocked can block on
+	// the ops channel while holding mu, and the worker is the drain).
+	errMu sync.Mutex
+	ioErr error
+
+	// mu guards everything below. The worker goroutine never takes it —
+	// it only performs file IO and closes op.done.
+	mu       sync.Mutex
+	recs     map[int]*nvmeRecord
+	order    []int // seeded indices, ascending: the prefetch cycle
+	end      int64 // next free file offset
+	resident map[int]*nvmeResident
+	inflight int // outstanding fetches (they hold window slots)
+	tick     int64
+	cpu, dev float64 // virtual consumer / device clocks
+	tel      StoreTelemetry
+	closed   bool
+}
+
+// recordBytes is the file footprint of an n-element bucket: step +
+// snapshot step + snapshot flag, then master/m/v and their snapshot
+// copies (snapshot space is always reserved so offsets stay fixed).
+func recordBytes(n int) int64 { return 17 + 24*int64(n) }
+
+// NewNVMeStore creates the backing file and starts the IO worker.
+func NewNVMeStore(cfg NVMeStoreConfig) (*NVMeStore, error) {
+	if cfg.Spec.ReadBW == 0 {
+		cfg.Spec = hw.NodeNVMe()
+	}
+	if cfg.ResidentBuckets < 2 {
+		cfg.ResidentBuckets = 2
+	}
+	if cfg.ComputeTime == nil {
+		chip := hw.GH200()
+		cfg.ComputeTime = func(elems int) float64 {
+			return hw.AdamStepTime(chip, hw.AdamGrace, int64(elems))
+		}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "superoffload-nvme-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("stv: creating NVMe backing file: %w", err)
+	}
+	s := &NVMeStore{
+		cfg:      cfg,
+		file:     f,
+		path:     f.Name(),
+		ops:      make(chan *nvmeOp, 16),
+		recs:     map[int]*nvmeRecord{},
+		resident: map[int]*nvmeResident{},
+	}
+	s.wg.Add(1)
+	go s.worker()
+	return s, nil
+}
+
+// Path returns the backing file's location (diagnostics).
+func (s *NVMeStore) Path() string { return s.path }
+
+// Telemetry returns a snapshot of the modeled-time counters.
+func (s *NVMeStore) Telemetry() StoreTelemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tel
+}
+
+// worker drains IO ops in FIFO order. The FIFO is the consistency
+// mechanism: a fetch enqueued after an eviction of the same bucket reads
+// the freshly written record. Write failures are latched (nothing waits
+// on a write-behind flush) and surfaced at the next Acquire or Close.
+func (s *NVMeStore) worker() {
+	defer s.wg.Done()
+	for op := range s.ops {
+		if op.write {
+			_, op.err = s.file.WriteAt(op.buf, op.off)
+		} else {
+			_, op.err = s.file.ReadAt(op.buf, op.off)
+		}
+		if op.err != nil {
+			s.errMu.Lock()
+			if s.ioErr == nil {
+				s.ioErr = op.err
+			}
+			s.errMu.Unlock()
+		}
+		close(op.done)
+	}
+}
+
+// checkIOErr panics on a latched background IO failure: continuing would
+// silently train on stale bytes, breaking the bit-exactness contract.
+func (s *NVMeStore) checkIOErr() {
+	s.errMu.Lock()
+	err := s.ioErr
+	s.errMu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("stv: NVMe store IO failed: %v", err))
+	}
+}
+
+// enqueueLocked schedules one IO, advancing the modeled device timeline
+// when modeled is true (Seed's one-time bootstrap writes pass false: they
+// are real file IO but not steady-state traffic, so they must not inflate
+// the per-step telemetry the reporters divide by step count). Issue order
+// is the consumer's program order, so modeled times are deterministic
+// regardless of worker scheduling.
+func (s *NVMeStore) enqueueLocked(write bool, rec *nvmeRecord, buf []byte, modeled bool) *nvmeOp {
+	op := &nvmeOp{off: rec.off, buf: buf, write: write, doneAt: s.dev, done: make(chan struct{})}
+	if modeled {
+		var dur float64
+		if write {
+			dur = s.cfg.Spec.WriteTime(rec.bytes)
+			s.tel.Writes++
+			s.tel.BytesWritten += rec.bytes
+			s.tel.WriteSeconds += dur
+		} else {
+			dur = s.cfg.Spec.ReadTime(rec.bytes)
+			s.tel.Reads++
+			s.tel.BytesRead += rec.bytes
+			s.tel.ReadSeconds += dur
+		}
+		op.doneAt = math.Max(s.dev, s.cpu) + dur
+		s.dev = op.doneAt
+	}
+	s.ops <- op
+	return op
+}
+
+// Seed writes the bucket's initial record; nothing becomes resident.
+func (s *NVMeStore) Seed(idx int, master []float32) {
+	st := &BucketState{Shard: optim.NewMixedShard(master)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[idx]; ok {
+		panic(fmt.Sprintf("stv: bucket %d seeded twice", idx))
+	}
+	rec := &nvmeRecord{elems: len(master), off: s.end, bytes: recordBytes(len(master))}
+	s.recs[idx] = rec
+	s.end += rec.bytes
+	i := sort.SearchInts(s.order, idx)
+	s.order = append(s.order, 0)
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = idx
+	s.enqueueLocked(true, rec, s.encode(rec, st), false)
+}
+
+// next returns the index after idx in the seeded cycle.
+func (s *NVMeStore) next(idx int) int {
+	i := sort.SearchInts(s.order, idx) + 1
+	if i >= len(s.order) {
+		i = 0
+	}
+	return s.order[i]
+}
+
+// evictLocked drops the least-recently-used unheld resident bucket,
+// enqueueing a write-behind flush when it was modified. Reports whether a
+// slot was freed.
+func (s *NVMeStore) evictLocked() bool {
+	victim := -1
+	var oldest int64 = math.MaxInt64
+	for idx, r := range s.resident {
+		if !r.held && r.lastUse < oldest {
+			victim, oldest = idx, r.lastUse
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	r := s.resident[victim]
+	delete(s.resident, victim)
+	if r.modified {
+		rec := s.recs[victim]
+		s.enqueueLocked(true, rec, s.encode(rec, r.st), true)
+	}
+	return true
+}
+
+// prefetchLocked starts an async fetch of idx if a window slot is free.
+func (s *NVMeStore) prefetchLocked(idx int) {
+	rec, ok := s.recs[idx]
+	if !ok || rec.read != nil {
+		return
+	}
+	if _, ok := s.resident[idx]; ok {
+		return
+	}
+	if len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && !s.evictLocked() {
+		return
+	}
+	rec.read = s.enqueueLocked(false, rec, make([]byte, rec.bytes), true)
+	s.inflight++
+}
+
+// Acquire fetches bucket idx (waiting on its prefetch if one is in
+// flight), accounts the modeled stall, and auto-prefetches the next
+// bucket in the seeded cycle — the double-buffered pipeline.
+func (s *NVMeStore) Acquire(idx int) *BucketState {
+	s.checkIOErr()
+	s.mu.Lock()
+	rec, ok := s.recs[idx]
+	if !ok {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("stv: acquire of unseeded bucket %d", idx))
+	}
+	if r, ok := s.resident[idx]; ok {
+		r.held = true
+		s.tick++
+		r.lastUse = s.tick
+		if len(s.order) > 1 {
+			s.prefetchLocked(s.next(idx))
+		}
+		s.mu.Unlock()
+		return r.st
+	}
+	op := rec.read
+	if op == nil {
+		// Cold fetch: make room first so the read doesn't overshoot the
+		// window, then enqueue.
+		for len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && s.evictLocked() {
+		}
+		op = s.enqueueLocked(false, rec, make([]byte, rec.bytes), true)
+		rec.read = op
+		s.inflight++
+	}
+	if op.doneAt > s.cpu {
+		s.tel.StallSeconds += op.doneAt - s.cpu
+		s.cpu = op.doneAt
+	}
+	s.mu.Unlock()
+
+	<-op.done
+	if op.err != nil {
+		panic(fmt.Sprintf("stv: NVMe store read failed: %v", op.err))
+	}
+	// The FIFO worker ran every earlier write before this read; surface
+	// any of their failures rather than decoding possibly-stale bytes.
+	s.checkIOErr()
+	st := s.decode(rec, op.buf)
+
+	s.mu.Lock()
+	rec.read = nil
+	s.inflight--
+	for len(s.resident) >= s.cfg.ResidentBuckets && s.evictLocked() {
+	}
+	s.tick++
+	s.resident[idx] = &nvmeResident{st: st, held: true, lastUse: s.tick}
+	if len(s.order) > 1 {
+		s.prefetchLocked(s.next(idx))
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Release ends a hold. A mutating release (Flush or Step) marks the
+// bucket for write-back on eviction; a Step release also advances the
+// consumer clock by the bucket's modeled Adam step — the compute the
+// device timeline gets to hide. Checkpoint IO and rollback restores use
+// Flush, so they never charge phantom optimizer compute.
+func (s *NVMeStore) Release(idx int, mode ReleaseMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.resident[idx]
+	if !ok || !r.held {
+		panic(fmt.Sprintf("stv: release of unheld bucket %d", idx))
+	}
+	r.held = false
+	if mode != ReleaseClean {
+		r.modified = true
+	}
+	if mode == ReleaseStep {
+		c := s.cfg.ComputeTime(s.recs[idx].elems)
+		s.cpu += c
+		s.tel.ComputeSeconds += c
+	}
+}
+
+// Close drains the worker and deletes the backing file.
+func (s *NVMeStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.ops)
+	s.wg.Wait()
+	s.errMu.Lock()
+	err := s.ioErr
+	s.errMu.Unlock()
+	if cerr := s.file.Close(); err == nil {
+		err = cerr
+	}
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// encode serializes a bucket record. float32 round-trips through the raw
+// bit pattern, so storage is bit-exact.
+func (s *NVMeStore) encode(rec *nvmeRecord, st *BucketState) []byte {
+	buf := make([]byte, rec.bytes)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(st.Shard.State.Step))
+	off := 17
+	put := func(xs []float32) {
+		for _, x := range xs {
+			le.PutUint32(buf[off:], math.Float32bits(x))
+			off += 4
+		}
+	}
+	put(st.Shard.Master)
+	put(st.Shard.State.M)
+	put(st.Shard.State.V)
+	if st.Snap != nil {
+		le.PutUint64(buf[8:], uint64(st.Snap.Step))
+		buf[16] = 1
+		put(st.Snap.Master)
+		put(st.Snap.M)
+		put(st.Snap.V)
+	}
+	return buf
+}
+
+// decode reconstructs a bucket record, re-deriving the fp16 working copy
+// from the masters (it is never stored — the paper's recombine).
+func (s *NVMeStore) decode(rec *nvmeRecord, buf []byte) *BucketState {
+	n := rec.elems
+	le := binary.LittleEndian
+	off := 17
+	get := func() []float32 {
+		xs := make([]float32, n)
+		for i := range xs {
+			xs[i] = math.Float32frombits(le.Uint32(buf[off:]))
+			off += 4
+		}
+		return xs
+	}
+	shard := &optim.MixedShard{
+		Master: get(),
+		State:  &optim.State{Step: int(int64(le.Uint64(buf[0:])))},
+	}
+	shard.State.M = get()
+	shard.State.V = get()
+	shard.Half = fp16.Cast(nil, shard.Master)
+	st := &BucketState{Shard: shard}
+	if buf[16] == 1 {
+		st.Snap = &optim.Snapshot{Step: int(int64(le.Uint64(buf[8:])))}
+		st.Snap.Master = get()
+		st.Snap.M = get()
+		st.Snap.V = get()
+	}
+	return st
+}

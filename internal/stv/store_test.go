@@ -1,0 +1,367 @@
+package stv
+
+import (
+	"bytes"
+	"testing"
+
+	"superoffload/internal/data"
+	"superoffload/internal/optim"
+)
+
+// nvmeTestStore builds a tightly-windowed NVMe store backed by the test's
+// temp dir, so every test streams buckets through the file for real.
+func nvmeTestStore(t *testing.T, window int) *NVMeStore {
+	t.Helper()
+	s, err := NewNVMeStore(NVMeStoreConfig{Dir: t.TempDir(), ResidentBuckets: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// nvmeTrainerConfig is trainerConfig with small buckets behind a 2-bucket
+// NVMe window: the tiny model splits into many buckets, so state
+// round-trips through the backing file on every step.
+func nvmeTrainerConfig(t *testing.T, mode Mode) Config {
+	cfg := trainerConfig(mode)
+	cfg.BucketElems = 4000
+	cfg.Store = nvmeTestStore(t, 2)
+	return cfg
+}
+
+func assertSameWeights(t *testing.T, label string, a, b []float32) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: weight counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: weights diverge at %d: %v vs %v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestNVMeStoreSTVMatchesDRAMBitExact is the residency-tier exactness
+// claim: windowing optimizer state through the file-backed store must not
+// change a single bit of the trajectory, across both schedules and
+// through injected-overflow rollbacks.
+func TestNVMeStoreSTVMatchesDRAMBitExact(t *testing.T) {
+	inject := func(step int) bool { return step == 4 || step == 11 }
+	run := func(mode Mode, nvme bool) *Trainer {
+		cfg := trainerConfig(mode)
+		cfg.BucketElems = 4000
+		if nvme {
+			cfg.Store = nvmeTestStore(t, 2)
+		}
+		cfg.InjectBad = inject
+		cfg.Scaler = optim.NewLossScaler()
+		tr := NewTrainer(tinyGPT(42), cfg)
+		t.Cleanup(func() { tr.Close() })
+		corpus := data.NewCorpus(64, 123)
+		for i := 0; i < 25; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	dram := run(STV, false)
+	nvme := run(STV, true)
+	if nvme.NumBuckets() < 3 {
+		t.Fatalf("need several buckets to exercise the window, got %d", nvme.NumBuckets())
+	}
+	assertSameWeights(t, "STV nvme vs dram", dram.MasterWeights(), nvme.MasterWeights())
+
+	ste := run(STE, true)
+	assertSameWeights(t, "STE(nvme) vs STV(nvme)", ste.MasterWeights(), nvme.MasterWeights())
+	if dram.Stats() != nvme.Stats() {
+		t.Errorf("stats diverge: dram %+v vs nvme %+v", dram.Stats(), nvme.Stats())
+	}
+}
+
+// TestNVMeStoreClipRollbackExact drives the clip re-execution path (the
+// §4.4 scenario-2 rollback) on windowed state: the snapshots the rollback
+// restores from have been evicted to the file and fetched back.
+func TestNVMeStoreClipRollbackExact(t *testing.T) {
+	run := func(nvme bool) *Trainer {
+		cfg := trainerConfig(STV)
+		cfg.BucketElems = 4000
+		cfg.ClipNorm = 0.35 // clip fires nearly every step
+		cfg.Schedule = WarmupCosine(5, 30, 0.1)
+		if nvme {
+			cfg.Store = nvmeTestStore(t, 2)
+		}
+		tr := NewTrainer(tinyGPT(7), cfg)
+		t.Cleanup(func() { tr.Close() })
+		corpus := data.NewCorpus(64, 9)
+		for i := 0; i < 30; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	dram, nvme := run(false), run(true)
+	if nvme.Stats().ClipRolls < 20 {
+		t.Fatalf("tight clip produced only %d rollbacks; window untested", nvme.Stats().ClipRolls)
+	}
+	assertSameWeights(t, "clip rollback", dram.MasterWeights(), nvme.MasterWeights())
+}
+
+// TestCheckpointPortableAcrossStores is the cross-backend checkpoint
+// property: a checkpoint written under either store loads under the other
+// and resumes bit-exactly — including checkpoints taken mid-schedule and
+// right after a rollback, the states where hidden divergence would hide.
+func TestCheckpointPortableAcrossStores(t *testing.T) {
+	const warm, cont = 9, 8
+	schedule := WarmupCosine(5, warm+cont, 0.1)
+	// Injecting on the warm-up's last step makes the saved state a
+	// post-rollback one (the skip resolves at Flush, just before Save).
+	inject := func(step int) bool { return step == warm }
+	mkTrainer := func(seed uint64, nvme bool) *Trainer {
+		cfg := trainerConfig(STV)
+		cfg.BucketElems = 4000
+		cfg.Schedule = schedule
+		cfg.InjectBad = inject
+		cfg.Scaler = optim.NewLossScaler()
+		if nvme {
+			cfg.Store = nvmeTestStore(t, 2)
+		}
+		tr := NewTrainer(tinyGPT(seed), cfg)
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	train := func(tr *Trainer, corpus *data.Corpus, steps int) {
+		t.Helper()
+		for i := 0; i < steps; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dir := range []struct {
+		name             string
+		srcNVMe, dstNVMe bool
+	}{
+		{"dram->nvme", false, true},
+		{"nvme->dram", true, false},
+		{"nvme->nvme", true, true},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			src := mkTrainer(42, dir.srcNVMe)
+			corpus := data.NewCorpus(64, 77)
+			train(src, corpus, warm)
+			if src.Stats().SkipRolls != 1 {
+				t.Fatalf("expected the injected overflow to roll back before Save, got %+v", src.Stats())
+			}
+			var ckpt bytes.Buffer
+			if err := src.Save(&ckpt); err != nil {
+				t.Fatal(err)
+			}
+
+			dst := mkTrainer(999, dir.dstNVMe) // different init: must be overwritten
+			if err := dst.Load(bytes.NewReader(ckpt.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			assertSameWeights(t, "restored masters", src.MasterWeights(), dst.MasterWeights())
+
+			// Resume both mid-schedule on identical data; the schedule
+			// continues from the checkpointed step index.
+			srcCont := data.NewCorpus(64, 88)
+			dstCont := data.NewCorpus(64, 88)
+			train(src, srcCont, cont)
+			train(dst, dstCont, cont)
+			assertSameWeights(t, "post-resume masters", src.MasterWeights(), dst.MasterWeights())
+			if src.StepIndex() != dst.StepIndex() {
+				t.Errorf("step indices diverge: %d vs %d", src.StepIndex(), dst.StepIndex())
+			}
+		})
+	}
+}
+
+// TestCheckpointBytesIdenticalAcrossStores: the serialized checkpoint
+// itself must be byte-identical whichever store produced it.
+func TestCheckpointBytesIdenticalAcrossStores(t *testing.T) {
+	run := func(nvme bool) []byte {
+		cfg := trainerConfig(STV)
+		cfg.BucketElems = 4000
+		cfg.Scaler = optim.NewLossScaler()
+		if nvme {
+			cfg.Store = nvmeTestStore(t, 2)
+		}
+		tr := NewTrainer(tinyGPT(31), cfg)
+		t.Cleanup(func() { tr.Close() })
+		corpus := data.NewCorpus(64, 23)
+		for i := 0; i < 10; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(false), run(true)) {
+		t.Fatal("checkpoint bytes differ between DRAM and NVMe stores")
+	}
+}
+
+// TestNVMeWindowStaysBounded: residency never exceeds the configured
+// window, and buckets genuinely round-trip through the file (reads and
+// write-behind flushes both happen).
+func TestNVMeWindowStaysBounded(t *testing.T) {
+	cfg := nvmeTrainerConfig(t, STV)
+	store := cfg.Store.(*NVMeStore)
+	tr := NewTrainer(tinyGPT(3), cfg)
+	if tr.NumBuckets() <= store.cfg.ResidentBuckets {
+		t.Fatalf("model must split into more buckets (%d) than the window (%d)",
+			tr.NumBuckets(), store.cfg.ResidentBuckets)
+	}
+	corpus := data.NewCorpus(64, 5)
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+		store.mu.Lock()
+		res, held := len(store.resident), 0
+		for _, r := range store.resident {
+			if r.held {
+				held++
+			}
+		}
+		store.mu.Unlock()
+		if res > store.cfg.ResidentBuckets {
+			t.Fatalf("window overflow: %d resident > %d", res, store.cfg.ResidentBuckets)
+		}
+		if held != 0 {
+			t.Fatalf("%d buckets still held between steps", held)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tel := store.Telemetry()
+	if tel.Reads == 0 || tel.Writes == 0 {
+		t.Fatalf("state never streamed through the file: %+v", tel)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and removes the backing file.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNVMeOverlapModel: the modeled pipelined step time must beat the
+// serialized fetch+step+flush time (the double-buffered prefetch hides
+// compute behind the device), and the accounting identities must hold.
+func TestNVMeOverlapModel(t *testing.T) {
+	cfg := trainerConfig(STV)
+	cfg.BucketElems = 4000
+	store, err := NewNVMeStore(NVMeStoreConfig{
+		Dir:             t.TempDir(),
+		ResidentBuckets: 2,
+		// Compute comparable to the transfer time makes the overlap
+		// pronounced (a host-class core, not the Grace model).
+		ComputeTime: func(elems int) float64 { return float64(elems) * 16 / 1e9 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	tr := NewTrainer(tinyGPT(3), cfg)
+	defer tr.Close()
+	corpus := data.NewCorpus(64, 5)
+	before := store.Telemetry()
+	for i := 0; i < 8; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tel := store.Telemetry().Sub(before)
+	if tel.ComputeSeconds <= 0 || tel.ReadSeconds <= 0 || tel.WriteSeconds <= 0 {
+		t.Fatalf("degenerate telemetry: %+v", tel)
+	}
+	if got, want := tel.PipelinedSeconds(), tel.ComputeSeconds+tel.StallSeconds; got != want {
+		t.Errorf("pipelined identity broken: %v != %v", got, want)
+	}
+	if tel.PipelinedSeconds() >= tel.SerializedSeconds() {
+		t.Errorf("no overlap: pipelined %.6fs >= serialized %.6fs",
+			tel.PipelinedSeconds(), tel.SerializedSeconds())
+	}
+	// With balanced compute the prefetch should hide a substantial
+	// fraction, not a rounding error.
+	if saved := 1 - tel.PipelinedSeconds()/tel.SerializedSeconds(); saved < 0.10 {
+		t.Errorf("overlap hides only %.1f%% of serialized time", 100*saved)
+	}
+}
+
+// TestNVMeAccumAndStressSchedules runs the gradient-accumulation path and
+// the mixed Step/StepAccum/Save interleavings over the NVMe store (the
+// -race harness for the IO worker).
+func TestNVMeAccumAndStressSchedules(t *testing.T) {
+	cfg := nvmeTrainerConfig(t, STV)
+	cfg.ClipNorm = 0.4
+	cfg.Scaler = optim.NewLossScaler()
+	cfg.InjectBad = func(step int) bool { return step%11 == 7 }
+	tr := NewTrainer(tinyGPT(13), cfg)
+	defer tr.Close()
+	corpus := data.NewCorpus(64, 29)
+	var ckpt bytes.Buffer
+	for i := 0; i < 36; i++ {
+		switch i % 6 {
+		case 0, 1, 2, 3:
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			w := []data.Batch{corpus.NextBatch(1, 8), corpus.NextBatch(1, 8)}
+			if _, err := tr.StepAccum(w); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			if _, err := tr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			ckpt.Reset()
+			if err := tr.Save(&ckpt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Load(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Rollbacks() == 0 {
+		t.Error("stress run produced no rollbacks")
+	}
+}

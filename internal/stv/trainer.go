@@ -50,6 +50,12 @@ type Config struct {
 	// the given 1-based step (warm-up, cosine decay, ...). Rollback
 	// re-execution uses the same step's rate, preserving exactness.
 	Schedule func(step int) float64
+	// Store selects where bucket optimizer state (fp32 masters, Adam
+	// moments, rollback snapshots) lives between touches. Nil keeps
+	// everything resident in DRAM; an NVMeStore spills to a backing file
+	// with a small resident window. The trainer owns the store: Close
+	// closes it.
+	Store BucketStore
 }
 
 // WarmupCosine returns the standard warm-up + cosine-decay schedule used
@@ -97,6 +103,7 @@ type Trainer struct {
 	Model *nn.GPT
 	Cfg   Config
 
+	store   BucketStore
 	buckets []*Bucket
 	stats   Stats
 
@@ -127,16 +134,28 @@ func NewTrainer(m *nn.GPT, cfg Config) *Trainer {
 	if cfg.BucketElems <= 0 {
 		cfg.BucketElems = 32 << 20 // 64 MB of fp16
 	}
+	store := cfg.Store
+	if store == nil {
+		store = NewDRAMStore()
+	}
 	return &Trainer{
 		Model:   m,
 		Cfg:     cfg,
-		buckets: partitionParams(m.Params(), cfg.BucketElems),
+		store:   store,
+		buckets: partitionParams(m.Params(), cfg.BucketElems, store),
 		validCh: make(chan valResult, 1),
 	}
 }
 
 // NumBuckets reports the partition size (diagnostics).
 func (t *Trainer) NumBuckets() int { return len(t.buckets) }
+
+// Store returns the trainer's bucket store (telemetry access).
+func (t *Trainer) Store() BucketStore { return t.store }
+
+// Close releases the bucket store's backing resources. The trainer is
+// unusable afterwards; resolve any in-flight validation (Flush) first.
+func (t *Trainer) Close() error { return t.store.Close() }
 
 // Stats returns validation counters.
 func (t *Trainer) Stats() Stats { return t.stats }
@@ -342,7 +361,7 @@ func (t *Trainer) MasterWeights() []float32 {
 	}
 	out := make([]float32, 0, n)
 	for _, bk := range t.buckets {
-		out = append(out, bk.shard.Master...)
+		out = bk.AppendMaster(out)
 	}
 	return out
 }

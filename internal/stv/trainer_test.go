@@ -70,7 +70,7 @@ func TestBucketPartition(t *testing.T) {
 
 func TestPartitionRespectsBudgetWhenPossible(t *testing.T) {
 	m := tinyGPT(1)
-	buckets := partitionParams(m.Params(), 50000)
+	buckets := partitionParams(m.Params(), 50000, NewDRAMStore())
 	for i, bk := range buckets {
 		if len(bk.group) > 1 && bk.Size() > 50000 {
 			t.Errorf("bucket %d exceeds budget with %d elems across %d tensors",

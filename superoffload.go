@@ -105,7 +105,46 @@ type OptimizerConfig struct {
 	WarmupSteps int
 	TotalSteps  int
 	MinLRFrac   float64
+	// Offload selects the optimizer-state residency tier.
+	Offload OffloadConfig
 }
+
+// OffloadConfig selects where the fp32 master weights and Adam moments
+// live between bucket touches (the third memory tier of the documented
+// ext-nvme extension, on the real engine).
+type OffloadConfig struct {
+	// Backend is "dram" (or empty: everything stays host-resident) or
+	// "nvme" (bucket state spills to a backing file with a small
+	// resident window, throttled by the modeled NVMe array).
+	Backend string
+	// Dir is the directory for nvme backing files (default: the system
+	// temp directory). Each rank gets its own file.
+	Dir string
+	// ResidentBuckets caps the nvme store's resident window (default 2:
+	// the bucket being stepped plus the one being prefetched).
+	ResidentBuckets int
+}
+
+// storeFactory translates the offload selection into a per-rank bucket
+// store constructor (nil means DRAM-resident, the engines' default).
+func (o OffloadConfig) storeFactory() (func(rank int) (stv.BucketStore, error), error) {
+	switch o.Backend {
+	case "", "dram":
+		return nil, nil
+	case "nvme":
+		return func(rank int) (stv.BucketStore, error) {
+			return stv.NewNVMeStore(stv.NVMeStoreConfig{
+				Dir:             o.Dir,
+				ResidentBuckets: o.ResidentBuckets,
+			})
+		}, nil
+	}
+	return nil, fmt.Errorf("superoffload: unknown offload backend %q (want dram or nvme)", o.Backend)
+}
+
+// StoreTelemetry is the NVMe store's modeled-time accounting (reads,
+// writes, stalls, overlapped compute); see stv.StoreTelemetry.
+type StoreTelemetry = stv.StoreTelemetry
 
 // DefaultOptimizer returns the standard GPT training recipe.
 func DefaultOptimizer() OptimizerConfig {
@@ -153,11 +192,21 @@ func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
 	if cfg.Synchronous {
 		mode = stv.STE
 	}
+	factory, err := cfg.Offload.storeFactory()
+	if err != nil {
+		return nil, err
+	}
+	var store stv.BucketStore
+	if factory != nil {
+		if store, err = factory(0); err != nil {
+			return nil, err
+		}
+	}
 	a, scaler, schedule := cfg.translate()
 	tr := stv.NewTrainer(m.gpt, stv.Config{
 		Adam: a, Impl: optim.GraceAdam, ClipNorm: cfg.ClipNorm,
 		BucketElems: cfg.BucketElems, Mode: mode, Scaler: scaler,
-		Schedule: schedule,
+		Schedule: schedule, Store: store,
 	})
 	return &Engine{trainer: tr}, nil
 }
@@ -195,6 +244,20 @@ func (e *Engine) Stats() Stats { return e.trainer.Stats() }
 // NumBuckets reports how many offload buckets the parameter space uses.
 func (e *Engine) NumBuckets() int { return e.trainer.NumBuckets() }
 
+// StoreTelemetry returns the modeled NVMe-tier accounting; ok is false
+// when optimizer state is DRAM-resident (nothing to model).
+func (e *Engine) StoreTelemetry() (StoreTelemetry, bool) {
+	if s, isNVMe := e.trainer.Store().(*stv.NVMeStore); isNVMe {
+		return s.Telemetry(), true
+	}
+	return StoreTelemetry{}, false
+}
+
+// Close releases the engine's bucket store (the nvme backend holds a
+// backing file and an IO worker). Call Flush first; safe on the dram
+// backend too.
+func (e *Engine) Close() error { return e.trainer.Close() }
+
 // ---- multi-superchip data-parallel engine ----
 
 // DPConfig configures multi-superchip data parallelism.
@@ -226,6 +289,10 @@ func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
 	if m == nil {
 		return nil, fmt.Errorf("superoffload: nil model")
 	}
+	factory, err := cfg.Offload.storeFactory()
+	if err != nil {
+		return nil, err
+	}
 	a, scaler, schedule := cfg.translate()
 	e, err := dp.New(m.gpt, dp.Config{
 		Ranks:       dpc.Ranks,
@@ -236,6 +303,7 @@ func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
 		Synchronous: cfg.Synchronous,
 		Scaler:      scaler,
 		Schedule:    schedule,
+		NewStore:    factory,
 	})
 	if err != nil {
 		return nil, err
@@ -273,6 +341,10 @@ func (e *DPEngine) NumBuckets() int { return e.engine.NumBuckets() }
 
 // Ranks reports the data-parallel degree.
 func (e *DPEngine) Ranks() int { return e.engine.Ranks() }
+
+// StoreTelemetry sums the modeled NVMe-tier accounting over every rank's
+// store; ok is false when optimizer state is DRAM-resident.
+func (e *DPEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.StoreTelemetry() }
 
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.

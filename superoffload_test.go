@@ -45,6 +45,82 @@ func TestFig1Facade(t *testing.T) {
 	}
 }
 
+// TestOffloadFacade: the nvme backend trains bit-identically to dram
+// through the public surface, reports telemetry, and rejects unknown
+// backends — on both engines.
+func TestOffloadFacade(t *testing.T) {
+	train := func(backend string, ranks int) ([]float64, StoreTelemetry, bool) {
+		m, err := NewModel(ModelConfig{Layers: 2, Hidden: 32, Vocab: 64, MaxSeq: 16}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultOptimizer()
+		cfg.BucketElems = 4000
+		cfg.Offload = OffloadConfig{Backend: backend, Dir: t.TempDir(), ResidentBuckets: 2}
+		corpus := NewCorpus(64, 2)
+		var losses []float64
+		step := func(e interface {
+			Step(Batch) (float64, error)
+			Flush() error
+		}) {
+			for i := 0; i < 8; i++ {
+				l, err := e.Step(corpus.NextBatch(2, 8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				losses = append(losses, l)
+			}
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ranks > 1 {
+			e, err := InitDP(m, cfg, DPConfig{Ranks: ranks})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			step(e)
+			tel, ok := e.StoreTelemetry()
+			return losses, tel, ok
+		}
+		e, err := Init(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		step(e)
+		tel, ok := e.StoreTelemetry()
+		return losses, tel, ok
+	}
+	dram, _, dramOK := train("dram", 1)
+	nvme, tel, nvmeOK := train("nvme", 1)
+	if dramOK {
+		t.Error("dram backend reported NVMe telemetry")
+	}
+	if !nvmeOK || tel.Reads == 0 || tel.Writes == 0 {
+		t.Errorf("nvme backend telemetry missing or idle: ok=%v %+v", nvmeOK, tel)
+	}
+	for i := range dram {
+		if dram[i] != nvme[i] {
+			t.Fatalf("losses diverge at step %d: %v vs %v", i, dram[i], nvme[i])
+		}
+	}
+	if _, _, ok := train("nvme", 2); !ok {
+		t.Error("DP engine on nvme backend reported no telemetry")
+	}
+
+	m, _ := NewModel(ModelConfig{Layers: 1, Hidden: 16, Vocab: 32, MaxSeq: 8}, 1)
+	bad := DefaultOptimizer()
+	bad.Offload.Backend = "tape"
+	if _, err := Init(m, bad); err == nil {
+		t.Error("unknown offload backend accepted by Init")
+	}
+	if _, err := InitDP(m, bad, DPConfig{Ranks: 2}); err == nil {
+		t.Error("unknown offload backend accepted by InitDP")
+	}
+}
+
 func TestNewModelValidation(t *testing.T) {
 	if _, err := NewModel(ModelConfig{Layers: 0, Hidden: 32, Vocab: 64}, 1); err == nil {
 		t.Error("zero layers accepted")
@@ -129,8 +205,8 @@ func TestModelNamesAndExperiments(t *testing.T) {
 		t.Errorf("model zoo too small: %d", len(names))
 	}
 	exps := ExperimentNames()
-	if len(exps) != 17 {
-		t.Errorf("experiment registry has %d entries, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Errorf("experiment registry has %d entries, want 18", len(exps))
 	}
 	out, err := RunExperiment("table1")
 	if err != nil || !strings.Contains(out, "GH200") {
