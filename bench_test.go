@@ -216,7 +216,6 @@ func BenchmarkTrainStepDP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer eng.Close()
 	corpus := data.NewCorpus(128, 2)
 	batch := corpus.NextBatch(2, 16)
 	b.ResetTimer()
@@ -228,6 +227,39 @@ func BenchmarkTrainStepDP(b *testing.B) {
 	b.StopTimer()
 	if _, err := eng.Flush(); err != nil {
 		b.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		b.Error(err)
+	}
+}
+
+// BenchmarkTrainStepSP is one sequence-parallel (Ulysses) step over 2
+// simulated ranks: two attention all-to-alls per layer per pass plus the
+// weight-gradient ring on the critical path.
+func BenchmarkTrainStepSP(b *testing.B) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	eng, err := dp.NewSP(m, dp.Config{
+		Ranks: 2, Adam: optim.DefaultConfig(), Impl: optim.GraceAdam,
+		ClipNorm: 10, BucketElems: 20000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := data.NewCorpus(128, 2)
+	batch := corpus.NextBatch(2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		b.Error(err)
 	}
 }
 

@@ -1,14 +1,18 @@
 // Command supertrain trains a real (small) GPT with the SuperOffload
 // engine: speculative per-bucket Adam steps on CPU-resident fp32 master
 // weights, background validation, and exact rollback. It demonstrates the
-// paper's Fig. 1 enablement and Fig. 14 behaviour on real numerics, and —
-// with -ranks > 1 — the multi-superchip data-parallel engine with
-// ZeRO-sharded optimizer state (the 2× and 4× GH200 configurations).
+// paper's Fig. 1 enablement and Fig. 14 behaviour on real numerics; with
+// -ranks > 1 the multi-superchip data-parallel engine with ZeRO-sharded
+// optimizer state (the 2× and 4× GH200 configurations); and with
+// -seq-ranks > 1 the SuperOffload-Ulysses sequence-parallel engine
+// (§4.7): sequence-sharded ranks, two attention all-to-alls per layer,
+// and a deterministic weight-gradient ring.
 //
 // Usage:
 //
 //	supertrain -steps 300 -layers 2 -hidden 64 -mode stv
 //	supertrain -steps 300 -ranks 4 -batch 8
+//	supertrain -steps 300 -seq-ranks 4 -seq 32 -heads 4
 package main
 
 import (
@@ -30,15 +34,23 @@ type engine interface {
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() (err error) {
 	steps := flag.Int("steps", 300, "training iterations")
 	layers := flag.Int("layers", 2, "transformer layers")
 	hidden := flag.Int("hidden", 64, "hidden size")
+	heads := flag.Int("heads", 0, "attention heads (0: hidden/64, min 1; must divide hidden and -seq-ranks must divide it)")
 	vocab := flag.Int("vocab", 128, "vocabulary size")
 	batch := flag.Int("batch", 4, "global batch size (must divide by -ranks)")
-	seq := flag.Int("seq", 16, "sequence length")
+	seq := flag.Int("seq", 16, "sequence length (must divide by -seq-ranks)")
 	mode := flag.String("mode", "stv", "schedule: stv (speculative) or ste (synchronous)")
 	clip := flag.Float64("clip", 4.0, "global gradient-norm clip (0 disables)")
 	ranks := flag.Int("ranks", 1, "simulated superchip ranks (data parallelism)")
+	seqRanks := flag.Int("seq-ranks", 1, "simulated superchip ranks (Ulysses sequence parallelism)")
 	seed := flag.Uint64("seed", 42, "initialization seed")
 	offload := flag.String("offload", "dram", "optimizer-state tier: dram (resident) or nvme (file-backed window)")
 	offloadDir := flag.String("offload-dir", "", "directory for nvme backing files (default: system temp)")
@@ -47,10 +59,10 @@ func main() {
 	flag.Parse()
 
 	model, err := superoffload.NewModel(superoffload.ModelConfig{
-		Layers: *layers, Hidden: *hidden, Vocab: *vocab, MaxSeq: *seq,
+		Layers: *layers, Hidden: *hidden, Heads: *heads, Vocab: *vocab, MaxSeq: *seq,
 	}, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := superoffload.DefaultOptimizer()
 	cfg.ClipNorm = *clip
@@ -62,46 +74,79 @@ func main() {
 	}
 
 	if *ranks < 1 {
-		log.Fatalf("ranks must be >= 1, got %d", *ranks)
+		return fmt.Errorf("ranks must be >= 1, got %d", *ranks)
+	}
+	if *seqRanks < 1 {
+		return fmt.Errorf("seq-ranks must be >= 1, got %d", *seqRanks)
+	}
+	if *ranks > 1 && *seqRanks > 1 {
+		return fmt.Errorf("-ranks and -seq-ranks are mutually exclusive (pick data or sequence parallelism)")
 	}
 	var eng engine
-	if *ranks > 1 {
+	parallelism := "1 rank"
+	switch {
+	case *ranks > 1:
 		if *batch%*ranks != 0 {
-			log.Fatalf("batch %d not divisible by %d ranks", *batch, *ranks)
+			return fmt.Errorf("batch %d not divisible by %d ranks", *batch, *ranks)
 		}
 		dpe, err := superoffload.InitDP(model, cfg, superoffload.DPConfig{Ranks: *ranks})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		eng = dpe
-	} else {
+		parallelism = fmt.Sprintf("%d DP rank(s)", *ranks)
+	case *seqRanks > 1:
+		if *seq%*seqRanks != 0 {
+			return fmt.Errorf("seq %d not divisible by %d seq-ranks", *seq, *seqRanks)
+		}
+		spe, err := superoffload.InitSP(model, cfg, superoffload.SPConfig{SeqRanks: *seqRanks})
+		if err != nil {
+			return err
+		}
+		eng = spe
+		parallelism = fmt.Sprintf("%d SP rank(s)", *seqRanks)
+	default:
 		e, err := superoffload.Init(model, cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		eng = e
 	}
-	defer eng.Close()
+	// Close surfaces latched NVMe background-IO failures; dropping its
+	// error would let a corrupted-run signal vanish silently, so it joins
+	// the command's exit status.
+	defer func() {
+		if cerr := eng.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing engine: %w", cerr)
+		}
+	}()
 
-	fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %d rank(s), %s offload\n",
-		model.NumParams(), eng.NumBuckets(), *mode, *ranks, *offload)
+	fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %s, %s offload\n",
+		model.NumParams(), eng.NumBuckets(), *mode, parallelism, *offload)
 
 	corpus := superoffload.NewCorpus(*vocab, *seed+1)
 	for i := 1; i <= *steps; i++ {
 		loss, err := eng.Step(corpus.NextBatch(*batch, *seq))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if i%(max(1, *steps/20)) == 0 {
 			fmt.Printf("step %4d  loss %.4f\n", i, loss)
 		}
 	}
 	if err := eng.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	st := eng.Stats()
 	fmt.Printf("done: %d steps, %d commits, %d clip-rollbacks, %d skip-rollbacks, %d forward redos\n",
 		st.Steps, st.Commits, st.ClipRolls, st.SkipRolls, st.Redos)
+	if spe, ok := eng.(*superoffload.SPEngine); ok {
+		cs := spe.CommStats()
+		n := float64(*steps)
+		fmt.Printf("ulysses links: %.1f all-to-all payloads/step (%.1f MB/step), %.1f ring hops/step (%.1f MB/step)\n",
+			float64(cs.A2APayloads)/n, float64(cs.A2AFloats)*4/1e6/n,
+			float64(cs.RingHops)/n, float64(cs.RingFloats)*4/1e6/n)
+	}
 	if tel, ok := eng.StoreTelemetry(); ok {
 		n := float64(*steps)
 		fmt.Printf("nvme tier: %d reads (%.1f MB), %d writes (%.1f MB)\n",
@@ -110,6 +155,7 @@ func main() {
 			1e3*tel.PipelinedSeconds()/n, 1e3*tel.SerializedSeconds()/n,
 			100*(1-tel.PipelinedSeconds()/tel.SerializedSeconds()))
 	}
+	return nil
 }
 
 func max(a, b int) int {

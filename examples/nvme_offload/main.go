@@ -44,7 +44,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer engine.Close()
+		// Close surfaces latched background-IO failures from the nvme
+		// worker; a dropped error here would hide a corrupted run.
+		defer func() {
+			if cerr := engine.Close(); cerr != nil {
+				log.Fatal(cerr)
+			}
+		}()
 		corpus := superoffload.NewCorpus(128, 11)
 		var losses []float64
 		for step := 1; step <= steps; step++ {

@@ -47,4 +47,7 @@ func main() {
 	st := engine.Stats()
 	fmt.Printf("validation: %d commits, %d rollbacks (all exact)\n",
 		st.Commits, st.Rollbacks())
+	if err := engine.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

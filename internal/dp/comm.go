@@ -78,21 +78,29 @@ func newWorld(r, b int) *world {
 	return w
 }
 
-// owner maps a bucket to its owning rank (round-robin over the global
-// bucket order, the ZeRO-style partition).
-func (w *world) owner(bucket int) int { return bucket % w.R }
+// bucketOwner maps a bucket to its owning rank (round-robin over the
+// global bucket order, the ZeRO-style partition) — the single ownership
+// policy every engine component consults.
+func bucketOwner(bucket, ranks int) int { return bucket % ranks }
+
+// owner applies the ownership policy to this world's rank count.
+func (w *world) owner(bucket int) int { return bucketOwner(bucket, w.R) }
 
 // aggregate is the validation reducer: each step it collects exactly one
 // partial per bucket (arrival order is scheduling-dependent; combination
 // order is not — partials sum in bucket index order, matching
 // optim.GlobalNorm's per-shard grouping bit for bit) and publishes the
 // global verdict input. It exits when the partial link closes.
-func (w *world) aggregate() {
-	sums := make([]float64, w.B)
+func (w *world) aggregate() { aggregatePartials(w.partial, w.val, w.B) }
+
+// aggregatePartials is the reducer body, shared by the data-parallel and
+// sequence-parallel worlds.
+func aggregatePartials(partial <-chan partialMsg, val chan<- valMsg, nBuckets int) {
+	sums := make([]float64, nBuckets)
 	for {
 		bad := false
-		for i := 0; i < w.B; i++ {
-			p, ok := <-w.partial
+		for i := 0; i < nBuckets; i++ {
+			p, ok := <-partial
 			if !ok {
 				return
 			}
@@ -103,6 +111,6 @@ func (w *world) aggregate() {
 		for _, q := range sums {
 			s += q
 		}
-		w.val <- valMsg{bad: bad, norm: math.Sqrt(s)}
+		val <- valMsg{bad: bad, norm: math.Sqrt(s)}
 	}
 }

@@ -1,0 +1,188 @@
+package dp
+
+import (
+	"fmt"
+	"io"
+
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+)
+
+// coordinator is the verdict/schedule state machine shared by the
+// data-parallel and sequence-parallel engines: the loss-scale and
+// learning-rate plumbing, the pending-validation bookkeeping, and the
+// conversion of a global verdict into the resolution every rank applies.
+// Keeping it in one place is what keeps the two engines' stats, scaler
+// updates, and rollback decisions identical by construction — the
+// cross-engine trajectory and checkpoint parity the tests assert.
+type coordinator struct {
+	cfg         Config
+	stepIndex   int
+	pending     bool
+	pendingAdam optim.Config
+	stats       stv.Stats
+	closed      bool
+}
+
+// Stats returns the engine's validation counters.
+func (c *coordinator) Stats() stv.Stats { return c.stats }
+
+// StepIndex reports how many optimizer steps the engine has attempted.
+func (c *coordinator) StepIndex() int { return c.stepIndex }
+
+// scale returns the current loss scale (1 when scaling is disabled).
+func (c *coordinator) scale() float64 {
+	if c.cfg.Scaler == nil {
+		return 1
+	}
+	return c.cfg.Scaler.Scale
+}
+
+// stepAdam returns the Adam config for the current step with the
+// learning-rate schedule applied.
+func (c *coordinator) stepAdam() optim.Config {
+	a := c.cfg.Adam
+	if c.cfg.Schedule != nil {
+		a.LR *= c.cfg.Schedule(c.stepIndex)
+	}
+	return a
+}
+
+// save serializes the training state in the stv checkpoint format over
+// the global bucket order — byte-identical across engines and rank
+// counts on the same trajectory.
+func (c *coordinator) save(w io.Writer, buckets []*stv.Bucket) error {
+	if c.closed {
+		return fmt.Errorf("dp: engine closed")
+	}
+	if c.pending {
+		return fmt.Errorf("dp: Flush before Save (validation in flight)")
+	}
+	return stv.WriteCheckpoint(w, c.stepIndex, c.cfg.Scaler, buckets)
+}
+
+// load restores state written by save (from any engine), scattering each
+// bucket to its owner and republishing the fp16-rounded weights to every
+// non-owner replica (replicaGroups[rank] is that replica's global bucket
+// layout; ownership is round-robin in both engines).
+func (c *coordinator) load(r io.Reader, buckets []*stv.Bucket, replicaGroups [][]nn.Params) error {
+	if c.closed {
+		return fmt.Errorf("dp: engine closed")
+	}
+	if c.pending {
+		return fmt.Errorf("dp: Flush before Load (validation in flight)")
+	}
+	stepIndex, err := stv.ReadCheckpoint(r, c.cfg.Scaler, buckets)
+	if err != nil {
+		return err
+	}
+	c.stepIndex = stepIndex
+	// ReadCheckpoint republished into owner replicas; propagate to the
+	// others (the ranks are quiescent between commands). One store
+	// acquire per bucket, shared across all receiving ranks.
+	ranks := len(replicaGroups)
+	for bi, bk := range buckets {
+		half := bk.Half()
+		for s := 0; s < ranks; s++ {
+			if s == bucketOwner(bi, ranks) {
+				continue
+			}
+			stv.PublishHalf(replicaGroups[s][bi], half)
+		}
+	}
+	return nil
+}
+
+// engineRank is the surface the shared engine plumbing needs from either
+// rank type (dp's rank, sp's spRank).
+type engineRank interface {
+	bucketStore() stv.BucketStore
+	bucketLayout() []nn.Params
+}
+
+// storeList collects every rank's bucket store, in rank order.
+func storeList[R engineRank](ranks []R) []stv.BucketStore {
+	out := make([]stv.BucketStore, len(ranks))
+	for i, rk := range ranks {
+		out[i] = rk.bucketStore()
+	}
+	return out
+}
+
+// replicaGroups collects every rank's global bucket layout, in rank order.
+func replicaGroups[R engineRank](ranks []R) [][]nn.Params {
+	out := make([][]nn.Params, len(ranks))
+	for i, rk := range ranks {
+		out[i] = rk.bucketLayout()
+	}
+	return out
+}
+
+// gatherMasters returns the fp32 master parameters gathered from their
+// owners, concatenated in bucket order — the ground truth for exactness
+// comparisons against the single-rank engine.
+func gatherMasters(buckets []*stv.Bucket) []float32 {
+	n := 0
+	for _, bk := range buckets {
+		n += bk.Size()
+	}
+	out := make([]float32, 0, n)
+	for _, bk := range buckets {
+		out = bk.AppendMaster(out)
+	}
+	return out
+}
+
+// sumNVMeTelemetry sums the modeled NVMe telemetry over the given stores;
+// ok is false when none is NVMe-backed.
+func sumNVMeTelemetry(stores []stv.BucketStore) (stv.StoreTelemetry, bool) {
+	var sum stv.StoreTelemetry
+	any := false
+	for _, st := range stores {
+		if s, isNVMe := st.(*stv.NVMeStore); isNVMe {
+			sum = sum.Add(s.Telemetry())
+			any = true
+		}
+	}
+	return sum, any
+}
+
+// closeStores closes every store, folding the first failure into err.
+func closeStores(stores []stv.BucketStore, err error) error {
+	for _, st := range stores {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// resolvePending consumes the outstanding validation verdict (blocking on
+// the background aggregator if it is still running) and converts it into
+// the resolution every rank must apply. Counters and the loss scaler
+// update exactly as the single-rank trainer's resolvePending does.
+func (c *coordinator) resolvePending(val <-chan valMsg) resolution {
+	if !c.pending {
+		return resolution{action: aNone}
+	}
+	v := <-val
+	c.pending = false
+	if v.bad {
+		c.stats.SkipRolls++
+		if c.cfg.Scaler != nil {
+			c.cfg.Scaler.Update(true)
+		}
+		return resolution{action: aSkip}
+	}
+	if c.cfg.Scaler != nil {
+		c.cfg.Scaler.Update(false)
+	}
+	clip := optim.ClipScale(v.norm, c.cfg.ClipNorm)
+	if clip != 1.0 {
+		c.stats.ClipRolls++
+		return resolution{action: aClip, clipScale: clip, adam: c.pendingAdam}
+	}
+	c.stats.Commits++
+	return resolution{action: aCommit}
+}

@@ -16,18 +16,12 @@ import (
 // not safe for concurrent use — like the single-rank trainer, one
 // goroutine drives training.
 type Engine struct {
-	cfg   Config
+	coordinator
 	w     *world
 	ranks []*rank
 	// buckets is the global bucket order; entry b points at the owning
 	// rank's optimizer state (used for checkpointing and diagnostics).
 	buckets []*stv.Bucket
-
-	stepIndex   int
-	pending     bool
-	pendingAdam optim.Config
-	stats       stv.Stats
-	closed      bool
 }
 
 // New builds a data-parallel engine over the model. The model becomes rank
@@ -49,7 +43,7 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 	}
 	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
 	w := newWorld(cfg.Ranks, nBuckets)
-	e := &Engine{cfg: cfg, w: w, buckets: make([]*stv.Bucket, nBuckets)}
+	e := &Engine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	// Build every rank's store before starting any goroutine, so a
 	// failing store constructor can unwind cleanly.
 	stores := make([]stv.BucketStore, cfg.Ranks)
@@ -86,15 +80,7 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 // StoreTelemetry sums the modeled NVMe telemetry over every rank's store.
 // ok is false when no rank uses an NVMe-backed store.
 func (e *Engine) StoreTelemetry() (stv.StoreTelemetry, bool) {
-	var sum stv.StoreTelemetry
-	any := false
-	for _, rk := range e.ranks {
-		if s, isNVMe := rk.store.(*stv.NVMeStore); isNVMe {
-			sum = sum.Add(s.Telemetry())
-			any = true
-		}
-	}
-	return sum, any
+	return sumNVMeTelemetry(storeList(e.ranks))
 }
 
 // Ranks reports the data-parallel degree R.
@@ -102,30 +88,6 @@ func (e *Engine) Ranks() int { return e.w.R }
 
 // NumBuckets reports how many offload buckets the parameter space uses.
 func (e *Engine) NumBuckets() int { return len(e.buckets) }
-
-// Stats returns the engine's validation counters.
-func (e *Engine) Stats() stv.Stats { return e.stats }
-
-// StepIndex reports how many optimizer steps the engine has attempted.
-func (e *Engine) StepIndex() int { return e.stepIndex }
-
-// scale returns the current loss scale (1 when scaling is disabled).
-func (e *Engine) scale() float64 {
-	if e.cfg.Scaler == nil {
-		return 1
-	}
-	return e.cfg.Scaler.Scale
-}
-
-// stepAdam returns the Adam config for the current step with the
-// learning-rate schedule applied.
-func (e *Engine) stepAdam() optim.Config {
-	a := e.cfg.Adam
-	if e.cfg.Schedule != nil {
-		a.LR *= e.cfg.Schedule(e.stepIndex)
-	}
-	return a
-}
 
 // split slices a global batch into R per-rank micro-batches along the
 // batch dimension. Rank r takes rows [r·B/R, (r+1)·B/R).
@@ -200,7 +162,7 @@ func (e *Engine) step(micross [][]data.Batch) (float64, error) {
 	// Ranks are now forwarding; the pending verdict resolves in parallel
 	// with that compute, exactly like the single-rank background
 	// validator.
-	res := e.resolvePending()
+	res := e.resolvePending(e.w.val)
 	for r := 0; r < e.w.R; r++ {
 		e.w.resolution[r] <- res
 	}
@@ -245,35 +207,6 @@ func (e *Engine) step(micross [][]data.Batch) (float64, error) {
 	return loss, nil
 }
 
-// resolvePending consumes the outstanding validation verdict (blocking on
-// the background aggregator if it is still running) and converts it into
-// the resolution every rank must apply. Counters and the loss scaler
-// update exactly as the single-rank trainer's resolvePending does.
-func (e *Engine) resolvePending() resolution {
-	if !e.pending {
-		return resolution{action: aNone}
-	}
-	v := <-e.w.val
-	e.pending = false
-	if v.bad {
-		e.stats.SkipRolls++
-		if e.cfg.Scaler != nil {
-			e.cfg.Scaler.Update(true)
-		}
-		return resolution{action: aSkip}
-	}
-	if e.cfg.Scaler != nil {
-		e.cfg.Scaler.Update(false)
-	}
-	clip := optim.ClipScale(v.norm, e.cfg.ClipNorm)
-	if clip != 1.0 {
-		e.stats.ClipRolls++
-		return resolution{action: aClip, clipScale: clip, adam: e.pendingAdam}
-	}
-	e.stats.Commits++
-	return resolution{action: aCommit}
-}
-
 // Flush resolves any in-flight validation (call at end of training so the
 // final step is validated). Returns whether the final step was rolled back
 // or re-executed.
@@ -284,7 +217,7 @@ func (e *Engine) Flush() (bool, error) {
 	if !e.pending {
 		return false, nil
 	}
-	res := e.resolvePending()
+	res := e.resolvePending(e.w.val)
 	for r := 0; r < e.w.R; r++ {
 		e.w.cmd[r] <- command{kind: cmdResolve, res: res}
 	}
@@ -298,54 +231,17 @@ func (e *Engine) Flush() (bool, error) {
 // the global bucket order — byte-identical to a single-rank engine on the
 // same trajectory, so checkpoints move freely between rank counts. It
 // fails if a validation is in flight.
-func (e *Engine) Save(w io.Writer) error {
-	if e.pending {
-		return fmt.Errorf("dp: Flush before Save (validation in flight)")
-	}
-	return stv.WriteCheckpoint(w, e.stepIndex, e.cfg.Scaler, e.buckets)
-}
+func (e *Engine) Save(w io.Writer) error { return e.save(w, e.buckets) }
 
-// Load restores state saved by Save (from either engine) into this one,
+// Load restores state saved by Save (from any engine) into this one,
 // scattering each bucket to its owner and republishing the fp16-rounded
 // weights to every replica.
-func (e *Engine) Load(r io.Reader) error {
-	if e.pending {
-		return fmt.Errorf("dp: Flush before Load (validation in flight)")
-	}
-	stepIndex, err := stv.ReadCheckpoint(r, e.cfg.Scaler, e.buckets)
-	if err != nil {
-		return err
-	}
-	e.stepIndex = stepIndex
-	// ReadCheckpoint republished into owner replicas; propagate to the
-	// others (the ranks are quiescent between commands). One store
-	// acquire per bucket, shared across all receiving ranks.
-	for bi, bk := range e.buckets {
-		half := bk.Half()
-		for r := 0; r < e.w.R; r++ {
-			if r == e.w.owner(bi) {
-				continue
-			}
-			stv.PublishHalf(e.ranks[r].groups[bi], half)
-		}
-	}
-	return nil
-}
+func (e *Engine) Load(r io.Reader) error { return e.load(r, e.buckets, replicaGroups(e.ranks)) }
 
 // MasterWeights returns the fp32 master parameters gathered from their
 // owners, concatenated in bucket order — the ground truth for exactness
 // comparisons against the single-rank engine.
-func (e *Engine) MasterWeights() []float32 {
-	n := 0
-	for _, bk := range e.buckets {
-		n += bk.Size()
-	}
-	out := make([]float32, 0, n)
-	for _, bk := range e.buckets {
-		out = bk.AppendMaster(out)
-	}
-	return out
-}
+func (e *Engine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
 
 // Close resolves any pending validation, stops the rank goroutines and
 // the validation aggregator, and closes every rank's bucket store. The
@@ -359,11 +255,6 @@ func (e *Engine) Close() error {
 		e.w.cmd[r] <- command{kind: cmdStop}
 	}
 	close(e.w.partial)
-	for _, rk := range e.ranks {
-		if cerr := rk.store.Close(); err == nil {
-			err = cerr
-		}
-	}
 	e.closed = true
-	return err
+	return closeStores(storeList(e.ranks), err)
 }

@@ -13,7 +13,8 @@ import (
 )
 
 func tinyGPT(seed uint64) *nn.GPT {
-	cfg := model.Config{Name: "t", Layers: 2, Hidden: 32, Heads: 2, Vocab: 64}
+	// 4 heads so the sequence-parallel tests can shard across S ∈ {1,2,4}.
+	cfg := model.Config{Name: "t", Layers: 2, Hidden: 32, Heads: 4, Vocab: 64}
 	return nn.NewGPT(cfg, 16, tensor.NewRNG(seed))
 }
 

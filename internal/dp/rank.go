@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"superoffload/internal/data"
+	"superoffload/internal/fp16"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
 	"superoffload/internal/stv"
@@ -70,21 +71,28 @@ func (r *rank) run() {
 // apply executes a validation resolution on this rank: owners mutate their
 // partition, and if weights changed every rank republishes via all-gather.
 func (r *rank) apply(v resolution) {
+	applyResolution(v, r.owned, r.impl, r.allGather)
+}
+
+// applyResolution is the resolution body shared by the data-parallel and
+// sequence-parallel ranks: owners commit, roll back, or re-execute their
+// partition, and allGather republishes when weights changed.
+func applyResolution(v resolution, owned []ownedBucket, impl optim.Impl, allGather func()) {
 	switch v.action {
 	case aCommit:
-		for _, ob := range r.owned {
+		for _, ob := range owned {
 			ob.b.Commit()
 		}
 	case aSkip:
-		for _, ob := range r.owned {
+		for _, ob := range owned {
 			ob.b.Rollback()
 		}
-		r.allGather()
+		allGather()
 	case aClip:
-		for _, ob := range r.owned {
-			ob.b.ReExecuteClipped(v.adam, r.impl, v.clipScale)
+		for _, ob := range owned {
+			ob.b.ReExecuteClipped(v.adam, impl, v.clipScale)
 		}
-		r.allGather()
+		allGather()
 	}
 }
 
@@ -183,17 +191,30 @@ func (r *rank) contribute(m int) {
 // Owned buckets are skipped on the receive side: the speculative step,
 // rollback, and clip re-execution already wrote them back locally.
 func (r *rank) allGather() {
-	for _, ob := range r.owned {
+	gatherWeights(r.owned, r.groups, r.w.gather, r.w.R, r.id)
+}
+
+// gatherWeights is the all-gather body shared by the data-parallel and
+// sequence-parallel ranks (bucket ownership is round-robin in both
+// worlds): owned buckets broadcast over the gather links, non-owned
+// buckets install the received payloads.
+func gatherWeights(owned []ownedBucket, groups []nn.Params, gather [][]chan []fp16.Num, ranks, id int) {
+	for _, ob := range owned {
 		half := ob.b.Half()
-		for dst := 0; dst < r.w.R; dst++ {
-			if dst != r.id {
-				r.w.gather[ob.idx][dst] <- half
+		for dst := 0; dst < ranks; dst++ {
+			if dst != id {
+				gather[ob.idx][dst] <- half
 			}
 		}
 	}
-	for bi, g := range r.groups {
-		if r.w.owner(bi) != r.id {
-			stv.PublishHalf(g, <-r.w.gather[bi][r.id])
+	for bi, g := range groups {
+		if bucketOwner(bi, ranks) != id {
+			stv.PublishHalf(g, <-gather[bi][id])
 		}
 	}
 }
+
+// bucketStore and bucketLayout satisfy engineRank for the shared engine
+// plumbing (storeList, replicaGroups).
+func (r *rank) bucketStore() stv.BucketStore { return r.store }
+func (r *rank) bucketLayout() []nn.Params    { return r.groups }

@@ -1,0 +1,302 @@
+package dp
+
+import (
+	"fmt"
+	"io"
+
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+)
+
+// SPEngine is the sequence-parallel (SuperOffload-Ulysses, §4.7) training
+// engine: S simulated superchip ranks each own a contiguous sequence
+// shard of every batch row, run the real GPT forward/backward locally,
+// and switch attention to head parallelism via two deterministic
+// all-to-alls per layer per pass. The fp32 masters and Adam moments are
+// ZeRO-partitioned across ranks along the stv bucket boundaries (behind
+// pluggable per-rank bucket stores, so long-sequence runs can stream
+// optimizer state through the NVMe tier), and STV's speculative step,
+// background validation, and exact rollback run unchanged on top.
+//
+// Determinism contract: for the same batch, an S-rank engine reproduces —
+// bit for bit — the loss trajectory, rollbacks, and checkpoints of a
+// single-rank stv.Trainer processing the whole sequence. Forward
+// activations shard row-wise exactly (everything outside attention is
+// row-local, and head attention sees identical full-sequence inputs after
+// the first all-to-all); weight gradients reduce over a ring whose hops
+// visit (batch row, shard) pairs in ascending global row order, replaying
+// the exact per-row fold the single-rank backward uses; and per-row
+// losses fold at the coordinator in the same order crossEntropy sums
+// them. Config.Ranks is interpreted as the sequence-parallel degree S.
+type SPEngine struct {
+	coordinator
+	w     *spWorld
+	ranks []*spRank
+	// buckets is the global bucket order; entry b points at the owning
+	// rank's optimizer state (used for checkpointing and diagnostics).
+	buckets []*stv.Bucket
+}
+
+// NewSP builds a sequence-parallel engine over the model. The model
+// becomes rank 0's replica; ranks 1..S-1 train on bit-identical clones.
+func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("dp: nil model")
+	}
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("dp: sequence Ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	if model.Cfg.Heads%cfg.Ranks != 0 {
+		return nil, fmt.Errorf("dp: %d attention heads not divisible by %d sequence ranks",
+			model.Cfg.Heads, cfg.Ranks)
+	}
+	if cfg.Impl == nil {
+		cfg.Impl = optim.GraceAdam
+	}
+	if cfg.BucketElems <= 0 {
+		cfg.BucketElems = 32 << 20 // 64 MB of fp16, §4.3
+	}
+	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
+	w := newSPWorld(cfg.Ranks, nBuckets)
+	e := &SPEngine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
+	stores := make([]stv.BucketStore, cfg.Ranks)
+	for id := 0; id < cfg.Ranks; id++ {
+		if cfg.NewStore == nil {
+			stores[id] = stv.NewDRAMStore()
+			continue
+		}
+		st, err := cfg.NewStore(id)
+		if err != nil {
+			for _, s := range stores[:id] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("dp: building sequence rank %d store: %w", id, err)
+		}
+		stores[id] = st
+	}
+	for id := 0; id < cfg.Ranks; id++ {
+		replica := model
+		if id > 0 {
+			replica = model.Clone()
+		}
+		rk := newSPRank(id, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
+		for _, ob := range rk.owned {
+			e.buckets[ob.idx] = ob.b
+		}
+		e.ranks = append(e.ranks, rk)
+		go rk.run()
+	}
+	go w.aggregate()
+	return e, nil
+}
+
+// SPCommStats counts the sequence-parallel link traffic: all-to-all
+// payloads/floats (two exchanges per layer per pass) and weight-gradient
+// ring hops/floats. Deterministic for a fixed model and step count.
+type SPCommStats struct {
+	A2APayloads int64
+	A2AFloats   int64
+	RingHops    int64
+	RingFloats  int64
+}
+
+// CommStats reports the engine's cumulative link traffic.
+func (e *SPEngine) CommStats() SPCommStats {
+	return SPCommStats{
+		A2APayloads: e.w.a2aPayloads.Load(),
+		A2AFloats:   e.w.a2aFloats.Load(),
+		RingHops:    e.w.ringHops.Load(),
+		RingFloats:  e.w.ringFloats.Load(),
+	}
+}
+
+// StoreTelemetry sums the modeled NVMe telemetry over every rank's store.
+// ok is false when no rank uses an NVMe-backed store.
+func (e *SPEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
+	return sumNVMeTelemetry(storeList(e.ranks))
+}
+
+// SeqRanks reports the sequence-parallel degree S.
+func (e *SPEngine) SeqRanks() int { return e.w.S }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *SPEngine) NumBuckets() int { return len(e.buckets) }
+
+// split slices a global batch into S per-rank sequence shards: rank s
+// takes positions [s·T/S, (s+1)·T/S) of every batch row. The sharding
+// arithmetic is validated here, in the caller's goroutine, so a
+// malformed batch surfaces as an error instead of a rank-goroutine
+// panic.
+func (e *SPEngine) split(b data.Batch) ([]data.Batch, error) {
+	if err := e.ranks[0].model.ValidateSP(e.w.S, b.Seq); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	tl := b.Seq / e.w.S
+	out := make([]data.Batch, e.w.S)
+	for s := 0; s < e.w.S; s++ {
+		toks := make([]int, 0, b.BatchSize*tl)
+		tgts := make([]int, 0, b.BatchSize*tl)
+		for r := 0; r < b.BatchSize; r++ {
+			lo := r*b.Seq + s*tl
+			toks = append(toks, b.Tokens[lo:lo+tl]...)
+			tgts = append(tgts, b.Targets[lo:lo+tl]...)
+		}
+		out[s] = data.Batch{Tokens: toks, Targets: tgts, BatchSize: b.BatchSize, Seq: tl}
+	}
+	return out, nil
+}
+
+// Step runs one training iteration over the batch: each rank takes its
+// sequence shard of every row, attention head-parallelizes over the
+// all-to-all links, weight gradients reduce over the ring, the bucket
+// owners step speculatively, and validation runs in the background.
+// Returns the mean loss — bit-identical to the single-rank engine's loss
+// for the same batch.
+func (e *SPEngine) Step(b data.Batch) (float64, error) {
+	slices, err := e.split(b)
+	if err != nil {
+		return 0, err
+	}
+	micross := make([][]data.Batch, e.w.S)
+	for s, sl := range slices {
+		micross[s] = []data.Batch{sl}
+	}
+	return e.step(micross)
+}
+
+// StepAccum runs one optimizer step over several accumulated micro-batches
+// (the §5.2 OOM-mitigation path): every micro-batch seq-shards across
+// ranks, reductions complete per micro-batch in micro order, and one
+// optimizer step applies at the end.
+func (e *SPEngine) StepAccum(batches []data.Batch) (float64, error) {
+	if len(batches) == 0 {
+		return 0, nil
+	}
+	micross := make([][]data.Batch, e.w.S)
+	for _, b := range batches {
+		slices, err := e.split(b)
+		if err != nil {
+			return 0, err
+		}
+		for s, sl := range slices {
+			micross[s] = append(micross[s], sl)
+		}
+	}
+	return e.step(micross)
+}
+
+// step drives one iteration: dispatch the per-rank shards, resolve the
+// previous step's validation while forwards run, release the ranks, and
+// fold their per-row losses in canonical order.
+func (e *SPEngine) step(micross [][]data.Batch) (float64, error) {
+	if e.closed {
+		return 0, fmt.Errorf("dp: engine closed")
+	}
+	e.stepIndex++
+	adam := e.stepAdam()
+	for s := 0; s < e.w.S; s++ {
+		e.w.cmd[s] <- spCommand{kind: cmdStep, micros: micross[s]}
+	}
+	res := e.resolvePending(e.w.val)
+	for s := 0; s < e.w.S; s++ {
+		e.w.resolution[s] <- res
+	}
+	if res.weightsChanged() {
+		e.stats.Redos++
+	}
+	g := goMsg{
+		adam:   adam,
+		scale:  e.scale(),
+		inject: e.cfg.InjectBad != nil && e.cfg.InjectBad(e.stepIndex),
+	}
+	for s := 0; s < e.w.S; s++ {
+		e.w.goCh[s] <- g
+	}
+	e.pendingAdam = adam
+
+	perRank := make([][][]float64, e.w.S)
+	for s := 0; s < e.w.S; s++ {
+		perRank[s] = (<-e.w.results[s]).rows
+	}
+	// Per-row losses fold in (micro, batch row, shard, position) order —
+	// ascending global row order per micro-batch, the exact order
+	// crossEntropy sums rows — then normalize per micro and average in
+	// micro order, matching the single-rank trainer.
+	m := len(micross[0])
+	var loss float64
+	for mi := 0; mi < m; mi++ {
+		rowsB, tl := micross[0][mi].BatchSize, micross[0][mi].Seq
+		var micro float64
+		for b := 0; b < rowsB; b++ {
+			for s := 0; s < e.w.S; s++ {
+				for t := 0; t < tl; t++ {
+					micro += perRank[s][mi][b*tl+t]
+				}
+			}
+		}
+		loss += micro / float64(rowsB*tl*e.w.S)
+	}
+	loss /= float64(m)
+	e.stats.Steps++
+	e.pending = true
+
+	if e.cfg.Synchronous {
+		if _, err := e.Flush(); err != nil {
+			return loss, err
+		}
+	}
+	return loss, nil
+}
+
+// Flush resolves any in-flight validation (call at end of training so the
+// final step is validated). Returns whether the final step was rolled
+// back or re-executed.
+func (e *SPEngine) Flush() (bool, error) {
+	if e.closed {
+		return false, fmt.Errorf("dp: engine closed")
+	}
+	if !e.pending {
+		return false, nil
+	}
+	res := e.resolvePending(e.w.val)
+	for s := 0; s < e.w.S; s++ {
+		e.w.cmd[s] <- spCommand{kind: cmdResolve, res: res}
+	}
+	for s := 0; s < e.w.S; s++ {
+		<-e.w.results[s]
+	}
+	return res.weightsChanged(), nil
+}
+
+// Save serializes the training state in the stv checkpoint format, over
+// the global bucket order — byte-identical to the single-rank engine (and
+// the data-parallel engine) on the same trajectory, so checkpoints move
+// freely across sequence-rank counts.
+func (e *SPEngine) Save(w io.Writer) error { return e.save(w, e.buckets) }
+
+// Load restores state saved by any engine's Save, scattering each bucket
+// to its owner and republishing the fp16-rounded weights to every replica.
+func (e *SPEngine) Load(r io.Reader) error { return e.load(r, e.buckets, replicaGroups(e.ranks)) }
+
+// MasterWeights returns the fp32 master parameters gathered from their
+// owners, concatenated in bucket order — the ground truth for exactness
+// comparisons against the single-rank engine.
+func (e *SPEngine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
+
+// Close resolves any pending validation, stops the rank goroutines and
+// the validation aggregator, and closes every rank's bucket store. The
+// engine is unusable afterwards.
+func (e *SPEngine) Close() error {
+	if e.closed {
+		return nil
+	}
+	_, err := e.Flush()
+	for s := 0; s < e.w.S; s++ {
+		e.w.cmd[s] <- spCommand{kind: cmdStop}
+	}
+	close(e.w.partial)
+	e.closed = true
+	return closeStores(storeList(e.ranks), err)
+}

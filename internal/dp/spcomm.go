@@ -1,0 +1,129 @@
+package dp
+
+import (
+	"sync/atomic"
+
+	"superoffload/internal/data"
+	"superoffload/internal/fp16"
+)
+
+// spWorld is the simulated interconnect of the sequence-parallel engine:
+// S superchip ranks each own a contiguous sequence shard of every batch
+// row, so the links carry three kinds of traffic — the per-layer
+// all-to-alls that flip attention between sequence and head sharding
+// (§4.7's two collectives per layer per pass), the weight-gradient ring
+// whose hops visit (batch row, shard) pairs in ascending global row order
+// so the reduced gradient reproduces the single-rank fold bit for bit,
+// and the same verdict/all-gather control plane the data-parallel world
+// uses.
+type spWorld struct {
+	S int // sequence ranks
+	B int // buckets
+
+	// Coordinator → rank control links (the dp world's protocol).
+	cmd        []chan spCommand
+	resolution []chan resolution
+	goCh       []chan goMsg
+	// Rank → coordinator: per-micro-batch per-row losses (or an ack).
+	results []chan spResult
+
+	// a2a[dst][src] carries one attention-exchange payload — the
+	// all-to-all collective primitive.
+	a2a [][]chan []float32
+	// ring[s] delivers the in-progress flat gradient buffer to rank s.
+	ring []chan []float32
+	// flat[s] broadcasts each micro-batch's completed reduction.
+	flat []chan []float32
+
+	// gather[b][dst] carries the owner's post-step fp16 weights for
+	// bucket b to rank dst.
+	gather [][]chan []fp16.Num
+
+	// Background validation links (identical to the dp world's).
+	partial chan partialMsg
+	val     chan valMsg
+
+	// Link telemetry; ranks update concurrently.
+	a2aPayloads atomic.Int64
+	a2aFloats   atomic.Int64
+	ringHops    atomic.Int64
+	ringFloats  atomic.Int64
+}
+
+// spCommand drives a sequence rank's top-level loop.
+type spCommand struct {
+	kind   int          // cmdStep, cmdResolve, cmdStop
+	micros []data.Batch // cmdStep: this rank's sequence shards, in order
+	res    resolution   // cmdResolve
+}
+
+// spResult is a rank's step report: per micro-batch, the per-row token
+// losses in local row order (nil acks a cmdResolve). The coordinator
+// folds them in global row order, reproducing the single-rank loss.
+type spResult struct {
+	rows [][]float64
+}
+
+// newSPWorld wires the links for S sequence ranks over B buckets.
+func newSPWorld(s, b int) *spWorld {
+	w := &spWorld{S: s, B: b}
+	w.cmd = make([]chan spCommand, s)
+	w.resolution = make([]chan resolution, s)
+	w.goCh = make([]chan goMsg, s)
+	w.results = make([]chan spResult, s)
+	w.ring = make([]chan []float32, s)
+	w.flat = make([]chan []float32, s)
+	for i := 0; i < s; i++ {
+		w.cmd[i] = make(chan spCommand, 1)
+		w.resolution[i] = make(chan resolution, 1)
+		w.goCh[i] = make(chan goMsg, 1)
+		w.results[i] = make(chan spResult, 1)
+		w.ring[i] = make(chan []float32, 1)
+		w.flat[i] = make(chan []float32, 1)
+	}
+	w.a2a = make([][]chan []float32, s)
+	for d := 0; d < s; d++ {
+		w.a2a[d] = make([]chan []float32, s)
+		for src := 0; src < s; src++ {
+			w.a2a[d][src] = make(chan []float32, 1)
+		}
+	}
+	w.gather = make([][]chan []fp16.Num, b)
+	for bi := 0; bi < b; bi++ {
+		w.gather[bi] = make([]chan []fp16.Num, s)
+		for ri := 0; ri < s; ri++ {
+			w.gather[bi][ri] = make(chan []fp16.Num, 1)
+		}
+	}
+	w.partial = make(chan partialMsg, b)
+	w.val = make(chan valMsg, 1)
+	return w
+}
+
+// owner applies the shared ownership policy (bucketOwner) to this
+// world's rank count.
+func (w *spWorld) owner(bucket int) int { return bucketOwner(bucket, w.S) }
+
+// allToAll is the collective primitive: rank sends payloads[d] to every
+// peer d and receives the payload each peer addressed to it, indexed by
+// source. Channels are buffered so all S sends complete before the
+// receives, and per-pair FIFO keeps successive exchanges paired even when
+// ranks run ahead. Telemetry counts only cross-rank payloads — the
+// rank-to-self shard never crosses a link.
+func (w *spWorld) allToAll(rank int, payloads [][]float32) [][]float32 {
+	for d := 0; d < w.S; d++ {
+		if d != rank {
+			w.a2aPayloads.Add(1)
+			w.a2aFloats.Add(int64(len(payloads[d])))
+		}
+		w.a2a[d][rank] <- payloads[d]
+	}
+	out := make([][]float32, w.S)
+	for src := 0; src < w.S; src++ {
+		out[src] = <-w.a2a[rank][src]
+	}
+	return out
+}
+
+// aggregate runs the shared validation reducer over this world's links.
+func (w *spWorld) aggregate() { aggregatePartials(w.partial, w.val, w.B) }

@@ -22,7 +22,11 @@ const hostMeasuredMarker = "\nReal Go kernels measured on this machine:"
 // that rounding difference, so byte-exact comparison only holds on the
 // generating architecture; elsewhere the experiment still runs and must
 // render non-empty.
-var archSensitive = map[string]string{"fig14": "amd64", "ext-nvme-stv": "amd64"}
+var archSensitive = map[string]string{
+	"fig14":           "amd64",
+	"ext-nvme-stv":    "amd64",
+	"ext-ulysses-stv": "amd64",
+}
 
 // canonical trims host-measured suffixes so snapshots only cover
 // deterministic rendering.

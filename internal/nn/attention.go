@@ -16,6 +16,50 @@ type attnCache struct {
 	batch, seq, heads int
 }
 
+// attendHead runs causal attention for one head over full-sequence q, k, v
+// (T, hs), returning the head output (T, hs) and the post-softmax score
+// matrix (T, T). This is the head-sharded entry point the sequence-parallel
+// path shares with the local path: after the first all-to-all a rank holds
+// exactly these (T, hs) tensors for its heads, so both paths run the same
+// math on the same shapes.
+func attendHead(q, k, v *tensor.Tensor, scale float32) (o, probs *tensor.Tensor) {
+	scores := tensor.MatMulT(q, k) // (T,T)
+	scores.Scale(scale)
+	applyCausalMask(scores)
+	scores.SoftmaxRows()
+	o = tensor.MatMul(scores, v) // (T,hs)
+	return o, scores
+}
+
+// attendHeadBackward is attendHead's adjoint: given the cached probs and
+// the head's q, k, v and upstream do (all full-sequence), it returns dq,
+// dk, dv. No parameters are touched — head attention is weight-free.
+func attendHeadBackward(p, q, k, v, do *tensor.Tensor, scale float32) (dq, dk, dv *tensor.Tensor) {
+	seq := p.Dim(0)
+	dv = tensor.TMatMul(p, do)  // (T,hs)
+	dp := tensor.MatMulT(do, v) // (T,T)
+
+	// Softmax backward row-wise: dS = P ⊙ (dP − rowSum(dP⊙P)).
+	ds := tensor.New(seq, seq)
+	for i := 0; i < seq; i++ {
+		prow := p.Row(i)
+		dprow := dp.Row(i)
+		var dot float64
+		for j := range prow {
+			dot += float64(prow[j]) * float64(dprow[j])
+		}
+		dsrow := ds.Row(i)
+		for j := range prow {
+			dsrow[j] = prow[j] * (dprow[j] - float32(dot))
+		}
+	}
+	ds.Scale(scale)
+
+	dq = tensor.MatMul(ds, k)  // (T,hs)
+	dk = tensor.TMatMul(ds, q) // (T,hs)
+	return dq, dk, dv
+}
+
 // attention runs causal multi-head self-attention over x (B*T, C).
 func (blk *Block) attention(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *attnCache) {
 	c := x.Dim(1)
@@ -37,13 +81,8 @@ func (blk *Block) attention(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *
 			gatherHead(k, qkv, b, seq, 3*c, 1*c+h*hs, hs)
 			gatherHead(v, qkv, b, seq, 3*c, 2*c+h*hs, hs)
 
-			scores := tensor.MatMulT(q, k) // (T,T)
-			scores.Scale(scale)
-			applyCausalMask(scores)
-			scores.SoftmaxRows()
-			cache.probs[b*heads+h] = scores
-
-			o := tensor.MatMul(scores, v) // (T,hs)
+			o, probs := attendHead(q, k, v, scale)
+			cache.probs[b*heads+h] = probs
 			scatterHead(out, o, b, seq, c, h*hs, hs)
 		}
 	}
@@ -75,28 +114,7 @@ func (blk *Block) attentionBackward(dProj *tensor.Tensor, cache *attnCache) *ten
 			gatherHead(v, cache.qkv, b, seq, 3*c, 2*c+h*hs, hs)
 			gatherHead(do, dOut, b, seq, c, h*hs, hs)
 
-			p := cache.probs[b*heads+h]
-			dv := tensor.TMatMul(p, do) // (T,hs)
-			dp := tensor.MatMulT(do, v) // (T,T)
-
-			// Softmax backward row-wise: dS = P ⊙ (dP − rowSum(dP⊙P)).
-			ds := tensor.New(seq, seq)
-			for i := 0; i < seq; i++ {
-				prow := p.Row(i)
-				dprow := dp.Row(i)
-				var dot float64
-				for j := range prow {
-					dot += float64(prow[j]) * float64(dprow[j])
-				}
-				dsrow := ds.Row(i)
-				for j := range prow {
-					dsrow[j] = prow[j] * (dprow[j] - float32(dot))
-				}
-			}
-			ds.Scale(scale)
-
-			dq := tensor.MatMul(ds, k)  // (T,hs)
-			dk := tensor.TMatMul(ds, q) // (T,hs)
+			dq, dk, dv := attendHeadBackward(cache.probs[b*heads+h], q, k, v, do, scale)
 
 			scatterHead(dqkv, dq, b, seq, 3*c, 0*c+h*hs, hs)
 			scatterHead(dqkv, dk, b, seq, 3*c, 1*c+h*hs, hs)

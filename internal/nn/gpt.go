@@ -45,6 +45,13 @@ func NewGPT(cfg model.Config, maxSeq int, rng *tensor.RNG) *GPT {
 // newGPT wires the architecture with the given weight initializer (random
 // for fresh models, zero for replicas about to be overwritten).
 func newGPT(cfg model.Config, maxSeq int, randn func(std float32, shape ...int) *tensor.Tensor) *GPT {
+	if cfg.Heads < 1 {
+		panic(fmt.Sprintf("nn: config needs at least one attention head, got %d", cfg.Heads))
+	}
+	if cfg.Hidden%cfg.Heads != 0 {
+		panic(fmt.Sprintf("nn: hidden %d not divisible by heads %d: attention would silently truncate the head dim to %d and train corrupted projections",
+			cfg.Hidden, cfg.Heads, cfg.Hidden/cfg.Heads))
+	}
 	c := cfg.Hidden
 	g := &GPT{Cfg: cfg, MaxSeq: maxSeq}
 	add := func(p *Param) *Param {

@@ -82,6 +82,35 @@ func layerNorm(x *tensor.Tensor, g, b *Param) (*tensor.Tensor, *layerNormCache) 
 
 // layerNormBackward accumulates gain/bias grads and returns dx.
 func layerNormBackward(dy *tensor.Tensor, cache *layerNormCache, g, b *Param) *tensor.Tensor {
+	accumLayerNormRows(g.G.Data, b.G.Data, cache, dy, 0, dy.Dim(0))
+	return layerNormBackwardDX(dy, cache, g)
+}
+
+// accumLayerNormRows folds rows [lo,hi)'s gain/bias gradient contributions
+// into dstG/dstB, one row at a time in ascending order — the accumulation
+// order layerNormBackward has always used, factored out so the
+// sequence-parallel ring replay (see seqparallel.go) reproduces it
+// bit-for-bit from any starting partial.
+func accumLayerNormRows(dstG, dstB []float32, cache *layerNormCache, dy *tensor.Tensor, lo, hi int) {
+	c := dy.Dim(1)
+	for i := lo; i < hi; i++ {
+		xrow := cache.x.Data[i*c : (i+1)*c]
+		dyRow := dy.Data[i*c : (i+1)*c]
+		invStd := cache.invStd[i]
+		mean := cache.mean[i]
+		for j := 0; j < c; j++ {
+			xhat := (xrow[j] - mean) * invStd
+			dstG[j] += dyRow[j] * xhat
+			dstB[j] += dyRow[j]
+		}
+	}
+}
+
+// layerNormBackwardDX computes dx without touching parameter gradients —
+// the propagation half of layerNormBackward, used directly by the
+// sequence-parallel backward (whose weight grads flow through the ring
+// replay instead).
+func layerNormBackwardDX(dy *tensor.Tensor, cache *layerNormCache, g *Param) *tensor.Tensor {
 	n, c := dy.Dim(0), dy.Dim(1)
 	dx := tensor.New(n, c)
 	for i := 0; i < n; i++ {
@@ -98,8 +127,6 @@ func layerNormBackward(dy *tensor.Tensor, cache *layerNormCache, g, b *Param) *t
 			dxhat[j] = d
 			sumDxhat += float64(d)
 			sumDxhatXhat += float64(d) * float64(xhat)
-			g.G.Data[j] += dyRow[j] * xhat
-			b.G.Data[j] += dyRow[j]
 		}
 		mDxhat := float32(sumDxhat / float64(c))
 		mDxhatXhat := float32(sumDxhatXhat / float64(c))
@@ -150,13 +177,29 @@ func geluBackward(dy, x *tensor.Tensor) *tensor.Tensor {
 // crossEntropy computes mean token loss over logits (n, vocab) against
 // integer targets, and the gradient dlogits = (softmax - onehot)/n.
 func crossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	n := logits.Dim(0)
+	losses, dlogits := crossEntropyRows(logits, targets, n)
+	var loss float64
+	for _, l := range losses {
+		loss += l
+	}
+	return loss / float64(n), dlogits
+}
+
+// crossEntropyRows computes the per-row token losses and the gradient
+// dlogits = (softmax - onehot)/globalN. globalN is the row count of the
+// whole (possibly sequence-sharded) batch: a sequence-parallel rank holds
+// only its shard's rows but normalizes by the global count, so summing the
+// per-row losses over all ranks in global row order and dividing by
+// globalN reproduces crossEntropy's mean loss bit-for-bit.
+func crossEntropyRows(logits *tensor.Tensor, targets []int, globalN int) ([]float64, *tensor.Tensor) {
 	n, v := logits.Dim(0), logits.Dim(1)
 	if len(targets) != n {
 		panic("nn: target length mismatch")
 	}
 	dlogits := tensor.New(n, v)
-	var loss float64
-	invN := float32(1.0 / float64(n))
+	losses := make([]float64, n)
+	invN := float32(1.0 / float64(globalN))
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*v : (i+1)*v]
 		maxv := row[0]
@@ -171,7 +214,7 @@ func crossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor
 		}
 		logSum := math.Log(sum) + float64(maxv)
 		tgt := targets[i]
-		loss += logSum - float64(row[tgt])
+		losses[i] = logSum - float64(row[tgt])
 		drow := dlogits.Data[i*v : (i+1)*v]
 		for j, x := range row {
 			p := float32(math.Exp(float64(x) - logSum))
@@ -179,5 +222,5 @@ func crossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor
 		}
 		drow[tgt] -= invN
 	}
-	return loss / float64(n), dlogits
+	return losses, dlogits
 }

@@ -1,0 +1,459 @@
+package nn
+
+// Sequence parallelism (SuperOffload-Ulysses, §4.7): S ranks each own a
+// contiguous sequence shard of every batch row and run the full model
+// locally, except attention, which switches to head parallelism via two
+// all-to-alls per layer per pass — one turning sequence-sharded Q/K/V
+// projections into head-sharded full-sequence tensors, one turning the
+// head outputs back into sequence shards.
+//
+// Everything outside attention is row-wise (embedding lookup, layernorm,
+// linear, GELU, softmax cross-entropy), so a rank's local activations are
+// bit-identical to the corresponding row slice of a single-rank forward,
+// and after the first all-to-all a rank's per-head attention is the exact
+// computation the single-rank path runs for that head. The delicate part
+// is weight gradients: they are sums over all B·T rows, and float32
+// addition is not associative, so summing per-rank partials would NOT
+// reproduce the single-rank fold. Instead BackwardSP only propagates dx
+// (retaining each parameterized op's (input, d-output) pair), and
+// AccumBatchRow replays the per-row gradient accumulation into a flat
+// buffer that the engine chains through the ranks in (batch row, sequence
+// shard) order — exactly ascending global row order, the order
+// linearBackward/layerNormBackward/the embedding loop have always folded
+// in. The completed ring buffer is therefore bit-identical to the
+// single-rank gradient, which is what makes SP ≡ single-rank exactness
+// hold through STV's speculative steps, rollbacks, and checkpoints.
+
+import (
+	"fmt"
+	"math"
+
+	"superoffload/internal/tensor"
+)
+
+// SP describes one rank's place in a sequence-parallel (Ulysses) world
+// and the collective it exchanges attention heads over.
+type SP struct {
+	// Rank ∈ [0, Ranks): this rank owns sequence positions
+	// [Rank·Tl, (Rank+1)·Tl) of every batch row and attention heads
+	// [Rank·H/Ranks, (Rank+1)·H/Ranks).
+	Rank  int
+	Ranks int
+	// AllToAll exchanges one payload per peer: payloads[d] is delivered
+	// to rank d, and the result's entry [s] is the payload rank s
+	// addressed here. May be nil when Ranks == 1 (the exchange is then
+	// the identity).
+	AllToAll func(payloads [][]float32) [][]float32
+}
+
+// exchange runs the collective, short-circuiting the degenerate world.
+func (sp *SP) exchange(payloads [][]float32) [][]float32 {
+	if sp.Ranks == 1 {
+		return payloads
+	}
+	return sp.AllToAll(payloads)
+}
+
+// ValidateSP checks the sequence-parallel sharding arithmetic for this
+// model: malformed configurations fail loudly here instead of training
+// corrupted attention (the seq%S analogue of the hidden%heads check in
+// newGPT).
+func (g *GPT) ValidateSP(ranks, globalSeq int) error {
+	if ranks < 1 {
+		return fmt.Errorf("nn: sequence-parallel ranks must be >= 1, got %d", ranks)
+	}
+	if g.Cfg.Heads%ranks != 0 {
+		return fmt.Errorf("nn: %d attention heads not divisible by %d sequence ranks", g.Cfg.Heads, ranks)
+	}
+	if globalSeq%ranks != 0 {
+		return fmt.Errorf("nn: sequence %d not divisible by %d sequence ranks", globalSeq, ranks)
+	}
+	if globalSeq > g.MaxSeq {
+		return fmt.Errorf("nn: sequence %d exceeds max %d", globalSeq, g.MaxSeq)
+	}
+	return nil
+}
+
+// spBlockCache retains one block's forward intermediates plus the
+// backward-pass d-outputs the ring replay needs.
+type spBlockCache struct {
+	ln1     *layerNormCache
+	ln1y    *tensor.Tensor   // input rows to WQKV
+	q, k, v []*tensor.Tensor // per b·Hl+hi: full-sequence (T, hs) for this rank's heads
+	probs   []*tensor.Tensor // post-softmax scores per b·Hl+hi
+	attnOut *tensor.Tensor   // local rows (B·Tl, C), pre-projection
+	res1    *tensor.Tensor
+	ln2     *layerNormCache
+	ln2y    *tensor.Tensor
+	h1      *tensor.Tensor
+	hGelu   *tensor.Tensor
+
+	// d-outputs retained by BackwardSP, paired with the inputs above for
+	// the per-row weight-gradient replay.
+	dh2   *tensor.Tensor // dy into W2/B2 (input: hGelu)
+	dh1   *tensor.Tensor // dy into W1/B1 (input: ln2y)
+	dln2y *tensor.Tensor // dy into LN2 gain/bias
+	dres1 *tensor.Tensor // dy into WO/BO (input: attnOut)
+	dqkv  *tensor.Tensor // dy into WQKV/BQKV (input: ln1y)
+	dln1y *tensor.Tensor // dy into LN1 gain/bias
+}
+
+// SPCache retains one sequence-parallel iteration's intermediates for
+// BackwardSP and the subsequent AccumBatchRow replay.
+type SPCache struct {
+	g        *GPT
+	tokens   []int
+	batch    int
+	localSeq int
+	posOff   int
+
+	blocks []*spBlockCache
+	lnf    *layerNormCache
+	lnfy   *tensor.Tensor
+	dlogit *tensor.Tensor // unscaled CE gradient (local rows)
+
+	// retained by BackwardSP:
+	dlogitScaled *tensor.Tensor // dy into Head (input: lnfy)
+	dlnfy        *tensor.Tensor // dy into LNF gain/bias
+	dEmb         *tensor.Tensor // embedding-layer gradient rows
+}
+
+// ForwardSP runs the model over this rank's sequence shard: tokens and
+// targets hold batch rows of localSeq consecutive positions starting at
+// global position Rank·localSeq. It returns the per-row token losses in
+// local row order — the engine folds them across ranks in global row
+// order, so their sum over all ranks divided by batch·localSeq·Ranks is
+// bit-identical to the single-rank Forward loss — and the cache for
+// BackwardSP.
+func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]float64, *SPCache) {
+	globalSeq := localSeq * sp.Ranks
+	if err := g.ValidateSP(sp.Ranks, globalSeq); err != nil {
+		panic(err)
+	}
+	if sp.Rank < 0 || sp.Rank >= sp.Ranks {
+		panic(fmt.Sprintf("nn: sequence rank %d out of range [0,%d)", sp.Rank, sp.Ranks))
+	}
+	if len(tokens) != batch*localSeq || len(targets) != batch*localSeq {
+		panic("nn: token/target shape mismatch")
+	}
+	c := g.Cfg.Hidden
+	heads := g.Cfg.Heads
+	hl := heads / sp.Ranks
+	hs := c / heads
+	scale := float32(1 / math.Sqrt(float64(hs)))
+	n := batch * localSeq
+	posOff := sp.Rank * localSeq
+
+	x := tensor.New(n, c)
+	for i, tok := range tokens {
+		if tok < 0 || tok >= g.Cfg.Vocab {
+			panic(fmt.Sprintf("nn: token %d out of vocab", tok))
+		}
+		t := posOff + i%localSeq
+		dst := x.Data[i*c : (i+1)*c]
+		te := g.TokEmb.W.Data[tok*c : (tok+1)*c]
+		pe := g.PosEmb.W.Data[t*c : (t+1)*c]
+		for j := 0; j < c; j++ {
+			dst[j] = te[j] + pe[j]
+		}
+	}
+
+	cache := &SPCache{g: g, tokens: tokens, batch: batch, localSeq: localSeq, posOff: posOff}
+	for _, blk := range g.Blocks {
+		bc := &spBlockCache{}
+		ln1y, ln1c := layerNorm(x, blk.LN1G, blk.LN1B)
+		bc.ln1, bc.ln1y = ln1c, ln1y
+		qkv := linear(ln1y, blk.WQKV, blk.BQKV)
+
+		// All-to-all #1: sequence-sharded fused projections become
+		// head-sharded full-sequence Q, K, V for this rank's heads.
+		comps := spSeqToHeads(sp, qkv, 3, batch, localSeq, heads, c)
+		bc.q, bc.k, bc.v = comps[0], comps[1], comps[2]
+		bc.probs = make([]*tensor.Tensor, batch*hl)
+		o := make([]*tensor.Tensor, batch*hl)
+		for bh := range o {
+			oh, probs := attendHead(bc.q[bh], bc.k[bh], bc.v[bh], scale)
+			o[bh] = oh
+			bc.probs[bh] = probs
+		}
+		// All-to-all #2: head outputs return to sequence sharding.
+		out := spHeadsToSeq(sp, [][]*tensor.Tensor{o}, batch, localSeq, heads, c)
+		bc.attnOut = out
+
+		proj := linear(out, blk.WO, blk.BO)
+		res1 := tensor.New(n, c)
+		tensor.AddInto(res1, x, proj)
+		bc.res1 = res1
+
+		ln2y, ln2c := layerNorm(res1, blk.LN2G, blk.LN2B)
+		bc.ln2, bc.ln2y = ln2c, ln2y
+		h1 := linear(ln2y, blk.W1, blk.B1)
+		bc.h1 = h1
+		hg := gelu(h1)
+		bc.hGelu = hg
+		h2 := linear(hg, blk.W2, blk.B2)
+
+		x2 := tensor.New(n, c)
+		tensor.AddInto(x2, res1, h2)
+		x = x2
+		cache.blocks = append(cache.blocks, bc)
+	}
+
+	lnfy, lnfc := layerNorm(x, g.LNFG, g.LNFB)
+	cache.lnf, cache.lnfy = lnfc, lnfy
+	logits := linear(lnfy, g.Head, nil)
+	losses, dlogits := crossEntropyRows(logits, targets, batch*globalSeq)
+	cache.dlogit = dlogits
+	return losses, cache
+}
+
+// BackwardSP propagates activation gradients for the iteration captured in
+// cache, running the two reverse all-to-alls per layer. Unlike Backward it
+// never touches Params().G: every parameterized op's (input, d-output)
+// pair is retained on the cache, and the engine replays the weight-grad
+// accumulation deterministically via AccumBatchRow.
+func (g *GPT) BackwardSP(cache *SPCache, lossScale float64, sp *SP) {
+	dlogits := cache.dlogit
+	if lossScale != 1 {
+		dlogits = cache.dlogit.Clone()
+		dlogits.Scale(float32(lossScale))
+	}
+	cache.dlogitScaled = dlogits
+	dlnfy := tensor.MatMulT(dlogits, g.Head.W)
+	cache.dlnfy = dlnfy
+	dx := layerNormBackwardDX(dlnfy, cache.lnf, g.LNFG)
+
+	c := g.Cfg.Hidden
+	heads := g.Cfg.Heads
+	hl := heads / sp.Ranks
+	hs := c / heads
+	scale := float32(1 / math.Sqrt(float64(hs)))
+
+	for l := len(g.Blocks) - 1; l >= 0; l-- {
+		blk := g.Blocks[l]
+		bc := cache.blocks[l]
+
+		// MLP branch: x2 = res1 + W2·gelu(W1·ln2(res1)).
+		bc.dh2 = dx
+		dhg := tensor.MatMulT(dx, blk.W2.W)
+		dh1 := geluBackward(dhg, bc.h1)
+		bc.dh1 = dh1
+		dln2y := tensor.MatMulT(dh1, blk.W1.W)
+		bc.dln2y = dln2y
+		dres1FromMLP := layerNormBackwardDX(dln2y, bc.ln2, blk.LN2G)
+		dres1 := tensor.New(dx.Dim(0), dx.Dim(1))
+		tensor.AddInto(dres1, dx, dres1FromMLP)
+		bc.dres1 = dres1
+
+		// Attention branch, with the two all-to-alls reversed.
+		dOut := tensor.MatMulT(dres1, blk.WO.W)
+		doHeads := spSeqToHeads(sp, dOut, 1, cache.batch, cache.localSeq, heads, c)[0]
+		dq := make([]*tensor.Tensor, cache.batch*hl)
+		dk := make([]*tensor.Tensor, cache.batch*hl)
+		dv := make([]*tensor.Tensor, cache.batch*hl)
+		for bh := range dq {
+			dq[bh], dk[bh], dv[bh] = attendHeadBackward(bc.probs[bh], bc.q[bh], bc.k[bh], bc.v[bh], doHeads[bh], scale)
+		}
+		dqkv := spHeadsToSeq(sp, [][]*tensor.Tensor{dq, dk, dv}, cache.batch, cache.localSeq, heads, c)
+		bc.dqkv = dqkv
+
+		dln1y := tensor.MatMulT(dqkv, blk.WQKV.W)
+		bc.dln1y = dln1y
+		dxFromAttn := layerNormBackwardDX(dln1y, bc.ln1, blk.LN1G)
+		dxNext := tensor.New(dx.Dim(0), dx.Dim(1))
+		tensor.AddInto(dxNext, dres1, dxFromAttn)
+		dx = dxNext
+	}
+	cache.dEmb = dx
+}
+
+// AccumBatchRow folds this rank's weight-gradient contributions for batch
+// row b into flat (the Params() registration-order layout), continuing
+// whatever element-wise accumulation the buffer already carries. Chaining
+// hops in (batch row, sequence shard) order visits rows in ascending
+// global row order, so the completed buffer equals the single-rank
+// Backward gradient bit for bit.
+func (cache *SPCache) AccumBatchRow(flat []float32, b int) {
+	g := cache.g
+	if len(flat) != g.params.TotalSize() {
+		panic(fmt.Sprintf("nn: flat gradient buffer %d, want %d", len(flat), g.params.TotalSize()))
+	}
+	lo, hi := b*cache.localSeq, (b+1)*cache.localSeq
+	off := 0
+	next := func(p *Param) []float32 {
+		s := flat[off : off+p.Size()]
+		off += p.Size()
+		return s
+	}
+
+	// Embeddings (the registration order opens with TokEmb, PosEmb).
+	tok, pos := next(g.TokEmb), next(g.PosEmb)
+	c := g.Cfg.Hidden
+	for r := lo; r < hi; r++ {
+		t := cache.posOff + r%cache.localSeq
+		src := cache.dEmb.Data[r*c : (r+1)*c]
+		te := tok[cache.tokens[r]*c : (cache.tokens[r]+1)*c]
+		pe := pos[t*c : (t+1)*c]
+		for j := 0; j < c; j++ {
+			te[j] += src[j]
+			pe[j] += src[j]
+		}
+	}
+
+	for l, blk := range g.Blocks {
+		bc := cache.blocks[l]
+		accumLayerNormRows(next(blk.LN1G), next(blk.LN1B), bc.ln1, bc.dln1y, lo, hi)
+		accumLinearRows(next(blk.WQKV), bc.ln1y, bc.dqkv, lo, hi)
+		accumBiasRows(next(blk.BQKV), bc.dqkv, lo, hi)
+		accumLinearRows(next(blk.WO), bc.attnOut, bc.dres1, lo, hi)
+		accumBiasRows(next(blk.BO), bc.dres1, lo, hi)
+		accumLayerNormRows(next(blk.LN2G), next(blk.LN2B), bc.ln2, bc.dln2y, lo, hi)
+		accumLinearRows(next(blk.W1), bc.ln2y, bc.dh1, lo, hi)
+		accumBiasRows(next(blk.B1), bc.dh1, lo, hi)
+		accumLinearRows(next(blk.W2), bc.hGelu, bc.dh2, lo, hi)
+		accumBiasRows(next(blk.B2), bc.dh2, lo, hi)
+	}
+	accumLayerNormRows(next(g.LNFG), next(g.LNFB), cache.lnf, cache.dlnfy, lo, hi)
+	accumLinearRows(next(g.Head), cache.lnfy, cache.dlogitScaled, lo, hi)
+	if off != len(flat) {
+		panic("nn: replay did not cover the parameter space")
+	}
+}
+
+// accumLinearRows folds rows [lo,hi)'s dW = xᵀ·dy contributions into dst,
+// mirroring tensor.TMatMul's kernel exactly — per output element the data
+// rows fold in ascending order, with the same skip of zero activations —
+// so a chained replay reproduces linearBackward's weight gradient bit for
+// bit.
+func accumLinearRows(dst []float32, x, dy *tensor.Tensor, lo, hi int) {
+	in, out := x.Dim(1), dy.Dim(1)
+	for i := 0; i < in; i++ {
+		orow := dst[i*out : (i+1)*out]
+		for r := lo; r < hi; r++ {
+			av := x.Data[r*in+i]
+			if av == 0 {
+				continue
+			}
+			brow := dy.Data[r*out : (r+1)*out]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// accumBiasRows folds rows [lo,hi)'s db = colsum(dy) contributions into
+// dst in ascending row order — linearBackward's bias fold.
+func accumBiasRows(dst []float32, dy *tensor.Tensor, lo, hi int) {
+	out := dy.Dim(1)
+	for r := lo; r < hi; r++ {
+		row := dy.Data[r*out : (r+1)*out]
+		for j := range dst {
+			dst[j] += row[j]
+		}
+	}
+}
+
+// spSeqToHeads is all-to-all #1 (and the reverse of #2 in backward): a
+// sequence-sharded (B·Tl, ncomp·C) tensor is redistributed so this rank
+// holds, for each of its Hl = H/S heads and each component, the
+// full-sequence (T, hs) tensor. Payload layout (both directions):
+// (batch row, local head, component, local position) nested loops of hs
+// contiguous floats.
+func spSeqToHeads(sp *SP, x *tensor.Tensor, ncomp, batch, localSeq, heads, c int) [][]*tensor.Tensor {
+	s, hl, hs := sp.Ranks, heads/sp.Ranks, c/heads
+	payloads := make([][]float32, s)
+	for d := 0; d < s; d++ {
+		buf := make([]float32, batch*hl*ncomp*localSeq*hs)
+		off := 0
+		for b := 0; b < batch; b++ {
+			for hi := 0; hi < hl; hi++ {
+				h := d*hl + hi
+				for comp := 0; comp < ncomp; comp++ {
+					col := comp*c + h*hs
+					for t := 0; t < localSeq; t++ {
+						base := (b*localSeq+t)*ncomp*c + col
+						copy(buf[off:off+hs], x.Data[base:base+hs])
+						off += hs
+					}
+				}
+			}
+		}
+		payloads[d] = buf
+	}
+	recv := sp.exchange(payloads)
+
+	globalSeq := localSeq * s
+	out := make([][]*tensor.Tensor, ncomp)
+	for comp := range out {
+		out[comp] = make([]*tensor.Tensor, batch*hl)
+		for i := range out[comp] {
+			out[comp][i] = tensor.New(globalSeq, hs)
+		}
+	}
+	for src := 0; src < s; src++ {
+		buf := recv[src]
+		off := 0
+		for b := 0; b < batch; b++ {
+			for hi := 0; hi < hl; hi++ {
+				for comp := 0; comp < ncomp; comp++ {
+					dst := out[comp][b*hl+hi].Data
+					for t := 0; t < localSeq; t++ {
+						at := (src*localSeq + t) * hs
+						copy(dst[at:at+hs], buf[off:off+hs])
+						off += hs
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// spHeadsToSeq is all-to-all #2 (and the reverse of #1 in backward):
+// per-head full-sequence (T, hs) tensors — one list per component —
+// return to sequence sharding as a (B·Tl, ncomp·C) tensor holding every
+// head's columns for this rank's positions.
+func spHeadsToSeq(sp *SP, comps [][]*tensor.Tensor, batch, localSeq, heads, c int) *tensor.Tensor {
+	s, hl, hs := sp.Ranks, heads/sp.Ranks, c/heads
+	ncomp := len(comps)
+	payloads := make([][]float32, s)
+	for d := 0; d < s; d++ {
+		buf := make([]float32, batch*hl*ncomp*localSeq*hs)
+		off := 0
+		for b := 0; b < batch; b++ {
+			for hi := 0; hi < hl; hi++ {
+				for comp := 0; comp < ncomp; comp++ {
+					src := comps[comp][b*hl+hi].Data
+					for t := 0; t < localSeq; t++ {
+						at := (d*localSeq + t) * hs
+						copy(buf[off:off+hs], src[at:at+hs])
+						off += hs
+					}
+				}
+			}
+		}
+		payloads[d] = buf
+	}
+	recv := sp.exchange(payloads)
+
+	out := tensor.New(batch*localSeq, ncomp*c)
+	for src := 0; src < s; src++ {
+		buf := recv[src]
+		off := 0
+		for b := 0; b < batch; b++ {
+			for hi := 0; hi < hl; hi++ {
+				h := src*hl + hi
+				for comp := 0; comp < ncomp; comp++ {
+					col := comp*c + h*hs
+					for t := 0; t < localSeq; t++ {
+						base := (b*localSeq+t)*ncomp*c + col
+						copy(out.Data[base:base+hs], buf[off:off+hs])
+						off += hs
+					}
+				}
+			}
+		}
+	}
+	return out
+}

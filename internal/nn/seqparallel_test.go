@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"superoffload/internal/model"
+	"superoffload/internal/tensor"
+)
+
+// testAllToAll is a minimal channel collective for driving ForwardSP /
+// BackwardSP from S goroutines in tests.
+type testAllToAll struct {
+	s  int
+	ch [][]chan []float32 // ch[dst][src]
+}
+
+func newTestAllToAll(s int) *testAllToAll {
+	w := &testAllToAll{s: s, ch: make([][]chan []float32, s)}
+	for d := 0; d < s; d++ {
+		w.ch[d] = make([]chan []float32, s)
+		for src := 0; src < s; src++ {
+			w.ch[d][src] = make(chan []float32, 1)
+		}
+	}
+	return w
+}
+
+func (w *testAllToAll) fn(rank int) func([][]float32) [][]float32 {
+	return func(payloads [][]float32) [][]float32 {
+		for d := 0; d < w.s; d++ {
+			w.ch[d][rank] <- payloads[d]
+		}
+		out := make([][]float32, w.s)
+		for src := 0; src < w.s; src++ {
+			out[src] = <-w.ch[rank][src]
+		}
+		return out
+	}
+}
+
+// shardSeq extracts rank s's sequence shard of every batch row.
+func shardSeq(xs []int, batch, seq, ranks, rank int) []int {
+	tl := seq / ranks
+	out := make([]int, 0, batch*tl)
+	for b := 0; b < batch; b++ {
+		out = append(out, xs[b*seq+rank*tl:b*seq+rank*tl+tl]...)
+	}
+	return out
+}
+
+func flatGrads(g *GPT) []float32 {
+	out := make([]float32, 0, g.Params().TotalSize())
+	for _, p := range g.Params() {
+		out = append(out, p.G.Data...)
+	}
+	return out
+}
+
+// runSP executes one sequence-parallel forward/backward over S goroutines
+// sharing the model's weights, then replays the weight-gradient ring in
+// (batch row, shard) order into a flat buffer. Returns the folded mean
+// loss and the reduced gradient.
+func runSP(t *testing.T, g *GPT, tokens, targets []int, batch, seq, ranks int, lossScale float64) (float64, []float32) {
+	t.Helper()
+	world := newTestAllToAll(ranks)
+	tl := seq / ranks
+	rows := make([][]float64, ranks)
+	caches := make([]*SPCache, ranks)
+	var wg sync.WaitGroup
+	for s := 0; s < ranks; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sp := &SP{Rank: s, Ranks: ranks, AllToAll: world.fn(s)}
+			toks := shardSeq(tokens, batch, seq, ranks, s)
+			tgts := shardSeq(targets, batch, seq, ranks, s)
+			losses, cache := g.ForwardSP(toks, tgts, batch, tl, sp)
+			g.BackwardSP(cache, lossScale, sp)
+			rows[s], caches[s] = losses, cache
+		}(s)
+	}
+	wg.Wait()
+
+	// Fold per-row losses in global row order — crossEntropy's fold.
+	var loss float64
+	for b := 0; b < batch; b++ {
+		for s := 0; s < ranks; s++ {
+			for tl2 := 0; tl2 < tl; tl2++ {
+				loss += rows[s][b*tl+tl2]
+			}
+		}
+	}
+	loss /= float64(batch * seq)
+
+	// Ring replay: (batch row, shard) hops visit rows in ascending global
+	// order.
+	flat := make([]float32, g.Params().TotalSize())
+	for b := 0; b < batch; b++ {
+		for s := 0; s < ranks; s++ {
+			caches[s].AccumBatchRow(flat, b)
+		}
+	}
+	return loss, flat
+}
+
+// TestSPMatchesSingleRank is the nn-level heart of the sequence-parallel
+// engine: for S ∈ {1,2,4}, the folded loss and the ring-reduced gradient
+// must equal the single-rank Forward/Backward bit for bit.
+func TestSPMatchesSingleRank(t *testing.T) {
+	cfg := model.Config{Name: "sp", Layers: 2, Hidden: 32, Heads: 4, Vocab: 64}
+	const batch, seq = 3, 8
+	for _, scale := range []float64{1, 1024} {
+		g := NewGPT(cfg, seq, tensor.NewRNG(11))
+		tokens, targets := tinyBatch(g, 5, batch, seq)
+
+		refLoss, cache := g.Forward(tokens, targets, batch, seq)
+		g.Params().ZeroGrads()
+		g.Backward(cache, scale)
+		refGrads := flatGrads(g)
+
+		for _, ranks := range []int{1, 2, 4} {
+			loss, grads := runSP(t, g, tokens, targets, batch, seq, ranks, scale)
+			if loss != refLoss {
+				t.Errorf("S=%d scale=%v: loss %v != single-rank %v", ranks, scale, loss, refLoss)
+			}
+			if len(grads) != len(refGrads) {
+				t.Fatalf("S=%d: grad size %d != %d", ranks, len(grads), len(refGrads))
+			}
+			for i := range grads {
+				if grads[i] != refGrads[i] {
+					t.Fatalf("S=%d scale=%v: gradient diverges at flat index %d: %v vs %v",
+						ranks, scale, i, grads[i], refGrads[i])
+				}
+			}
+		}
+	}
+}
+
+// TestValidateSP covers the sharding-arithmetic guards.
+func TestValidateSP(t *testing.T) {
+	cfg := model.Config{Name: "v", Layers: 1, Hidden: 32, Heads: 4, Vocab: 16}
+	g := NewGPT(cfg, 16, tensor.NewRNG(1))
+	cases := []struct {
+		ranks, seq int
+		wantErr    string
+	}{
+		{0, 8, "must be >= 1"},
+		{3, 12, "heads not divisible"},
+		{2, 7, "not divisible by 2 sequence ranks"},
+		{2, 32, "exceeds max"},
+		{2, 8, ""},
+		{4, 8, ""},
+	}
+	for _, c := range cases {
+		err := g.ValidateSP(c.ranks, c.seq)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("ValidateSP(%d,%d) = %v, want nil", c.ranks, c.seq, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ValidateSP(%d,%d) = %v, want error containing %q", c.ranks, c.seq, err, c.wantErr)
+		}
+	}
+}
+
+// TestNewGPTRejectsBadHeads: a hidden size the head count does not divide
+// must fail loudly instead of silently truncating the head dimension.
+func TestNewGPTRejectsBadHeads(t *testing.T) {
+	mustPanic := func(name string, cfg model.Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: NewGPT accepted invalid config %+v", name, cfg)
+			}
+		}()
+		NewGPT(cfg, 8, tensor.NewRNG(1))
+	}
+	mustPanic("indivisible", model.Config{Name: "bad", Layers: 1, Hidden: 30, Heads: 4, Vocab: 16})
+	mustPanic("zero-heads", model.Config{Name: "bad", Layers: 1, Hidden: 32, Heads: 0, Vocab: 16})
+}

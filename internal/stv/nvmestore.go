@@ -340,6 +340,13 @@ func (s *NVMeStore) prefetchLocked(idx int) {
 func (s *NVMeStore) Acquire(idx int) *BucketState {
 	s.checkIOErr()
 	s.mu.Lock()
+	if s.closed {
+		// Fail loudly and specifically: the ops channel is closed, so
+		// falling through to a fetch would panic with an opaque
+		// send-on-closed-channel.
+		s.mu.Unlock()
+		panic(fmt.Sprintf("stv: acquire of bucket %d after Close", idx))
+	}
 	rec, ok := s.recs[idx]
 	if !ok {
 		s.mu.Unlock()

@@ -1,0 +1,79 @@
+package stv
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"superoffload/internal/tensor"
+)
+
+func seededNVMeStore(t *testing.T, buckets, elems, window int) *NVMeStore {
+	t.Helper()
+	s, err := NewNVMeStore(NVMeStoreConfig{Dir: t.TempDir(), ResidentBuckets: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	for i := 0; i < buckets; i++ {
+		master := make([]float32, elems)
+		for j := range master {
+			master[j] = rng.NormFloat32()
+		}
+		s.Seed(i, master)
+	}
+	return s
+}
+
+// TestNVMeStoreCloseWithPrefetchInFlight closes the store right after an
+// Acquire has auto-launched the next bucket's async prefetch, so the IO
+// worker is mid-drain while Close runs. Run under -race in CI: Close must
+// wait out every in-flight op (the seeded bootstrap writes, the fetch,
+// the write-behind flush) without racing the worker, and still delete the
+// backing file.
+func TestNVMeStoreCloseWithPrefetchInFlight(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		s := seededNVMeStore(t, 8, 512, 2)
+		path := s.Path()
+		// Acquire → prefetch of bucket 1 is now in flight; the mutating
+		// release also queues a write-behind on the next eviction.
+		st := s.Acquire(0)
+		st.Shard.Master[0]++
+		s.Release(0, ReleaseFlush)
+		// Touch one more bucket so an eviction (and its flush) is queued
+		// alongside the still-warm prefetch pipeline.
+		s.Acquire(1)
+		s.Release(1, ReleaseStep)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("backing file %s survived Close (err=%v)", path, err)
+		}
+		// Close is idempotent.
+		if err := s.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+}
+
+// TestNVMeStoreAcquireAfterClose: the store is unusable after Close, and
+// says so — an Acquire must panic with a clear message instead of the
+// opaque send-on-closed-channel the IO queue would otherwise produce.
+func TestNVMeStoreAcquireAfterClose(t *testing.T) {
+	s := seededNVMeStore(t, 3, 256, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Acquire after Close did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "after Close") {
+			t.Fatalf("Acquire after Close panicked with %v, want a clear after-Close message", r)
+		}
+	}()
+	s.Acquire(0)
+}

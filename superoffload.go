@@ -10,10 +10,13 @@
 //   - A real training engine (Init/Step, mirroring the paper's Fig. 1
 //     two-line enablement) that trains an actual GPT on real numerics with
 //     speculative per-bucket Adam steps, background validation, and exact
-//     rollback — and its multi-superchip variant (InitDP) that runs R
-//     simulated ranks with ZeRO-sharded optimizer state, bucketized
-//     gradient reduce-scatter, and post-step weight all-gather, on a
-//     bit-identical loss trajectory.
+//     rollback — plus its multi-superchip variants: InitDP runs R
+//     data-parallel ranks with ZeRO-sharded optimizer state, bucketized
+//     gradient reduce-scatter, and post-step weight all-gather, and
+//     InitSP runs S sequence-parallel ranks (SuperOffload-Ulysses, §4.7)
+//     with per-layer attention all-to-alls and a deterministic
+//     weight-gradient ring — both on loss trajectories bit-identical to
+//     the single-rank engine.
 //
 //   - A planner (Plan/Describe) that sizes workloads against modeled
 //     GH200 clusters and predicts throughput for SuperOffload and the
@@ -349,6 +352,106 @@ func (e *DPEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.Sto
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
 func (e *DPEngine) Close() error { return e.engine.Close() }
+
+// ---- sequence-parallel (SuperOffload-Ulysses) engine ----
+
+// SPConfig configures sequence parallelism (§4.7): the paper's
+// long-sequence scenario, where S superchips each hold a contiguous
+// sequence shard and attention head-parallelizes via two all-to-alls per
+// layer per pass.
+type SPConfig struct {
+	// SeqRanks is the sequence-parallel degree S. The model's head count
+	// must divide by S, and every batch's sequence length must too.
+	SeqRanks int
+}
+
+// SPCommStats counts the sequence-parallel link traffic (all-to-all
+// payloads/floats and weight-gradient ring hops/floats).
+type SPCommStats = dp.SPCommStats
+
+// SPEngine trains a Model across S simulated superchip ranks with
+// sequence sharding: every rank runs forward/backward on its sequence
+// shard of every batch row over a full model replica, attention flips to
+// head parallelism over channel all-to-alls, weight gradients reduce over
+// a deterministic ring in global row order, and the fp32 masters and Adam
+// moments stay ZeRO-partitioned along bucket boundaries behind pluggable
+// bucket stores. For the same batches, the loss trajectory — rollbacks,
+// checkpoints and all — is bit-identical to the single-rank Engine.
+type SPEngine struct {
+	engine *dp.SPEngine
+}
+
+// InitSP wraps a model and optimizer into a sequence-parallel SuperOffload
+// engine. Its surface matches Engine's; checkpoints are interchangeable
+// across sequence-rank counts (and with the other engines). Call Close
+// when done to stop the rank goroutines.
+func InitSP(m *Model, cfg OptimizerConfig, spc SPConfig) (*SPEngine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("superoffload: nil model")
+	}
+	factory, err := cfg.Offload.storeFactory()
+	if err != nil {
+		return nil, err
+	}
+	a, scaler, schedule := cfg.translate()
+	e, err := dp.NewSP(m.gpt, dp.Config{
+		Ranks:       spc.SeqRanks,
+		Adam:        a,
+		Impl:        optim.GraceAdam,
+		ClipNorm:    cfg.ClipNorm,
+		BucketElems: cfg.BucketElems,
+		Synchronous: cfg.Synchronous,
+		Scaler:      scaler,
+		Schedule:    schedule,
+		NewStore:    factory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SPEngine{engine: e}, nil
+}
+
+// Step runs one training iteration over the batch (its sequence sharded
+// across ranks) and returns the mean loss.
+func (e *SPEngine) Step(b Batch) (float64, error) { return e.engine.Step(b) }
+
+// StepAccum runs one optimizer step over several accumulated
+// micro-batches, each sequence-sharded across ranks.
+func (e *SPEngine) StepAccum(batches []Batch) (float64, error) { return e.engine.StepAccum(batches) }
+
+// Save serializes the sharded training state (gathered into the global
+// bucket order, identical to a single-rank checkpoint).
+func (e *SPEngine) Save(w io.Writer) error { return e.engine.Save(w) }
+
+// Load restores state saved by any engine's Save.
+func (e *SPEngine) Load(r io.Reader) error { return e.engine.Load(r) }
+
+// Flush resolves the final in-flight validation; call once after the last
+// Step.
+func (e *SPEngine) Flush() error {
+	_, err := e.engine.Flush()
+	return err
+}
+
+// Stats returns the engine's validation counters.
+func (e *SPEngine) Stats() Stats { return e.engine.Stats() }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *SPEngine) NumBuckets() int { return e.engine.NumBuckets() }
+
+// SeqRanks reports the sequence-parallel degree.
+func (e *SPEngine) SeqRanks() int { return e.engine.SeqRanks() }
+
+// CommStats reports the cumulative all-to-all and ring traffic.
+func (e *SPEngine) CommStats() SPCommStats { return e.engine.CommStats() }
+
+// StoreTelemetry sums the modeled NVMe-tier accounting over every rank's
+// store; ok is false when optimizer state is DRAM-resident.
+func (e *SPEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.StoreTelemetry() }
+
+// Close stops the rank goroutines (resolving any pending validation
+// first). The engine is unusable afterwards.
+func (e *SPEngine) Close() error { return e.engine.Close() }
 
 // NewCorpus returns the deterministic synthetic corpus used throughout the
 // examples and experiments (the Pile stand-in; see DESIGN.md).

@@ -205,8 +205,8 @@ func TestModelNamesAndExperiments(t *testing.T) {
 		t.Errorf("model zoo too small: %d", len(names))
 	}
 	exps := ExperimentNames()
-	if len(exps) != 18 {
-		t.Errorf("experiment registry has %d entries, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Errorf("experiment registry has %d entries, want 19", len(exps))
 	}
 	out, err := RunExperiment("table1")
 	if err != nil || !strings.Contains(out, "GH200") {
@@ -317,6 +317,7 @@ func TestInitDPFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer single.Close()
 	if dpe.Ranks() != ranks || dpe.NumBuckets() != single.NumBuckets() {
 		t.Fatalf("layout mismatch: ranks=%d buckets %d vs %d", dpe.Ranks(), dpe.NumBuckets(), single.NumBuckets())
 	}
@@ -374,6 +375,9 @@ func TestInitDPFacade(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 		t.Error("DP checkpoint does not round-trip through the single-rank engine")
 	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestInitDPValidation(t *testing.T) {
@@ -391,5 +395,119 @@ func TestInitDPValidation(t *testing.T) {
 	defer eng.Close()
 	if _, err := eng.Step(NewCorpus(32, 2).NextBatch(3, 8)); err == nil {
 		t.Error("batch not divisible by ranks accepted")
+	}
+}
+
+// TestInitSPFacade mirrors the paper's long-sequence enablement: the
+// sequence-parallel engine behind the same two-line surface, on a loss
+// trajectory bit-identical to the single-rank engine consuming the SAME
+// undivided batches — including across a rollback — with checkpoints
+// interchangeable between the engines.
+func TestInitSPFacade(t *testing.T) {
+	const seqRanks, steps = 2, 20
+	mk := func(seed uint64) *Model {
+		m, err := NewModel(ModelConfig{Layers: 2, Hidden: 32, Heads: 4, Vocab: 64, MaxSeq: 16}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cfg := DefaultOptimizer()
+	cfg.LR = 3e-3
+	cfg.ClipNorm = 1.0 // tight enough to trigger rollbacks on this workload
+	cfg.BucketElems = 20000
+
+	spe, err := InitSP(mk(42), cfg, SPConfig{SeqRanks: seqRanks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spe.Close()
+	single, err := Init(mk(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if spe.SeqRanks() != seqRanks || spe.NumBuckets() != single.NumBuckets() {
+		t.Fatalf("layout mismatch: seqRanks=%d buckets %d vs %d", spe.SeqRanks(), spe.NumBuckets(), single.NumBuckets())
+	}
+
+	corpus := NewCorpus(64, 123)
+	refCorpus := NewCorpus(64, 123)
+	for i := 0; i < steps; i++ {
+		sl, err := spe.Step(corpus.NextBatch(4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := single.Step(refCorpus.NextBatch(4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl != rl {
+			t.Fatalf("step %d: SP loss %v != single-rank loss %v", i, sl, rl)
+		}
+	}
+	if err := spe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if spe.Stats() != single.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", spe.Stats(), single.Stats())
+	}
+	if spe.Stats().Rollbacks() == 0 {
+		t.Error("facade equivalence run triggered no rollbacks")
+	}
+	if cs := spe.CommStats(); cs.A2APayloads == 0 || cs.RingHops == 0 {
+		t.Errorf("no collective traffic recorded: %+v", cs)
+	}
+
+	// Checkpoints are interchangeable between the two engines.
+	var buf bytes.Buffer
+	if err := spe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Init(mk(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := restored.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("SP checkpoint does not round-trip through the single-rank engine")
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitSPValidation(t *testing.T) {
+	if _, err := InitSP(nil, DefaultOptimizer(), SPConfig{SeqRanks: 2}); err == nil {
+		t.Error("nil model accepted")
+	}
+	m, _ := NewModel(ModelConfig{Layers: 1, Hidden: 32, Heads: 4, Vocab: 32, MaxSeq: 8}, 1)
+	if _, err := InitSP(m, DefaultOptimizer(), SPConfig{SeqRanks: 0}); err == nil {
+		t.Error("zero seq ranks accepted")
+	}
+	if _, err := InitSP(m, DefaultOptimizer(), SPConfig{SeqRanks: 3}); err == nil {
+		t.Error("head count not divisible by seq ranks accepted")
+	}
+	bad := DefaultOptimizer()
+	bad.Offload.Backend = "tape"
+	if _, err := InitSP(m, bad, SPConfig{SeqRanks: 2}); err == nil {
+		t.Error("unknown offload backend accepted by InitSP")
+	}
+	eng, err := InitSP(m, DefaultOptimizer(), SPConfig{SeqRanks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Step(NewCorpus(32, 2).NextBatch(2, 7)); err == nil {
+		t.Error("sequence not divisible by seq ranks accepted")
 	}
 }
