@@ -263,6 +263,37 @@ func BenchmarkTrainStepSP(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainStepMesh is one hybrid 2×2 mesh step: per-group
+// attention all-to-alls and gradient rings plus the cross-group
+// bucketized reduce-scatter and the 4-rank all-gather on the critical
+// path.
+func BenchmarkTrainStepMesh(b *testing.B) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	eng, err := dp.NewMesh(m, dp.Config{
+		Ranks: 2, SeqRanks: 2, Adam: optim.DefaultConfig(), Impl: optim.GraceAdam,
+		ClipNorm: 10, BucketElems: 20000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := data.NewCorpus(128, 2)
+	batch := corpus.NextBatch(2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		b.Error(err)
+	}
+}
+
 // ---- ablation benches (design choices from DESIGN.md §4) ----
 
 // BenchmarkAblationBucketSize sweeps the transfer bucket size on the 5B

@@ -1,0 +1,210 @@
+// Command doccheck is the docs-consistency gate CI runs alongside the
+// linters. It fails (exit 1) when the documentation has drifted from the
+// code in either of two ways:
+//
+//  1. CLI surface: every flag cmd/supertrain registers must be mentioned
+//     in README.md (as "-name"), so a new training knob cannot ship
+//     undocumented.
+//  2. Godoc surface: every exported identifier in the audited packages
+//     (the root facade, internal/dp, internal/stv) must carry a doc
+//     comment, and each audited package must have a package comment —
+//     the ST1000/ST1020/ST1021-class checks, enforced without needing
+//     staticcheck installed locally.
+//
+// Run from the repository root: go run ./cmd/doccheck
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// auditedPackages are the directories whose exported identifiers must
+// all carry doc comments (the facade and the engine/store layers the
+// documentation overhaul covers).
+var auditedPackages = []string{".", "internal/dp", "internal/stv"}
+
+func main() {
+	var problems []string
+	problems = append(problems, checkFlags()...)
+	for _, dir := range auditedPackages {
+		problems = append(problems, checkDocs(dir)...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "doccheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// checkFlags extracts every flag name cmd/supertrain registers and
+// verifies README.md mentions it as "-name".
+func checkFlags() []string {
+	const src = "cmd/supertrain/main.go"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, src, nil, 0)
+	if err != nil {
+		return []string{fmt.Sprintf("parsing %s: %v", src, err)}
+	}
+	var names []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Bool", "Duration", "Float64", "Int", "Int64", "String", "Uint", "Uint64":
+		default:
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err == nil {
+			names = append(names, name)
+		}
+		return true
+	})
+	if len(names) == 0 {
+		return []string{fmt.Sprintf("no flag registrations found in %s (parser drift?)", src)}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		return []string{fmt.Sprintf("reading README.md: %v", err)}
+	}
+	var out []string
+	for _, n := range names {
+		// Whole-token match: "-ranks" must not be satisfied by the
+		// "-ranks" inside "-seq-ranks", nor "-offload" by
+		// "-offload-dir", so the flag name may not be followed by
+		// another name character.
+		token := regexp.MustCompile(`-` + regexp.QuoteMeta(n) + `([^a-z0-9-]|$)`)
+		if !token.Match(readme) {
+			out = append(out, fmt.Sprintf("supertrain flag -%s is not documented in README.md", n))
+		}
+	}
+	return out
+}
+
+// checkDocs verifies the package comment and per-identifier doc comments
+// for one directory's non-test files.
+func checkDocs(dir string) []string {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var out []string
+	fset := token.NewFileSet()
+	pkgDoc := false
+	parsed := 0
+	for _, path := range matches {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			out = append(out, fmt.Sprintf("parsing %s: %v", path, err))
+			continue
+		}
+		parsed++
+		if f.Doc != nil {
+			pkgDoc = true
+		}
+		out = append(out, checkFileDocs(fset, path, f)...)
+	}
+	if parsed > 0 && !pkgDoc {
+		out = append(out, fmt.Sprintf("package in %s has no package comment (ST1000)", dir))
+	}
+	return out
+}
+
+// checkFileDocs walks one file's top-level declarations and reports
+// exported identifiers without doc comments.
+func checkFileDocs(fset *token.FileSet, path string, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment",
+			fset.Position(pos), kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue // method on an unexported type: not public API
+			}
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Pos(), kind, d.Name.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc on the grouped decl covers its specs
+					// (idiomatic const/var blocks); otherwise each
+					// exported spec needs its own doc or line comment.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether a method's receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -3,22 +3,27 @@
 // weights, background validation, and exact rollback. It demonstrates the
 // paper's Fig. 1 enablement and Fig. 14 behaviour on real numerics; with
 // -ranks > 1 the multi-superchip data-parallel engine with ZeRO-sharded
-// optimizer state (the 2× and 4× GH200 configurations); and with
+// optimizer state (the 2× and 4× GH200 configurations); with
 // -seq-ranks > 1 the SuperOffload-Ulysses sequence-parallel engine
 // (§4.7): sequence-sharded ranks, two attention all-to-alls per layer,
-// and a deterministic weight-gradient ring.
+// and a deterministic weight-gradient ring; and with both, the hybrid
+// R×S mesh — data parallelism across superchip groups, sequence
+// parallelism within each group, the paper's multi-superchip evaluation
+// shape.
 //
 // Usage:
 //
 //	supertrain -steps 300 -layers 2 -hidden 64 -mode stv
 //	supertrain -steps 300 -ranks 4 -batch 8
 //	supertrain -steps 300 -seq-ranks 4 -seq 32 -heads 4
+//	supertrain -steps 300 -ranks 2 -seq-ranks 2 -batch 8 -seq 32 -heads 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"superoffload"
 )
@@ -33,10 +38,96 @@ type engine interface {
 	Close() error
 }
 
+// commStatser is implemented by the engines with sequence-parallel links
+// (SP and mesh).
+type commStatser interface {
+	CommStats() superoffload.SPCommStats
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// usageError reports a flag-validation failure: the message plus the full
+// usage text, so an incompatible combination reads as a usage problem
+// rather than a runtime fault deep in engine init.
+func usageError(format string, args ...any) error {
+	fmt.Fprintf(flag.CommandLine.Output(), "supertrain: %s\n\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+	return nil // unreachable
+}
+
+// trainFlags carries the parsed flag values by name, so every
+// validation check reads the field it means (a positional int list
+// would make argument swaps invisible to the compiler).
+type trainFlags struct {
+	steps, layers, hidden, heads, vocab int
+	batch, seq, ranks, seqRanks         int
+	resident, bucketElems               int
+	mode, offload                       string
+}
+
+// validate rejects incompatible flag combinations before any engine
+// construction. Divisibility rules: -batch must divide by -ranks (rows
+// split across data-parallel groups), -seq by -seq-ranks (positions
+// split within a group), -hidden by the effective head count, and the
+// head count by -seq-ranks (heads shard across sequence ranks).
+func (f trainFlags) validate() error {
+	if f.steps < 1 {
+		return usageError("-steps must be >= 1, got %d", f.steps)
+	}
+	if f.layers < 1 || f.hidden < 8 || f.vocab < 2 {
+		return usageError("model too small: need -layers >= 1, -hidden >= 8, -vocab >= 2 (got %d, %d, %d)", f.layers, f.hidden, f.vocab)
+	}
+	if f.batch < 1 || f.seq < 1 {
+		return usageError("-batch and -seq must be >= 1, got %d and %d", f.batch, f.seq)
+	}
+	if f.mode != "stv" && f.mode != "ste" {
+		return usageError("unknown -mode %q (want stv or ste)", f.mode)
+	}
+	if f.offload != "dram" && f.offload != "nvme" {
+		return usageError("unknown -offload %q (want dram or nvme)", f.offload)
+	}
+	if f.resident < 1 {
+		return usageError("-resident-buckets must be >= 1, got %d", f.resident)
+	}
+	if f.bucketElems < 0 {
+		return usageError("-bucket-elems must be >= 0, got %d", f.bucketElems)
+	}
+	if f.ranks < 1 {
+		return usageError("-ranks must be >= 1, got %d", f.ranks)
+	}
+	if f.seqRanks < 1 {
+		return usageError("-seq-ranks must be >= 1, got %d", f.seqRanks)
+	}
+	if f.heads < 0 {
+		return usageError("-heads must be >= 0, got %d", f.heads)
+	}
+	// Mirror NewModel's defaulting so the divisibility checks see the
+	// head count the engine will actually use.
+	effHeads := f.heads
+	if effHeads == 0 {
+		effHeads = f.hidden / 64
+		if effHeads < 1 {
+			effHeads = 1
+		}
+	}
+	if f.hidden%effHeads != 0 {
+		return usageError("-hidden %d not divisible by %d heads", f.hidden, effHeads)
+	}
+	if effHeads%f.seqRanks != 0 {
+		return usageError("%d attention heads not divisible by -seq-ranks %d", effHeads, f.seqRanks)
+	}
+	if f.batch%f.ranks != 0 {
+		return usageError("-batch %d not divisible by -ranks %d", f.batch, f.ranks)
+	}
+	if f.seq%f.seqRanks != 0 {
+		return usageError("-seq %d not divisible by -seq-ranks %d", f.seq, f.seqRanks)
+	}
+	return nil
 }
 
 func run() (err error) {
@@ -49,14 +140,22 @@ func run() (err error) {
 	seq := flag.Int("seq", 16, "sequence length (must divide by -seq-ranks)")
 	mode := flag.String("mode", "stv", "schedule: stv (speculative) or ste (synchronous)")
 	clip := flag.Float64("clip", 4.0, "global gradient-norm clip (0 disables)")
-	ranks := flag.Int("ranks", 1, "simulated superchip ranks (data parallelism)")
-	seqRanks := flag.Int("seq-ranks", 1, "simulated superchip ranks (Ulysses sequence parallelism)")
+	ranks := flag.Int("ranks", 1, "simulated superchip ranks (data parallelism; with -seq-ranks > 1, the mesh's group count)")
+	seqRanks := flag.Int("seq-ranks", 1, "simulated superchip ranks (Ulysses sequence parallelism; with -ranks > 1, per-group)")
 	seed := flag.Uint64("seed", 42, "initialization seed")
 	offload := flag.String("offload", "dram", "optimizer-state tier: dram (resident) or nvme (file-backed window)")
 	offloadDir := flag.String("offload-dir", "", "directory for nvme backing files (default: system temp)")
 	resident := flag.Int("resident-buckets", 2, "nvme store resident-bucket window")
 	bucketElems := flag.Int("bucket-elems", 0, "per-bucket element budget (0: the 64 MB default; shrink so toy models split into several buckets)")
 	flag.Parse()
+
+	if err := (trainFlags{
+		steps: *steps, layers: *layers, hidden: *hidden, heads: *heads, vocab: *vocab,
+		batch: *batch, seq: *seq, ranks: *ranks, seqRanks: *seqRanks,
+		resident: *resident, bucketElems: *bucketElems, mode: *mode, offload: *offload,
+	}).validate(); err != nil {
+		return err
+	}
 
 	model, err := superoffload.NewModel(superoffload.ModelConfig{
 		Layers: *layers, Hidden: *hidden, Heads: *heads, Vocab: *vocab, MaxSeq: *seq,
@@ -73,22 +172,17 @@ func run() (err error) {
 		Backend: *offload, Dir: *offloadDir, ResidentBuckets: *resident,
 	}
 
-	if *ranks < 1 {
-		return fmt.Errorf("ranks must be >= 1, got %d", *ranks)
-	}
-	if *seqRanks < 1 {
-		return fmt.Errorf("seq-ranks must be >= 1, got %d", *seqRanks)
-	}
-	if *ranks > 1 && *seqRanks > 1 {
-		return fmt.Errorf("-ranks and -seq-ranks are mutually exclusive (pick data or sequence parallelism)")
-	}
 	var eng engine
 	parallelism := "1 rank"
 	switch {
-	case *ranks > 1:
-		if *batch%*ranks != 0 {
-			return fmt.Errorf("batch %d not divisible by %d ranks", *batch, *ranks)
+	case *ranks > 1 && *seqRanks > 1:
+		me, err := superoffload.InitMesh(model, cfg, superoffload.MeshConfig{Ranks: *ranks, SeqRanks: *seqRanks})
+		if err != nil {
+			return err
 		}
+		eng = me
+		parallelism = fmt.Sprintf("%d×%d mesh (%d DP groups × %d SP ranks)", *ranks, *seqRanks, *ranks, *seqRanks)
+	case *ranks > 1:
 		dpe, err := superoffload.InitDP(model, cfg, superoffload.DPConfig{Ranks: *ranks})
 		if err != nil {
 			return err
@@ -96,9 +190,6 @@ func run() (err error) {
 		eng = dpe
 		parallelism = fmt.Sprintf("%d DP rank(s)", *ranks)
 	case *seqRanks > 1:
-		if *seq%*seqRanks != 0 {
-			return fmt.Errorf("seq %d not divisible by %d seq-ranks", *seq, *seqRanks)
-		}
 		spe, err := superoffload.InitSP(model, cfg, superoffload.SPConfig{SeqRanks: *seqRanks})
 		if err != nil {
 			return err
@@ -140,8 +231,8 @@ func run() (err error) {
 	st := eng.Stats()
 	fmt.Printf("done: %d steps, %d commits, %d clip-rollbacks, %d skip-rollbacks, %d forward redos\n",
 		st.Steps, st.Commits, st.ClipRolls, st.SkipRolls, st.Redos)
-	if spe, ok := eng.(*superoffload.SPEngine); ok {
-		cs := spe.CommStats()
+	if cse, ok := eng.(commStatser); ok {
+		cs := cse.CommStats()
 		n := float64(*steps)
 		fmt.Printf("ulysses links: %.1f all-to-all payloads/step (%.1f MB/step), %.1f ring hops/step (%.1f MB/step)\n",
 			float64(cs.A2APayloads)/n, float64(cs.A2AFloats)*4/1e6/n,

@@ -3,29 +3,32 @@ package dp
 import (
 	"math"
 
+	"superoffload/internal/data"
 	"superoffload/internal/fp16"
 )
 
-// world is the simulated interconnect: every rank link is a Go channel, so
-// communication (gradient reduce-scatter, fp16 weight all-gather, verdict
-// broadcast) composes with goroutine scheduling the way NVLink transfers
-// compose with compute streams — sends overlap whatever the peer is doing
-// until the data is actually needed.
+// world is the simulated interconnect core shared by every multi-rank
+// engine (data-parallel, sequence-parallel, and the R×S mesh): each rank
+// link is a Go channel, so communication composes with goroutine
+// scheduling the way NVLink transfers compose with compute streams —
+// sends overlap whatever the peer is doing until the data is actually
+// needed. The core carries the coordinator protocol (cmd / resolution /
+// go / results), the post-step fp16 weight all-gather links, and the
+// background-validation plane; engine-specific link families (the DP
+// reduce-scatter, the sequence-parallel all-to-all and gradient ring,
+// the mesh's cross-group reduce) wrap it.
 type world struct {
-	R int // ranks
+	N int // total ranks
 	B int // buckets
 
 	// Coordinator → rank control links.
 	cmd        []chan command
 	resolution []chan resolution
 	goCh       []chan goMsg
-	// Rank → coordinator: per-micro-batch losses (or an ack for
+	// Rank → coordinator: one stepResult per cmdStep (or an ack for
 	// cmdResolve).
-	results []chan []float64
+	results []chan stepResult
 
-	// reduce[b][src] carries rank src's raw gradient contribution for
-	// bucket b to the bucket's owner — the reduce-scatter links.
-	reduce [][]chan []float32
 	// gather[b][dst] carries the owner's post-step fp16 weights for
 	// bucket b to rank dst — the all-gather links.
 	gather [][]chan []fp16.Num
@@ -35,6 +38,23 @@ type world struct {
 	// verdict per step.
 	partial chan partialMsg
 	val     chan valMsg
+}
+
+// command drives a rank's top-level loop (identical across engines).
+type command struct {
+	kind   int          // cmdStep, cmdResolve, cmdStop
+	micros []data.Batch // cmdStep: this rank's micro-batches, in order
+	res    resolution   // cmdResolve
+}
+
+// stepResult is a rank's report for one cmdStep (the zero value acks a
+// cmdResolve). The data-parallel engine fills losses — one scalar per
+// micro-batch; the sequence-parallel and mesh engines fill rows — per
+// micro-batch per-row token losses in local row order, folded at the
+// coordinator in global row order.
+type stepResult struct {
+	losses []float64
+	rows   [][]float64
 }
 
 // partialMsg is one bucket's validation contribution.
@@ -50,26 +70,23 @@ type valMsg struct {
 	norm float64
 }
 
-// newWorld wires the links for R ranks over B buckets.
-func newWorld(r, b int) *world {
-	w := &world{R: r, B: b}
-	w.cmd = make([]chan command, r)
-	w.resolution = make([]chan resolution, r)
-	w.goCh = make([]chan goMsg, r)
-	w.results = make([]chan []float64, r)
-	for i := 0; i < r; i++ {
+// newWorld wires the shared core links for n ranks over b buckets.
+func newWorld(n, b int) *world {
+	w := &world{N: n, B: b}
+	w.cmd = make([]chan command, n)
+	w.resolution = make([]chan resolution, n)
+	w.goCh = make([]chan goMsg, n)
+	w.results = make([]chan stepResult, n)
+	for i := 0; i < n; i++ {
 		w.cmd[i] = make(chan command, 1)
 		w.resolution[i] = make(chan resolution, 1)
 		w.goCh[i] = make(chan goMsg, 1)
-		w.results[i] = make(chan []float64, 1)
+		w.results[i] = make(chan stepResult, 1)
 	}
-	w.reduce = make([][]chan []float32, b)
 	w.gather = make([][]chan []fp16.Num, b)
 	for bi := 0; bi < b; bi++ {
-		w.reduce[bi] = make([]chan []float32, r)
-		w.gather[bi] = make([]chan []fp16.Num, r)
-		for ri := 0; ri < r; ri++ {
-			w.reduce[bi][ri] = make(chan []float32, 1)
+		w.gather[bi] = make([]chan []fp16.Num, n)
+		for ri := 0; ri < n; ri++ {
 			w.gather[bi][ri] = make(chan []fp16.Num, 1)
 		}
 	}
@@ -84,23 +101,19 @@ func newWorld(r, b int) *world {
 func bucketOwner(bucket, ranks int) int { return bucket % ranks }
 
 // owner applies the ownership policy to this world's rank count.
-func (w *world) owner(bucket int) int { return bucketOwner(bucket, w.R) }
+func (w *world) owner(bucket int) int { return bucketOwner(bucket, w.N) }
 
 // aggregate is the validation reducer: each step it collects exactly one
 // partial per bucket (arrival order is scheduling-dependent; combination
 // order is not — partials sum in bucket index order, matching
 // optim.GlobalNorm's per-shard grouping bit for bit) and publishes the
 // global verdict input. It exits when the partial link closes.
-func (w *world) aggregate() { aggregatePartials(w.partial, w.val, w.B) }
-
-// aggregatePartials is the reducer body, shared by the data-parallel and
-// sequence-parallel worlds.
-func aggregatePartials(partial <-chan partialMsg, val chan<- valMsg, nBuckets int) {
-	sums := make([]float64, nBuckets)
+func (w *world) aggregate() {
+	sums := make([]float64, w.B)
 	for {
 		bad := false
-		for i := 0; i < nBuckets; i++ {
-			p, ok := <-partial
+		for i := 0; i < w.B; i++ {
+			p, ok := <-w.partial
 			if !ok {
 				return
 			}
@@ -111,6 +124,62 @@ func aggregatePartials(partial <-chan partialMsg, val chan<- valMsg, nBuckets in
 		for _, q := range sums {
 			s += q
 		}
-		val <- valMsg{bad: bad, norm: math.Sqrt(s)}
+		w.val <- valMsg{bad: bad, norm: math.Sqrt(s)}
 	}
+}
+
+// reduceLinks carries raw gradient contributions to bucket owners:
+// entry [b][src] delivers source src's contribution for bucket b to the
+// bucket's owner. The data-parallel engine indexes sources by rank; the
+// mesh engine indexes them by data-parallel group.
+type reduceLinks [][]chan []float32
+
+// newReduceLinks wires the reduce-scatter links for b buckets fed by
+// nSrc sources each.
+func newReduceLinks(b, nSrc int) reduceLinks {
+	r := make(reduceLinks, b)
+	for bi := 0; bi < b; bi++ {
+		r[bi] = make([]chan []float32, nSrc)
+		for si := 0; si < nSrc; si++ {
+			r[bi][si] = make(chan []float32, 1)
+		}
+	}
+	return r
+}
+
+// splitRows slices a batch into n per-group row slices along the batch
+// dimension: slice g takes rows [g·B/n, (g+1)·B/n). The caller has
+// validated divisibility.
+func splitRows(b data.Batch, n int) []data.Batch {
+	per := b.BatchSize / n
+	out := make([]data.Batch, n)
+	for g := 0; g < n; g++ {
+		lo, hi := g*per*b.Seq, (g+1)*per*b.Seq
+		out[g] = data.Batch{
+			Tokens:    b.Tokens[lo:hi],
+			Targets:   b.Targets[lo:hi],
+			BatchSize: per,
+			Seq:       b.Seq,
+		}
+	}
+	return out
+}
+
+// splitSeq shards a batch into n sequence shards: shard s takes
+// positions [s·T/n, (s+1)·T/n) of every batch row. The caller has
+// validated divisibility (nn.GPT.ValidateSP).
+func splitSeq(b data.Batch, n int) []data.Batch {
+	tl := b.Seq / n
+	out := make([]data.Batch, n)
+	for s := 0; s < n; s++ {
+		toks := make([]int, 0, b.BatchSize*tl)
+		tgts := make([]int, 0, b.BatchSize*tl)
+		for r := 0; r < b.BatchSize; r++ {
+			lo := r*b.Seq + s*tl
+			toks = append(toks, b.Tokens[lo:lo+tl]...)
+			tgts = append(tgts, b.Targets[lo:lo+tl]...)
+		}
+		out[s] = data.Batch{Tokens: toks, Targets: tgts, BatchSize: b.BatchSize, Seq: tl}
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
 	"superoffload/internal/stv"
@@ -156,6 +157,106 @@ func closeStores(stores []stv.BucketStore, err error) error {
 		}
 	}
 	return err
+}
+
+// runStep drives one iteration over the shared world: dispatch the
+// per-rank micro-batches, resolve the previous step's validation while
+// the forwards run (the §4.4 overlap), release the ranks into backward,
+// and collect their step reports in rank order. The caller folds the
+// reported losses in its engine's canonical order.
+func (c *coordinator) runStep(w *world, micross [][]data.Batch) ([]stepResult, error) {
+	if c.closed {
+		return nil, fmt.Errorf("dp: engine closed")
+	}
+	c.stepIndex++
+	adam := c.stepAdam()
+	for r := 0; r < w.N; r++ {
+		w.cmd[r] <- command{kind: cmdStep, micros: micross[r]}
+	}
+	// Ranks are now forwarding; the pending verdict resolves in parallel
+	// with that compute, exactly like the single-rank background
+	// validator.
+	res := c.resolvePending(w.val)
+	for r := 0; r < w.N; r++ {
+		w.resolution[r] <- res
+	}
+	if res.weightsChanged() {
+		c.stats.Redos++
+	}
+	g := goMsg{
+		adam:   adam,
+		scale:  c.scale(),
+		inject: c.cfg.InjectBad != nil && c.cfg.InjectBad(c.stepIndex),
+	}
+	for r := 0; r < w.N; r++ {
+		w.goCh[r] <- g
+	}
+	c.pendingAdam = adam
+	out := make([]stepResult, w.N)
+	for r := 0; r < w.N; r++ {
+		out[r] = <-w.results[r]
+	}
+	c.stats.Steps++
+	c.pending = true
+	return out, nil
+}
+
+// flush resolves any in-flight validation over the shared world (call at
+// end of training so the final step is validated). Returns whether the
+// final step was rolled back or re-executed.
+func (c *coordinator) flush(w *world) (bool, error) {
+	if c.closed {
+		return false, fmt.Errorf("dp: engine closed")
+	}
+	if !c.pending {
+		return false, nil
+	}
+	res := c.resolvePending(w.val)
+	for r := 0; r < w.N; r++ {
+		w.cmd[r] <- command{kind: cmdResolve, res: res}
+	}
+	for r := 0; r < w.N; r++ {
+		<-w.results[r]
+	}
+	return res.weightsChanged(), nil
+}
+
+// closeWorld resolves any pending validation, stops the rank goroutines
+// and the validation aggregator, and closes every rank's bucket store.
+// The engine is unusable afterwards.
+func (c *coordinator) closeWorld(w *world, stores []stv.BucketStore) error {
+	if c.closed {
+		return nil
+	}
+	_, err := c.flush(w)
+	for r := 0; r < w.N; r++ {
+		w.cmd[r] <- command{kind: cmdStop}
+	}
+	close(w.partial)
+	c.closed = true
+	return closeStores(stores, err)
+}
+
+// buildStores constructs every rank's bucket store before any rank
+// goroutine starts, so a failing store constructor can unwind cleanly.
+// A nil factory keeps every shard DRAM-resident.
+func buildStores(n int, factory func(rank int) (stv.BucketStore, error)) ([]stv.BucketStore, error) {
+	stores := make([]stv.BucketStore, n)
+	for id := 0; id < n; id++ {
+		if factory == nil {
+			stores[id] = stv.NewDRAMStore()
+			continue
+		}
+		st, err := factory(id)
+		if err != nil {
+			for _, s := range stores[:id] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("dp: building rank %d store: %w", id, err)
+		}
+		stores[id] = st
+	}
+	return stores, nil
 }
 
 // resolvePending consumes the outstanding validation verdict (blocking on

@@ -26,19 +26,27 @@
 package dp
 
 import (
-	"superoffload/internal/data"
 	"superoffload/internal/optim"
 	"superoffload/internal/stv"
 )
 
-// Config parameterizes a data-parallel Engine. The optimizer fields mirror
-// stv.Config so the two engines stay trajectory-compatible.
+// Config parameterizes a multi-rank engine (New, NewSP, NewMesh). The
+// optimizer fields mirror stv.Config so every engine stays
+// trajectory-compatible with the single-rank trainer.
 type Config struct {
 	// Ranks is the simulated superchip count R (the paper evaluates 1, 2,
-	// 4, and 16).
+	// 4, and 16). New reads it as the data-parallel degree, NewSP as the
+	// sequence-parallel degree, and NewMesh as the number of
+	// data-parallel replica groups.
 	Ranks int
-	Adam  optim.Config
-	Impl  optim.Impl
+	// SeqRanks is the per-group sequence-parallel degree S, read only by
+	// NewMesh (the other constructors take their single degree from
+	// Ranks). 0 means 1.
+	SeqRanks int
+	// Adam is the optimizer hyperparameter set.
+	Adam optim.Config
+	// Impl is the Adam kernel (default optim.GraceAdam).
+	Impl optim.Impl
 	// ClipNorm is the global gradient-norm clipping threshold (0
 	// disables clipping).
 	ClipNorm float64
@@ -93,15 +101,21 @@ type goMsg struct {
 	inject bool    // corrupt the reduced gradient of bucket 0
 }
 
-// command drives a rank's top-level loop.
-type command struct {
-	kind   int          // cmdStep, cmdResolve, cmdStop
-	micros []data.Batch // cmdStep: this rank's micro-batches, in order
-	res    resolution   // cmdResolve
-}
-
+// Command kinds for a rank's top-level loop (comm.go's command).
 const (
 	cmdStep    = iota
 	cmdResolve // apply a resolution outside a step (Flush)
 	cmdStop
 )
+
+// withDefaults fills the optimizer implementation and bucket budget the
+// way every engine constructor does.
+func (c Config) withDefaults() Config {
+	if c.Impl == nil {
+		c.Impl = optim.GraceAdam
+	}
+	if c.BucketElems <= 0 {
+		c.BucketElems = 32 << 20 // 64 MB of fp16, §4.3
+	}
+	return c
+}

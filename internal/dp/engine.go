@@ -6,9 +6,17 @@ import (
 
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
-	"superoffload/internal/optim"
 	"superoffload/internal/stv"
 )
+
+// dpWorld is the data-parallel engine's interconnect: the shared world
+// core plus the per-bucket gradient reduce-scatter links (reduce[b][src]
+// carries rank src's raw contribution for bucket b to the bucket's
+// owner).
+type dpWorld struct {
+	*world
+	reduce reduceLinks
+}
 
 // Engine coordinates R rank goroutines through the STV schedule. Its API
 // mirrors stv.Trainer (Step, StepAccum, Flush, Save, Load, Stats) so the
@@ -17,7 +25,7 @@ import (
 // goroutine drives training.
 type Engine struct {
 	coordinator
-	w     *world
+	w     *dpWorld
 	ranks []*rank
 	// buckets is the global bucket order; entry b points at the owning
 	// rank's optimizer state (used for checkpointing and diagnostics).
@@ -35,31 +43,13 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 	if cfg.Ranks < 1 {
 		return nil, fmt.Errorf("dp: Ranks must be >= 1, got %d", cfg.Ranks)
 	}
-	if cfg.Impl == nil {
-		cfg.Impl = optim.GraceAdam
-	}
-	if cfg.BucketElems <= 0 {
-		cfg.BucketElems = 32 << 20 // 64 MB of fp16, §4.3
-	}
+	cfg = cfg.withDefaults()
 	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
-	w := newWorld(cfg.Ranks, nBuckets)
+	w := &dpWorld{world: newWorld(cfg.Ranks, nBuckets), reduce: newReduceLinks(nBuckets, cfg.Ranks)}
 	e := &Engine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
-	// Build every rank's store before starting any goroutine, so a
-	// failing store constructor can unwind cleanly.
-	stores := make([]stv.BucketStore, cfg.Ranks)
-	for id := 0; id < cfg.Ranks; id++ {
-		if cfg.NewStore == nil {
-			stores[id] = stv.NewDRAMStore()
-			continue
-		}
-		st, err := cfg.NewStore(id)
-		if err != nil {
-			for _, s := range stores[:id] {
-				s.Close()
-			}
-			return nil, fmt.Errorf("dp: building rank %d store: %w", id, err)
-		}
-		stores[id] = st
+	stores, err := buildStores(cfg.Ranks, cfg.NewStore)
+	if err != nil {
+		return nil, err
 	}
 	for id := 0; id < cfg.Ranks; id++ {
 		replica := model
@@ -84,7 +74,7 @@ func (e *Engine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 }
 
 // Ranks reports the data-parallel degree R.
-func (e *Engine) Ranks() int { return e.w.R }
+func (e *Engine) Ranks() int { return e.w.N }
 
 // NumBuckets reports how many offload buckets the parameter space uses.
 func (e *Engine) NumBuckets() int { return len(e.buckets) }
@@ -92,21 +82,10 @@ func (e *Engine) NumBuckets() int { return len(e.buckets) }
 // split slices a global batch into R per-rank micro-batches along the
 // batch dimension. Rank r takes rows [r·B/R, (r+1)·B/R).
 func (e *Engine) split(b data.Batch) ([]data.Batch, error) {
-	if b.BatchSize%e.w.R != 0 {
-		return nil, fmt.Errorf("dp: global batch %d not divisible by %d ranks", b.BatchSize, e.w.R)
+	if b.BatchSize%e.w.N != 0 {
+		return nil, fmt.Errorf("dp: global batch %d not divisible by %d ranks", b.BatchSize, e.w.N)
 	}
-	per := b.BatchSize / e.w.R
-	out := make([]data.Batch, e.w.R)
-	for r := 0; r < e.w.R; r++ {
-		lo, hi := r*per*b.Seq, (r+1)*per*b.Seq
-		out[r] = data.Batch{
-			Tokens:    b.Tokens[lo:hi],
-			Targets:   b.Targets[lo:hi],
-			BatchSize: per,
-			Seq:       b.Seq,
-		}
-	}
-	return out, nil
+	return splitRows(b, e.w.N), nil
 }
 
 // Step runs one training iteration over the global batch: each rank takes
@@ -119,7 +98,7 @@ func (e *Engine) Step(b data.Batch) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	micross := make([][]data.Batch, e.w.R)
+	micross := make([][]data.Batch, e.w.N)
 	for r, s := range slices {
 		micross[r] = []data.Batch{s}
 	}
@@ -134,7 +113,7 @@ func (e *Engine) StepAccum(batches []data.Batch) (float64, error) {
 	if len(batches) == 0 {
 		return 0, nil
 	}
-	micross := make([][]data.Batch, e.w.R)
+	micross := make([][]data.Batch, e.w.N)
 	for _, b := range batches {
 		slices, err := e.split(b)
 		if err != nil {
@@ -147,54 +126,22 @@ func (e *Engine) StepAccum(batches []data.Batch) (float64, error) {
 	return e.step(micross)
 }
 
-// step drives one iteration: dispatch the per-rank micro-batches, resolve
-// the previous step's validation while forwards run, release the ranks,
-// and reduce their losses in canonical order.
+// step drives one iteration through the shared coordinator and folds the
+// reported losses in (micro-batch, rank) order — the same order the
+// single-rank trainer accumulates them.
 func (e *Engine) step(micross [][]data.Batch) (float64, error) {
-	if e.closed {
-		return 0, fmt.Errorf("dp: engine closed")
-	}
-	e.stepIndex++
-	adam := e.stepAdam()
-	for r := 0; r < e.w.R; r++ {
-		e.w.cmd[r] <- command{kind: cmdStep, micros: micross[r]}
-	}
-	// Ranks are now forwarding; the pending verdict resolves in parallel
-	// with that compute, exactly like the single-rank background
-	// validator.
-	res := e.resolvePending(e.w.val)
-	for r := 0; r < e.w.R; r++ {
-		e.w.resolution[r] <- res
-	}
-	if res.weightsChanged() {
-		e.stats.Redos++
-	}
-	g := goMsg{
-		adam:   adam,
-		scale:  e.scale(),
-		inject: e.cfg.InjectBad != nil && e.cfg.InjectBad(e.stepIndex),
-	}
-	for r := 0; r < e.w.R; r++ {
-		e.w.goCh[r] <- g
-	}
-	e.pendingAdam = adam
-
-	// Losses sum in (micro-batch, rank) order — the same order the
-	// single-rank trainer accumulates them.
-	perRank := make([][]float64, e.w.R)
-	for r := 0; r < e.w.R; r++ {
-		perRank[r] = <-e.w.results[r]
+	perRank, err := e.runStep(e.w.world, micross)
+	if err != nil {
+		return 0, err
 	}
 	m := len(micross[0])
 	var loss float64
 	for mi := 0; mi < m; mi++ {
-		for r := 0; r < e.w.R; r++ {
-			loss += perRank[r][mi]
+		for r := 0; r < e.w.N; r++ {
+			loss += perRank[r].losses[mi]
 		}
 	}
-	loss /= float64(m * e.w.R)
-	e.stats.Steps++
-	e.pending = true
+	loss /= float64(m * e.w.N)
 
 	if e.cfg.Synchronous {
 		// Synchronize-then-execute: resolve before returning, putting
@@ -210,22 +157,7 @@ func (e *Engine) step(micross [][]data.Batch) (float64, error) {
 // Flush resolves any in-flight validation (call at end of training so the
 // final step is validated). Returns whether the final step was rolled back
 // or re-executed.
-func (e *Engine) Flush() (bool, error) {
-	if e.closed {
-		return false, fmt.Errorf("dp: engine closed")
-	}
-	if !e.pending {
-		return false, nil
-	}
-	res := e.resolvePending(e.w.val)
-	for r := 0; r < e.w.R; r++ {
-		e.w.cmd[r] <- command{kind: cmdResolve, res: res}
-	}
-	for r := 0; r < e.w.R; r++ {
-		<-e.w.results[r]
-	}
-	return res.weightsChanged(), nil
-}
+func (e *Engine) Flush() (bool, error) { return e.flush(e.w.world) }
 
 // Save serializes the training state in the stv checkpoint format, over
 // the global bucket order — byte-identical to a single-rank engine on the
@@ -246,15 +178,4 @@ func (e *Engine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
 // Close resolves any pending validation, stops the rank goroutines and
 // the validation aggregator, and closes every rank's bucket store. The
 // engine is unusable afterwards.
-func (e *Engine) Close() error {
-	if e.closed {
-		return nil
-	}
-	_, err := e.Flush()
-	for r := 0; r < e.w.R; r++ {
-		e.w.cmd[r] <- command{kind: cmdStop}
-	}
-	close(e.w.partial)
-	e.closed = true
-	return closeStores(storeList(e.ranks), err)
-}
+func (e *Engine) Close() error { return e.closeWorld(e.w.world, storeList(e.ranks)) }

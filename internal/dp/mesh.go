@@ -1,0 +1,260 @@
+package dp
+
+import (
+	"fmt"
+	"io"
+
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/stv"
+)
+
+// meshWorld is the R×S mesh engine's interconnect: the shared world core
+// over all N = R·S ranks, one set of sequence-parallel links per
+// data-parallel group, and the cross-group reduce links (reduce[b][g]
+// carries group g's delegated contribution for bucket b to the bucket's
+// global owner).
+type meshWorld struct {
+	*world
+	R int // data-parallel groups
+	S int // sequence ranks per group
+
+	links  []*spLinks // per-group all-to-all / ring / flat
+	reduce reduceLinks
+	tel    *linkTelemetry
+}
+
+// newMeshWorld wires the links for R groups of S sequence ranks over b
+// buckets.
+func newMeshWorld(r, s, b int) *meshWorld {
+	tel := &linkTelemetry{}
+	w := &meshWorld{world: newWorld(r*s, b), R: r, S: s, reduce: newReduceLinks(b, r), tel: tel}
+	w.links = make([]*spLinks, r)
+	for g := 0; g < r; g++ {
+		w.links[g] = newSPLinks(s, tel)
+	}
+	return w
+}
+
+// MeshEngine is the hybrid R×S training engine — the composition behind
+// the paper's multi-superchip results (Fig. 11a/b, Fig. 12): R
+// data-parallel replica groups, each running S-way Ulysses sequence
+// parallelism and offloaded optimization internally. A global batch's
+// rows split across groups; within a group every rank holds a contiguous
+// sequence shard of the group's rows, attention head-parallelizes over
+// the group's all-to-all links, and the group's weight gradients reduce
+// over its deterministic ring. Across groups the completed per-group
+// gradients reduce-scatter to bucket owners along the stv bucket
+// boundaries — the fp32 masters and Adam moments are ZeRO-partitioned
+// over all R·S ranks, each behind its own pluggable bucket store — and
+// STV's speculative step, background validation, and exact rollback run
+// unchanged on top.
+//
+// Determinism contract: for the same global batch, an R×S mesh
+// reproduces — bit for bit — the loss trajectory, rollback decisions,
+// stats, and checkpoints of a single-rank stv.Trainer processing the
+// same R-way row decomposition via gradient accumulation (the DP
+// engine's reference; S is invisible to the numerics, exactly as in the
+// SP engine). Checkpoints are byte-identical across mesh shapes and
+// interchangeable with every other engine's.
+type MeshEngine struct {
+	coordinator
+	w     *meshWorld
+	ranks []*meshRank
+	// buckets is the global bucket order; entry b points at the owning
+	// rank's optimizer state (used for checkpointing and diagnostics).
+	buckets []*stv.Bucket
+}
+
+// NewMesh builds an R×S mesh engine over the model: cfg.Ranks
+// data-parallel groups of cfg.SeqRanks sequence ranks each (0 counts as
+// 1). The model becomes rank (0,0)'s replica; the other R·S-1 ranks
+// train on bit-identical clones.
+func NewMesh(model *nn.GPT, cfg Config) (*MeshEngine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("dp: nil model")
+	}
+	if cfg.SeqRanks == 0 {
+		cfg.SeqRanks = 1
+	}
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("dp: mesh Ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	if cfg.SeqRanks < 1 {
+		return nil, fmt.Errorf("dp: mesh SeqRanks must be >= 1, got %d", cfg.SeqRanks)
+	}
+	if model.Cfg.Heads%cfg.SeqRanks != 0 {
+		return nil, fmt.Errorf("dp: %d attention heads not divisible by %d sequence ranks",
+			model.Cfg.Heads, cfg.SeqRanks)
+	}
+	cfg = cfg.withDefaults()
+	r, s := cfg.Ranks, cfg.SeqRanks
+	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
+	w := newMeshWorld(r, s, nBuckets)
+	e := &MeshEngine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
+	stores, err := buildStores(r*s, cfg.NewStore)
+	if err != nil {
+		return nil, err
+	}
+	for g := 0; g < r; g++ {
+		for sl := 0; sl < s; sl++ {
+			id := g*s + sl
+			replica := model
+			if id > 0 {
+				replica = model.Clone()
+			}
+			rk := newMeshRank(g, sl, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
+			for _, ob := range rk.owned {
+				e.buckets[ob.idx] = ob.b
+			}
+			e.ranks = append(e.ranks, rk)
+			go rk.run()
+		}
+	}
+	go w.aggregate()
+	return e, nil
+}
+
+// CommStats reports the mesh's cumulative sequence-parallel link traffic,
+// summed over every group's all-to-all and ring links.
+func (e *MeshEngine) CommStats() SPCommStats { return e.w.tel.snapshot() }
+
+// StoreTelemetry sums the modeled NVMe telemetry over every rank's store.
+// ok is false when no rank uses an NVMe-backed store.
+func (e *MeshEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
+	return sumNVMeTelemetry(storeList(e.ranks))
+}
+
+// Ranks reports the data-parallel degree R (the number of replica
+// groups).
+func (e *MeshEngine) Ranks() int { return e.w.R }
+
+// SeqRanks reports the per-group sequence-parallel degree S.
+func (e *MeshEngine) SeqRanks() int { return e.w.S }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *MeshEngine) NumBuckets() int { return len(e.buckets) }
+
+// split shards a global batch over the mesh: rows split R ways across
+// groups, then every group slice's sequence splits S ways across the
+// group's ranks. Entry g·S+s is rank (g,s)'s shard. The sharding
+// arithmetic is validated here, in the caller's goroutine, so a
+// malformed batch surfaces as an error instead of a rank-goroutine
+// panic.
+func (e *MeshEngine) split(b data.Batch) ([]data.Batch, error) {
+	if b.BatchSize%e.w.R != 0 {
+		return nil, fmt.Errorf("dp: global batch %d not divisible by %d mesh groups", b.BatchSize, e.w.R)
+	}
+	if err := e.ranks[0].model.ValidateSP(e.w.S, b.Seq); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	out := make([]data.Batch, e.w.N)
+	for g, slice := range splitRows(b, e.w.R) {
+		for s, shard := range splitSeq(slice, e.w.S) {
+			out[g*e.w.S+s] = shard
+		}
+	}
+	return out, nil
+}
+
+// Step runs one training iteration over the global batch: group g takes
+// rows [g·B/R, (g+1)·B/R), rank (g,s) takes sequence shard s of those
+// rows, gradients reduce ring-then-reduce-scatter, the bucket owners
+// step speculatively, and validation runs in the background. Returns the
+// mean loss — bit-identical to the single-rank engine's loss for the
+// same R-way row decomposition.
+func (e *MeshEngine) Step(b data.Batch) (float64, error) {
+	shards, err := e.split(b)
+	if err != nil {
+		return 0, err
+	}
+	micross := make([][]data.Batch, e.w.N)
+	for id, sh := range shards {
+		micross[id] = []data.Batch{sh}
+	}
+	return e.step(micross)
+}
+
+// StepAccum runs one optimizer step over several accumulated global
+// micro-batches (the §5.2 OOM-mitigation path): every global micro-batch
+// shards over the mesh, reductions complete per micro-batch in
+// (micro-batch, group) order, and one optimizer step applies at the end.
+func (e *MeshEngine) StepAccum(batches []data.Batch) (float64, error) {
+	if len(batches) == 0 {
+		return 0, nil
+	}
+	micross := make([][]data.Batch, e.w.N)
+	for _, b := range batches {
+		shards, err := e.split(b)
+		if err != nil {
+			return 0, err
+		}
+		for id, sh := range shards {
+			micross[id] = append(micross[id], sh)
+		}
+	}
+	return e.step(micross)
+}
+
+// step drives one iteration through the shared coordinator and folds the
+// reported per-row losses in canonical order: per (micro, group), rows
+// fold in (batch row, shard, position) order — ascending global row
+// order within the group's slice, reproducing that slice's crossEntropy
+// mean bit for bit — and the R·m slice losses then sum in (micro, group)
+// order and divide once, matching the single-rank trainer accumulating
+// the same R-way decomposition.
+func (e *MeshEngine) step(micross [][]data.Batch) (float64, error) {
+	perRank, err := e.runStep(e.w.world, micross)
+	if err != nil {
+		return 0, err
+	}
+	m := len(micross[0])
+	var loss float64
+	for mi := 0; mi < m; mi++ {
+		rowsB, tl := micross[0][mi].BatchSize, micross[0][mi].Seq
+		for g := 0; g < e.w.R; g++ {
+			var micro float64
+			for b := 0; b < rowsB; b++ {
+				for s := 0; s < e.w.S; s++ {
+					for t := 0; t < tl; t++ {
+						micro += perRank[g*e.w.S+s].rows[mi][b*tl+t]
+					}
+				}
+			}
+			loss += micro / float64(rowsB*tl*e.w.S)
+		}
+	}
+	loss /= float64(m * e.w.R)
+
+	if e.cfg.Synchronous {
+		if _, err := e.Flush(); err != nil {
+			return loss, err
+		}
+	}
+	return loss, nil
+}
+
+// Flush resolves any in-flight validation (call at end of training so
+// the final step is validated). Returns whether the final step was
+// rolled back or re-executed.
+func (e *MeshEngine) Flush() (bool, error) { return e.flush(e.w.world) }
+
+// Save serializes the training state in the stv checkpoint format, over
+// the global bucket order — byte-identical to every other engine on the
+// same trajectory, so checkpoints move freely across mesh shapes.
+func (e *MeshEngine) Save(w io.Writer) error { return e.save(w, e.buckets) }
+
+// Load restores state saved by any engine's Save, scattering each bucket
+// to its owner and republishing the fp16-rounded weights to every
+// replica.
+func (e *MeshEngine) Load(r io.Reader) error { return e.load(r, e.buckets, replicaGroups(e.ranks)) }
+
+// MasterWeights returns the fp32 master parameters gathered from their
+// owners, concatenated in bucket order — the ground truth for exactness
+// comparisons against the single-rank engine.
+func (e *MeshEngine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
+
+// Close resolves any pending validation, stops the rank goroutines and
+// the validation aggregator, and closes every rank's bucket store. The
+// engine is unusable afterwards.
+func (e *MeshEngine) Close() error { return e.closeWorld(e.w.world, storeList(e.ranks)) }

@@ -1,0 +1,172 @@
+package dp
+
+import (
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+)
+
+// meshRank is one simulated superchip of the R×S mesh engine: rank
+// (g, s) — global id g·S + s — holds a full fp16 model replica, runs
+// forward/backward over sequence shard s of data-parallel group g's
+// batch rows (attention flips to head parallelism through group g's
+// all-to-all links), and owns the ZeRO shard of optimizer state whose
+// global bucket indices map to its global id, behind its own bucket
+// store.
+type meshRank struct {
+	id    int // global rank: group·S + local
+	group int // data-parallel group g ∈ [0, R)
+	local int // in-group sequence rank s ∈ [0, S)
+
+	w      *meshWorld
+	model  *nn.GPT
+	sp     *nn.SP
+	impl   optim.Impl
+	store  stv.BucketStore
+	groups []nn.Params   // global bucket layout over this replica
+	owned  []ownedBucket // this rank's partition, ascending bucket index
+	// offsets[b] is bucket b's start in the flat gradient layout
+	// (Params() registration order — the layout the group ring reduces
+	// over).
+	offsets []int
+	// seeder hands each group's local rank 0 the per-micro flat ring
+	// buffers (see flatSeeder for the reuse discipline).
+	seeder flatSeeder
+	// sendBufs[m][b] stages this rank's delegated cross-group
+	// contribution for micro-batch m and bucket b — a copy of the
+	// completed group reduction's bucket slice, staged exactly like the
+	// data-parallel rank's sendBufs so ring-buffer reuse can never race
+	// the owner's reads: distinct per micro-batch within a step, reused
+	// across steps only after the coordinator has collected every rank's
+	// results.
+	sendBufs [][][]float32
+}
+
+// delegateLocal maps a bucket to the in-group rank that forwards each
+// group's contribution across the mesh: the rank sharing the global
+// owner's local index (bucketOwner over N = R·S reduced mod S), so the
+// owner's own group's delegate is the owner itself.
+func delegateLocal(bucket, seqRanks int) int { return bucketOwner(bucket, seqRanks) }
+
+// newMeshRank partitions the replica under the global (R·S-way)
+// ownership policy and wires this rank into its group's sequence-
+// parallel links.
+func newMeshRank(group, local int, w *meshWorld, model *nn.GPT, impl optim.Impl, bucketElems int, store stv.BucketStore) *meshRank {
+	r := &meshRank{id: group*w.S + local, group: group, local: local, w: w, model: model, impl: impl, store: store}
+	links := w.links[group]
+	r.sp = &nn.SP{Rank: local, Ranks: w.S, AllToAll: func(p [][]float32) [][]float32 {
+		return links.allToAll(local, p)
+	}}
+	r.groups, r.owned, r.offsets = partitionReplica(model, bucketElems, r.id, w.N, store)
+	return r
+}
+
+// run is the rank's top-level loop.
+func (r *meshRank) run() { runRankLoop(r.w.world, r.id, r.step, r.apply) }
+
+// apply executes a validation resolution: owners mutate their partition,
+// and if weights changed every rank republishes via the mesh-wide
+// all-gather.
+func (r *meshRank) apply(v resolution) {
+	applyResolution(v, r.owned, r.impl, r.allGather)
+}
+
+// step runs one training iteration over this rank's sequence shards of
+// its group's batch rows, mirroring stv.Trainer's STV sequencing:
+// forward first (with its two all-to-alls per layer), then resolve the
+// previous step's validation; a rollback changes weights, so every rank
+// redoes the forward in lockstep before backward.
+func (r *meshRank) step(micros []data.Batch) {
+	rows := make([][]float64, 0, len(micros))
+	var g goMsg
+	var cache *nn.SPCache
+	redone := false
+	for {
+		b := micros[0]
+		losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
+		if !redone {
+			v := <-r.w.resolution[r.id]
+			r.apply(v)
+			if v.weightsChanged() {
+				redone = true
+				continue
+			}
+		}
+		g = <-r.w.goCh[r.id]
+		r.model.BackwardSP(c, g.scale, r.sp)
+		rows = append(rows, losses)
+		cache = c
+		break
+	}
+	r.meshReduce(0, cache, micros[0].BatchSize)
+	for m := 1; m < len(micros); m++ {
+		b := micros[m]
+		losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
+		r.model.BackwardSP(c, g.scale, r.sp)
+		rows = append(rows, losses)
+		r.meshReduce(m, c, b.BatchSize)
+	}
+
+	// Speculative phase on the owned partition: normalize the reduced
+	// sum — each group's ring produced its whole row slice's gradient,
+	// and the cross-group reduce summed R of them per micro, so the
+	// divisor is micros·R, exactly the single-rank trainer's count for
+	// the same R-way decomposition — then apply per-bucket Adam and
+	// publish fp16 weights to all R·S ranks.
+	inv := float32(1 / (g.scale * float64(len(micros)*r.w.R)))
+	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
+
+	r.w.results[r.id] <- stepResult{rows: rows}
+}
+
+// meshReduce is the two-level gradient reduction for micro-batch m.
+// Level one is the in-group ring (spLinks.ringReduce): the flat buffer
+// hops (batch row, shard) pairs in ascending global row order, so the
+// completed reduction is bit-identical to a single-rank backward over
+// this group's row slice. Level two is the cross-group bucketized
+// reduce-scatter: for each bucket, the group's delegate stages a copy of
+// the bucket's slice and sends it to the bucket's global owner, and
+// owners fold the R group contributions in (micro-batch, group) order —
+// the same order a single-rank trainer's gradient accumulation folds the
+// R row slices, so the reduced sum is bit-identical.
+func (r *meshRank) meshReduce(m int, cache *nn.SPCache, batchRows int) {
+	links := r.w.links[r.group]
+	buf := links.ringReduce(r.local, cache, batchRows, func() []float32 {
+		return r.seeder.next(r.model.Params().TotalSize())
+	})
+	for len(r.sendBufs) <= m {
+		r.sendBufs = append(r.sendBufs, make([][]float32, len(r.groups)))
+	}
+	for bi, g := range r.groups {
+		if delegateLocal(bi, r.w.S) != r.local {
+			continue
+		}
+		payload := r.sendBufs[m][bi]
+		if payload == nil {
+			payload = make([]float32, g.TotalSize())
+			r.sendBufs[m][bi] = payload
+		}
+		copy(payload, buf[r.offsets[bi]:r.offsets[bi]+len(payload)])
+		r.w.reduce[bi][r.group] <- payload
+	}
+	for _, ob := range r.owned {
+		dst := ob.b.Grad()
+		for src := 0; src < r.w.R; src++ {
+			c := <-r.w.reduce[ob.idx][src]
+			stv.AccumInto(dst, c, m == 0 && src == 0)
+		}
+	}
+}
+
+// allGather publishes every owned bucket's fp16 weights to the other
+// R·S-1 ranks and installs the payloads this rank receives into its
+// replica.
+func (r *meshRank) allGather() {
+	gatherWeights(r.owned, r.groups, r.w.gather, r.w.N, r.id)
+}
+
+// bucketStore and bucketLayout satisfy engineRank for the shared engine
+// plumbing (storeList, replicaGroups).
+func (r *meshRank) bucketStore() stv.BucketStore { return r.store }
+func (r *meshRank) bucketLayout() []nn.Params    { return r.groups }

@@ -19,64 +19,45 @@ type ownedBucket struct {
 	b   *stv.Bucket
 }
 
-// rank is one simulated superchip: a full fp16 model replica for
-// forward/backward, plus optimizer state for its owned buckets only,
-// held behind this rank's own bucket store.
-type rank struct {
-	id     int
-	w      *world
-	model  *nn.GPT
-	impl   optim.Impl
-	store  stv.BucketStore
-	groups []nn.Params   // global bucket layout over this replica
-	owned  []ownedBucket // this rank's partition, ascending bucket index
-	// sendBufs[m][b] stages the gradient contribution for micro-batch m
-	// and bucket b. Buffers are distinct per micro-batch within a step
-	// (the owner may still be reading micro m while this rank computes
-	// m+1) and reused across steps: the coordinator collects every
-	// rank's results before releasing the next step, so all owner reads
-	// of step N happen before any step-N+1 write.
-	sendBufs [][][]float32
-}
-
-// newRank partitions the replica and seeds this rank's store with the
-// buckets it owns (keyed by global bucket index, so the store's prefetch
-// cycle walks the rank's ZeRO shard in reduction order).
-func newRank(id int, w *world, model *nn.GPT, impl optim.Impl, bucketElems int, store stv.BucketStore) *rank {
-	r := &rank{id: id, w: w, model: model, impl: impl, store: store}
-	r.groups = stv.PartitionGroups(model.Params(), bucketElems)
-	for bi, g := range r.groups {
-		if w.owner(bi) == id {
-			r.owned = append(r.owned, ownedBucket{idx: bi, b: stv.NewBucket(g, store, bi)})
+// partitionReplica computes the replica's global bucket layout and this
+// rank's owned partition under the shared ownership policy, seeding the
+// rank's store with the buckets it owns (keyed by global bucket index,
+// so the store's prefetch cycle walks the rank's ZeRO shard in reduction
+// order). offsets[b] is bucket b's start in the flat Params() layout —
+// the layout the sequence-parallel ring reduces over.
+func partitionReplica(model *nn.GPT, bucketElems, id, ranks int, store stv.BucketStore) (groups []nn.Params, owned []ownedBucket, offsets []int) {
+	groups = stv.PartitionGroups(model.Params(), bucketElems)
+	offsets = make([]int, len(groups))
+	off := 0
+	for bi, g := range groups {
+		offsets[bi] = off
+		off += g.TotalSize()
+		if bucketOwner(bi, ranks) == id {
+			owned = append(owned, ownedBucket{idx: bi, b: stv.NewBucket(g, store, bi)})
 		}
 	}
-	return r
+	return groups, owned, offsets
 }
 
-// run is the rank's top-level loop.
-func (r *rank) run() {
-	for c := range r.w.cmd[r.id] {
+// runRankLoop is every rank's top-level loop over the shared control
+// links: execute steps, apply out-of-step resolutions (Flush), stop.
+func runRankLoop(w *world, id int, step func([]data.Batch), apply func(resolution)) {
+	for c := range w.cmd[id] {
 		switch c.kind {
 		case cmdStep:
-			r.step(c.micros)
+			step(c.micros)
 		case cmdResolve:
-			r.apply(c.res)
-			r.w.results[r.id] <- nil
+			apply(c.res)
+			w.results[id] <- stepResult{}
 		case cmdStop:
 			return
 		}
 	}
 }
 
-// apply executes a validation resolution on this rank: owners mutate their
-// partition, and if weights changed every rank republishes via all-gather.
-func (r *rank) apply(v resolution) {
-	applyResolution(v, r.owned, r.impl, r.allGather)
-}
-
-// applyResolution is the resolution body shared by the data-parallel and
-// sequence-parallel ranks: owners commit, roll back, or re-execute their
-// partition, and allGather republishes when weights changed.
+// applyResolution is the resolution body shared by every rank type:
+// owners commit, roll back, or re-execute their partition, and allGather
+// republishes when weights changed.
 func applyResolution(v resolution, owned []ownedBucket, impl optim.Impl, allGather func()) {
 	switch v.action {
 	case aCommit:
@@ -94,6 +75,91 @@ func applyResolution(v resolution, owned []ownedBucket, impl optim.Impl, allGath
 		}
 		allGather()
 	}
+}
+
+// speculate runs the shared post-reduction phase on a rank's owned
+// partition: corrupt bucket 0 when fault injection asks, normalize the
+// reduced sum by inv, apply the per-bucket speculative Adam step,
+// republish fp16 weights via allGather, and stream this partition's
+// per-bucket validation partials off the critical path (the next step's
+// forward overlaps with that background goroutine).
+func speculate(w *world, owned []ownedBucket, impl optim.Impl, g goMsg, inv float32, allGather func()) {
+	for _, ob := range owned {
+		if ob.idx == 0 && g.inject {
+			ob.b.Grad()[0] = float32(math.Inf(1))
+		}
+		ob.b.ScaleGrad(inv)
+		ob.b.SpeculativeStep(g.adam, impl)
+	}
+	allGather()
+	go func(owned []ownedBucket) {
+		for _, ob := range owned {
+			grad := ob.b.Grad()
+			w.partial <- partialMsg{
+				idx:   ob.idx,
+				sumsq: optim.SumSquares(grad),
+				bad:   optim.HasBad([][]float32{grad}),
+			}
+		}
+	}(owned)
+}
+
+// gatherWeights is the all-gather body shared by every rank type (bucket
+// ownership is round-robin in every world): owned buckets broadcast over
+// the gather links, non-owned buckets install the received payloads.
+// Owned buckets are skipped on the receive side: the speculative step,
+// rollback, and clip re-execution already wrote them back locally.
+func gatherWeights(owned []ownedBucket, groups []nn.Params, gather [][]chan []fp16.Num, ranks, id int) {
+	for _, ob := range owned {
+		half := ob.b.Half()
+		for dst := 0; dst < ranks; dst++ {
+			if dst != id {
+				gather[ob.idx][dst] <- half
+			}
+		}
+	}
+	for bi, g := range groups {
+		if bucketOwner(bi, ranks) != id {
+			stv.PublishHalf(g, <-gather[bi][id])
+		}
+	}
+}
+
+// rank is one simulated superchip of the data-parallel engine: a full
+// fp16 model replica for forward/backward, plus optimizer state for its
+// owned buckets only, held behind this rank's own bucket store.
+type rank struct {
+	id     int
+	w      *dpWorld
+	model  *nn.GPT
+	impl   optim.Impl
+	store  stv.BucketStore
+	groups []nn.Params   // global bucket layout over this replica
+	owned  []ownedBucket // this rank's partition, ascending bucket index
+	// sendBufs[m][b] stages the gradient contribution for micro-batch m
+	// and bucket b. Buffers are distinct per micro-batch within a step
+	// (the owner may still be reading micro m while this rank computes
+	// m+1) and reused across steps: the coordinator collects every
+	// rank's results before releasing the next step, so all owner reads
+	// of step N happen before any step-N+1 write.
+	sendBufs [][][]float32
+}
+
+// newRank partitions the replica and seeds this rank's store with the
+// buckets it owns.
+func newRank(id int, w *dpWorld, model *nn.GPT, impl optim.Impl, bucketElems int, store stv.BucketStore) *rank {
+	r := &rank{id: id, w: w, model: model, impl: impl, store: store}
+	r.groups, r.owned, _ = partitionReplica(model, bucketElems, id, w.N, store)
+	return r
+}
+
+// run is the rank's top-level loop.
+func (r *rank) run() { runRankLoop(r.w.world, r.id, r.step, r.apply) }
+
+// apply executes a validation resolution on this rank: owners mutate their
+// partition, and if weights changed every rank republishes via all-gather.
+func (r *rank) apply(v resolution) {
+	applyResolution(v, r.owned, r.impl, r.allGather)
 }
 
 // step runs one training iteration over this rank's micro-batches,
@@ -132,31 +198,12 @@ func (r *rank) step(micros []data.Batch) {
 	}
 
 	// Speculative phase on the owned partition: normalize the reduced
-	// sum, apply per-bucket Adam, publish fp16 weights to every rank.
-	inv := float32(1 / (g.scale * float64(len(micros)*r.w.R)))
-	for _, ob := range r.owned {
-		if ob.idx == 0 && g.inject {
-			ob.b.Grad()[0] = float32(math.Inf(1))
-		}
-		ob.b.ScaleGrad(inv)
-		ob.b.SpeculativeStep(g.adam, r.impl)
-	}
-	r.allGather()
+	// sum (accumulated over len(micros)·R micro-batch slices), apply
+	// per-bucket Adam, publish fp16 weights to every rank.
+	inv := float32(1 / (g.scale * float64(len(micros)*r.w.N)))
+	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
 
-	// Background validation: stream this partition's per-bucket partials
-	// off the critical path; the next step's forward overlaps with this.
-	go func(owned []ownedBucket) {
-		for _, ob := range owned {
-			grad := ob.b.Grad()
-			r.w.partial <- partialMsg{
-				idx:   ob.idx,
-				sumsq: optim.SumSquares(grad),
-				bad:   optim.HasBad([][]float32{grad}),
-			}
-		}
-	}(r.owned)
-
-	r.w.results[r.id] <- losses
+	r.w.results[r.id] <- stepResult{losses: losses}
 }
 
 // contribute sends this rank's raw gradient contribution for every bucket
@@ -179,7 +226,7 @@ func (r *rank) contribute(m int) {
 	}
 	for _, ob := range r.owned {
 		dst := ob.b.Grad()
-		for src := 0; src < r.w.R; src++ {
+		for src := 0; src < r.w.N; src++ {
 			c := <-r.w.reduce[ob.idx][src]
 			stv.AccumInto(dst, c, m == 0 && src == 0)
 		}
@@ -188,30 +235,8 @@ func (r *rank) contribute(m int) {
 
 // allGather publishes every owned bucket's fp16 weights to the other
 // ranks and installs the payloads this rank receives into its replica.
-// Owned buckets are skipped on the receive side: the speculative step,
-// rollback, and clip re-execution already wrote them back locally.
 func (r *rank) allGather() {
-	gatherWeights(r.owned, r.groups, r.w.gather, r.w.R, r.id)
-}
-
-// gatherWeights is the all-gather body shared by the data-parallel and
-// sequence-parallel ranks (bucket ownership is round-robin in both
-// worlds): owned buckets broadcast over the gather links, non-owned
-// buckets install the received payloads.
-func gatherWeights(owned []ownedBucket, groups []nn.Params, gather [][]chan []fp16.Num, ranks, id int) {
-	for _, ob := range owned {
-		half := ob.b.Half()
-		for dst := 0; dst < ranks; dst++ {
-			if dst != id {
-				gather[ob.idx][dst] <- half
-			}
-		}
-	}
-	for bi, g := range groups {
-		if bucketOwner(bi, ranks) != id {
-			stv.PublishHalf(g, <-gather[bi][id])
-		}
-	}
+	gatherWeights(r.owned, r.groups, r.w.gather, r.w.N, r.id)
 }
 
 // bucketStore and bucketLayout satisfy engineRank for the shared engine

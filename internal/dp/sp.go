@@ -6,7 +6,6 @@ import (
 
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
-	"superoffload/internal/optim"
 	"superoffload/internal/stv"
 )
 
@@ -27,9 +26,10 @@ import (
 // row-local, and head attention sees identical full-sequence inputs after
 // the first all-to-all); weight gradients reduce over a ring whose hops
 // visit (batch row, shard) pairs in ascending global row order, replaying
-// the exact per-row fold the single-rank backward uses; and per-row
-// losses fold at the coordinator in the same order crossEntropy sums
-// them. Config.Ranks is interpreted as the sequence-parallel degree S.
+// the exact per-row fold the single-rank backward uses (nn.SPCache.
+// AccumBatchRow); and per-row losses fold at the coordinator in the same
+// order crossEntropy sums them. Config.Ranks is interpreted as the
+// sequence-parallel degree S.
 type SPEngine struct {
 	coordinator
 	w     *spWorld
@@ -52,29 +52,13 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 		return nil, fmt.Errorf("dp: %d attention heads not divisible by %d sequence ranks",
 			model.Cfg.Heads, cfg.Ranks)
 	}
-	if cfg.Impl == nil {
-		cfg.Impl = optim.GraceAdam
-	}
-	if cfg.BucketElems <= 0 {
-		cfg.BucketElems = 32 << 20 // 64 MB of fp16, §4.3
-	}
+	cfg = cfg.withDefaults()
 	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
 	w := newSPWorld(cfg.Ranks, nBuckets)
 	e := &SPEngine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
-	stores := make([]stv.BucketStore, cfg.Ranks)
-	for id := 0; id < cfg.Ranks; id++ {
-		if cfg.NewStore == nil {
-			stores[id] = stv.NewDRAMStore()
-			continue
-		}
-		st, err := cfg.NewStore(id)
-		if err != nil {
-			for _, s := range stores[:id] {
-				s.Close()
-			}
-			return nil, fmt.Errorf("dp: building sequence rank %d store: %w", id, err)
-		}
-		stores[id] = st
+	stores, err := buildStores(cfg.Ranks, cfg.NewStore)
+	if err != nil {
+		return nil, err
 	}
 	for id := 0; id < cfg.Ranks; id++ {
 		replica := model
@@ -96,21 +80,18 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 // payloads/floats (two exchanges per layer per pass) and weight-gradient
 // ring hops/floats. Deterministic for a fixed model and step count.
 type SPCommStats struct {
+	// A2APayloads and A2AFloats count cross-rank attention-exchange
+	// payloads and their total float32 volume.
 	A2APayloads int64
 	A2AFloats   int64
-	RingHops    int64
-	RingFloats  int64
+	// RingHops and RingFloats count weight-gradient ring hops and the
+	// total float32 volume they carried.
+	RingHops   int64
+	RingFloats int64
 }
 
 // CommStats reports the engine's cumulative link traffic.
-func (e *SPEngine) CommStats() SPCommStats {
-	return SPCommStats{
-		A2APayloads: e.w.a2aPayloads.Load(),
-		A2AFloats:   e.w.a2aFloats.Load(),
-		RingHops:    e.w.ringHops.Load(),
-		RingFloats:  e.w.ringFloats.Load(),
-	}
-}
+func (e *SPEngine) CommStats() SPCommStats { return e.w.tel.snapshot() }
 
 // StoreTelemetry sums the modeled NVMe telemetry over every rank's store.
 // ok is false when no rank uses an NVMe-backed store.
@@ -119,7 +100,7 @@ func (e *SPEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 }
 
 // SeqRanks reports the sequence-parallel degree S.
-func (e *SPEngine) SeqRanks() int { return e.w.S }
+func (e *SPEngine) SeqRanks() int { return e.w.N }
 
 // NumBuckets reports how many offload buckets the parameter space uses.
 func (e *SPEngine) NumBuckets() int { return len(e.buckets) }
@@ -130,22 +111,10 @@ func (e *SPEngine) NumBuckets() int { return len(e.buckets) }
 // malformed batch surfaces as an error instead of a rank-goroutine
 // panic.
 func (e *SPEngine) split(b data.Batch) ([]data.Batch, error) {
-	if err := e.ranks[0].model.ValidateSP(e.w.S, b.Seq); err != nil {
+	if err := e.ranks[0].model.ValidateSP(e.w.N, b.Seq); err != nil {
 		return nil, fmt.Errorf("dp: %w", err)
 	}
-	tl := b.Seq / e.w.S
-	out := make([]data.Batch, e.w.S)
-	for s := 0; s < e.w.S; s++ {
-		toks := make([]int, 0, b.BatchSize*tl)
-		tgts := make([]int, 0, b.BatchSize*tl)
-		for r := 0; r < b.BatchSize; r++ {
-			lo := r*b.Seq + s*tl
-			toks = append(toks, b.Tokens[lo:lo+tl]...)
-			tgts = append(tgts, b.Targets[lo:lo+tl]...)
-		}
-		out[s] = data.Batch{Tokens: toks, Targets: tgts, BatchSize: b.BatchSize, Seq: tl}
-	}
-	return out, nil
+	return splitSeq(b, e.w.N), nil
 }
 
 // Step runs one training iteration over the batch: each rank takes its
@@ -159,7 +128,7 @@ func (e *SPEngine) Step(b data.Batch) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	micross := make([][]data.Batch, e.w.S)
+	micross := make([][]data.Batch, e.w.N)
 	for s, sl := range slices {
 		micross[s] = []data.Batch{sl}
 	}
@@ -174,7 +143,7 @@ func (e *SPEngine) StepAccum(batches []data.Batch) (float64, error) {
 	if len(batches) == 0 {
 		return 0, nil
 	}
-	micross := make([][]data.Batch, e.w.S)
+	micross := make([][]data.Batch, e.w.N)
 	for _, b := range batches {
 		slices, err := e.split(b)
 		if err != nil {
@@ -187,60 +156,31 @@ func (e *SPEngine) StepAccum(batches []data.Batch) (float64, error) {
 	return e.step(micross)
 }
 
-// step drives one iteration: dispatch the per-rank shards, resolve the
-// previous step's validation while forwards run, release the ranks, and
-// fold their per-row losses in canonical order.
+// step drives one iteration through the shared coordinator and folds the
+// reported per-row losses in canonical order: (micro, batch row, shard,
+// position) — ascending global row order per micro-batch, the exact
+// order crossEntropy sums rows — then normalizes per micro and averages
+// in micro order, matching the single-rank trainer.
 func (e *SPEngine) step(micross [][]data.Batch) (float64, error) {
-	if e.closed {
-		return 0, fmt.Errorf("dp: engine closed")
+	perRank, err := e.runStep(e.w.world, micross)
+	if err != nil {
+		return 0, err
 	}
-	e.stepIndex++
-	adam := e.stepAdam()
-	for s := 0; s < e.w.S; s++ {
-		e.w.cmd[s] <- spCommand{kind: cmdStep, micros: micross[s]}
-	}
-	res := e.resolvePending(e.w.val)
-	for s := 0; s < e.w.S; s++ {
-		e.w.resolution[s] <- res
-	}
-	if res.weightsChanged() {
-		e.stats.Redos++
-	}
-	g := goMsg{
-		adam:   adam,
-		scale:  e.scale(),
-		inject: e.cfg.InjectBad != nil && e.cfg.InjectBad(e.stepIndex),
-	}
-	for s := 0; s < e.w.S; s++ {
-		e.w.goCh[s] <- g
-	}
-	e.pendingAdam = adam
-
-	perRank := make([][][]float64, e.w.S)
-	for s := 0; s < e.w.S; s++ {
-		perRank[s] = (<-e.w.results[s]).rows
-	}
-	// Per-row losses fold in (micro, batch row, shard, position) order —
-	// ascending global row order per micro-batch, the exact order
-	// crossEntropy sums rows — then normalize per micro and average in
-	// micro order, matching the single-rank trainer.
 	m := len(micross[0])
 	var loss float64
 	for mi := 0; mi < m; mi++ {
 		rowsB, tl := micross[0][mi].BatchSize, micross[0][mi].Seq
 		var micro float64
 		for b := 0; b < rowsB; b++ {
-			for s := 0; s < e.w.S; s++ {
+			for s := 0; s < e.w.N; s++ {
 				for t := 0; t < tl; t++ {
-					micro += perRank[s][mi][b*tl+t]
+					micro += perRank[s].rows[mi][b*tl+t]
 				}
 			}
 		}
-		loss += micro / float64(rowsB*tl*e.w.S)
+		loss += micro / float64(rowsB*tl*e.w.N)
 	}
 	loss /= float64(m)
-	e.stats.Steps++
-	e.pending = true
 
 	if e.cfg.Synchronous {
 		if _, err := e.Flush(); err != nil {
@@ -253,22 +193,7 @@ func (e *SPEngine) step(micross [][]data.Batch) (float64, error) {
 // Flush resolves any in-flight validation (call at end of training so the
 // final step is validated). Returns whether the final step was rolled
 // back or re-executed.
-func (e *SPEngine) Flush() (bool, error) {
-	if e.closed {
-		return false, fmt.Errorf("dp: engine closed")
-	}
-	if !e.pending {
-		return false, nil
-	}
-	res := e.resolvePending(e.w.val)
-	for s := 0; s < e.w.S; s++ {
-		e.w.cmd[s] <- spCommand{kind: cmdResolve, res: res}
-	}
-	for s := 0; s < e.w.S; s++ {
-		<-e.w.results[s]
-	}
-	return res.weightsChanged(), nil
-}
+func (e *SPEngine) Flush() (bool, error) { return e.flush(e.w.world) }
 
 // Save serializes the training state in the stv checkpoint format, over
 // the global bucket order — byte-identical to the single-rank engine (and
@@ -288,15 +213,4 @@ func (e *SPEngine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
 // Close resolves any pending validation, stops the rank goroutines and
 // the validation aggregator, and closes every rank's bucket store. The
 // engine is unusable afterwards.
-func (e *SPEngine) Close() error {
-	if e.closed {
-		return nil
-	}
-	_, err := e.Flush()
-	for s := 0; s < e.w.S; s++ {
-		e.w.cmd[s] <- spCommand{kind: cmdStop}
-	}
-	close(e.w.partial)
-	e.closed = true
-	return closeStores(storeList(e.ranks), err)
-}
+func (e *SPEngine) Close() error { return e.closeWorld(e.w.world, storeList(e.ranks)) }

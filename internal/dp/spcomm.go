@@ -3,29 +3,41 @@ package dp
 import (
 	"sync/atomic"
 
-	"superoffload/internal/data"
-	"superoffload/internal/fp16"
+	"superoffload/internal/nn"
 )
 
-// spWorld is the simulated interconnect of the sequence-parallel engine:
-// S superchip ranks each own a contiguous sequence shard of every batch
-// row, so the links carry three kinds of traffic — the per-layer
-// all-to-alls that flip attention between sequence and head sharding
-// (§4.7's two collectives per layer per pass), the weight-gradient ring
-// whose hops visit (batch row, shard) pairs in ascending global row order
-// so the reduced gradient reproduces the single-rank fold bit for bit,
-// and the same verdict/all-gather control plane the data-parallel world
-// uses.
-type spWorld struct {
-	S int // sequence ranks
-	B int // buckets
+// linkTelemetry counts sequence-parallel link traffic: all-to-all
+// payloads/floats (two exchanges per layer per pass) and weight-gradient
+// ring hops/floats. Ranks update the counters concurrently; totals are
+// deterministic for a fixed model and step count.
+type linkTelemetry struct {
+	a2aPayloads atomic.Int64
+	a2aFloats   atomic.Int64
+	ringHops    atomic.Int64
+	ringFloats  atomic.Int64
+}
 
-	// Coordinator → rank control links (the dp world's protocol).
-	cmd        []chan spCommand
-	resolution []chan resolution
-	goCh       []chan goMsg
-	// Rank → coordinator: per-micro-batch per-row losses (or an ack).
-	results []chan spResult
+// snapshot renders the counters as the public stats type.
+func (t *linkTelemetry) snapshot() SPCommStats {
+	return SPCommStats{
+		A2APayloads: t.a2aPayloads.Load(),
+		A2AFloats:   t.a2aFloats.Load(),
+		RingHops:    t.ringHops.Load(),
+		RingFloats:  t.ringFloats.Load(),
+	}
+}
+
+// spLinks is one sequence-parallel group's collective links: S ranks
+// each own a contiguous sequence shard of every batch row, so the links
+// carry the per-layer all-to-alls that flip attention between sequence
+// and head sharding (§4.7's two collectives per layer per pass) and the
+// weight-gradient ring whose hops visit (batch row, shard) pairs in
+// ascending global row order so the reduced gradient reproduces the
+// single-rank fold bit for bit. The sequence-parallel engine has one
+// group; the mesh engine has one per data-parallel replica group.
+type spLinks struct {
+	S   int            // sequence ranks in this group
+	tel *linkTelemetry // shared traffic counters
 
 	// a2a[dst][src] carries one attention-exchange payload — the
 	// all-to-all collective primitive.
@@ -34,75 +46,26 @@ type spWorld struct {
 	ring []chan []float32
 	// flat[s] broadcasts each micro-batch's completed reduction.
 	flat []chan []float32
-
-	// gather[b][dst] carries the owner's post-step fp16 weights for
-	// bucket b to rank dst.
-	gather [][]chan []fp16.Num
-
-	// Background validation links (identical to the dp world's).
-	partial chan partialMsg
-	val     chan valMsg
-
-	// Link telemetry; ranks update concurrently.
-	a2aPayloads atomic.Int64
-	a2aFloats   atomic.Int64
-	ringHops    atomic.Int64
-	ringFloats  atomic.Int64
 }
 
-// spCommand drives a sequence rank's top-level loop.
-type spCommand struct {
-	kind   int          // cmdStep, cmdResolve, cmdStop
-	micros []data.Batch // cmdStep: this rank's sequence shards, in order
-	res    resolution   // cmdResolve
-}
-
-// spResult is a rank's step report: per micro-batch, the per-row token
-// losses in local row order (nil acks a cmdResolve). The coordinator
-// folds them in global row order, reproducing the single-rank loss.
-type spResult struct {
-	rows [][]float64
-}
-
-// newSPWorld wires the links for S sequence ranks over B buckets.
-func newSPWorld(s, b int) *spWorld {
-	w := &spWorld{S: s, B: b}
-	w.cmd = make([]chan spCommand, s)
-	w.resolution = make([]chan resolution, s)
-	w.goCh = make([]chan goMsg, s)
-	w.results = make([]chan spResult, s)
-	w.ring = make([]chan []float32, s)
-	w.flat = make([]chan []float32, s)
+// newSPLinks wires one group's collective links for s sequence ranks.
+func newSPLinks(s int, tel *linkTelemetry) *spLinks {
+	l := &spLinks{S: s, tel: tel}
+	l.ring = make([]chan []float32, s)
+	l.flat = make([]chan []float32, s)
 	for i := 0; i < s; i++ {
-		w.cmd[i] = make(chan spCommand, 1)
-		w.resolution[i] = make(chan resolution, 1)
-		w.goCh[i] = make(chan goMsg, 1)
-		w.results[i] = make(chan spResult, 1)
-		w.ring[i] = make(chan []float32, 1)
-		w.flat[i] = make(chan []float32, 1)
+		l.ring[i] = make(chan []float32, 1)
+		l.flat[i] = make(chan []float32, 1)
 	}
-	w.a2a = make([][]chan []float32, s)
+	l.a2a = make([][]chan []float32, s)
 	for d := 0; d < s; d++ {
-		w.a2a[d] = make([]chan []float32, s)
+		l.a2a[d] = make([]chan []float32, s)
 		for src := 0; src < s; src++ {
-			w.a2a[d][src] = make(chan []float32, 1)
+			l.a2a[d][src] = make(chan []float32, 1)
 		}
 	}
-	w.gather = make([][]chan []fp16.Num, b)
-	for bi := 0; bi < b; bi++ {
-		w.gather[bi] = make([]chan []fp16.Num, s)
-		for ri := 0; ri < s; ri++ {
-			w.gather[bi][ri] = make(chan []fp16.Num, 1)
-		}
-	}
-	w.partial = make(chan partialMsg, b)
-	w.val = make(chan valMsg, 1)
-	return w
+	return l
 }
-
-// owner applies the shared ownership policy (bucketOwner) to this
-// world's rank count.
-func (w *spWorld) owner(bucket int) int { return bucketOwner(bucket, w.S) }
 
 // allToAll is the collective primitive: rank sends payloads[d] to every
 // peer d and receives the payload each peer addressed to it, indexed by
@@ -110,20 +73,90 @@ func (w *spWorld) owner(bucket int) int { return bucketOwner(bucket, w.S) }
 // receives, and per-pair FIFO keeps successive exchanges paired even when
 // ranks run ahead. Telemetry counts only cross-rank payloads — the
 // rank-to-self shard never crosses a link.
-func (w *spWorld) allToAll(rank int, payloads [][]float32) [][]float32 {
-	for d := 0; d < w.S; d++ {
+func (l *spLinks) allToAll(rank int, payloads [][]float32) [][]float32 {
+	for d := 0; d < l.S; d++ {
 		if d != rank {
-			w.a2aPayloads.Add(1)
-			w.a2aFloats.Add(int64(len(payloads[d])))
+			l.tel.a2aPayloads.Add(1)
+			l.tel.a2aFloats.Add(int64(len(payloads[d])))
 		}
-		w.a2a[d][rank] <- payloads[d]
+		l.a2a[d][rank] <- payloads[d]
 	}
-	out := make([][]float32, w.S)
-	for src := 0; src < w.S; src++ {
-		out[src] = <-w.a2a[rank][src]
+	out := make([][]float32, l.S)
+	for src := 0; src < l.S; src++ {
+		out[src] = <-l.a2a[rank][src]
 	}
 	return out
 }
 
-// aggregate runs the shared validation reducer over this world's links.
-func (w *spWorld) aggregate() { aggregatePartials(w.partial, w.val, w.B) }
+// ringReduce chains one micro-batch's weight-gradient accumulation
+// through the group's ranks and returns the completed flat reduction:
+// the buffer hops (batch row, shard) pairs in lexicographic order —
+// ascending global row order — with each hop replaying that shard's
+// per-row contributions on top of the received partial
+// (nn.SPCache.AccumBatchRow). The last hop broadcasts the finished
+// buffer to every rank in the group; each caller receives its copy of
+// the broadcast (the same underlying slice — receivers only read it).
+// Rank 0 seeds each micro-batch's ring via seed (see flatSeeder for the
+// buffer-reuse discipline).
+func (l *spLinks) ringReduce(local int, cache *nn.SPCache, batchRows int, seed func() []float32) []float32 {
+	for b := 0; b < batchRows; b++ {
+		var buf []float32
+		if local == 0 && b == 0 {
+			buf = seed()
+		} else {
+			buf = <-l.ring[local]
+		}
+		cache.AccumBatchRow(buf, b)
+		l.tel.ringHops.Add(1)
+		l.tel.ringFloats.Add(int64(len(buf)))
+		if local == l.S-1 && b == batchRows-1 {
+			for d := 0; d < l.S; d++ {
+				l.flat[d] <- buf
+			}
+		} else {
+			l.ring[(local+1)%l.S] <- buf
+		}
+	}
+	return <-l.flat[local]
+}
+
+// flatSeeder hands a ring's rank 0 its per-micro-batch flat gradient
+// buffers, alternating two: a buffer seeded at micro m is not reused
+// before micro m+2, by which point every rank in the group has finished
+// reading micro m's reduction (it must have, to have contributed its
+// micro m+1 ring hops). Cross-group consumers (the mesh's reduce links)
+// never see these buffers — delegates stage copies.
+type flatSeeder struct {
+	bufs [2][]float32
+	seq  int
+}
+
+// next returns a zeroed flat buffer of n floats under the alternation
+// discipline.
+func (f *flatSeeder) next(n int) []float32 {
+	i := f.seq & 1
+	f.seq++
+	if f.bufs[i] == nil {
+		f.bufs[i] = make([]float32, n)
+		return f.bufs[i]
+	}
+	buf := f.bufs[i]
+	for j := range buf {
+		buf[j] = 0
+	}
+	return buf
+}
+
+// spWorld is the sequence-parallel engine's interconnect: the shared
+// world core plus one group of sequence-parallel links.
+type spWorld struct {
+	*world
+	links *spLinks
+	tel   *linkTelemetry
+}
+
+// newSPWorld wires the links for s sequence ranks over b buckets.
+func newSPWorld(s, b int) *spWorld {
+	tel := &linkTelemetry{}
+	return &spWorld{world: newWorld(s, b), links: newSPLinks(s, tel), tel: tel}
+}

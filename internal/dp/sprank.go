@@ -1,8 +1,6 @@
 package dp
 
 import (
-	"math"
-
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
@@ -12,7 +10,7 @@ import (
 // spRank is one simulated superchip of the sequence-parallel engine: a
 // full fp16 model replica whose forward/backward runs over this rank's
 // sequence shard (attention flips to head parallelism through the
-// world's all-to-all links), plus ZeRO-sharded optimizer state for its
+// group's all-to-all links), plus ZeRO-sharded optimizer state for its
 // owned buckets behind this rank's own bucket store.
 type spRank struct {
 	id     int
@@ -26,48 +24,24 @@ type spRank struct {
 	// offsets[b] is bucket b's start in the flat gradient layout
 	// (Params() registration order — the layout the ring reduces over).
 	offsets []int
-	// flatBufs are rank 0's ring buffers, alternated per micro-batch: a
-	// buffer seeded at micro m is not reused before micro m+2, by which
-	// point every rank has finished reading micro m's reduction (it must
-	// have, to have contributed its micro m+1 ring hops).
-	flatBufs [2][]float32
-	microSeq int
+	// seeder hands rank 0 the per-micro flat ring buffers (see
+	// flatSeeder for the reuse discipline).
+	seeder flatSeeder
 }
 
 // newSPRank partitions the replica and seeds this rank's store with the
 // buckets it owns.
 func newSPRank(id int, w *spWorld, model *nn.GPT, impl optim.Impl, bucketElems int, store stv.BucketStore) *spRank {
 	r := &spRank{id: id, w: w, model: model, impl: impl, store: store}
-	r.sp = &nn.SP{Rank: id, Ranks: w.S, AllToAll: func(p [][]float32) [][]float32 {
-		return w.allToAll(id, p)
+	r.sp = &nn.SP{Rank: id, Ranks: w.N, AllToAll: func(p [][]float32) [][]float32 {
+		return w.links.allToAll(id, p)
 	}}
-	r.groups = stv.PartitionGroups(model.Params(), bucketElems)
-	r.offsets = make([]int, len(r.groups))
-	off := 0
-	for bi, g := range r.groups {
-		r.offsets[bi] = off
-		off += g.TotalSize()
-		if w.owner(bi) == id {
-			r.owned = append(r.owned, ownedBucket{idx: bi, b: stv.NewBucket(g, store, bi)})
-		}
-	}
+	r.groups, r.owned, r.offsets = partitionReplica(model, bucketElems, id, w.N, store)
 	return r
 }
 
 // run is the rank's top-level loop.
-func (r *spRank) run() {
-	for c := range r.w.cmd[r.id] {
-		switch c.kind {
-		case cmdStep:
-			r.step(c.micros)
-		case cmdResolve:
-			r.apply(c.res)
-			r.w.results[r.id] <- spResult{}
-		case cmdStop:
-			return
-		}
-	}
-}
+func (r *spRank) run() { runRankLoop(r.w.world, r.id, r.step, r.apply) }
 
 // apply executes a validation resolution: owners mutate their partition,
 // and if weights changed every rank republishes via all-gather.
@@ -115,85 +89,31 @@ func (r *spRank) step(micros []data.Batch) {
 	// sum (no rank-count factor — the ring already produced the whole
 	// batch's gradient), apply per-bucket Adam, publish fp16 weights.
 	inv := float32(1 / (g.scale * float64(len(micros))))
-	for _, ob := range r.owned {
-		if ob.idx == 0 && g.inject {
-			ob.b.Grad()[0] = float32(math.Inf(1))
-		}
-		ob.b.ScaleGrad(inv)
-		ob.b.SpeculativeStep(g.adam, r.impl)
-	}
-	r.allGather()
+	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
 
-	// Background validation: stream this partition's per-bucket partials
-	// off the critical path; the next step's forward overlaps with this.
-	go func(owned []ownedBucket) {
-		for _, ob := range owned {
-			grad := ob.b.Grad()
-			r.w.partial <- partialMsg{
-				idx:   ob.idx,
-				sumsq: optim.SumSquares(grad),
-				bad:   optim.HasBad([][]float32{grad}),
-			}
-		}
-	}(r.owned)
-
-	r.w.results[r.id] <- spResult{rows: rows}
+	r.w.results[r.id] <- stepResult{rows: rows}
 }
 
 // ringReduce chains micro-batch m's weight-gradient accumulation through
-// the ranks: the flat buffer hops (batch row, shard) pairs in
-// lexicographic order — ascending global row order — with each hop
-// replaying that shard's per-row contributions on top of the received
-// partial. Rank S-1's last hop completes the reduction and broadcasts it;
-// every rank then folds its owned buckets' slices into the bucket
-// gradients (accumulating across micro-batches in micro order, exactly
-// like single-rank gradient accumulation).
+// the group ring (spLinks.ringReduce walks (batch row, shard) pairs in
+// ascending global row order), then folds this rank's owned buckets'
+// slices of the completed reduction into the bucket gradients —
+// accumulating across micro-batches in micro order, exactly like
+// single-rank gradient accumulation.
 func (r *spRank) ringReduce(m int, cache *nn.SPCache, batchRows int) {
-	for b := 0; b < batchRows; b++ {
-		var buf []float32
-		if r.id == 0 && b == 0 {
-			buf = r.freshFlat()
-		} else {
-			buf = <-r.w.ring[r.id]
-		}
-		cache.AccumBatchRow(buf, b)
-		r.w.ringHops.Add(1)
-		r.w.ringFloats.Add(int64(len(buf)))
-		if r.id == r.w.S-1 && b == batchRows-1 {
-			for d := 0; d < r.w.S; d++ {
-				r.w.flat[d] <- buf
-			}
-		} else {
-			r.w.ring[(r.id+1)%r.w.S] <- buf
-		}
-	}
-	buf := <-r.w.flat[r.id]
+	buf := r.w.links.ringReduce(r.id, cache, batchRows, func() []float32 {
+		return r.seeder.next(r.model.Params().TotalSize())
+	})
 	for _, ob := range r.owned {
 		off := r.offsets[ob.idx]
 		stv.AccumInto(ob.b.Grad(), buf[off:off+ob.b.Size()], m == 0)
 	}
 }
 
-// freshFlat returns a zeroed flat gradient buffer (rank 0 seeds each
-// micro-batch's ring with one; see flatBufs for the reuse discipline).
-func (r *spRank) freshFlat() []float32 {
-	i := r.microSeq & 1
-	r.microSeq++
-	if r.flatBufs[i] == nil {
-		r.flatBufs[i] = make([]float32, r.model.Params().TotalSize())
-		return r.flatBufs[i]
-	}
-	buf := r.flatBufs[i]
-	for j := range buf {
-		buf[j] = 0
-	}
-	return buf
-}
-
 // allGather publishes every owned bucket's fp16 weights to the other
 // ranks and installs the payloads this rank receives into its replica.
 func (r *spRank) allGather() {
-	gatherWeights(r.owned, r.groups, r.w.gather, r.w.S, r.id)
+	gatherWeights(r.owned, r.groups, r.w.gather, r.w.N, r.id)
 }
 
 // bucketStore and bucketLayout satisfy engineRank for the shared engine

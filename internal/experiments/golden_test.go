@@ -26,6 +26,7 @@ var archSensitive = map[string]string{
 	"fig14":           "amd64",
 	"ext-nvme-stv":    "amd64",
 	"ext-ulysses-stv": "amd64",
+	"ext-mesh-stv":    "amd64",
 }
 
 // canonical trims host-measured suffixes so snapshots only cover

@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"ext-nvme":        ExtNVMe,
 	"ext-nvme-stv":    ExtNVMeSTV,
 	"ext-ulysses-stv": ExtUlyssesSTV,
+	"ext-mesh-stv":    ExtMeshSTV,
 }
 
 // Names lists the available experiment ids in sorted order.

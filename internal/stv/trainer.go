@@ -21,6 +21,7 @@ const (
 	STV
 )
 
+// String names the schedule for logs and experiment tables.
 func (m Mode) String() string {
 	if m == STE {
 		return "STE"

@@ -15,8 +15,10 @@
 //     gradient reduce-scatter, and post-step weight all-gather, and
 //     InitSP runs S sequence-parallel ranks (SuperOffload-Ulysses, §4.7)
 //     with per-layer attention all-to-alls and a deterministic
-//     weight-gradient ring — both on loss trajectories bit-identical to
-//     the single-rank engine.
+//     weight-gradient ring, and InitMesh composes the two into an R×S
+//     mesh (R data-parallel groups of S sequence ranks, the paper's
+//     multi-superchip evaluation shape) — all on loss trajectories
+//     bit-identical to the single-rank engine.
 //
 //   - A planner (Plan/Describe) that sizes workloads against modeled
 //     GH200 clusters and predicts throughput for SuperOffload and the
@@ -452,6 +454,118 @@ func (e *SPEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.Sto
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
 func (e *SPEngine) Close() error { return e.engine.Close() }
+
+// ---- hybrid R×S mesh engine ----
+
+// MeshConfig configures the hybrid mesh: data parallelism across
+// superchip groups composed with Ulysses sequence parallelism within
+// each group — the paper's multi-superchip evaluation shape (Fig. 11a/b,
+// Fig. 12).
+type MeshConfig struct {
+	// Ranks is the data-parallel degree R: the number of replica groups
+	// the global batch's rows split across.
+	Ranks int
+	// SeqRanks is the per-group sequence-parallel degree S. The model's
+	// head count must divide by S, and every batch's sequence length
+	// must too. The mesh spawns R·S simulated superchip ranks.
+	SeqRanks int
+}
+
+// MeshEngine trains a Model across an R×S mesh of simulated superchip
+// ranks: R data-parallel groups each running S-way sequence parallelism.
+// A global batch's rows split across groups; within a group, every
+// rank's forward/backward runs over its sequence shard with attention
+// head-parallelized over channel all-to-alls, and the group's weight
+// gradients reduce over a deterministic ring in global row order. Across
+// groups, the per-group gradients reduce-scatter to bucket owners along
+// bucket boundaries — the fp32 masters and Adam moments are
+// ZeRO-partitioned over all R·S ranks behind pluggable bucket stores.
+// For the same global batch, the loss trajectory — rollbacks,
+// checkpoints and all — is bit-identical to the single-rank Engine
+// processing the same R-way row decomposition (S is invisible to the
+// numerics).
+type MeshEngine struct {
+	engine *dp.MeshEngine
+}
+
+// InitMesh wraps a model and optimizer into a hybrid R×S SuperOffload
+// engine. Its surface matches Engine's; checkpoints are interchangeable
+// across mesh shapes (and with every other engine). Call Close when done
+// to stop the rank goroutines.
+func InitMesh(m *Model, cfg OptimizerConfig, mc MeshConfig) (*MeshEngine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("superoffload: nil model")
+	}
+	factory, err := cfg.Offload.storeFactory()
+	if err != nil {
+		return nil, err
+	}
+	a, scaler, schedule := cfg.translate()
+	e, err := dp.NewMesh(m.gpt, dp.Config{
+		Ranks:       mc.Ranks,
+		SeqRanks:    mc.SeqRanks,
+		Adam:        a,
+		Impl:        optim.GraceAdam,
+		ClipNorm:    cfg.ClipNorm,
+		BucketElems: cfg.BucketElems,
+		Synchronous: cfg.Synchronous,
+		Scaler:      scaler,
+		Schedule:    schedule,
+		NewStore:    factory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MeshEngine{engine: e}, nil
+}
+
+// Step runs one training iteration over the global batch (rows split
+// across the R groups, each slice's sequence split across the group's S
+// ranks) and returns the mean loss.
+func (e *MeshEngine) Step(b Batch) (float64, error) { return e.engine.Step(b) }
+
+// StepAccum runs one optimizer step over several accumulated global
+// micro-batches, each sharded over the mesh.
+func (e *MeshEngine) StepAccum(batches []Batch) (float64, error) { return e.engine.StepAccum(batches) }
+
+// Save serializes the sharded training state (gathered into the global
+// bucket order, identical to a single-rank checkpoint).
+func (e *MeshEngine) Save(w io.Writer) error { return e.engine.Save(w) }
+
+// Load restores state saved by any engine's Save.
+func (e *MeshEngine) Load(r io.Reader) error { return e.engine.Load(r) }
+
+// Flush resolves the final in-flight validation; call once after the
+// last Step.
+func (e *MeshEngine) Flush() error {
+	_, err := e.engine.Flush()
+	return err
+}
+
+// Stats returns the engine's validation counters.
+func (e *MeshEngine) Stats() Stats { return e.engine.Stats() }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *MeshEngine) NumBuckets() int { return e.engine.NumBuckets() }
+
+// Ranks reports the data-parallel degree R (the number of replica
+// groups).
+func (e *MeshEngine) Ranks() int { return e.engine.Ranks() }
+
+// SeqRanks reports the per-group sequence-parallel degree S.
+func (e *MeshEngine) SeqRanks() int { return e.engine.SeqRanks() }
+
+// CommStats reports the cumulative all-to-all and ring traffic over
+// every group's links.
+func (e *MeshEngine) CommStats() SPCommStats { return e.engine.CommStats() }
+
+// StoreTelemetry sums the modeled NVMe-tier accounting over every rank's
+// store; ok is false when optimizer state is DRAM-resident.
+func (e *MeshEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.StoreTelemetry() }
+
+// Close stops the rank goroutines (resolving any pending validation
+// first). The engine is unusable afterwards.
+func (e *MeshEngine) Close() error { return e.engine.Close() }
 
 // NewCorpus returns the deterministic synthetic corpus used throughout the
 // examples and experiments (the Pile stand-in; see DESIGN.md).

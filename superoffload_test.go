@@ -205,8 +205,8 @@ func TestModelNamesAndExperiments(t *testing.T) {
 		t.Errorf("model zoo too small: %d", len(names))
 	}
 	exps := ExperimentNames()
-	if len(exps) != 19 {
-		t.Errorf("experiment registry has %d entries, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Errorf("experiment registry has %d entries, want 20", len(exps))
 	}
 	out, err := RunExperiment("table1")
 	if err != nil || !strings.Contains(out, "GH200") {
@@ -507,6 +507,126 @@ func TestInitSPValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	if _, err := eng.Step(NewCorpus(32, 2).NextBatch(2, 7)); err == nil {
+		t.Error("sequence not divisible by seq ranks accepted")
+	}
+}
+
+// TestInitMeshFacade: the hybrid R×S mesh behind the facade must land
+// bit for bit on the data-parallel engine's trajectory for the same R
+// (the sequence axis is invisible), with interchangeable checkpoints.
+func TestInitMeshFacade(t *testing.T) {
+	const ranks, seqRanks, steps = 2, 2, 20
+	mk := func(seed uint64) *Model {
+		m, err := NewModel(ModelConfig{Layers: 2, Hidden: 32, Heads: 4, Vocab: 64, MaxSeq: 16}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cfg := DefaultOptimizer()
+	cfg.LR = 3e-3
+	cfg.ClipNorm = 1.0 // tight enough to trigger rollbacks on this workload
+	cfg.BucketElems = 20000
+
+	mesh, err := InitMesh(mk(42), cfg, MeshConfig{Ranks: ranks, SeqRanks: seqRanks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	dpe, err := InitDP(mk(42), cfg, DPConfig{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dpe.Close()
+	if mesh.Ranks() != ranks || mesh.SeqRanks() != seqRanks || mesh.NumBuckets() != dpe.NumBuckets() {
+		t.Fatalf("layout mismatch: R=%d S=%d buckets %d vs %d",
+			mesh.Ranks(), mesh.SeqRanks(), mesh.NumBuckets(), dpe.NumBuckets())
+	}
+
+	corpus := NewCorpus(64, 123)
+	refCorpus := NewCorpus(64, 123)
+	for i := 0; i < steps; i++ {
+		ml, err := mesh.Step(corpus.NextBatch(4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := dpe.Step(refCorpus.NextBatch(4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ml != rl {
+			t.Fatalf("step %d: mesh loss %v != DP loss %v", i, ml, rl)
+		}
+	}
+	if err := mesh.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dpe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Stats() != dpe.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", mesh.Stats(), dpe.Stats())
+	}
+	if mesh.Stats().Rollbacks() == 0 {
+		t.Error("facade equivalence run triggered no rollbacks")
+	}
+	if cs := mesh.CommStats(); cs.A2APayloads == 0 || cs.RingHops == 0 {
+		t.Errorf("no collective traffic recorded: %+v", cs)
+	}
+
+	// Checkpoints are interchangeable between the engines.
+	var buf bytes.Buffer
+	if err := mesh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Init(mk(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := restored.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("mesh checkpoint does not round-trip through the single-rank engine")
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInitMeshValidation covers the facade-level guards.
+func TestInitMeshValidation(t *testing.T) {
+	if _, err := InitMesh(nil, DefaultOptimizer(), MeshConfig{Ranks: 2, SeqRanks: 2}); err == nil {
+		t.Error("nil model accepted")
+	}
+	m, _ := NewModel(ModelConfig{Layers: 1, Hidden: 32, Heads: 4, Vocab: 32, MaxSeq: 8}, 1)
+	if _, err := InitMesh(m, DefaultOptimizer(), MeshConfig{Ranks: 0, SeqRanks: 2}); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := InitMesh(m, DefaultOptimizer(), MeshConfig{Ranks: 2, SeqRanks: -1}); err == nil {
+		t.Error("negative seq ranks accepted")
+	}
+	if _, err := InitMesh(m, DefaultOptimizer(), MeshConfig{Ranks: 2, SeqRanks: 3}); err == nil {
+		t.Error("head count not divisible by seq ranks accepted")
+	}
+	bad := DefaultOptimizer()
+	bad.Offload.Backend = "tape"
+	if _, err := InitMesh(m, bad, MeshConfig{Ranks: 2, SeqRanks: 2}); err == nil {
+		t.Error("unknown offload backend accepted by InitMesh")
+	}
+	eng, err := InitMesh(m, DefaultOptimizer(), MeshConfig{Ranks: 2, SeqRanks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Step(NewCorpus(32, 2).NextBatch(3, 8)); err == nil {
+		t.Error("batch not divisible by groups accepted")
+	}
 	if _, err := eng.Step(NewCorpus(32, 2).NextBatch(2, 7)); err == nil {
 		t.Error("sequence not divisible by seq ranks accepted")
 	}
