@@ -20,6 +20,7 @@ import (
 	"superoffload/internal/model"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
+	"superoffload/internal/place"
 	"superoffload/internal/sched"
 	"superoffload/internal/stv"
 	"superoffload/internal/tensor"
@@ -173,6 +174,39 @@ func benchTrainer(b *testing.B, mode stv.Mode) {
 
 func BenchmarkTrainStepSTV(b *testing.B) { benchTrainer(b, stv.STV) }
 func BenchmarkTrainStepSTE(b *testing.B) { benchTrainer(b, stv.STE) }
+
+// BenchmarkTrainStepPlacement is the STV step with a heterogeneous
+// placement plan (a 2-bucket GPU-retained tail over a CPU body): the
+// per-step cost of the virtual-clock superchip executor rides the
+// training loop, so a regression here means placement modeling leaked
+// onto the real step's critical path.
+func BenchmarkTrainStepPlacement(b *testing.B) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	nb := len(stv.PartitionGroups(m.Params(), 20000))
+	plan := place.GPUTail(nb, 2)
+	a := optim.DefaultConfig()
+	tr := stv.NewTrainer(m, stv.Config{
+		Adam: a, Impl: optim.GraceAdam, ClipNorm: 10,
+		BucketElems: 20000, Mode: stv.STV, Placement: &plan,
+	})
+	defer tr.Close()
+	corpus := data.NewCorpus(128, 2)
+	batch := corpus.NextBatch(2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if tel, ok := tr.PlacementTelemetry(); !ok || tel.Steps != b.N {
+		b.Fatal("placement telemetry missing or short")
+	}
+}
 
 // BenchmarkTrainStepSTVNVMe is the STV step with optimizer state behind
 // the file-backed NVMe store (2-bucket window, real file IO on the bench

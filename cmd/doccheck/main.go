@@ -6,10 +6,13 @@
 //     in README.md (as "-name"), so a new training knob cannot ship
 //     undocumented.
 //  2. Godoc surface: every exported identifier in the audited packages
-//     (the root facade, internal/dp, internal/stv) must carry a doc
-//     comment, and each audited package must have a package comment —
-//     the ST1000/ST1020/ST1021-class checks, enforced without needing
-//     staticcheck installed locally.
+//     (the root facade, internal/dp, internal/stv, internal/place) must
+//     carry a doc comment, and each audited package must have a package
+//     comment — the ST1000/ST1020/ST1021-class checks, enforced without
+//     needing staticcheck installed locally.
+//  3. Experiment surface: every experiment id registered in
+//     internal/experiments/registry.go must have a row in EXPERIMENTS.md
+//     (as `id`), so the registry and its documentation cannot drift.
 //
 // Run from the repository root: go run ./cmd/doccheck
 package main
@@ -30,11 +33,12 @@ import (
 // auditedPackages are the directories whose exported identifiers must
 // all carry doc comments (the facade and the engine/store layers the
 // documentation overhaul covers).
-var auditedPackages = []string{".", "internal/dp", "internal/stv"}
+var auditedPackages = []string{".", "internal/dp", "internal/stv", "internal/place"}
 
 func main() {
 	var problems []string
 	problems = append(problems, checkFlags()...)
+	problems = append(problems, checkExperiments()...)
 	for _, dir := range auditedPackages {
 		problems = append(problems, checkDocs(dir)...)
 	}
@@ -103,6 +107,59 @@ func checkFlags() []string {
 		token := regexp.MustCompile(`-` + regexp.QuoteMeta(n) + `([^a-z0-9-]|$)`)
 		if !token.Match(readme) {
 			out = append(out, fmt.Sprintf("supertrain flag -%s is not documented in README.md", n))
+		}
+	}
+	return out
+}
+
+// checkExperiments extracts every experiment id registered in the
+// experiments registry map and verifies EXPERIMENTS.md documents it as a
+// `id` row — the registry ↔ docs drift gate.
+func checkExperiments() []string {
+	const src = "internal/experiments/registry.go"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, src, nil, 0)
+	if err != nil {
+		return []string{fmt.Sprintf("parsing %s: %v", src, err)}
+	}
+	var ids []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok || len(vs.Names) == 0 || vs.Names[0].Name != "registry" {
+			return true
+		}
+		for _, v := range vs.Values {
+			lit, ok := v.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.BasicLit)
+				if !ok || key.Kind != token.STRING {
+					continue
+				}
+				if id, err := strconv.Unquote(key.Value); err == nil {
+					ids = append(ids, id)
+				}
+			}
+		}
+		return false
+	})
+	if len(ids) == 0 {
+		return []string{fmt.Sprintf("no experiment registrations found in %s (parser drift?)", src)}
+	}
+	docs, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		return []string{fmt.Sprintf("reading EXPERIMENTS.md: %v", err)}
+	}
+	var out []string
+	for _, id := range ids {
+		if !strings.Contains(string(docs), "`"+id+"`") {
+			out = append(out, fmt.Sprintf("experiment %q has no row in EXPERIMENTS.md", id))
 		}
 	}
 	return out

@@ -1,10 +1,14 @@
 // Command superplan sizes a training workload on modeled GH200 hardware:
 // it reports the SuperOffload plan (policy, buckets, casting, execution)
-// and compares predicted throughput against every baseline system.
+// and compares predicted throughput against every baseline system. With
+// -emit-placement it also prints the §4.3 adaptive weight-update
+// placement (the GPU-retained bucket tail) in the form the real engine's
+// supertrain command consumes.
 //
 // Usage:
 //
 //	superplan -model 13B -chips 8 -batch 32 -seq 1024
+//	superplan -model 5B -emit-placement
 //	superplan -models
 package main
 
@@ -12,23 +16,26 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"superoffload"
 )
 
 func main() {
-	modelName := flag.String("model", "5B", "Appendix A model label")
+	modelName := flag.String("model", "5B", "Appendix A model label (see -models)")
 	chips := flag.Int("chips", 1, "Superchip count")
-	batch := flag.Int("batch", 0, "global batch size (default 8 per chip)")
+	batch := flag.Int("batch", 0, "global batch size (0: the 8-per-chip default)")
 	seq := flag.Int("seq", 1024, "sequence length")
 	listModels := flag.Bool("models", false, "list the model zoo")
+	emitPlacement := flag.Bool("emit-placement", false, "print the adaptive GPU/CPU bucket placement for the real engine")
 	flag.Parse()
 
 	if *listModels {
 		fmt.Println("model zoo (Appendix A):", strings.Join(superoffload.ModelNames(), " "))
 		return
 	}
+	validate(*modelName, *chips, *batch, *seq)
 
 	req := superoffload.PlanRequest{Model: *modelName, Chips: *chips, GlobalBatch: *batch, Seq: *seq}
 	results, err := superoffload.Compare(req)
@@ -38,11 +45,21 @@ func main() {
 	fmt.Printf("workload: %s on %d GH200, global batch %d, seq %d\n",
 		*modelName, *chips, effBatch(*batch, *chips), *seq)
 	if d, err := superoffload.Describe(req); err == nil {
-		fmt.Printf("SuperOffload plan: %s, %s, %d buckets x %d MB (streaming efficiency %.0f%%)\n\n",
+		fmt.Printf("SuperOffload plan: %s, %s, %d buckets x %d MB (streaming efficiency %.0f%%)\n",
 			d.Policy, d.CastPath, d.NBuckets, d.BucketMB, 100*d.Efficiency)
-	} else {
-		fmt.Println()
 	}
+	if *emitPlacement {
+		p, err := superoffload.DescribePlacement(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("placement: GPU-retained tail %d of %d buckets = %.1f%% (%s)\n",
+			p.GPUBuckets, p.NBuckets, 100*float64(p.GPUBuckets)/float64(p.NBuckets), p.Plan)
+		fmt.Printf("real engine: supertrain %s (absolute tail, clamped to the engine's bucket count;\n"+
+			"             scale by the %.1f%% fraction for a different partition, or drop -gpu-buckets to re-derive)\n",
+			p.Flags, 100*float64(p.GPUBuckets)/float64(p.NBuckets))
+	}
+	fmt.Println()
 	fmt.Printf("%-15s %-8s %-10s %-7s %-9s %-22s\n", "system", "fits", "TFLOPS/GPU", "MFU", "GPU idle", "execution")
 	for _, r := range results {
 		if !r.Fits {
@@ -56,6 +73,34 @@ func main() {
 		fmt.Printf("%-15s yes      %-10.1f %-7.3f %-9.2f %-22s\n",
 			r.System, r.TFLOPS, r.MFU, r.GPUIdleFrac, exec)
 	}
+}
+
+// validate rejects bad flag values with a usage message before anything
+// reaches the planner (the same hardening supertrain applies): counts
+// must be positive, and an unknown -model lists the zoo instead of
+// surfacing a deep planner error.
+func validate(model string, chips, batch, seq int) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(flag.CommandLine.Output(), "superplan: %s\n\n", fmt.Sprintf(format, args...))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if chips < 1 {
+		fail("-chips must be >= 1, got %d", chips)
+	}
+	if batch < 0 {
+		fail("-batch must be positive (or 0 for the 8-per-chip default), got %d", batch)
+	}
+	if seq < 1 {
+		fail("-seq must be >= 1, got %d", seq)
+	}
+	names := superoffload.ModelNames()
+	for _, n := range names {
+		if n == model {
+			return
+		}
+	}
+	fail("unknown -model %q (model zoo: %s)", model, strings.Join(names, " "))
 }
 
 func effBatch(b, chips int) int {

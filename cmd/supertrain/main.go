@@ -9,7 +9,9 @@
 // and a deterministic weight-gradient ring; and with both, the hybrid
 // R×S mesh — data parallelism across superchip groups, sequence
 // parallelism within each group, the paper's multi-superchip evaluation
-// shape.
+// shape. -placement enables the §4.3 adaptive weight-update split (a
+// GPU-retained bucket tail updating synchronously while the rest flows
+// to the CPU Adam), timed by the virtual-clock superchip executor.
 //
 // Usage:
 //
@@ -17,9 +19,12 @@
 //	supertrain -steps 300 -ranks 4 -batch 8
 //	supertrain -steps 300 -seq-ranks 4 -seq 32 -heads 4
 //	supertrain -steps 300 -ranks 2 -seq-ranks 2 -batch 8 -seq 32 -heads 4
+//	supertrain -steps 300 -placement auto -bucket-elems 16384
+//	supertrain -steps 100 -json > stats.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +40,7 @@ type engine interface {
 	Stats() superoffload.Stats
 	NumBuckets() int
 	StoreTelemetry() (superoffload.StoreTelemetry, bool)
+	PlacementTelemetry() (superoffload.PlacementTelemetry, bool)
 	Close() error
 }
 
@@ -66,8 +72,8 @@ func usageError(format string, args ...any) error {
 type trainFlags struct {
 	steps, layers, hidden, heads, vocab int
 	batch, seq, ranks, seqRanks         int
-	resident, bucketElems               int
-	mode, offload                       string
+	resident, bucketElems, gpuBuckets   int
+	mode, offload, placement            string
 }
 
 // validate rejects incompatible flag combinations before any engine
@@ -90,6 +96,17 @@ func (f trainFlags) validate() error {
 	}
 	if f.offload != "dram" && f.offload != "nvme" {
 		return usageError("unknown -offload %q (want dram or nvme)", f.offload)
+	}
+	switch f.placement {
+	case "", "auto", "cpu", "gpu":
+	default:
+		return usageError("unknown -placement %q (want auto, cpu, or gpu)", f.placement)
+	}
+	if f.gpuBuckets < 0 {
+		return usageError("-gpu-buckets must be >= 0, got %d", f.gpuBuckets)
+	}
+	if f.gpuBuckets > 0 && f.placement != "auto" {
+		return usageError("-gpu-buckets requires -placement auto (got -placement %q)", f.placement)
 	}
 	if f.resident < 1 {
 		return usageError("-resident-buckets must be >= 1, got %d", f.resident)
@@ -130,6 +147,21 @@ func (f trainFlags) validate() error {
 	return nil
 }
 
+// jsonReport is the machine-readable run summary -json emits on stdout:
+// final stats plus whatever telemetry the selected engine produced.
+type jsonReport struct {
+	Params      int                              `json:"params"`
+	Buckets     int                              `json:"buckets"`
+	Mode        string                           `json:"mode"`
+	Parallelism string                           `json:"parallelism"`
+	Steps       int                              `json:"steps"`
+	FinalLoss   float64                          `json:"final_loss"`
+	Stats       superoffload.Stats               `json:"stats"`
+	Comm        *superoffload.SPCommStats        `json:"comm,omitempty"`
+	Store       *superoffload.StoreTelemetry     `json:"store,omitempty"`
+	Placement   *superoffload.PlacementTelemetry `json:"placement,omitempty"`
+}
+
 func run() (err error) {
 	steps := flag.Int("steps", 300, "training iterations")
 	layers := flag.Int("layers", 2, "transformer layers")
@@ -147,12 +179,16 @@ func run() (err error) {
 	offloadDir := flag.String("offload-dir", "", "directory for nvme backing files (default: system temp)")
 	resident := flag.Int("resident-buckets", 2, "nvme store resident-bucket window")
 	bucketElems := flag.Int("bucket-elems", 0, "per-bucket element budget (0: the 64 MB default; shrink so toy models split into several buckets)")
+	placement := flag.String("placement", "", "bucket placement: auto (GPU-retained tail, §4.3), cpu, gpu, or empty (homogeneous)")
+	gpuBuckets := flag.Int("gpu-buckets", 0, "pin the GPU-retained bucket tail in -placement auto (0: derive by grid search)")
+	jsonOut := flag.Bool("json", false, "emit final stats and telemetry as JSON on stdout (suppresses the human progress log)")
 	flag.Parse()
 
 	if err := (trainFlags{
 		steps: *steps, layers: *layers, hidden: *hidden, heads: *heads, vocab: *vocab,
 		batch: *batch, seq: *seq, ranks: *ranks, seqRanks: *seqRanks,
-		resident: *resident, bucketElems: *bucketElems, mode: *mode, offload: *offload,
+		resident: *resident, bucketElems: *bucketElems, gpuBuckets: *gpuBuckets,
+		mode: *mode, offload: *offload, placement: *placement,
 	}).validate(); err != nil {
 		return err
 	}
@@ -170,6 +206,9 @@ func run() (err error) {
 	cfg.BucketElems = *bucketElems
 	cfg.Offload = superoffload.OffloadConfig{
 		Backend: *offload, Dir: *offloadDir, ResidentBuckets: *resident,
+	}
+	cfg.Placement = superoffload.PlacementConfig{
+		Mode: *placement, GPUBuckets: *gpuBuckets, Batch: *batch, Seq: *seq,
 	}
 
 	var eng engine
@@ -212,21 +251,27 @@ func run() (err error) {
 		}
 	}()
 
-	fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %s, %s offload\n",
-		model.NumParams(), eng.NumBuckets(), *mode, parallelism, *offload)
+	if !*jsonOut {
+		fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %s, %s offload\n",
+			model.NumParams(), eng.NumBuckets(), *mode, parallelism, *offload)
+	}
 
 	corpus := superoffload.NewCorpus(*vocab, *seed+1)
+	var loss float64
 	for i := 1; i <= *steps; i++ {
-		loss, err := eng.Step(corpus.NextBatch(*batch, *seq))
+		loss, err = eng.Step(corpus.NextBatch(*batch, *seq))
 		if err != nil {
 			return err
 		}
-		if i%(max(1, *steps/20)) == 0 {
+		if !*jsonOut && i%(max(1, *steps/20)) == 0 {
 			fmt.Printf("step %4d  loss %.4f\n", i, loss)
 		}
 	}
 	if err := eng.Flush(); err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON(eng, model.NumParams(), *mode, parallelism, *steps, loss)
 	}
 	st := eng.Stats()
 	fmt.Printf("done: %d steps, %d commits, %d clip-rollbacks, %d skip-rollbacks, %d forward redos\n",
@@ -246,7 +291,40 @@ func run() (err error) {
 			1e3*tel.PipelinedSeconds()/n, 1e3*tel.SerializedSeconds()/n,
 			100*(1-tel.PipelinedSeconds()/tel.SerializedSeconds()))
 	}
+	if tel, ok := eng.PlacementTelemetry(); ok && tel.Steps > 0 {
+		n := float64(tel.Steps)
+		fmt.Printf("placement: %d gpu / %d cpu / %d nvme buckets\n",
+			tel.Tiers[0].Buckets, tel.Tiers[1].Buckets, tel.Tiers[2].Buckets)
+		fmt.Printf("superchip step: %.3f ms pipelined vs %.3f ms serialized (overlap hides %.0f%%)\n",
+			1e3*tel.PipelinedSeconds/n, 1e3*tel.SerializedSeconds/n, 100*tel.HiddenFraction())
+	}
 	return nil
+}
+
+// emitJSON writes the machine-readable run summary to stdout.
+func emitJSON(eng engine, params int, mode, parallelism string, steps int, finalLoss float64) error {
+	rep := jsonReport{
+		Params:      params,
+		Buckets:     eng.NumBuckets(),
+		Mode:        mode,
+		Parallelism: parallelism,
+		Steps:       steps,
+		FinalLoss:   finalLoss,
+		Stats:       eng.Stats(),
+	}
+	if cse, ok := eng.(commStatser); ok {
+		cs := cse.CommStats()
+		rep.Comm = &cs
+	}
+	if tel, ok := eng.StoreTelemetry(); ok {
+		rep.Store = &tel
+	}
+	if tel, ok := eng.PlacementTelemetry(); ok {
+		rep.Placement = &tel
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func max(a, b int) int {

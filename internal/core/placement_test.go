@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+	"superoffload/internal/sched"
+)
+
+// workloadFor builds the standard evaluation workload shape.
+func workloadFor(m model.Config, chips int) sched.Workload {
+	return sched.Workload{Cluster: hw.ClusterFor(chips), Model: m, GlobalBatch: 8 * chips, Seq: 1024}
+}
+
+// TestDescribePlacementBounds sweeps the whole Appendix A zoo across
+// chip counts and asserts the placement invariants of every plan the
+// planner emits: GPUBuckets ∈ [0, NBuckets], the grid search never
+// retains more than half the partition (gridPoints' ladder), weight-flow
+// plans retain nothing, and the bucket arithmetic is self-consistent.
+func TestDescribePlacementBounds(t *testing.T) {
+	s := New()
+	for _, chips := range []int{1, 4, 16} {
+		for _, m := range model.AppendixA() {
+			p, ok := s.Describe(workloadFor(m, chips))
+			if !ok {
+				continue // doesn't fit: nothing to place
+			}
+			if p.NBuckets < 1 {
+				t.Fatalf("%s/%d chips: NBuckets = %d", m.Name, chips, p.NBuckets)
+			}
+			if p.GPUBuckets < 0 || p.GPUBuckets > p.NBuckets {
+				t.Fatalf("%s/%d chips: GPUBuckets %d out of [0, %d]", m.Name, chips, p.GPUBuckets, p.NBuckets)
+			}
+			if p.GPUBuckets > p.NBuckets/2 {
+				t.Fatalf("%s/%d chips: grid search retained %d of %d buckets (ladder caps at half)",
+					m.Name, chips, p.GPUBuckets, p.NBuckets)
+			}
+			if p.Policy == WeightFlow && p.GPUBuckets != 0 {
+				t.Fatalf("%s/%d chips: weight-flow plan retained %d buckets", m.Name, chips, p.GPUBuckets)
+			}
+			shard := m.Params() / int64(chips)
+			if p.BucketParams != shard/int64(p.NBuckets) {
+				t.Fatalf("%s/%d chips: BucketParams %d inconsistent with shard %d / %d buckets",
+					m.Name, chips, p.BucketParams, shard, p.NBuckets)
+			}
+			if p.BucketBytes != hw.SuperOffloadBucketBytes {
+				t.Fatalf("%s/%d chips: bucket bytes %d, want the 64 MB default", m.Name, chips, p.BucketBytes)
+			}
+		}
+	}
+}
+
+// TestDescribePlacementSingleBucket pins the NBuckets == 1 edge: a tiny
+// model's whole shard fits one bucket, the grid ladder is empty, and the
+// plan stays fully offloaded and self-consistent.
+func TestDescribePlacementSingleBucket(t *testing.T) {
+	p, ok := New().Describe(workloadFor(model.Tiny(), 1))
+	if !ok {
+		t.Fatal("tiny model should fit one GH200")
+	}
+	if p.NBuckets != 1 {
+		t.Fatalf("tiny model split into %d buckets, want 1", p.NBuckets)
+	}
+	if p.GPUBuckets != 0 {
+		t.Fatalf("single-bucket plan retained %d buckets on the GPU", p.GPUBuckets)
+	}
+	if p.BucketParams != model.Tiny().Params() {
+		t.Fatalf("single bucket carries %d params, want the whole model (%d)", p.BucketParams, model.Tiny().Params())
+	}
+}
+
+// TestDescribePlacementTinyTailCap checks the "GPU tail would cover all
+// buckets" regime on small partitions: the ladder's nb/2 cap keeps the
+// CPU path populated, so even when HBM could hold everything the plan
+// never degenerates to an empty offload pipeline.
+func TestDescribePlacementTinyTailCap(t *testing.T) {
+	for _, name := range []string{"1B", "2B", "3B"} {
+		m, err := model.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := New().Describe(workloadFor(m, 16))
+		if !ok {
+			continue
+		}
+		if p.GPUBuckets >= p.NBuckets {
+			t.Fatalf("%s/16 chips: tail %d swallowed all %d buckets", name, p.GPUBuckets, p.NBuckets)
+		}
+	}
+}
+
+// TestDescribePlacementAblated pins the BucketRepartition ablation: no
+// grid search, PCIe-era bucket bytes, zero GPU-retained buckets — while
+// the bounds still hold.
+func TestDescribePlacementAblated(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BucketRepartition = false
+	s := NewWith(opts)
+	for _, name := range []string{"5B", "13B"} {
+		m, err := model.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := s.Describe(workloadFor(m, 1))
+		if !ok {
+			continue
+		}
+		if p.GPUBuckets != 0 {
+			t.Fatalf("%s ablated: GPUBuckets = %d, want 0", name, p.GPUBuckets)
+		}
+		if p.BucketBytes != hw.ZeROOffloadBucketBytes {
+			t.Fatalf("%s ablated: bucket bytes %d, want the ZeRO-Offload default", name, p.BucketBytes)
+		}
+		if p.NBuckets < 1 || p.BucketParams < 1 {
+			t.Fatalf("%s ablated: degenerate partition %+v", name, p)
+		}
+	}
+}
+
+// TestDescribeMatchesPlanPlacement asserts Describe's grid search agrees
+// with the full Plan() search on the 5B headline workload (both run the
+// same searchGPUBuckets); the 5B/1-chip plan must actually retain a tail,
+// so the FromCore mapping downstream has something to carry.
+func TestDescribeMatchesPlanPlacement(t *testing.T) {
+	m, err := model.ByName("5B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := New().Describe(workloadFor(m, 1))
+	if !ok {
+		t.Fatal("5B should fit one GH200")
+	}
+	if p.GPUBuckets < 1 {
+		t.Fatalf("5B/1-chip plan retained no GPU tail (%+v)", p)
+	}
+}

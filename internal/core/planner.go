@@ -125,20 +125,7 @@ func (s *System) Plan(w sched.Workload) sched.Result {
 
 	pol, eff := s.ChoosePolicy(w, exec, bucketParams, chips)
 
-	// Grid search the GPU-retained bucket count (§4.3) under the memory
-	// constraint; weight-flow keeps everything offloaded.
-	gpuBuckets := 0
-	bestT, bestEngine := s.simulate(w, exec, pol, bucketParams, nb, 0)
-	if s.Opts.BucketRepartition && pol == WeightStationary {
-		for _, n := range gridPoints(nb) {
-			if ok, _ := Fits(chip, w.Model, shard, pol, exec, w.Seq, bucketParams, n); !ok {
-				continue
-			}
-			if t, e := s.simulate(w, exec, pol, bucketParams, nb, n); t < bestT {
-				bestT, bestEngine, gpuBuckets = t, e, n
-			}
-		}
-	}
+	gpuBuckets, bestT, bestEngine := s.searchGPUBuckets(w, exec, pol, bucketParams, nb)
 
 	_ = eff // recorded via Describe; Plan keeps Result lean
 	_ = gpuBuckets
@@ -150,8 +137,11 @@ func (s *System) Plan(w sched.Workload) sched.Result {
 	return res
 }
 
-// Describe returns the planner's decision record without running the full
-// grid search timing (used by the superplan CLI).
+// Describe returns the planner's full decision record — policy, casting,
+// bucket partition, and the §4.3 GPU-retained tail (the same
+// searchGPUBuckets grid the full Plan runs, a handful of simulations) —
+// without the baseline comparison or final throughput accounting. Used
+// by the superplan CLI and the placement subsystem.
 func (s *System) Describe(w sched.Workload) (Plan, bool) {
 	chips := w.Chips()
 	shard := w.Model.Params() / int64(chips)
@@ -177,8 +167,32 @@ func (s *System) Describe(w sched.Workload) (Plan, bool) {
 		return Plan{}, false
 	}
 	pol, eff := s.ChoosePolicy(w, exec, bucketParams, chips)
+	gpuBuckets, _, _ := s.searchGPUBuckets(w, exec, pol, bucketParams, nb)
 	return Plan{Policy: pol, CastPath: s.castPath(chip, bucketParams), BucketBytes: bb,
-		BucketParams: bucketParams, NBuckets: nb, Exec: exec, Efficiency: eff}, true
+		BucketParams: bucketParams, NBuckets: nb, GPUBuckets: gpuBuckets,
+		Exec: exec, Efficiency: eff}, true
+}
+
+// searchGPUBuckets grid-searches the GPU-retained bucket count (§4.3)
+// under the memory constraint, returning the winning count with its
+// simulated iteration time and engine. Weight-flow policies and ablated
+// BucketRepartition keep everything offloaded (count 0).
+func (s *System) searchGPUBuckets(w sched.Workload, exec sched.Execution, pol Policy, bucketParams int64, nb int) (int, float64, *sim.Engine) {
+	gpuBuckets := 0
+	bestT, bestEngine := s.simulate(w, exec, pol, bucketParams, nb, 0)
+	if s.Opts.BucketRepartition && pol == WeightStationary {
+		chip := w.Cluster.Node.Chip
+		shard := w.Model.Params() / int64(w.Chips())
+		for _, n := range gridPoints(nb) {
+			if ok, _ := Fits(chip, w.Model, shard, pol, exec, w.Seq, bucketParams, n); !ok {
+				continue
+			}
+			if t, e := s.simulate(w, exec, pol, bucketParams, nb, n); t < bestT {
+				bestT, bestEngine, gpuBuckets = t, e, n
+			}
+		}
+	}
+	return gpuBuckets, bestT, bestEngine
 }
 
 func (s *System) castPath(chip hw.Chip, bucketParams int64) CastPath {

@@ -95,11 +95,12 @@ func (c *coordinator) load(r io.Reader, buckets []*stv.Bucket, replicaGroups [][
 	return nil
 }
 
-// engineRank is the surface the shared engine plumbing needs from either
-// rank type (dp's rank, sp's spRank).
+// engineRank is the surface the shared engine plumbing needs from every
+// rank type (dp's rank, sp's spRank, the mesh's meshRank).
 type engineRank interface {
 	bucketStore() stv.BucketStore
 	bucketLayout() []nn.Params
+	placementExec() *stv.PlacementExecutor
 }
 
 // storeList collects every rank's bucket store, in rank order.
@@ -136,17 +137,61 @@ func gatherMasters(buckets []*stv.Bucket) []float32 {
 }
 
 // sumNVMeTelemetry sums the modeled NVMe telemetry over the given stores;
-// ok is false when none is NVMe-backed.
+// ok is false when none carries a flash tier (NVMeStore, or PlacedStore
+// with NVMe-tier buckets).
 func sumNVMeTelemetry(stores []stv.BucketStore) (stv.StoreTelemetry, bool) {
 	var sum stv.StoreTelemetry
 	any := false
 	for _, st := range stores {
-		if s, isNVMe := st.(*stv.NVMeStore); isNVMe {
-			sum = sum.Add(s.Telemetry())
+		if src, ok := st.(stv.TelemetrySource); ok {
+			if tel, has := src.NVMeTelemetry(); has {
+				sum = sum.Add(tel)
+				any = true
+			}
+		}
+	}
+	return sum, any
+}
+
+// newRankExecutor builds rank executors for a placement plan: the
+// virtual-clock superchip model over this rank's owned shard (the
+// per-rank placement), with gradient-ready times spaced across the full
+// replica backward. Returns nil when the engine has no plan.
+func newRankExecutor(cfg Config, model *nn.GPT, owned []ownedBucket, nGlobal int) *stv.PlacementExecutor {
+	if cfg.Placement == nil {
+		return nil
+	}
+	idx := make([]int, len(owned))
+	elems := make([]int, len(owned))
+	for i, ob := range owned {
+		idx[i], elems[i] = ob.idx, ob.b.Size()
+	}
+	return stv.NewPlacementExecutor(cfg.Superchip, *cfg.Placement, idx, elems,
+		nGlobal, model.Cfg.Hidden, int64(model.NumParams()))
+}
+
+// sumPlacementTelemetry sums the executors' modeled accounting over every
+// rank; ok is false when the engine has no placement plan.
+func sumPlacementTelemetry[R engineRank](ranks []R) (stv.PlacementTelemetry, bool) {
+	var sum stv.PlacementTelemetry
+	any := false
+	for _, rk := range ranks {
+		if e := rk.placementExec(); e != nil {
+			sum = sum.Add(e.Telemetry())
 			any = true
 		}
 	}
 	return sum, any
+}
+
+// localTokens sums a rank's batch rows × positions over its step's
+// micro-batches — the backward volume its placement executor charges.
+func localTokens(micros []data.Batch) int {
+	n := 0
+	for _, b := range micros {
+		n += b.BatchSize * b.Seq
+	}
+	return n
 }
 
 // closeStores closes every store, folding the first failure into err.

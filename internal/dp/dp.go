@@ -26,7 +26,9 @@
 package dp
 
 import (
+	"superoffload/internal/hw"
 	"superoffload/internal/optim"
+	"superoffload/internal/place"
 	"superoffload/internal/stv"
 )
 
@@ -70,6 +72,17 @@ type Config struct {
 	// keyed by global bucket index). Nil keeps every shard DRAM-resident.
 	// The engine owns the stores: Close closes them.
 	NewStore func(rank int) (stv.BucketStore, error)
+	// Placement assigns every global bucket an update tier (GPU-resident
+	// tail, CPU Adam, or the NVMe window). Each rank runs a virtual-clock
+	// superchip executor over its owned shard of the plan — the per-rank
+	// placement — and the engine sums their telemetry. Nil disables
+	// placement modeling. Tiers never change numerics, so any plan keeps
+	// the engine bit-identical to the homogeneous single-rank trainer.
+	Placement *place.Plan
+	// Superchip is the hardware model the placement executors time
+	// against; the zero value means hw.DefaultSuperchip(). Ignored when
+	// Placement is nil.
+	Superchip hw.SuperchipSpec
 }
 
 // resolution is the verdict for the previous speculative step, broadcast

@@ -45,6 +45,11 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 	}
 	cfg = cfg.withDefaults()
 	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
+	if cfg.Placement != nil {
+		if err := cfg.Placement.Validate(nBuckets); err != nil {
+			return nil, fmt.Errorf("dp: %w", err)
+		}
+	}
 	w := &dpWorld{world: newWorld(cfg.Ranks, nBuckets), reduce: newReduceLinks(nBuckets, cfg.Ranks)}
 	e := &Engine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(cfg.Ranks, cfg.NewStore)
@@ -57,6 +62,7 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 			replica = model.Clone()
 		}
 		rk := newRank(id, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
+		rk.exec = newRankExecutor(cfg, replica, rk.owned, nBuckets)
 		for _, ob := range rk.owned {
 			e.buckets[ob.idx] = ob.b
 		}
@@ -71,6 +77,12 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 // ok is false when no rank uses an NVMe-backed store.
 func (e *Engine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 	return sumNVMeTelemetry(storeList(e.ranks))
+}
+
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *Engine) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
+	return sumPlacementTelemetry(e.ranks)
 }
 
 // Ranks reports the data-parallel degree R.

@@ -90,6 +90,11 @@ func NewMesh(model *nn.GPT, cfg Config) (*MeshEngine, error) {
 	cfg = cfg.withDefaults()
 	r, s := cfg.Ranks, cfg.SeqRanks
 	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
+	if cfg.Placement != nil {
+		if err := cfg.Placement.Validate(nBuckets); err != nil {
+			return nil, fmt.Errorf("dp: %w", err)
+		}
+	}
 	w := newMeshWorld(r, s, nBuckets)
 	e := &MeshEngine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(r*s, cfg.NewStore)
@@ -104,6 +109,7 @@ func NewMesh(model *nn.GPT, cfg Config) (*MeshEngine, error) {
 				replica = model.Clone()
 			}
 			rk := newMeshRank(g, sl, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
+			rk.exec = newRankExecutor(cfg, replica, rk.owned, nBuckets)
 			for _, ob := range rk.owned {
 				e.buckets[ob.idx] = ob.b
 			}
@@ -123,6 +129,12 @@ func (e *MeshEngine) CommStats() SPCommStats { return e.w.tel.snapshot() }
 // ok is false when no rank uses an NVMe-backed store.
 func (e *MeshEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 	return sumNVMeTelemetry(storeList(e.ranks))
+}
+
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *MeshEngine) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
+	return sumPlacementTelemetry(e.ranks)
 }
 
 // Ranks reports the data-parallel degree R (the number of replica

@@ -24,8 +24,9 @@ type meshRank struct {
 	sp     *nn.SP
 	impl   optim.Impl
 	store  stv.BucketStore
-	groups []nn.Params   // global bucket layout over this replica
-	owned  []ownedBucket // this rank's partition, ascending bucket index
+	exec   *stv.PlacementExecutor // nil without a placement plan
+	groups []nn.Params            // global bucket layout over this replica
+	owned  []ownedBucket          // this rank's partition, ascending bucket index
 	// offsets[b] is bucket b's start in the flat gradient layout
 	// (Params() registration order — the layout the group ring reduces
 	// over).
@@ -116,6 +117,7 @@ func (r *meshRank) step(micros []data.Batch) {
 	// publish fp16 weights to all R·S ranks.
 	inv := float32(1 / (g.scale * float64(len(micros)*r.w.R)))
 	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
+	r.exec.Record(localTokens(micros), micros[0].Seq)
 
 	r.w.results[r.id] <- stepResult{rows: rows}
 }
@@ -166,7 +168,9 @@ func (r *meshRank) allGather() {
 	gatherWeights(r.owned, r.groups, r.w.gather, r.w.N, r.id)
 }
 
-// bucketStore and bucketLayout satisfy engineRank for the shared engine
-// plumbing (storeList, replicaGroups).
-func (r *meshRank) bucketStore() stv.BucketStore { return r.store }
-func (r *meshRank) bucketLayout() []nn.Params    { return r.groups }
+// bucketStore, bucketLayout, and placementExec satisfy engineRank for
+// the shared engine plumbing (storeList, replicaGroups,
+// sumPlacementTelemetry).
+func (r *meshRank) bucketStore() stv.BucketStore          { return r.store }
+func (r *meshRank) bucketLayout() []nn.Params             { return r.groups }
+func (r *meshRank) placementExec() *stv.PlacementExecutor { return r.exec }

@@ -1,0 +1,273 @@
+package dp
+
+import (
+	"bytes"
+	"testing"
+
+	"superoffload/internal/data"
+	"superoffload/internal/place"
+	"superoffload/internal/stv"
+)
+
+// placementEngine abstracts the three multi-rank engines for the shared
+// placement assertions.
+type placementEngine interface {
+	Step(b data.Batch) (float64, error)
+	Flush() (bool, error)
+	Save(w *bytes.Buffer) error
+	Stats() stv.Stats
+	PlacementTelemetry() (stv.PlacementTelemetry, bool)
+	NumBuckets() int
+	Close() error
+}
+
+// engineAdapter narrows the concrete engines' io.Writer Save to the
+// buffer the test uses.
+type engineAdapter[E interface {
+	Step(b data.Batch) (float64, error)
+	Flush() (bool, error)
+	Stats() stv.Stats
+	PlacementTelemetry() (stv.PlacementTelemetry, bool)
+	NumBuckets() int
+	Close() error
+}] struct {
+	e    E
+	save func(*bytes.Buffer) error
+}
+
+func (a engineAdapter[E]) Step(b data.Batch) (float64, error) { return a.e.Step(b) }
+func (a engineAdapter[E]) Flush() (bool, error)               { return a.e.Flush() }
+func (a engineAdapter[E]) Save(w *bytes.Buffer) error         { return a.save(w) }
+func (a engineAdapter[E]) Stats() stv.Stats                   { return a.e.Stats() }
+func (a engineAdapter[E]) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
+	return a.e.PlacementTelemetry()
+}
+func (a engineAdapter[E]) NumBuckets() int { return a.e.NumBuckets() }
+func (a engineAdapter[E]) Close() error    { return a.e.Close() }
+
+// runPlacedEngine trains one engine for steps iterations and returns its
+// losses, stats, and checkpoint bytes.
+func runPlacedEngine(t *testing.T, e placementEngine, steps int) ([]float64, stv.Stats, []byte) {
+	t.Helper()
+	corpus := data.NewCorpus(64, 55)
+	losses := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		l, err := e.Step(corpus.NextBatch(4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, l)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := e.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.Stats()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return losses, stats, ckpt.Bytes()
+}
+
+// placedConfig is the shared engine config for the placement tests, with
+// fault injection so rollbacks are part of the exactness surface.
+func placedConfig(ranks int) Config {
+	cfg := baseConfig(ranks)
+	cfg.BucketElems = 4096 // a dozen buckets, so the split is meaningful
+	cfg.ClipNorm = 0.9
+	cfg.InjectBad = func(step int) bool { return step == 3 }
+	return cfg
+}
+
+// TestEnginePlacementBitExact asserts the multi-rank half of the
+// placement contract: with any plan (GPU tail, and the tail with an NVMe
+// body behind per-rank PlacedStores), each engine — DP R=2, SP S=2, mesh
+// 2×2 — trains bit-identically to its homogeneous self (which the
+// equivalence suites already pin to the single-rank trainer): same
+// losses, same rollback stats, byte-identical checkpoints. Per-rank
+// telemetry must cover the whole plan exactly once.
+func TestEnginePlacementBitExact(t *testing.T) {
+	const steps = 12
+	nb := len(stv.PartitionGroups(tinyGPT(42).Params(), placedConfig(2).BucketElems))
+	if nb < 3 {
+		t.Fatalf("toy partition too small (%d buckets) for a meaningful split", nb)
+	}
+	split := place.GPUTail(nb, 2)
+	nvmePlan := split.WithNVMeBody()
+
+	builders := []struct {
+		name  string
+		ranks int
+		build func(cfg Config) (placementEngine, error)
+	}{
+		{"dp-r2", 2, func(cfg Config) (placementEngine, error) {
+			e, err := New(tinyGPT(42), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return engineAdapter[*Engine]{e: e, save: func(w *bytes.Buffer) error { return e.Save(w) }}, nil
+		}},
+		{"sp-s2", 2, func(cfg Config) (placementEngine, error) {
+			e, err := NewSP(tinyGPT(42), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return engineAdapter[*SPEngine]{e: e, save: func(w *bytes.Buffer) error { return e.Save(w) }}, nil
+		}},
+		{"mesh-2x2", 4, func(cfg Config) (placementEngine, error) {
+			cfg.Ranks, cfg.SeqRanks = 2, 2
+			e, err := NewMesh(tinyGPT(42), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return engineAdapter[*MeshEngine]{e: e, save: func(w *bytes.Buffer) error { return e.Save(w) }}, nil
+		}},
+	}
+
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			ref, err := b.build(placedConfig(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ref.NumBuckets(); got != nb {
+				t.Fatalf("engine partitioned %d buckets, expected %d", got, nb)
+			}
+			refLosses, refStats, refCkpt := runPlacedEngine(t, ref, steps)
+			if refStats.Rollbacks() == 0 {
+				t.Fatal("reference run produced no rollbacks")
+			}
+
+			plans := []struct {
+				name string
+				plan place.Plan
+				nvme bool
+			}{
+				{"gpu-tail", split, false},
+				{"gpu-tail+nvme", nvmePlan, true},
+			}
+			for _, pc := range plans {
+				cfg := placedConfig(2)
+				plan := pc.plan
+				cfg.Placement = &plan
+				if pc.nvme {
+					dir := t.TempDir()
+					cfg.NewStore = func(rank int) (stv.BucketStore, error) {
+						return stv.NewPlacedStore(plan, stv.NVMeStoreConfig{Dir: dir})
+					}
+				}
+				e, err := b.build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tel, ok := e.PlacementTelemetry()
+				if !ok {
+					e.Close()
+					t.Fatalf("%s: placement telemetry missing", pc.name)
+				}
+				census := 0
+				for _, tr := range tel.Tiers {
+					census += tr.Buckets
+				}
+				if census != nb {
+					e.Close()
+					t.Fatalf("%s: per-rank tier census sums to %d, want %d", pc.name, census, nb)
+				}
+				losses, stats, ckpt := runPlacedEngine(t, e, steps)
+				for i := range refLosses {
+					if losses[i] != refLosses[i] {
+						t.Fatalf("%s: loss diverged at step %d: %v vs %v", pc.name, i, losses[i], refLosses[i])
+					}
+				}
+				if stats != refStats {
+					t.Fatalf("%s: stats diverged: %+v vs %+v", pc.name, stats, refStats)
+				}
+				if !bytes.Equal(ckpt, refCkpt) {
+					t.Fatalf("%s: checkpoint bytes diverged", pc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestEnginePlacementTelemetry pins the summed accounting: every rank
+// records every step, pipelined never exceeds serialized, and a bad plan
+// is rejected at construction.
+func TestEnginePlacementTelemetry(t *testing.T) {
+	const steps = 5
+	cfg := placedConfig(2)
+	cfg.InjectBad = nil
+	nb := len(stv.PartitionGroups(tinyGPT(42).Params(), cfg.BucketElems))
+	plan := place.GPUTail(nb, 1)
+	cfg.Placement = &plan
+	e, err := New(tinyGPT(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := data.NewCorpus(64, 55)
+	for i := 0; i < steps; i++ {
+		if _, err := e.Step(corpus.NextBatch(4, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tel, ok := e.PlacementTelemetry()
+	if !ok {
+		t.Fatal("telemetry missing")
+	}
+	if tel.Steps != steps {
+		t.Fatalf("recorded %d steps, want %d", tel.Steps, steps)
+	}
+	if tel.PipelinedSeconds <= 0 || tel.PipelinedSeconds > tel.SerializedSeconds {
+		t.Fatalf("bad modeled times: %+v", tel)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engines without a plan report none.
+	plain, err := New(tinyGPT(42), baseConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.PlacementTelemetry(); ok {
+		t.Fatal("plan-less engine reported placement telemetry")
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plan sized for the wrong partition is rejected up front by every
+	// constructor.
+	bad := place.GPUTail(nb+1, 1)
+	for name, build := range map[string]func() error{
+		"dp": func() error {
+			cfg := placedConfig(2)
+			cfg.Placement = &bad
+			_, err := New(tinyGPT(42), cfg)
+			return err
+		},
+		"sp": func() error {
+			cfg := placedConfig(2)
+			cfg.Placement = &bad
+			_, err := NewSP(tinyGPT(42), cfg)
+			return err
+		},
+		"mesh": func() error {
+			cfg := placedConfig(2)
+			cfg.SeqRanks = 2
+			cfg.Placement = &bad
+			_, err := NewMesh(tinyGPT(42), cfg)
+			return err
+		},
+	} {
+		if build() == nil {
+			t.Fatalf("%s: mis-sized plan accepted", name)
+		}
+	}
+}

@@ -134,8 +134,9 @@ type rank struct {
 	model  *nn.GPT
 	impl   optim.Impl
 	store  stv.BucketStore
-	groups []nn.Params   // global bucket layout over this replica
-	owned  []ownedBucket // this rank's partition, ascending bucket index
+	exec   *stv.PlacementExecutor // nil without a placement plan
+	groups []nn.Params            // global bucket layout over this replica
+	owned  []ownedBucket          // this rank's partition, ascending bucket index
 	// sendBufs[m][b] stages the gradient contribution for micro-batch m
 	// and bucket b. Buffers are distinct per micro-batch within a step
 	// (the owner may still be reading micro m while this rank computes
@@ -202,6 +203,7 @@ func (r *rank) step(micros []data.Batch) {
 	// per-bucket Adam, publish fp16 weights to every rank.
 	inv := float32(1 / (g.scale * float64(len(micros)*r.w.N)))
 	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
+	r.exec.Record(localTokens(micros), micros[0].Seq)
 
 	r.w.results[r.id] <- stepResult{losses: losses}
 }
@@ -239,7 +241,9 @@ func (r *rank) allGather() {
 	gatherWeights(r.owned, r.groups, r.w.gather, r.w.N, r.id)
 }
 
-// bucketStore and bucketLayout satisfy engineRank for the shared engine
-// plumbing (storeList, replicaGroups).
-func (r *rank) bucketStore() stv.BucketStore { return r.store }
-func (r *rank) bucketLayout() []nn.Params    { return r.groups }
+// bucketStore, bucketLayout, and placementExec satisfy engineRank for
+// the shared engine plumbing (storeList, replicaGroups,
+// sumPlacementTelemetry).
+func (r *rank) bucketStore() stv.BucketStore          { return r.store }
+func (r *rank) bucketLayout() []nn.Params             { return r.groups }
+func (r *rank) placementExec() *stv.PlacementExecutor { return r.exec }

@@ -54,6 +54,11 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 	}
 	cfg = cfg.withDefaults()
 	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
+	if cfg.Placement != nil {
+		if err := cfg.Placement.Validate(nBuckets); err != nil {
+			return nil, fmt.Errorf("dp: %w", err)
+		}
+	}
 	w := newSPWorld(cfg.Ranks, nBuckets)
 	e := &SPEngine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(cfg.Ranks, cfg.NewStore)
@@ -66,6 +71,7 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 			replica = model.Clone()
 		}
 		rk := newSPRank(id, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
+		rk.exec = newRankExecutor(cfg, replica, rk.owned, nBuckets)
 		for _, ob := range rk.owned {
 			e.buckets[ob.idx] = ob.b
 		}
@@ -97,6 +103,12 @@ func (e *SPEngine) CommStats() SPCommStats { return e.w.tel.snapshot() }
 // ok is false when no rank uses an NVMe-backed store.
 func (e *SPEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 	return sumNVMeTelemetry(storeList(e.ranks))
+}
+
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *SPEngine) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
+	return sumPlacementTelemetry(e.ranks)
 }
 
 // SeqRanks reports the sequence-parallel degree S.

@@ -19,8 +19,9 @@ type spRank struct {
 	sp     *nn.SP
 	impl   optim.Impl
 	store  stv.BucketStore
-	groups []nn.Params   // global bucket layout over this replica
-	owned  []ownedBucket // this rank's partition, ascending bucket index
+	exec   *stv.PlacementExecutor // nil without a placement plan
+	groups []nn.Params            // global bucket layout over this replica
+	owned  []ownedBucket          // this rank's partition, ascending bucket index
 	// offsets[b] is bucket b's start in the flat gradient layout
 	// (Params() registration order — the layout the ring reduces over).
 	offsets []int
@@ -90,6 +91,7 @@ func (r *spRank) step(micros []data.Batch) {
 	// batch's gradient), apply per-bucket Adam, publish fp16 weights.
 	inv := float32(1 / (g.scale * float64(len(micros))))
 	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
+	r.exec.Record(localTokens(micros), micros[0].Seq)
 
 	r.w.results[r.id] <- stepResult{rows: rows}
 }
@@ -116,7 +118,9 @@ func (r *spRank) allGather() {
 	gatherWeights(r.owned, r.groups, r.w.gather, r.w.N, r.id)
 }
 
-// bucketStore and bucketLayout satisfy engineRank for the shared engine
-// plumbing (storeList, replicaGroups).
-func (r *spRank) bucketStore() stv.BucketStore { return r.store }
-func (r *spRank) bucketLayout() []nn.Params    { return r.groups }
+// bucketStore, bucketLayout, and placementExec satisfy engineRank for
+// the shared engine plumbing (storeList, replicaGroups,
+// sumPlacementTelemetry).
+func (r *spRank) bucketStore() stv.BucketStore          { return r.store }
+func (r *spRank) bucketLayout() []nn.Params             { return r.groups }
+func (r *spRank) placementExec() *stv.PlacementExecutor { return r.exec }

@@ -23,10 +23,11 @@ const hostMeasuredMarker = "\nReal Go kernels measured on this machine:"
 // generating architecture; elsewhere the experiment still runs and must
 // render non-empty.
 var archSensitive = map[string]string{
-	"fig14":           "amd64",
-	"ext-nvme-stv":    "amd64",
-	"ext-ulysses-stv": "amd64",
-	"ext-mesh-stv":    "amd64",
+	"fig14":             "amd64",
+	"ext-nvme-stv":      "amd64",
+	"ext-ulysses-stv":   "amd64",
+	"ext-mesh-stv":      "amd64",
+	"ext-placement-stv": "amd64",
 }
 
 // canonical trims host-measured suffixes so snapshots only cover

@@ -26,16 +26,17 @@ var registry = map[string]Runner{
 	"fig11b": func() string {
 		return RenderThroughput("Fig. 11b: 16-Superchip throughput, batch 128", Fig11(16))
 	},
-	"fig12":           func() string { return RenderFig12(Fig12()) },
-	"fig13":           func() string { return RenderFig13(Fig13()) },
-	"table2":          func() string { return RenderTable2(Table2()) },
-	"table3":          func() string { return RenderTable3(Table3(0)) },
-	"fig14":           func() string { return RenderFig14(Fig14Real(150), Fig14Envelope(80000)) },
-	"fig15":           func() string { return RenderIdle("Fig. 15: GPU idle with SuperOffload", Fig15()) },
-	"ext-nvme":        ExtNVMe,
-	"ext-nvme-stv":    ExtNVMeSTV,
-	"ext-ulysses-stv": ExtUlyssesSTV,
-	"ext-mesh-stv":    ExtMeshSTV,
+	"fig12":             func() string { return RenderFig12(Fig12()) },
+	"fig13":             func() string { return RenderFig13(Fig13()) },
+	"table2":            func() string { return RenderTable2(Table2()) },
+	"table3":            func() string { return RenderTable3(Table3(0)) },
+	"fig14":             func() string { return RenderFig14(Fig14Real(150), Fig14Envelope(80000)) },
+	"fig15":             func() string { return RenderIdle("Fig. 15: GPU idle with SuperOffload", Fig15()) },
+	"ext-nvme":          ExtNVMe,
+	"ext-nvme-stv":      ExtNVMeSTV,
+	"ext-ulysses-stv":   ExtUlyssesSTV,
+	"ext-mesh-stv":      ExtMeshSTV,
+	"ext-placement-stv": ExtPlacementSTV,
 }
 
 // Names lists the available experiment ids in sorted order.

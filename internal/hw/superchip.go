@@ -1,0 +1,102 @@
+package hw
+
+// SuperchipSpec bundles the hardware model a virtual-clock superchip
+// executor needs to time one heterogeneous optimizer step: the chip
+// (GPU + CPU joined by the C2C link), the CPU Adam implementation (the
+// paper's GraceAdam vs the x86 CPU-Adam port, §4.6), and the NVMe array
+// backing the optional third tier. internal/place consumes it to derive
+// adaptive GPU/CPU bucket placements, and the real STV engine's placement
+// executor charges its virtual clocks with these rates.
+type SuperchipSpec struct {
+	// Chip is the Superchip (GPU, CPU, and the host link between them).
+	Chip Chip
+	// CPUImpl is the CPU optimizer kernel rate model: AdamGrace (the
+	// paper's SVE kernel) or AdamCPU (the x86-blocked port).
+	CPUImpl AdamImpl
+	// NVMe is the flash array backing NVMe-tier buckets.
+	NVMe NVMeSpec
+}
+
+// DefaultSuperchip is the paper's evaluation platform: a GH200 with
+// GraceAdam and the node NVMe array.
+func DefaultSuperchip() SuperchipSpec {
+	return SuperchipSpec{Chip: GH200(), CPUImpl: AdamGrace, NVMe: NodeNVMe()}
+}
+
+// OrDefault returns the spec with unset fields filled in: the zero value
+// becomes DefaultSuperchip, and a spec carrying only a Chip gets the
+// GraceAdam rate and the node NVMe array. AdamNaive (CPUImpl's zero
+// value) is the un-ported PyTorch baseline, not a superchip optimizer
+// port, so it is treated as "unset" rather than silently modeling the
+// slowest kernel.
+func (s SuperchipSpec) OrDefault() SuperchipSpec {
+	if s.Chip.GPU.PeakFLOPS == 0 {
+		return DefaultSuperchip()
+	}
+	if s.CPUImpl == AdamNaive {
+		s.CPUImpl = AdamGrace
+	}
+	if s.NVMe.ReadBW == 0 {
+		s.NVMe = NodeNVMe()
+	}
+	return s
+}
+
+// BackwardTime models the GPU backward pass producing the step's
+// gradients: 4 FLOPs per token per parameter (backward is twice the
+// 2·tokens·params forward) at the transformer-achievable GPU rate.
+func (s SuperchipSpec) BackwardTime(params int64, tokens, hidden, seq int) float64 {
+	if tokens <= 0 || params <= 0 {
+		return 0
+	}
+	return 4 * float64(tokens) * float64(params) / AchievableGPUFLOPS(s.Chip, hidden, seq)
+}
+
+// CastGPUTime is the GPU-side fp16→fp32 gradient cast preceding the
+// pinned D2H move (§4.5's Cast_gpu↔Move_fp32 path).
+func (s SuperchipSpec) CastGPUTime(elems int64) float64 {
+	return CastTime(s.Chip, true, elems)
+}
+
+// GradD2HTime is the pinned device-to-host move of one bucket's fp32
+// gradients over the C2C link.
+func (s SuperchipSpec) GradD2HTime(elems int64) float64 {
+	return s.Chip.Link.TransferTime(4*elems, DeviceToHost, Pinned)
+}
+
+// WeightH2DTime is the pinned host-to-device return of one bucket's
+// updated fp16 weights.
+func (s SuperchipSpec) WeightH2DTime(elems int64) float64 {
+	return s.Chip.Link.TransferTime(2*elems, HostToDevice, Pinned)
+}
+
+// CPUAdamTime is one bucket's fused CPU optimizer step (dispatch tax
+// plus the bandwidth-bound kernel at the configured implementation's
+// rate).
+func (s SuperchipSpec) CPUAdamTime(elems int64) float64 {
+	return CPUDispatchPerBucketS + AdamStepTime(s.Chip, s.CPUImpl, elems)
+}
+
+// GPUAdamTime is one GPU-resident bucket's fused optimizer step (kernel
+// launch plus the HBM-bound kernel), run on the GPU stream after
+// backward.
+func (s SuperchipSpec) GPUAdamTime(elems int64) float64 {
+	return KernelLaunchS + AdamStepTime(s.Chip, AdamGPU, elems)
+}
+
+// superchipNVMeBytesPerElem is the flash footprint of one parameter's
+// optimizer state in the windowed store (fp32 master + Adam m + v and
+// their snapshot reservation — stv.NVMeStore's record layout).
+const superchipNVMeBytesPerElem = 24
+
+// NVMeFetchTime is the flash read bringing one NVMe-tier bucket's
+// optimizer state into the resident window.
+func (s SuperchipSpec) NVMeFetchTime(elems int64) float64 {
+	return s.NVMe.ReadTime(superchipNVMeBytesPerElem * elems)
+}
+
+// NVMeFlushTime is the write-behind flush of one NVMe-tier bucket's
+// updated optimizer state.
+func (s SuperchipSpec) NVMeFlushTime(elems int64) float64 {
+	return s.NVMe.WriteTime(superchipNVMeBytesPerElem * elems)
+}

@@ -1,0 +1,212 @@
+package place
+
+import (
+	"math"
+
+	"superoffload/internal/hw"
+)
+
+// Virtual-clock superchip model. One optimizer step is scheduled over
+// five engines in the style of stv.NVMeStore's throttled clocks: the GPU
+// stream (backward chunks, gradient casts, and GPU-resident Adam steps),
+// the D2H and H2D copy engines of the C2C link, the CPU optimizer, and
+// the NVMe array. Buckets enter in gradient-production order (descending
+// bucket index — backward walks the partition back to front), each tier
+// charges its phases on the engines it occupies, and the step's pipelined
+// time is the completion of the schedule while the serialized time sums
+// every phase with no overlap — the same pipelined-vs-serialized contrast
+// the NVMe store's telemetry reports for residency.
+
+// Shape is the per-step compute feeding the virtual clocks: how much
+// backward work the GPU performs before the optimizer phases drain.
+type Shape struct {
+	// Tokens is batch rows × positions processed by this replica's
+	// backward this step (summed over accumulation micro-batches).
+	Tokens int
+	// Hidden and Seq feed the GEMM-efficiency model.
+	Hidden int
+	Seq    int
+	// Params is the replica's parameter count (backward covers the whole
+	// model even when this holder owns only a shard of the optimizer).
+	Params int64
+}
+
+// BucketWork is one bucket the holder steps: its global index (production
+// order and ready time follow from it), size, and tier.
+type BucketWork struct {
+	// Index is the global bucket index within the partition.
+	Index int
+	// Elems is the bucket's parameter count.
+	Elems int
+	// Tier is where the bucket's update runs.
+	Tier Tier
+}
+
+// Work builds the full-partition work list for the plan over the given
+// per-bucket element counts (elems[b] is bucket b's size).
+func (p Plan) Work(elems []int) []BucketWork {
+	out := make([]BucketWork, len(elems))
+	for i, n := range elems {
+		out[i] = BucketWork{Index: i, Elems: n, Tier: p.Tier(i)}
+	}
+	return out
+}
+
+// TierSeconds is one tier's share of a step's modeled phase times.
+type TierSeconds struct {
+	// Buckets counts the work items on this tier.
+	Buckets int
+	// Cast is GPU-side fp16→fp32 gradient casting (charged on the GPU
+	// stream; zero for GPU-resident buckets, whose update reads HBM
+	// directly).
+	Cast float64
+	// D2H is fp32 gradient traffic to the CPU over the C2C link.
+	D2H float64
+	// Adam is optimizer compute (CPU kernel for cpu/nvme tiers, the
+	// post-backward GPU kernel for the resident tail).
+	Adam float64
+	// H2D is the fp16 weight return over the C2C link.
+	H2D float64
+	// NVMe is flash traffic (state fetch + write-behind flush).
+	NVMe float64
+}
+
+// Total sums the tier's phase seconds.
+func (t TierSeconds) Total() float64 { return t.Cast + t.D2H + t.Adam + t.H2D + t.NVMe }
+
+// Breakdown is the virtual-clock result for one optimizer step.
+type Breakdown struct {
+	// Backward is the modeled GPU backward producing the gradients.
+	Backward float64
+	// Pipelined is the schedule's completion time with every engine
+	// overlapping: backward + whatever optimizer work the clocks could
+	// not hide.
+	Pipelined float64
+	// Serialized is the no-overlap reference: backward plus every phase
+	// of every bucket end to end.
+	Serialized float64
+	// Tiers breaks the phase seconds down per tier, indexed by Tier.
+	Tiers [NumTiers]TierSeconds
+}
+
+// StepTimes schedules one optimizer step on the virtual clocks. work
+// lists the holder's buckets in ascending global index (a rank models
+// only its owned ZeRO shard; nGlobal is the full partition size, which
+// spaces gradient-ready times across the whole backward). The returned
+// breakdown is deterministic: clocks advance in program order, never by
+// wall time.
+func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shape) Breakdown {
+	spec = spec.OrDefault()
+	var bd Breakdown
+	if nGlobal < len(work) {
+		nGlobal = len(work)
+	}
+	if nGlobal == 0 {
+		return bd
+	}
+	bd.Backward = spec.BackwardTime(shape.Params, shape.Tokens, shape.Hidden, shape.Seq)
+	chunk := bd.Backward / float64(nGlobal)
+
+	// Engine clocks: gpu is the GPU stream's current time; the others
+	// are each engine's next-free time.
+	var gpu, d2h, cpu, h2d, nvme float64
+	var gpuTail []int64 // element counts of GPU-resident buckets, stepped post-backward
+
+	prevIndex := nGlobal // one past the first-produced bucket
+	for i := len(work) - 1; i >= 0; i-- {
+		wk := work[i]
+		elems := int64(wk.Elems)
+		// Backward chunks covering buckets produced before this one
+		// (including non-owned buckets between the holder's shards).
+		gpu += float64(prevIndex-wk.Index) * chunk
+		prevIndex = wk.Index
+		ts := &bd.Tiers[wk.Tier]
+		ts.Buckets++
+		if wk.Tier == GPUResident {
+			gpuTail = append(gpuTail, elems)
+			continue
+		}
+		cast := spec.CastGPUTime(elems)
+		ts.Cast += cast
+		gpu += cast
+		dt := spec.GradD2HTime(elems)
+		ts.D2H += dt
+		d2h = math.Max(gpu, d2h) + dt
+		stateReady := d2h
+		if wk.Tier == NVMeWindow {
+			// The state fetch is gradient-independent: prefetches
+			// pipeline on the flash engine from step start.
+			ft := spec.NVMeFetchTime(elems)
+			ts.NVMe += ft
+			nvme += ft
+			stateReady = math.Max(stateReady, nvme)
+		}
+		at := spec.CPUAdamTime(elems)
+		ts.Adam += at
+		cpu = math.Max(stateReady, cpu) + at
+		ht := spec.WeightH2DTime(elems)
+		ts.H2D += ht
+		h2d = math.Max(cpu, h2d) + ht
+		if wk.Tier == NVMeWindow {
+			// Write-behind flush: charged to the serialized reference
+			// but never on the step's critical path (the store's
+			// eviction discipline).
+			ts.NVMe += spec.NVMeFlushTime(elems)
+		}
+	}
+	// Backward chunks below the lowest owned bucket, then the resident
+	// tail's synchronous GPU updates.
+	gpu += float64(prevIndex) * chunk
+	for _, elems := range gpuTail {
+		at := spec.GPUAdamTime(elems)
+		bd.Tiers[GPUResident].Adam += at
+		gpu += at
+	}
+
+	bd.Pipelined = math.Max(gpu, math.Max(cpu, h2d))
+	bd.Serialized = bd.Backward
+	for _, ts := range bd.Tiers {
+		bd.Serialized += ts.Total()
+	}
+	// The two figures sum the same phase times in different orders; when
+	// nothing overlaps they are equal up to float addition noise, so
+	// clamp to keep Pipelined ≤ Serialized an invariant.
+	bd.Pipelined = math.Min(bd.Pipelined, bd.Serialized)
+	return bd
+}
+
+// GPUStateBytesPerElem is the HBM footprint of one GPU-resident
+// parameter's optimizer state (fp32 master + Adam m + v + fp32 gradient),
+// the budget the Auto grid search charges per retained bucket.
+const GPUStateBytesPerElem = 16
+
+// Auto derives the GPU-retained bucket tail for a partition with the
+// given per-bucket element counts by the paper's §4.3 policy: grid-search
+// the tail size, keeping at most budgetBytes of optimizer state in HBM
+// (≤0 defaults to a quarter of the chip's memory), and pick the placement
+// with the lowest modeled pipelined step time. Ties prefer the smaller
+// tail, so the all-CPU plan wins when retention buys nothing.
+func Auto(spec hw.SuperchipSpec, elems []int, shape Shape, budgetBytes int64) Plan {
+	spec = spec.OrDefault()
+	nb := len(elems)
+	if nb == 0 {
+		return Plan{}
+	}
+	if budgetBytes <= 0 {
+		budgetBytes = spec.Chip.GPU.MemBytes / 4
+	}
+	best := Uniform(nb, CPUAdam)
+	bestT := StepTimes(spec, best.Work(elems), nb, shape).Pipelined
+	var gpuBytes int64
+	for g := 1; g <= nb; g++ {
+		gpuBytes += GPUStateBytesPerElem * int64(elems[g-1])
+		if gpuBytes > budgetBytes {
+			break
+		}
+		p := GPUTail(nb, g)
+		if t := StepTimes(spec, p.Work(elems), nb, shape).Pipelined; t < bestT {
+			best, bestT = p, t
+		}
+	}
+	return best
+}

@@ -67,6 +67,16 @@ func (t *Trainer) finishAccum(n int) {
 	}
 }
 
+// accumTokens sums the window's batch rows × positions — the backward
+// volume the placement executor charges for the accumulated step.
+func accumTokens(batches []data.Batch) int {
+	n := 0
+	for _, b := range batches {
+		n += b.BatchSize * b.Seq
+	}
+	return n
+}
+
 func (t *Trainer) stepAccumSTE(batches []data.Batch) (float64, error) {
 	t.stepIndex++
 	var loss float64
@@ -88,6 +98,7 @@ func (t *Trainer) stepAccumSTE(batches []data.Batch) (float64, error) {
 		t.Cfg.Scaler.Update(false)
 	}
 	t.applyDirectStep(v)
+	t.exec.Record(accumTokens(batches), batches[0].Seq)
 	return loss, nil
 }
 
@@ -126,6 +137,7 @@ func (t *Trainer) stepAccumSTV(batches []data.Batch) (float64, error) {
 		bk.SpeculativeStep(adam, t.Cfg.Impl)
 	}
 	t.stats.Steps++
+	t.exec.Record(accumTokens(batches), batches[0].Seq)
 	t.launchValidation()
 	t.lastLoss = loss
 	return loss, nil

@@ -206,6 +206,9 @@ func (s *NVMeStore) Telemetry() StoreTelemetry {
 	return s.tel
 }
 
+// NVMeTelemetry implements TelemetrySource.
+func (s *NVMeStore) NVMeTelemetry() (StoreTelemetry, bool) { return s.Telemetry(), true }
+
 // worker drains IO ops in FIFO order. The FIFO is the consistency
 // mechanism: a fetch enqueued after an eviction of the same bucket reads
 // the freshly written record. Write failures are latched (nothing waits

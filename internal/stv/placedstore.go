@@ -1,0 +1,72 @@
+package stv
+
+import "superoffload/internal/place"
+
+// PlacedStore routes bucket residency by placement tier: GPU-resident and
+// CPU-tier buckets stay permanently resident (DRAM semantics — in the
+// modeled system the tail lives in HBM and the body in host DRAM), while
+// NVMe-tier buckets spill through a windowed file-backed NVMeStore
+// between touches. The inner store is only created when the plan actually
+// has NVMe buckets, and its prefetch cycle covers exactly the NVMe-tier
+// indices seeded into it.
+type PlacedStore struct {
+	tiers []place.Tier
+	dram  *DRAMStore
+	nvme  *NVMeStore // nil when the plan has no NVMe-tier buckets
+}
+
+// NewPlacedStore builds a store for the plan; cfg parameterizes the inner
+// NVMe store (ignored when no bucket is NVMe-tier).
+func NewPlacedStore(plan place.Plan, cfg NVMeStoreConfig) (*PlacedStore, error) {
+	s := &PlacedStore{
+		tiers: append([]place.Tier(nil), plan.Tiers...),
+		dram:  NewDRAMStore(),
+	}
+	if plan.Counts().NVMe > 0 {
+		nvme, err := NewNVMeStore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.nvme = nvme
+	}
+	return s, nil
+}
+
+// route picks the backing store for a bucket index. Indices beyond the
+// plan default to resident (place.Plan.Tier's graceful default).
+func (s *PlacedStore) route(idx int) BucketStore {
+	if s.nvme != nil && idx >= 0 && idx < len(s.tiers) && s.tiers[idx] == place.NVMeWindow {
+		return s.nvme
+	}
+	return s.dram
+}
+
+// Seed installs the bucket's initial state in its tier's backing store.
+func (s *PlacedStore) Seed(idx int, master []float32) { s.route(idx).Seed(idx, master) }
+
+// Acquire makes the bucket's state resident and returns it.
+func (s *PlacedStore) Acquire(idx int) *BucketState { return s.route(idx).Acquire(idx) }
+
+// Release ends the hold started by Acquire.
+func (s *PlacedStore) Release(idx int, mode ReleaseMode) { s.route(idx).Release(idx, mode) }
+
+// Close releases the inner NVMe store's backing resources (no-op for the
+// resident tiers).
+func (s *PlacedStore) Close() error {
+	err := s.dram.Close()
+	if s.nvme != nil {
+		if nerr := s.nvme.Close(); err == nil {
+			err = nerr
+		}
+	}
+	return err
+}
+
+// NVMeTelemetry implements TelemetrySource: the inner store's modeled
+// accounting, present only when the plan has NVMe-tier buckets.
+func (s *PlacedStore) NVMeTelemetry() (StoreTelemetry, bool) {
+	if s.nvme == nil {
+		return StoreTelemetry{}, false
+	}
+	return s.nvme.Telemetry(), true
+}

@@ -66,6 +66,14 @@ type BucketStore interface {
 	Close() error
 }
 
+// TelemetrySource is implemented by stores that keep modeled NVMe-tier
+// accounting (NVMeStore, and PlacedStore when its plan has NVMe-tier
+// buckets). ok is false when the store has nothing to model.
+type TelemetrySource interface {
+	// NVMeTelemetry returns the store's modeled flash-tier accounting.
+	NVMeTelemetry() (StoreTelemetry, bool)
+}
+
 // DRAMStore keeps every bucket permanently resident — the seed engine's
 // behavior, and the fast path when optimizer state fits host memory.
 type DRAMStore struct {

@@ -5,8 +5,10 @@ import (
 	"math"
 
 	"superoffload/internal/data"
+	"superoffload/internal/hw"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
+	"superoffload/internal/place"
 )
 
 // Mode selects the optimizer scheduling scheme.
@@ -54,9 +56,21 @@ type Config struct {
 	// Store selects where bucket optimizer state (fp32 masters, Adam
 	// moments, rollback snapshots) lives between touches. Nil keeps
 	// everything resident in DRAM; an NVMeStore spills to a backing file
-	// with a small resident window. The trainer owns the store: Close
+	// with a small resident window; a PlacedStore routes residency by
+	// the placement plan's tiers. The trainer owns the store: Close
 	// closes it.
 	Store BucketStore
+	// Placement assigns each bucket an update tier (GPU-resident tail,
+	// CPU Adam, or the NVMe window) for the virtual-clock superchip
+	// executor. Nil trains homogeneously with no placement modeling.
+	// Tiers change only where modeled time is charged and (through the
+	// store) where state resides — numerics are tier-invariant, so any
+	// plan trains bit-identically to the homogeneous trainer.
+	Placement *place.Plan
+	// Superchip is the hardware model the placement executor times
+	// against; the zero value means hw.DefaultSuperchip(). Ignored when
+	// Placement is nil.
+	Superchip hw.SuperchipSpec
 }
 
 // WarmupCosine returns the standard warm-up + cosine-decay schedule used
@@ -106,6 +120,7 @@ type Trainer struct {
 
 	store   BucketStore
 	buckets []*Bucket
+	exec    *PlacementExecutor // nil without a placement plan
 	stats   Stats
 
 	// STV pipeline state: an in-flight validation for the last
@@ -127,25 +142,45 @@ func (t *Trainer) stepAdam() optim.Config {
 	return a
 }
 
-// NewTrainer buckets the model and prepares the optimizer state.
+// DefaultBucketElems is the per-bucket element budget when Config leaves
+// BucketElems unset: 32M elements, the paper's 64 MB fp16 bucket (§4.3).
+const DefaultBucketElems = 32 << 20
+
+// NewTrainer buckets the model and prepares the optimizer state. A
+// placement plan, when present, must cover the resulting bucket count
+// exactly (NewTrainer panics otherwise — the partition is deterministic,
+// so a mismatch is a construction bug, not a runtime condition).
 func NewTrainer(m *nn.GPT, cfg Config) *Trainer {
 	if cfg.Impl == nil {
 		cfg.Impl = optim.GraceAdam
 	}
 	if cfg.BucketElems <= 0 {
-		cfg.BucketElems = 32 << 20 // 64 MB of fp16
+		cfg.BucketElems = DefaultBucketElems
 	}
 	store := cfg.Store
 	if store == nil {
 		store = NewDRAMStore()
 	}
-	return &Trainer{
+	t := &Trainer{
 		Model:   m,
 		Cfg:     cfg,
 		store:   store,
 		buckets: partitionParams(m.Params(), cfg.BucketElems, store),
 		validCh: make(chan valResult, 1),
 	}
+	if cfg.Placement != nil {
+		if err := cfg.Placement.Validate(len(t.buckets)); err != nil {
+			panic(fmt.Sprintf("stv: %v", err))
+		}
+		idx := make([]int, len(t.buckets))
+		elems := make([]int, len(t.buckets))
+		for i, bk := range t.buckets {
+			idx[i], elems[i] = i, bk.Size()
+		}
+		t.exec = NewPlacementExecutor(cfg.Superchip, *cfg.Placement, idx, elems,
+			len(t.buckets), m.Cfg.Hidden, int64(m.NumParams()))
+	}
+	return t
 }
 
 // NumBuckets reports the partition size (diagnostics).
@@ -160,6 +195,15 @@ func (t *Trainer) Close() error { return t.store.Close() }
 
 // Stats returns validation counters.
 func (t *Trainer) Stats() Stats { return t.stats }
+
+// PlacementTelemetry returns the virtual-clock superchip executor's
+// modeled accounting; ok is false without a placement plan.
+func (t *Trainer) PlacementTelemetry() (PlacementTelemetry, bool) {
+	if t.exec == nil {
+		return PlacementTelemetry{}, false
+	}
+	return t.exec.Telemetry(), true
+}
 
 // Step runs one training iteration on the batch and returns its loss.
 //
@@ -237,6 +281,7 @@ func (t *Trainer) stepSTE(b data.Batch) (float64, error) {
 		t.Cfg.Scaler.Update(false)
 	}
 	t.applyDirectStep(v)
+	t.exec.Record(b.BatchSize*b.Seq, b.Seq)
 	return loss, nil
 }
 
@@ -286,6 +331,7 @@ func (t *Trainer) stepSTV(b data.Batch) (float64, error) {
 		bk.SpeculativeStep(adam, t.Cfg.Impl)
 	}
 	t.stats.Steps++
+	t.exec.Record(b.BatchSize*b.Seq, b.Seq)
 	t.launchValidation()
 	return t.lastLoss, nil
 }

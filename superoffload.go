@@ -40,6 +40,7 @@ import (
 	"superoffload/internal/model"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
+	"superoffload/internal/place"
 	"superoffload/internal/sched"
 	"superoffload/internal/stv"
 	"superoffload/internal/tensor"
@@ -112,6 +113,10 @@ type OptimizerConfig struct {
 	MinLRFrac   float64
 	// Offload selects the optimizer-state residency tier.
 	Offload OffloadConfig
+	// Placement selects the heterogeneous bucket placement (the paper's
+	// §4.3 adaptive GPU/CPU weight-update split) and enables the
+	// virtual-clock superchip executor.
+	Placement PlacementConfig
 }
 
 // OffloadConfig selects where the fp32 master weights and Adam moments
@@ -130,6 +135,12 @@ type OffloadConfig struct {
 	ResidentBuckets int
 }
 
+// nvmeConfig translates the offload knobs into the windowed store's
+// configuration (shared by the homogeneous and placement-routed paths).
+func (o OffloadConfig) nvmeConfig() stv.NVMeStoreConfig {
+	return stv.NVMeStoreConfig{Dir: o.Dir, ResidentBuckets: o.ResidentBuckets}
+}
+
 // storeFactory translates the offload selection into a per-rank bucket
 // store constructor (nil means DRAM-resident, the engines' default).
 func (o OffloadConfig) storeFactory() (func(rank int) (stv.BucketStore, error), error) {
@@ -138,18 +149,122 @@ func (o OffloadConfig) storeFactory() (func(rank int) (stv.BucketStore, error), 
 		return nil, nil
 	case "nvme":
 		return func(rank int) (stv.BucketStore, error) {
-			return stv.NewNVMeStore(stv.NVMeStoreConfig{
-				Dir:             o.Dir,
-				ResidentBuckets: o.ResidentBuckets,
-			})
+			return stv.NewNVMeStore(o.nvmeConfig())
 		}, nil
 	}
 	return nil, fmt.Errorf("superoffload: unknown offload backend %q (want dram or nvme)", o.Backend)
 }
 
+// placementPlan translates the placement selection into a per-bucket tier
+// plan over the model's bucket partition (nil when Mode is empty). With
+// the nvme offload backend, the offloaded body additionally spills
+// through the windowed flash store (CPUAdam tiers become NVMeWindow).
+func (cfg OptimizerConfig) placementPlan(m *Model) (*place.Plan, error) {
+	pc := cfg.Placement
+	if pc.Mode == "" {
+		return nil, nil
+	}
+	be := cfg.BucketElems
+	if be <= 0 {
+		be = stv.DefaultBucketElems
+	}
+	groups := stv.PartitionGroups(m.gpt.Params(), be)
+	elems := make([]int, len(groups))
+	for i, g := range groups {
+		elems[i] = g.TotalSize()
+	}
+	nb := len(elems)
+	var plan place.Plan
+	switch pc.Mode {
+	case "cpu":
+		plan = place.Uniform(nb, place.CPUAdam)
+	case "gpu":
+		plan = place.Uniform(nb, place.GPUResident)
+	case "auto":
+		if pc.GPUBuckets > 0 {
+			plan = place.GPUTail(nb, pc.GPUBuckets)
+		} else {
+			batch, seq := pc.Batch, pc.Seq
+			if batch < 1 {
+				batch = 1
+			}
+			if seq < 1 {
+				seq = m.gpt.MaxSeq
+			}
+			plan = place.Auto(hw.DefaultSuperchip(), elems, place.Shape{
+				Tokens: batch * seq, Hidden: m.gpt.Cfg.Hidden, Seq: seq,
+				Params: int64(m.NumParams()),
+			}, 0)
+		}
+	default:
+		return nil, fmt.Errorf("superoffload: unknown placement mode %q (want auto, cpu, or gpu)", pc.Mode)
+	}
+	if cfg.Offload.Backend == "nvme" {
+		plan = plan.WithNVMeBody()
+	}
+	return &plan, nil
+}
+
+// trainSetup resolves the optimizer config's placement plan and bucket
+// store factory for the model — one place shared by every InitX, so the
+// engines can never diverge on placement/offload wiring. Without a
+// placement the legacy offload path applies unchanged; with one, the
+// GPU/CPU tiers stay resident and only an nvme backend's body buckets
+// spill (through a per-rank PlacedStore).
+func (cfg OptimizerConfig) trainSetup(m *Model) (*place.Plan, func(rank int) (stv.BucketStore, error), error) {
+	plan, err := cfg.placementPlan(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan == nil {
+		factory, err := cfg.Offload.storeFactory()
+		return nil, factory, err
+	}
+	// Reuse storeFactory's backend dispatch (one switch, one error
+	// message); a non-nil factory means the nvme backend, which the
+	// placement re-routes through a tier-aware PlacedStore so only the
+	// plan's NVMe-tier body spills.
+	factory, err := cfg.Offload.storeFactory()
+	if err != nil || factory == nil {
+		return plan, nil, err
+	}
+	p := *plan
+	return plan, func(rank int) (stv.BucketStore, error) {
+		return stv.NewPlacedStore(p, cfg.Offload.nvmeConfig())
+	}, nil
+}
+
 // StoreTelemetry is the NVMe store's modeled-time accounting (reads,
 // writes, stalls, overlapped compute); see stv.StoreTelemetry.
 type StoreTelemetry = stv.StoreTelemetry
+
+// PlacementConfig selects the adaptive weight-update placement: which
+// buckets update synchronously on the GPU (the §4.3 GPU-retained tail)
+// versus flowing over NVLink-C2C to the CPU Adam — and, combined with
+// the nvme offload backend, which spill through the windowed flash
+// store. Any placement trains bit-identically to the homogeneous
+// engine; what changes is residency and the modeled step time the
+// virtual-clock superchip executor reports.
+type PlacementConfig struct {
+	// Mode selects the plan: "" (homogeneous, no placement modeling),
+	// "auto" (the paper's GPU-retained tail — pinned by GPUBuckets or
+	// derived by grid search over the virtual-clock model), "cpu"
+	// (every bucket on the CPU Adam path), or "gpu" (every bucket
+	// GPU-resident).
+	Mode string
+	// GPUBuckets pins the GPU-retained tail size in auto mode (0
+	// derives it; values beyond the bucket count clamp).
+	GPUBuckets int
+	// Batch and Seq hint the per-step shape the auto grid search times
+	// against (defaults: 1 row × the model's max sequence length).
+	Batch int
+	Seq   int
+}
+
+// PlacementTelemetry is the virtual-clock superchip executor's modeled
+// accounting (backward, per-tier phase seconds, pipelined vs serialized
+// step time); see stv.PlacementTelemetry.
+type PlacementTelemetry = stv.PlacementTelemetry
 
 // DefaultOptimizer returns the standard GPT training recipe.
 func DefaultOptimizer() OptimizerConfig {
@@ -197,7 +312,7 @@ func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
 	if cfg.Synchronous {
 		mode = stv.STE
 	}
-	factory, err := cfg.Offload.storeFactory()
+	plan, factory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +326,7 @@ func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
 	tr := stv.NewTrainer(m.gpt, stv.Config{
 		Adam: a, Impl: optim.GraceAdam, ClipNorm: cfg.ClipNorm,
 		BucketElems: cfg.BucketElems, Mode: mode, Scaler: scaler,
-		Schedule: schedule, Store: store,
+		Schedule: schedule, Store: store, Placement: plan,
 	})
 	return &Engine{trainer: tr}, nil
 }
@@ -252,10 +367,16 @@ func (e *Engine) NumBuckets() int { return e.trainer.NumBuckets() }
 // StoreTelemetry returns the modeled NVMe-tier accounting; ok is false
 // when optimizer state is DRAM-resident (nothing to model).
 func (e *Engine) StoreTelemetry() (StoreTelemetry, bool) {
-	if s, isNVMe := e.trainer.Store().(*stv.NVMeStore); isNVMe {
-		return s.Telemetry(), true
+	if src, ok := e.trainer.Store().(stv.TelemetrySource); ok {
+		return src.NVMeTelemetry()
 	}
 	return StoreTelemetry{}, false
+}
+
+// PlacementTelemetry returns the virtual-clock superchip executor's
+// modeled accounting; ok is false without a placement plan.
+func (e *Engine) PlacementTelemetry() (PlacementTelemetry, bool) {
+	return e.trainer.PlacementTelemetry()
 }
 
 // Close releases the engine's bucket store (the nvme backend holds a
@@ -294,7 +415,7 @@ func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
 	if m == nil {
 		return nil, fmt.Errorf("superoffload: nil model")
 	}
-	factory, err := cfg.Offload.storeFactory()
+	plan, factory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -309,6 +430,7 @@ func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
 		Scaler:      scaler,
 		Schedule:    schedule,
 		NewStore:    factory,
+		Placement:   plan,
 	})
 	if err != nil {
 		return nil, err
@@ -351,6 +473,12 @@ func (e *DPEngine) Ranks() int { return e.engine.Ranks() }
 // store; ok is false when optimizer state is DRAM-resident.
 func (e *DPEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.StoreTelemetry() }
 
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *DPEngine) PlacementTelemetry() (PlacementTelemetry, bool) {
+	return e.engine.PlacementTelemetry()
+}
+
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
 func (e *DPEngine) Close() error { return e.engine.Close() }
@@ -391,7 +519,7 @@ func InitSP(m *Model, cfg OptimizerConfig, spc SPConfig) (*SPEngine, error) {
 	if m == nil {
 		return nil, fmt.Errorf("superoffload: nil model")
 	}
-	factory, err := cfg.Offload.storeFactory()
+	plan, factory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -406,6 +534,7 @@ func InitSP(m *Model, cfg OptimizerConfig, spc SPConfig) (*SPEngine, error) {
 		Scaler:      scaler,
 		Schedule:    schedule,
 		NewStore:    factory,
+		Placement:   plan,
 	})
 	if err != nil {
 		return nil, err
@@ -450,6 +579,12 @@ func (e *SPEngine) CommStats() SPCommStats { return e.engine.CommStats() }
 // StoreTelemetry sums the modeled NVMe-tier accounting over every rank's
 // store; ok is false when optimizer state is DRAM-resident.
 func (e *SPEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.StoreTelemetry() }
+
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *SPEngine) PlacementTelemetry() (PlacementTelemetry, bool) {
+	return e.engine.PlacementTelemetry()
+}
 
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
@@ -496,7 +631,7 @@ func InitMesh(m *Model, cfg OptimizerConfig, mc MeshConfig) (*MeshEngine, error)
 	if m == nil {
 		return nil, fmt.Errorf("superoffload: nil model")
 	}
-	factory, err := cfg.Offload.storeFactory()
+	plan, factory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -512,6 +647,7 @@ func InitMesh(m *Model, cfg OptimizerConfig, mc MeshConfig) (*MeshEngine, error)
 		Scaler:      scaler,
 		Schedule:    schedule,
 		NewStore:    factory,
+		Placement:   plan,
 	})
 	if err != nil {
 		return nil, err
@@ -562,6 +698,12 @@ func (e *MeshEngine) CommStats() SPCommStats { return e.engine.CommStats() }
 // StoreTelemetry sums the modeled NVMe-tier accounting over every rank's
 // store; ok is false when optimizer state is DRAM-resident.
 func (e *MeshEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.StoreTelemetry() }
+
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *MeshEngine) PlacementTelemetry() (PlacementTelemetry, bool) {
+	return e.engine.PlacementTelemetry()
+}
 
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
@@ -639,6 +781,7 @@ type PlanDescription struct {
 	CastPath   string  // "Cast_gpu↔Move_fp32" or "Cast_cpu↔Move_fp16"
 	BucketMB   int     // transfer bucket size
 	NBuckets   int     // bucket count for the per-rank shard
+	GPUBuckets int     // §4.3 GPU-retained bucket tail (0 = fully offloaded)
 	Efficiency float64 // Eq. 1-3 efficiency of weight streaming
 	MicroBatch int
 	GradAccum  int
@@ -661,10 +804,50 @@ func Describe(req PlanRequest) (PlanDescription, error) {
 		CastPath:   p.CastPath.String(),
 		BucketMB:   int(p.BucketBytes >> 20),
 		NBuckets:   p.NBuckets,
+		GPUBuckets: p.GPUBuckets,
 		Efficiency: p.Efficiency,
 		MicroBatch: p.Exec.MicroBatch,
 		GradAccum:  p.Exec.GradAccum,
 		Checkpoint: p.Exec.Checkpoint,
+	}, nil
+}
+
+// PlacementDescription is the analytic planner's adaptive weight-update
+// placement for a workload, in a form the real engine consumes.
+type PlacementDescription struct {
+	// NBuckets and GPUBuckets are the analytic partition and its
+	// GPU-retained tail (§4.3).
+	NBuckets   int
+	GPUBuckets int
+	// Plan is the per-bucket tier census, e.g. "gpu×12+cpu×142".
+	Plan string
+	// Flags is the supertrain fragment reproducing the placement on the
+	// real engine. -gpu-buckets pins the analytic tail as an absolute
+	// count (clamped to the engine's own partition); when the target
+	// partition is a different size, scale by the GPUBuckets/NBuckets
+	// fraction (place.FromCore's mapping) or omit -gpu-buckets so the
+	// engine derives its own tail with the same §4.3 policy.
+	Flags string
+}
+
+// DescribePlacement maps the analytic planner's placement decision for
+// the workload onto the real engine's configuration surface (the
+// superplan -emit-placement path).
+func DescribePlacement(req PlanRequest) (PlacementDescription, error) {
+	w, err := toWorkload(req)
+	if err != nil {
+		return PlacementDescription{}, err
+	}
+	p, ok := core.New().Describe(w)
+	if !ok {
+		return PlacementDescription{}, fmt.Errorf("superoffload: %s does not fit %d chip(s)", req.Model, w.Chips())
+	}
+	plan := place.FromCore(p, p.NBuckets)
+	return PlacementDescription{
+		NBuckets:   p.NBuckets,
+		GPUBuckets: p.GPUBuckets,
+		Plan:       plan.String(),
+		Flags:      fmt.Sprintf("-placement auto -gpu-buckets %d", p.GPUBuckets),
 	}, nil
 }
 

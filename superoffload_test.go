@@ -2,6 +2,7 @@ package superoffload
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -205,8 +206,8 @@ func TestModelNamesAndExperiments(t *testing.T) {
 		t.Errorf("model zoo too small: %d", len(names))
 	}
 	exps := ExperimentNames()
-	if len(exps) != 20 {
-		t.Errorf("experiment registry has %d entries, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Errorf("experiment registry has %d entries, want 21", len(exps))
 	}
 	out, err := RunExperiment("table1")
 	if err != nil || !strings.Contains(out, "GH200") {
@@ -629,5 +630,152 @@ func TestInitMeshValidation(t *testing.T) {
 	}
 	if _, err := eng.Step(NewCorpus(32, 2).NextBatch(2, 7)); err == nil {
 		t.Error("sequence not divisible by seq ranks accepted")
+	}
+}
+
+// TestPlacementFacade asserts the end-to-end placement contract through
+// the public surface, across all four engines at the acceptance shapes
+// (single rank, R=2, S=2, R×S=2×2): every placement mode — all-GPU,
+// all-CPU, auto — trains bit-identically to the homogeneous engine,
+// reports virtual-clock telemetry, and the auto split composes with the
+// nvme backend into a three-tier plan.
+func TestPlacementFacade(t *testing.T) {
+	const steps = 10
+	type result struct {
+		losses []float64
+		stats  Stats
+		tel    PlacementTelemetry
+		hasTel bool
+	}
+	train := func(t *testing.T, engineKind string, pc PlacementConfig, backend string) result {
+		t.Helper()
+		m, err := NewModel(ModelConfig{Layers: 2, Hidden: 32, Heads: 4, Vocab: 64, MaxSeq: 16}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultOptimizer()
+		cfg.BucketElems = 4000
+		cfg.Placement = pc
+		if backend != "" {
+			cfg.Offload = OffloadConfig{Backend: backend, Dir: t.TempDir()}
+		}
+		var eng interface {
+			Step(Batch) (float64, error)
+			Flush() error
+			Stats() Stats
+			PlacementTelemetry() (PlacementTelemetry, bool)
+			Close() error
+		}
+		switch engineKind {
+		case "single":
+			eng, err = Init(m, cfg)
+		case "dp":
+			eng, err = InitDP(m, cfg, DPConfig{Ranks: 2})
+		case "sp":
+			eng, err = InitSP(m, cfg, SPConfig{SeqRanks: 2})
+		case "mesh":
+			eng, err = InitMesh(m, cfg, MeshConfig{Ranks: 2, SeqRanks: 2})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if cerr := eng.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+		}()
+		corpus := NewCorpus(64, 2)
+		var r result
+		for i := 0; i < steps; i++ {
+			loss, err := eng.Step(corpus.NextBatch(4, 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.losses = append(r.losses, loss)
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r.stats = eng.Stats()
+		r.tel, r.hasTel = eng.PlacementTelemetry()
+		return r
+	}
+
+	for _, kind := range []string{"single", "dp", "sp", "mesh"} {
+		t.Run(kind, func(t *testing.T) {
+			ref := train(t, kind, PlacementConfig{}, "")
+			if ref.hasTel {
+				t.Fatal("homogeneous engine reported placement telemetry")
+			}
+			for _, mode := range []string{"cpu", "gpu", "auto"} {
+				got := train(t, kind, PlacementConfig{Mode: mode, Batch: 4, Seq: 16}, "")
+				if !got.hasTel || got.tel.Steps != steps {
+					t.Fatalf("%s: telemetry missing or short: %+v", mode, got.tel)
+				}
+				if got.tel.PipelinedSeconds <= 0 || got.tel.PipelinedSeconds > got.tel.SerializedSeconds {
+					t.Fatalf("%s: bad modeled times %+v", mode, got.tel)
+				}
+				for i := range ref.losses {
+					if got.losses[i] != ref.losses[i] {
+						t.Fatalf("%s: loss diverged at step %d: %v vs %v", mode, i, got.losses[i], ref.losses[i])
+					}
+				}
+				if got.stats != ref.stats {
+					t.Fatalf("%s: stats diverged: %+v vs %+v", mode, got.stats, ref.stats)
+				}
+			}
+		})
+	}
+
+	// auto + nvme composes into a three-tier plan: the offloaded body
+	// spills through the placed store, still bit-identical.
+	ref := train(t, "single", PlacementConfig{}, "")
+	mixed := train(t, "single", PlacementConfig{Mode: "auto", GPUBuckets: 2, Batch: 4, Seq: 16}, "nvme")
+	for i := range ref.losses {
+		if mixed.losses[i] != ref.losses[i] {
+			t.Fatalf("nvme-bodied placement diverged at step %d", i)
+		}
+	}
+	if mixed.tel.Tiers[2].Buckets == 0 {
+		t.Fatalf("nvme backend left no buckets on the flash tier: %+v", mixed.tel.Tiers)
+	}
+	if mixed.tel.Tiers[0].Buckets != 2 {
+		t.Fatalf("pinned tail not honored: %+v", mixed.tel.Tiers)
+	}
+
+	// Unknown placement modes are rejected by every constructor.
+	m, err := NewModel(ModelConfig{Layers: 2, Hidden: 32, Heads: 4, Vocab: 64, MaxSeq: 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultOptimizer()
+	bad.Placement = PlacementConfig{Mode: "hbm"}
+	if _, err := Init(m, bad); err == nil {
+		t.Fatal("unknown placement mode accepted by Init")
+	}
+	if _, err := InitDP(m, bad, DPConfig{Ranks: 2}); err == nil {
+		t.Fatal("unknown placement mode accepted by InitDP")
+	}
+}
+
+// TestDescribePlacementFacade pins the superplan -emit-placement path:
+// the 5B plan retains a GPU tail and renders usable supertrain flags.
+func TestDescribePlacementFacade(t *testing.T) {
+	p, err := DescribePlacement(PlanRequest{Model: "5B", Chips: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GPUBuckets < 1 || p.GPUBuckets > p.NBuckets {
+		t.Fatalf("placement %+v out of bounds", p)
+	}
+	want := fmt.Sprintf("-placement auto -gpu-buckets %d", p.GPUBuckets)
+	if p.Flags != want {
+		t.Fatalf("flags = %q, want %q", p.Flags, want)
+	}
+	if p.Plan == "" {
+		t.Fatal("empty plan census")
+	}
+	if _, err := DescribePlacement(PlanRequest{Model: "no-such"}); err == nil {
+		t.Fatal("unknown model accepted")
 	}
 }
