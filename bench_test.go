@@ -144,6 +144,7 @@ func BenchmarkMatMul256(b *testing.B) {
 	x := tensor.Randn(rng, 1, 256, 256)
 	y := tensor.Randn(rng, 1, 256, 256)
 	out := tensor.New(256, 256)
+	tensor.MatMulInto(out, x, y) // warm-up: fault in pages, start the pool
 	b.SetBytes(3 * 256 * 256 * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -160,6 +161,11 @@ func benchTrainer(b *testing.B, mode stv.Mode) {
 	tr := stv.NewTrainer(m, stv.Config{Adam: a, Impl: optim.GraceAdam, ClipNorm: 10, BucketElems: 100000, Mode: mode})
 	corpus := data.NewCorpus(128, 2)
 	batch := corpus.NextBatch(2, 16)
+	// One warm-up step so 1x CI runs measure a steady-state step (arena
+	// grown, snapshots and fp16 buffers in place), not first-step setup.
+	if _, err := tr.Step(batch); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Step(batch); err != nil {
@@ -193,6 +199,9 @@ func BenchmarkTrainStepPlacement(b *testing.B) {
 	defer tr.Close()
 	corpus := data.NewCorpus(128, 2)
 	batch := corpus.NextBatch(2, 16)
+	if _, err := tr.Step(batch); err != nil { // warm-up (see benchTrainer)
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Step(batch); err != nil {
@@ -203,7 +212,7 @@ func BenchmarkTrainStepPlacement(b *testing.B) {
 	if _, err := tr.Flush(); err != nil {
 		b.Fatal(err)
 	}
-	if tel, ok := tr.PlacementTelemetry(); !ok || tel.Steps != b.N {
+	if tel, ok := tr.PlacementTelemetry(); !ok || tel.Steps != b.N+1 {
 		b.Fatal("placement telemetry missing or short")
 	}
 }
@@ -226,6 +235,9 @@ func BenchmarkTrainStepSTVNVMe(b *testing.B) {
 	defer tr.Close()
 	corpus := data.NewCorpus(128, 2)
 	batch := corpus.NextBatch(2, 16)
+	if _, err := tr.Step(batch); err != nil { // warm-up (see benchTrainer)
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Step(batch); err != nil {
@@ -252,6 +264,9 @@ func BenchmarkTrainStepDP(b *testing.B) {
 	}
 	corpus := data.NewCorpus(128, 2)
 	batch := corpus.NextBatch(2, 16)
+	if _, err := eng.Step(batch); err != nil { // warm-up (see benchTrainer)
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Step(batch); err != nil {
@@ -282,6 +297,9 @@ func BenchmarkTrainStepSP(b *testing.B) {
 	}
 	corpus := data.NewCorpus(128, 2)
 	batch := corpus.NextBatch(2, 16)
+	if _, err := eng.Step(batch); err != nil { // warm-up (see benchTrainer)
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Step(batch); err != nil {
@@ -313,6 +331,9 @@ func BenchmarkTrainStepMesh(b *testing.B) {
 	}
 	corpus := data.NewCorpus(128, 2)
 	batch := corpus.NextBatch(2, 16)
+	if _, err := eng.Step(batch); err != nil { // warm-up (see benchTrainer)
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Step(batch); err != nil {

@@ -1,11 +1,13 @@
 // Command benchdiff turns `go test -bench` output into a JSON artifact
 // and gates CI on benchmark regressions: every benchmark named in a
-// committed baseline must be present in the current run and may not be
-// slower than threshold× its baseline ns/op.
+// committed baseline must be present in the current run, may not be
+// slower than threshold× its baseline ns/op, and (when the baseline
+// carries allocation stats) may not allocate past its baseline B/op and
+// allocs/op plus a small absolute slack.
 //
 // Usage (the CI bench job):
 //
-//	go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.txt
+//	go test -bench=. -benchtime=1x -benchmem -run='^$' ./... | tee bench.txt
 //	go run ./cmd/benchdiff -bench bench.txt -baseline BENCH_baseline.json -out BENCH_ci.json
 //
 // Regenerate the baseline after an intentional perf change:
@@ -25,23 +27,38 @@ import (
 	"strconv"
 )
 
-// benchLine matches e.g. "BenchmarkTrainStepSTV-8  1  9357906 ns/op".
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches e.g.
+// "BenchmarkTrainStepSTV-8  1  9357906 ns/op  529435 B/op  226 allocs/op"
+// (the B/op and allocs/op columns appear under -benchmem; custom-metric
+// columns like MB/s may sit between ns/op and B/op).
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+
+// Stats is one benchmark's gated measurements.
+type Stats struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+
+	hasMem bool // the run carried -benchmem columns for this benchmark
+}
 
 // Baseline is the committed regression gate: benchmark name (sans the
-// "Benchmark" prefix and -procs suffix) → ns/op. Only the benchmarks
+// "Benchmark" prefix and -procs suffix) → stats. Only the benchmarks
 // listed here are gated; the artifact reports everything parsed.
 type Baseline struct {
 	// Threshold is the allowed slowdown ratio (e.g. 1.25 = +25%). The
 	// baseline carries it so loosening the gate is a reviewed change.
-	Threshold  float64            `json:"threshold"`
-	Benchmarks map[string]float64 `json:"benchmarks"`
+	Threshold float64 `json:"threshold"`
+	// MemStats records whether the baseline was written from a -benchmem
+	// run; B/op and allocs/op are gated only when it was.
+	MemStats   bool             `json:"mem_stats"`
+	Benchmarks map[string]Stats `json:"benchmarks"`
 }
 
-// parseBench extracts ns/op per benchmark, keeping the minimum across
-// duplicates (sub-benchmarks keep their full slash-path name).
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+// parseBench extracts per-benchmark stats, keeping the minimum across
+// duplicates per column (sub-benchmarks keep their full slash-path name).
+func parseBench(r io.Reader) (map[string]Stats, error) {
+	out := map[string]Stats{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -52,9 +69,23 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		st := Stats{NsOp: ns}
+		if m[3] != "" {
+			st.hasMem = true
+			if st.BOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+			}
+			if st.AllocsOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
 		}
+		if prev, ok := out[m[1]]; ok {
+			st.NsOp = min(st.NsOp, prev.NsOp)
+			st.BOp = min(st.BOp, prev.BOp)
+			st.AllocsOp = min(st.AllocsOp, prev.AllocsOp)
+			st.hasMem = st.hasMem && prev.hasMem
+		}
+		out[m[1]] = st
 	}
 	return out, sc.Err()
 }
@@ -65,6 +96,8 @@ func main() {
 	outPath := flag.String("out", "", "write the parsed results as a JSON artifact")
 	writeBaseline := flag.String("write-baseline", "", "write a fresh baseline JSON from the current run and exit")
 	threshold := flag.Float64("threshold", 0, "override the baseline's slowdown gate (0: use the baseline's)")
+	allocSlack := flag.Float64("alloc-slack", 16, "absolute allocs/op headroom on top of the ratio gate (covers worker-pool submissions on multicore runners)")
+	byteSlack := flag.Float64("byte-slack", 8192, "absolute B/op headroom on top of the ratio gate")
 	normalize := flag.String("normalize", "", "divide all ns/op by this benchmark's in both runs before gating (machine-speed-invariant comparison; the reference must be in the baseline)")
 	flag.Parse()
 
@@ -97,10 +130,14 @@ func main() {
 		if th == 0 {
 			th = 1.25
 		}
-		if err := writeJSON(*writeBaseline, Baseline{Threshold: th, Benchmarks: current}); err != nil {
+		mem := true
+		for _, st := range current {
+			mem = mem && st.hasMem
+		}
+		if err := writeJSON(*writeBaseline, Baseline{Threshold: th, MemStats: mem, Benchmarks: current}); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchdiff: wrote baseline with %d benchmarks to %s\n", len(current), *writeBaseline)
+		fmt.Printf("benchdiff: wrote baseline with %d benchmarks to %s (mem stats: %v)\n", len(current), *writeBaseline, mem)
 		return
 	}
 	if *baselinePath == "" {
@@ -125,16 +162,19 @@ func main() {
 	// Normalization turns absolute ns/op into ratios against a reference
 	// benchmark measured in the same run, so a committed baseline from
 	// one machine gates runs on another: uniform machine-speed
-	// differences cancel, relative regressions do not.
+	// differences cancel, relative regressions do not. Allocation stats
+	// are machine-independent, so they gate unnormalized.
 	curScale, baseScale := 1.0, 1.0
 	if *normalize != "" {
-		var ok bool
-		if curScale, ok = current[*normalize]; !ok || curScale <= 0 {
+		cur, ok := current[*normalize]
+		if !ok || cur.NsOp <= 0 {
 			fatal(fmt.Errorf("normalize reference %q missing from the current run", *normalize))
 		}
-		if baseScale, ok = base.Benchmarks[*normalize]; !ok || baseScale <= 0 {
+		ref, ok := base.Benchmarks[*normalize]
+		if !ok || ref.NsOp <= 0 {
 			fatal(fmt.Errorf("normalize reference %q missing from the baseline", *normalize))
 		}
+		curScale, baseScale = cur.NsOp, ref.NsOp
 		fmt.Printf("benchdiff: normalizing by %s (current %.0f ns/op, baseline %.0f ns/op)\n",
 			*normalize, curScale, baseScale)
 	}
@@ -156,17 +196,30 @@ func main() {
 			failures++
 			continue
 		}
-		ratio := (got / curScale) / (want / baseScale)
+		ratio := (got.NsOp / curScale) / (want.NsOp / baseScale)
 		status := "ok  "
 		if ratio > th {
 			status = "FAIL"
 			failures++
 		}
 		fmt.Printf("%s %-28s %12.0f ns/op vs baseline %12.0f (%.2fx, gate %.2fx)\n",
-			status, name, got, want, ratio, th)
+			status, name, got.NsOp, want.NsOp, ratio, th)
+		if !base.MemStats || !got.hasMem {
+			continue
+		}
+		if limit := want.AllocsOp*th + *allocSlack; got.AllocsOp > limit {
+			fmt.Printf("FAIL %-28s %12.0f allocs/op vs baseline %12.0f (limit %.0f)\n",
+				name, got.AllocsOp, want.AllocsOp, limit)
+			failures++
+		}
+		if limit := want.BOp*th + *byteSlack; got.BOp > limit {
+			fmt.Printf("FAIL %-28s %12.0f B/op vs baseline %12.0f (limit %.0f)\n",
+				name, got.BOp, want.BOp, limit)
+			failures++
+		}
 	}
 	if failures > 0 {
-		fatal(fmt.Errorf("%d benchmark(s) regressed past %.0f%% of baseline", failures, 100*(th-1)))
+		fatal(fmt.Errorf("%d benchmark gate(s) failed (threshold %.0f%%)", failures, 100*(th-1)))
 	}
 	fmt.Printf("benchdiff: %d gated benchmarks within %.0f%% of baseline\n", len(names), 100*(th-1))
 }

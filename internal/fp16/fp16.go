@@ -4,6 +4,12 @@
 // the batch casting kernels whose placement the Superchip-aware casting
 // policy decides, and the NaN/Inf scans the speculation-then-validation
 // scheme performs during validation (§4.4).
+//
+// The conversion kernels are built for throughput: fp32→fp16 is a
+// branch-light bit-arithmetic round (one well-predicted range test per
+// element in the batch kernel), and fp16→fp32 is a 65536-entry lookup
+// table, so Cast and Uncast stream slices instead of paying a per-scalar
+// call with data-dependent branches.
 package fp16
 
 import "math"
@@ -28,72 +34,73 @@ const (
 	MinNormal = 6.103515625e-05
 )
 
+// fp32 bit-pattern landmarks for the conversion kernels.
+const (
+	f16NormMin  = 0x38800000 // 2^-14, the smallest fp16 normal
+	f16NormSpan = 0x0F000000 // width of the fp16 normal range in fp32 bits
+	f16Overflow = 0x47800000 // 2^16: at or above, magnitudes round to Inf
+	f32Inf      = 0x7F800000
+	subMagic    = 0x3F000000 // 0.5f, the subnormal rounding shifter
+	expRebias   = (127 - 15) << 23
+)
+
+// fromBits converts one fp32 bit pattern to fp16 bits with
+// round-to-nearest-even in every range (normal, subnormal, and the
+// overflow boundary), preserving NaN payloads where they fit.
+func fromBits(b uint32) uint16 {
+	sign := uint16(b>>16) & signMask
+	ax := b & 0x7FFFFFFF
+	switch {
+	case ax >= f16Overflow:
+		if ax > f32Inf {
+			// NaN: keep the mantissa's top ten bits so the payload
+			// survives the narrowing where it can.
+			out := uint16(expMask) | uint16((ax>>13)&fracMask)
+			if out&fracMask == 0 {
+				out |= 0x0200 // payload lived entirely in the dropped bits
+			}
+			return sign | out
+		}
+		// Inf, and finite magnitudes ≥ 2^16 (everything past the 65520
+		// halfway point, which the normal path below rounds up itself).
+		return sign | expMask
+	case ax < f16NormMin:
+		// Subnormal or zero: adding 0.5 makes the FPU round the value at
+		// the fp16 subnormal quantum 2^-24 in its native nearest-even
+		// mode; the sum's low mantissa bits are then exactly the fp16
+		// payload (a round-up at 2^-14 carries into the normal encoding,
+		// which is the correct result there too).
+		f := math.Float32frombits(ax) + 0.5
+		return sign | uint16(math.Float32bits(f)-subMagic)
+	}
+	// Normal: rebias and round in one add — 0xFFF plus the kept
+	// mantissa's low ("odd") bit rounds to nearest-even via the natural
+	// carry, overflowing 65520 ties into the Inf encoding as IEEE
+	// requires.
+	round := 0xFFF + ((b >> 13) & 1)
+	return sign | uint16((ax-expRebias+round)>>13)
+}
+
 // FromFloat32 converts with round-to-nearest-even; values above MaxValue
 // overflow to infinity (the behaviour that makes loss-scale overflow checks
 // necessary in mixed-precision training).
 func FromFloat32(f float32) Num {
-	b := math.Float32bits(f)
-	sign := uint16(b>>16) & signMask
-	exp := int32(b>>23) & 0xFF
-	frac := b & 0x7FFFFF
-
-	switch {
-	case exp == 0xFF: // Inf or NaN
-		if frac != 0 {
-			return Num(sign | uint16(expMask) | 0x0200 | uint16(frac>>13))
-		}
-		return Num(sign | expMask)
-	case exp == 0 && frac == 0:
-		return Num(sign)
-	}
-
-	// Re-bias from 127 to 15.
-	e := exp - 127 + 15
-	if e >= 0x1F {
-		// Overflow to infinity.
-		return Num(sign | expMask)
-	}
-	if e <= 0 {
-		// Subnormal or underflow to zero.
-		if e < -10 {
-			return Num(sign)
-		}
-		// Add implicit leading 1, shift into subnormal position.
-		frac |= 0x800000
-		shift := uint32(14 - e)
-		half := uint32(1) << (shift - 1)
-		rounded := frac + half
-		// Round-to-nearest-even on ties.
-		if frac&(half*2-1) == half && rounded&(1<<shift) == 0 {
-			rounded--
-		}
-		return Num(sign | uint16(rounded>>shift))
-	}
-
-	// Normal: round mantissa from 23 to 10 bits, nearest-even.
-	out := uint32(e)<<10 | frac>>13
-	rem := frac & 0x1FFF
-	if rem > 0x1000 || (rem == 0x1000 && out&1 == 1) {
-		out++ // may carry into exponent; that is correct rounding behaviour
-	}
-	if out >= 0x7C00 {
-		return Num(sign | expMask)
-	}
-	return Num(sign | uint16(out))
+	return Num(fromBits(math.Float32bits(f)))
 }
 
-// Float32 converts back to fp32 exactly (binary16 ⊂ binary32).
-func (n Num) Float32() float32 {
+// widenBits is the bit-level fp16→fp32 expansion (exact: binary16 ⊂
+// binary32). It exists to build uncastTable; the hot paths read the table.
+func widenBits(n uint16) uint32 {
 	sign := uint32(n&signMask) << 16
 	exp := uint32(n&expMask) >> 10
 	frac := uint32(n & fracMask)
 
 	switch {
 	case exp == 0x1F: // Inf/NaN
-		return math.Float32frombits(sign | 0x7F800000 | frac<<13)
+		return sign | f32Inf | frac<<13
 	case exp == 0:
 		if frac == 0 {
-			return math.Float32frombits(sign)
+			return sign
 		}
 		// Subnormal: normalize.
 		e := uint32(127 - 15 + 1)
@@ -102,9 +109,26 @@ func (n Num) Float32() float32 {
 			e--
 		}
 		frac &= fracMask
-		return math.Float32frombits(sign | e<<23 | frac<<13)
+		return sign | e<<23 | frac<<13
 	}
-	return math.Float32frombits(sign | (exp-15+127)<<23 | frac<<13)
+	return sign | (exp-15+127)<<23 | frac<<13
+}
+
+// uncastTable maps every fp16 bit pattern to its fp32 bits: 256 KiB that
+// turns the widening into a single load per element.
+var uncastTable = buildUncastTable()
+
+func buildUncastTable() *[1 << 16]uint32 {
+	t := new([1 << 16]uint32)
+	for i := range t {
+		t[i] = widenBits(uint16(i))
+	}
+	return t
+}
+
+// Float32 converts back to fp32 exactly (binary16 ⊂ binary32).
+func (n Num) Float32() float32 {
+	return math.Float32frombits(uncastTable[n])
 }
 
 // IsNaN reports whether n is any NaN encoding.
@@ -117,42 +141,36 @@ func (n Num) IsInf() bool { return n&expMask == expMask && n&fracMask == 0 }
 func (n Num) IsFinite() bool { return n&expMask != expMask }
 
 // Cast converts a fp32 slice to fp16, writing into dst (allocating when dst
-// is too small) and returning it. This is the Move_fp16 payload producer.
+// is too small) and returning it. This is the Move_fp16 payload producer:
+// the loop inlines the branch-free normal-range round (one range test per
+// element, taken for every finite training value) and falls back to
+// fromBits only for subnormals, overflows, Infs, and NaNs.
 func Cast(dst []Num, src []float32) []Num {
 	if cap(dst) < len(src) {
 		dst = make([]Num, len(src))
 	}
 	dst = dst[:len(src)]
-	// 4-way unrolled main loop: the Go analogue of the SVE batch
-	// conversion; keeps the conversion in registers.
-	i := 0
-	for ; i+4 <= len(src); i += 4 {
-		dst[i] = FromFloat32(src[i])
-		dst[i+1] = FromFloat32(src[i+1])
-		dst[i+2] = FromFloat32(src[i+2])
-		dst[i+3] = FromFloat32(src[i+3])
-	}
-	for ; i < len(src); i++ {
-		dst[i] = FromFloat32(src[i])
+	for i, x := range src {
+		b := math.Float32bits(x)
+		ax := b & 0x7FFFFFFF
+		if ax-f16NormMin < f16NormSpan { // fp16-normal range [2^-14, 2^16)
+			round := 0xFFF + ((b >> 13) & 1)
+			dst[i] = Num(uint16(b>>16)&signMask | uint16((ax-expRebias+round)>>13))
+		} else {
+			dst[i] = Num(fromBits(b))
+		}
 	}
 	return dst
 }
 
-// Uncast converts fp16 back to fp32 into dst.
+// Uncast converts fp16 back to fp32 into dst: one table load per element.
 func Uncast(dst []float32, src []Num) []float32 {
 	if cap(dst) < len(src) {
 		dst = make([]float32, len(src))
 	}
 	dst = dst[:len(src)]
-	i := 0
-	for ; i+4 <= len(src); i += 4 {
-		dst[i] = src[i].Float32()
-		dst[i+1] = src[i+1].Float32()
-		dst[i+2] = src[i+2].Float32()
-		dst[i+3] = src[i+3].Float32()
-	}
-	for ; i < len(src); i++ {
-		dst[i] = src[i].Float32()
+	for i, x := range src {
+		dst[i] = math.Float32frombits(uncastTable[x])
 	}
 	return dst
 }
@@ -173,7 +191,7 @@ func ScanBad(xs []Num) bool {
 func ScanBad32(xs []float32) bool {
 	for _, x := range xs {
 		// NaN or |x| = Inf ⇔ exponent all-ones.
-		if math.Float32bits(x)&0x7F800000 == 0x7F800000 {
+		if math.Float32bits(x)&f32Inf == f32Inf {
 			return true
 		}
 	}

@@ -1,5 +1,7 @@
 package hw
 
+import "math"
+
 // SuperchipSpec bundles the hardware model a virtual-clock superchip
 // executor needs to time one heterogeneous optimizer step: the chip
 // (GPU + CPU joined by the C2C link), the CPU Adam implementation (the
@@ -68,6 +70,22 @@ func (s SuperchipSpec) GradD2HTime(elems int64) float64 {
 // updated fp16 weights.
 func (s SuperchipSpec) WeightH2DTime(elems int64) float64 {
 	return s.Chip.Link.TransferTime(2*elems, HostToDevice, Pinned)
+}
+
+// GradD2HFusedTime is the device-to-host gradient hop with the GPU-side
+// fp16→fp32 cast fused into the copy (§4.5's Cast_gpu+Move_fp32 path run
+// as one streaming kernel): the conversion overlaps the pinned transfer,
+// so the hop costs the slower of the two rates rather than their sum.
+func (s SuperchipSpec) GradD2HFusedTime(elems int64) float64 {
+	return math.Max(s.CastGPUTime(elems), s.GradD2HTime(elems))
+}
+
+// WeightH2DFusedTime is the host-to-device weight return with the CPU-side
+// fp32→fp16 re-cast fused into the copy: the optimizer's output streams
+// through the conversion into the pinned transfer, so the hop costs the
+// slower of the cast and the move.
+func (s SuperchipSpec) WeightH2DFusedTime(elems int64) float64 {
+	return math.Max(CastTime(s.Chip, false, elems), s.WeightH2DTime(elems))
 }
 
 // CPUAdamTime is one bucket's fused CPU optimizer step (dispatch tax

@@ -16,31 +16,40 @@ type attnCache struct {
 	batch, seq, heads int
 }
 
-// attendHead runs causal attention for one head over full-sequence q, k, v
-// (T, hs), returning the head output (T, hs) and the post-softmax score
-// matrix (T, T). This is the head-sharded entry point the sequence-parallel
-// path shares with the local path: after the first all-to-all a rank holds
-// exactly these (T, hs) tensors for its heads, so both paths run the same
-// math on the same shapes.
-func attendHead(q, k, v *tensor.Tensor, scale float32) (o, probs *tensor.Tensor) {
-	scores := tensor.MatMulT(q, k) // (T,T)
-	scores.Scale(scale)
-	applyCausalMask(scores)
-	scores.SoftmaxRows()
-	o = tensor.MatMul(scores, v) // (T,hs)
-	return o, scores
+// attendHeadInto runs causal attention for one head over full-sequence q,
+// k, v (T, hs), writing the head output into o (T, hs) and the
+// post-softmax score matrix into probs (T, T); both are fully overwritten.
+// This is the head-sharded entry point the sequence-parallel path shares
+// with the local path: after the first all-to-all a rank holds exactly
+// these (T, hs) tensors for its heads, so both paths run the same math on
+// the same shapes.
+func attendHeadInto(o, probs, q, k, v *tensor.Tensor, scale float32) {
+	tensor.MatMulTInto(probs, q, k) // (T,T)
+	probs.Scale(scale)
+	applyCausalMask(probs)
+	probs.SoftmaxRows()
+	tensor.MatMulInto(o, probs, v) // (T,hs)
 }
 
-// attendHeadBackward is attendHead's adjoint: given the cached probs and
-// the head's q, k, v and upstream do (all full-sequence), it returns dq,
-// dk, dv. No parameters are touched — head attention is weight-free.
-func attendHeadBackward(p, q, k, v, do *tensor.Tensor, scale float32) (dq, dk, dv *tensor.Tensor) {
+// attendHead is attendHeadInto with freshly allocated outputs.
+func attendHead(q, k, v *tensor.Tensor, scale float32) (o, probs *tensor.Tensor) {
+	seq, hs := q.Dim(0), q.Dim(1)
+	o, probs = tensor.New(seq, hs), tensor.New(seq, seq)
+	attendHeadInto(o, probs, q, k, v, scale)
+	return o, probs
+}
+
+// attendHeadBackwardInto is attendHead's adjoint: given the cached probs p
+// and the head's q, k, v and upstream do (all full-sequence), it writes
+// dq, dk, dv (each (T, hs), fully overwritten). dp and ds are (T, T)
+// caller scratch. No parameters are touched — head attention is
+// weight-free.
+func attendHeadBackwardInto(dq, dk, dv, dp, ds *tensor.Tensor, p, q, k, v, do *tensor.Tensor, scale float32) {
 	seq := p.Dim(0)
-	dv = tensor.TMatMul(p, do)  // (T,hs)
-	dp := tensor.MatMulT(do, v) // (T,T)
+	tensor.TMatMulInto(dv, p, do)  // (T,hs)
+	tensor.MatMulTInto(dp, do, v) // (T,T)
 
 	// Softmax backward row-wise: dS = P ⊙ (dP − rowSum(dP⊙P)).
-	ds := tensor.New(seq, seq)
 	for i := 0; i < seq; i++ {
 		prow := p.Row(i)
 		dprow := dp.Row(i)
@@ -55,58 +64,73 @@ func attendHeadBackward(p, q, k, v, do *tensor.Tensor, scale float32) (dq, dk, d
 	}
 	ds.Scale(scale)
 
-	dq = tensor.MatMul(ds, k)  // (T,hs)
-	dk = tensor.TMatMul(ds, q) // (T,hs)
+	tensor.MatMulInto(dq, ds, k)  // (T,hs)
+	tensor.TMatMulInto(dk, ds, q) // (T,hs)
+}
+
+// attendHeadBackward is attendHeadBackwardInto with fresh outputs.
+func attendHeadBackward(p, q, k, v, do *tensor.Tensor, scale float32) (dq, dk, dv *tensor.Tensor) {
+	seq, hs := q.Dim(0), q.Dim(1)
+	dq, dk, dv = tensor.New(seq, hs), tensor.New(seq, hs), tensor.New(seq, hs)
+	dp, ds := tensor.New(seq, seq), tensor.New(seq, seq)
+	attendHeadBackwardInto(dq, dk, dv, dp, ds, p, q, k, v, do, scale)
 	return dq, dk, dv
 }
 
 // attention runs causal multi-head self-attention over x (B*T, C).
-func (blk *Block) attention(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *attnCache) {
+func (blk *Block) attention(ws *workspace, x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *attnCache) {
 	c := x.Dim(1)
 	heads := blk.heads
 	hs := c / heads
 	scale := float32(1 / math.Sqrt(float64(hs)))
 
-	qkv := linear(x, blk.WQKV, blk.BQKV)
-	out := tensor.New(batch*seq, c)
+	qkv := linear(ws, x, blk.WQKV, blk.BQKV)
+	out := ws.zeros(batch*seq, c) // scatterHead accumulates into it
 	cache := &attnCache{x: x, qkv: qkv, batch: batch, seq: seq, heads: heads,
 		probs: make([]*tensor.Tensor, batch*heads)}
 
-	q := tensor.New(seq, hs)
-	k := tensor.New(seq, hs)
-	v := tensor.New(seq, hs)
+	q := ws.get(seq, hs)
+	k := ws.get(seq, hs)
+	v := ws.get(seq, hs)
+	o := ws.get(seq, hs)
 	for b := 0; b < batch; b++ {
 		for h := 0; h < heads; h++ {
 			gatherHead(q, qkv, b, seq, 3*c, 0*c+h*hs, hs)
 			gatherHead(k, qkv, b, seq, 3*c, 1*c+h*hs, hs)
 			gatherHead(v, qkv, b, seq, 3*c, 2*c+h*hs, hs)
 
-			o, probs := attendHead(q, k, v, scale)
+			probs := ws.get(seq, seq) // retained per head until backward
+			attendHeadInto(o, probs, q, k, v, scale)
 			cache.probs[b*heads+h] = probs
 			scatterHead(out, o, b, seq, c, h*hs, hs)
 		}
 	}
-	proj := linear(out, blk.WO, blk.BO)
+	proj := linear(ws, out, blk.WO, blk.BO)
 	cache.attnOut = out
 	return proj, cache
 }
 
 // attentionBackward consumes dProj and returns dx, accumulating weight
 // gradients along the way.
-func (blk *Block) attentionBackward(dProj *tensor.Tensor, cache *attnCache) *tensor.Tensor {
+func (blk *Block) attentionBackward(ws *workspace, dProj *tensor.Tensor, cache *attnCache) *tensor.Tensor {
 	c := cache.x.Dim(1)
 	heads := cache.heads
 	hs := c / heads
 	seq := cache.seq
 	scale := float32(1 / math.Sqrt(float64(hs)))
 
-	dOut := linearBackward(cache.attnOut, dProj, blk.WO, blk.BO)
-	dqkv := tensor.New(cache.batch*seq, 3*c)
+	dOut := linearBackward(ws, cache.attnOut, dProj, blk.WO, blk.BO)
+	dqkv := ws.zeros(cache.batch*seq, 3*c)
 
-	q := tensor.New(seq, hs)
-	k := tensor.New(seq, hs)
-	v := tensor.New(seq, hs)
-	do := tensor.New(seq, hs)
+	q := ws.get(seq, hs)
+	k := ws.get(seq, hs)
+	v := ws.get(seq, hs)
+	do := ws.get(seq, hs)
+	dq := ws.get(seq, hs)
+	dk := ws.get(seq, hs)
+	dv := ws.get(seq, hs)
+	dp := ws.get(seq, seq)
+	ds := ws.get(seq, seq)
 	for b := 0; b < cache.batch; b++ {
 		for h := 0; h < heads; h++ {
 			gatherHead(q, cache.qkv, b, seq, 3*c, 0*c+h*hs, hs)
@@ -114,14 +138,14 @@ func (blk *Block) attentionBackward(dProj *tensor.Tensor, cache *attnCache) *ten
 			gatherHead(v, cache.qkv, b, seq, 3*c, 2*c+h*hs, hs)
 			gatherHead(do, dOut, b, seq, c, h*hs, hs)
 
-			dq, dk, dv := attendHeadBackward(cache.probs[b*heads+h], q, k, v, do, scale)
+			attendHeadBackwardInto(dq, dk, dv, dp, ds, cache.probs[b*heads+h], q, k, v, do, scale)
 
 			scatterHead(dqkv, dq, b, seq, 3*c, 0*c+h*hs, hs)
 			scatterHead(dqkv, dk, b, seq, 3*c, 1*c+h*hs, hs)
 			scatterHead(dqkv, dv, b, seq, 3*c, 2*c+h*hs, hs)
 		}
 	}
-	return linearBackward(cache.x, dqkv, blk.WQKV, blk.BQKV)
+	return linearBackward(ws, cache.x, dqkv, blk.WQKV, blk.BQKV)
 }
 
 // gatherHead copies column window [col,col+hs) of rows b*seq..(b+1)*seq of

@@ -32,6 +32,11 @@ type GPT struct {
 	Head   *Param // (hidden, vocab)
 
 	params Params
+
+	// ws is the per-model step arena (see workspace.go): reset at every
+	// Forward/ForwardSP, it hands the pass its transient tensors so
+	// steady-state training steps allocate almost nothing.
+	ws workspace
 }
 
 // NewGPT builds a model with N(0, 0.02) initialization (residual
@@ -148,7 +153,9 @@ func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fw
 	c := g.Cfg.Hidden
 	n := batch * seq
 
-	x := tensor.New(n, c)
+	ws := &g.ws
+	ws.reset()
+	x := ws.get(n, c)
 	for i, tok := range tokens {
 		if tok < 0 || tok >= g.Cfg.Vocab {
 			panic(fmt.Sprintf("nn: token %d out of vocab", tok))
@@ -165,32 +172,32 @@ func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fw
 	cache := &fwdCache{tokens: tokens, batch: batch, seq: seq, embedded: x}
 	for _, blk := range g.Blocks {
 		bc := &blockCache{xIn: x}
-		ln1y, ln1c := layerNorm(x, blk.LN1G, blk.LN1B)
+		ln1y, ln1c := layerNorm(ws, x, blk.LN1G, blk.LN1B)
 		bc.ln1 = ln1c
-		attnY, attnC := blk.attention(ln1y, batch, seq)
+		attnY, attnC := blk.attention(ws, ln1y, batch, seq)
 		bc.attn = attnC
-		res1 := tensor.New(n, c)
+		res1 := ws.get(n, c)
 		tensor.AddInto(res1, x, attnY)
 		bc.res1 = res1
 
-		ln2y, ln2c := layerNorm(res1, blk.LN2G, blk.LN2B)
+		ln2y, ln2c := layerNorm(ws, res1, blk.LN2G, blk.LN2B)
 		bc.ln2, bc.ln2y = ln2c, ln2y
-		h1 := linear(ln2y, blk.W1, blk.B1)
+		h1 := linear(ws, ln2y, blk.W1, blk.B1)
 		bc.h1 = h1
-		hg := gelu(h1)
+		hg := gelu(ws, h1)
 		bc.hGelu = hg
-		h2 := linear(hg, blk.W2, blk.B2)
+		h2 := linear(ws, hg, blk.W2, blk.B2)
 
-		x2 := tensor.New(n, c)
+		x2 := ws.get(n, c)
 		tensor.AddInto(x2, res1, h2)
 		x = x2
 		cache.blocks = append(cache.blocks, bc)
 	}
 
-	lnfy, lnfc := layerNorm(x, g.LNFG, g.LNFB)
+	lnfy, lnfc := layerNorm(ws, x, g.LNFG, g.LNFB)
 	cache.lnf, cache.lnfy = lnfc, lnfy
-	logits := linear(lnfy, g.Head, nil)
-	loss, dlogits := crossEntropy(logits, targets)
+	logits := linear(ws, lnfy, g.Head, nil)
+	loss, dlogits := crossEntropy(ws, logits, targets)
 	cache.dlogits = dlogits
 	return loss, cache
 }
@@ -200,13 +207,15 @@ func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fw
 // micro-batches works by not zeroing between calls. lossScale multiplies
 // the loss (mixed-precision loss scaling); gradients come out scaled.
 func (g *GPT) Backward(cache *fwdCache, lossScale float64) {
+	ws := &g.ws
 	dlogits := cache.dlogits
 	if lossScale != 1 {
-		dlogits = cache.dlogits.Clone()
+		dlogits = ws.get(cache.dlogits.Dim(0), cache.dlogits.Dim(1))
+		copy(dlogits.Data, cache.dlogits.Data)
 		dlogits.Scale(float32(lossScale))
 	}
-	dlnfy := linearBackward(cache.lnfy, dlogits, g.Head, nil)
-	dx := layerNormBackward(dlnfy, cache.lnf, g.LNFG, g.LNFB)
+	dlnfy := linearBackward(ws, cache.lnfy, dlogits, g.Head, nil)
+	dx := layerNormBackward(ws, dlnfy, cache.lnf, g.LNFG, g.LNFB)
 
 	for l := len(g.Blocks) - 1; l >= 0; l-- {
 		blk := g.Blocks[l]
@@ -214,18 +223,18 @@ func (g *GPT) Backward(cache *fwdCache, lossScale float64) {
 
 		// MLP branch: x2 = res1 + W2·gelu(W1·ln2(res1)).
 		dh2 := dx
-		dhg := linearBackward(bc.hGelu, dh2, blk.W2, blk.B2)
-		dh1 := geluBackward(dhg, bc.h1)
-		dln2y := linearBackward(bc.ln2y, dh1, blk.W1, blk.B1)
-		dres1FromMLP := layerNormBackward(dln2y, bc.ln2, blk.LN2G, blk.LN2B)
-		dres1 := tensor.New(dx.Dim(0), dx.Dim(1))
+		dhg := linearBackward(ws, bc.hGelu, dh2, blk.W2, blk.B2)
+		dh1 := geluBackward(ws, dhg, bc.h1)
+		dln2y := linearBackward(ws, bc.ln2y, dh1, blk.W1, blk.B1)
+		dres1FromMLP := layerNormBackward(ws, dln2y, bc.ln2, blk.LN2G, blk.LN2B)
+		dres1 := ws.get(dx.Dim(0), dx.Dim(1))
 		tensor.AddInto(dres1, dx, dres1FromMLP)
 
 		// Attention branch: res1 = xIn + attn(ln1(xIn)).
 		dattn := dres1
-		dln1y := blk.attentionBackward(dattn, bc.attn)
-		dxFromAttn := layerNormBackward(dln1y, bc.ln1, blk.LN1G, blk.LN1B)
-		dxNext := tensor.New(dx.Dim(0), dx.Dim(1))
+		dln1y := blk.attentionBackward(ws, dattn, bc.attn)
+		dxFromAttn := layerNormBackward(ws, dln1y, bc.ln1, blk.LN1G, blk.LN1B)
+		dxNext := ws.get(dx.Dim(0), dx.Dim(1))
 		tensor.AddInto(dxNext, dres1, dxFromAttn)
 		dx = dxNext
 	}

@@ -9,8 +9,9 @@ import (
 // ---- Linear ----
 
 // linear computes y = x·W + b for x (n,in), W (in,out), b (out).
-func linear(x *tensor.Tensor, w, b *Param) *tensor.Tensor {
-	y := tensor.MatMul(x, w.W)
+func linear(ws *workspace, x *tensor.Tensor, w, b *Param) *tensor.Tensor {
+	y := ws.get(x.Dim(0), w.W.Dim(1))
+	tensor.MatMulInto(y, x, w.W)
 	if b != nil {
 		n, out := y.Dim(0), y.Dim(1)
 		for i := 0; i < n; i++ {
@@ -25,8 +26,9 @@ func linear(x *tensor.Tensor, w, b *Param) *tensor.Tensor {
 
 // linearBackward accumulates dW = xᵀ·dy, db = colsum(dy) and returns
 // dx = dy·Wᵀ.
-func linearBackward(x, dy *tensor.Tensor, w, b *Param) *tensor.Tensor {
-	dw := tensor.TMatMul(x, dy)
+func linearBackward(ws *workspace, x, dy *tensor.Tensor, w, b *Param) *tensor.Tensor {
+	dw := ws.get(x.Dim(1), dy.Dim(1))
+	tensor.TMatMulInto(dw, x, dy)
 	tensor.AXPY(1, dw.Data, w.G.Data)
 	if b != nil {
 		n, out := dy.Dim(0), dy.Dim(1)
@@ -37,7 +39,9 @@ func linearBackward(x, dy *tensor.Tensor, w, b *Param) *tensor.Tensor {
 			}
 		}
 	}
-	return tensor.MatMulT(dy, w.W)
+	dx := ws.get(dy.Dim(0), w.W.Dim(0))
+	tensor.MatMulTInto(dx, dy, w.W)
+	return dx
 }
 
 // ---- LayerNorm ----
@@ -51,10 +55,10 @@ type layerNormCache struct {
 const lnEps = 1e-5
 
 // layerNorm normalizes each row of x and applies gain g and bias b.
-func layerNorm(x *tensor.Tensor, g, b *Param) (*tensor.Tensor, *layerNormCache) {
+func layerNorm(ws *workspace, x *tensor.Tensor, g, b *Param) (*tensor.Tensor, *layerNormCache) {
 	n, c := x.Dim(0), x.Dim(1)
-	y := tensor.New(n, c)
-	cache := &layerNormCache{x: x, invStd: make([]float32, n), mean: make([]float32, n)}
+	y := ws.get(n, c)
+	cache := &layerNormCache{x: x, invStd: ws.floats(n), mean: ws.floats(n)}
 	for i := 0; i < n; i++ {
 		row := x.Data[i*c : (i+1)*c]
 		var mean float64
@@ -81,9 +85,9 @@ func layerNorm(x *tensor.Tensor, g, b *Param) (*tensor.Tensor, *layerNormCache) 
 }
 
 // layerNormBackward accumulates gain/bias grads and returns dx.
-func layerNormBackward(dy *tensor.Tensor, cache *layerNormCache, g, b *Param) *tensor.Tensor {
+func layerNormBackward(ws *workspace, dy *tensor.Tensor, cache *layerNormCache, g, b *Param) *tensor.Tensor {
 	accumLayerNormRows(g.G.Data, b.G.Data, cache, dy, 0, dy.Dim(0))
-	return layerNormBackwardDX(dy, cache, g)
+	return layerNormBackwardDX(ws, dy, cache, g)
 }
 
 // accumLayerNormRows folds rows [lo,hi)'s gain/bias gradient contributions
@@ -110,9 +114,10 @@ func accumLayerNormRows(dstG, dstB []float32, cache *layerNormCache, dy *tensor.
 // the propagation half of layerNormBackward, used directly by the
 // sequence-parallel backward (whose weight grads flow through the ring
 // replay instead).
-func layerNormBackwardDX(dy *tensor.Tensor, cache *layerNormCache, g *Param) *tensor.Tensor {
+func layerNormBackwardDX(ws *workspace, dy *tensor.Tensor, cache *layerNormCache, g *Param) *tensor.Tensor {
 	n, c := dy.Dim(0), dy.Dim(1)
-	dx := tensor.New(n, c)
+	dx := ws.get(n, c)
+	dxhat := ws.floats(c)
 	for i := 0; i < n; i++ {
 		xrow := cache.x.Data[i*c : (i+1)*c]
 		dyRow := dy.Data[i*c : (i+1)*c]
@@ -120,7 +125,6 @@ func layerNormBackwardDX(dy *tensor.Tensor, cache *layerNormCache, g *Param) *te
 		mean := cache.mean[i]
 		// Accumulate the two row-reductions the backward needs.
 		var sumDxhat, sumDxhatXhat float64
-		dxhat := make([]float32, c)
 		for j := 0; j < c; j++ {
 			xhat := (xrow[j] - mean) * invStd
 			d := dyRow[j] * g.W.Data[j]
@@ -155,8 +159,8 @@ func geluGradScalar(x float64) float64 {
 
 // gelu applies GELU elementwise, returning output (input retained by the
 // caller for backward).
-func gelu(x *tensor.Tensor) *tensor.Tensor {
-	y := tensor.New(x.Shape()...)
+func gelu(ws *workspace, x *tensor.Tensor) *tensor.Tensor {
+	y := ws.get(x.Dim(0), x.Dim(1))
 	for i, v := range x.Data {
 		y.Data[i] = float32(geluScalar(float64(v)))
 	}
@@ -164,8 +168,8 @@ func gelu(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // geluBackward returns dx = dy ⊙ gelu'(x).
-func geluBackward(dy, x *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(x.Shape()...)
+func geluBackward(ws *workspace, dy, x *tensor.Tensor) *tensor.Tensor {
+	dx := ws.get(x.Dim(0), x.Dim(1))
 	for i := range x.Data {
 		dx.Data[i] = dy.Data[i] * float32(geluGradScalar(float64(x.Data[i])))
 	}
@@ -176,9 +180,9 @@ func geluBackward(dy, x *tensor.Tensor) *tensor.Tensor {
 
 // crossEntropy computes mean token loss over logits (n, vocab) against
 // integer targets, and the gradient dlogits = (softmax - onehot)/n.
-func crossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+func crossEntropy(ws *workspace, logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
 	n := logits.Dim(0)
-	losses, dlogits := crossEntropyRows(logits, targets, n)
+	losses, dlogits := crossEntropyRows(ws, logits, targets, n)
 	var loss float64
 	for _, l := range losses {
 		loss += l
@@ -192,12 +196,14 @@ func crossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor
 // only its shard's rows but normalizes by the global count, so summing the
 // per-row losses over all ranks in global row order and dividing by
 // globalN reproduces crossEntropy's mean loss bit-for-bit.
-func crossEntropyRows(logits *tensor.Tensor, targets []int, globalN int) ([]float64, *tensor.Tensor) {
+func crossEntropyRows(ws *workspace, logits *tensor.Tensor, targets []int, globalN int) ([]float64, *tensor.Tensor) {
 	n, v := logits.Dim(0), logits.Dim(1)
 	if len(targets) != n {
 		panic("nn: target length mismatch")
 	}
-	dlogits := tensor.New(n, v)
+	dlogits := ws.get(n, v)
+	// Losses are returned to the engine (SP ranks fold them across the
+	// step boundary), so they must not come from the workspace.
 	losses := make([]float64, n)
 	invN := float32(1.0 / float64(globalN))
 	for i := 0; i < n; i++ {

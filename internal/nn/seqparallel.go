@@ -107,6 +107,12 @@ type SPCache struct {
 	localSeq int
 	posOff   int
 
+	// ws is this iteration's scratch arena. It lives on the cache, not the
+	// model, because SP ranks may share one GPT's weights across
+	// goroutines (the model stays read-only in ForwardSP/BackwardSP); a
+	// model-level arena would race.
+	ws workspace
+
 	blocks []*spBlockCache
 	lnf    *layerNormCache
 	lnfy   *tensor.Tensor
@@ -144,7 +150,9 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 	n := batch * localSeq
 	posOff := sp.Rank * localSeq
 
-	x := tensor.New(n, c)
+	cache := &SPCache{g: g, tokens: tokens, batch: batch, localSeq: localSeq, posOff: posOff}
+	ws := &cache.ws
+	x := ws.get(n, c)
 	for i, tok := range tokens {
 		if tok < 0 || tok >= g.Cfg.Vocab {
 			panic(fmt.Sprintf("nn: token %d out of vocab", tok))
@@ -158,21 +166,24 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 		}
 	}
 
-	cache := &SPCache{g: g, tokens: tokens, batch: batch, localSeq: localSeq, posOff: posOff}
 	for _, blk := range g.Blocks {
 		bc := &spBlockCache{}
-		ln1y, ln1c := layerNorm(x, blk.LN1G, blk.LN1B)
+		ln1y, ln1c := layerNorm(ws, x, blk.LN1G, blk.LN1B)
 		bc.ln1, bc.ln1y = ln1c, ln1y
-		qkv := linear(ln1y, blk.WQKV, blk.BQKV)
+		qkv := linear(ws, ln1y, blk.WQKV, blk.BQKV)
 
 		// All-to-all #1: sequence-sharded fused projections become
 		// head-sharded full-sequence Q, K, V for this rank's heads.
+		// (The collective's buffers stay off the workspace: payloads
+		// cross rank boundaries.)
 		comps := spSeqToHeads(sp, qkv, 3, batch, localSeq, heads, c)
 		bc.q, bc.k, bc.v = comps[0], comps[1], comps[2]
 		bc.probs = make([]*tensor.Tensor, batch*hl)
 		o := make([]*tensor.Tensor, batch*hl)
 		for bh := range o {
-			oh, probs := attendHead(bc.q[bh], bc.k[bh], bc.v[bh], scale)
+			oh := ws.get(localSeq*sp.Ranks, hs)
+			probs := ws.get(localSeq*sp.Ranks, localSeq*sp.Ranks)
+			attendHeadInto(oh, probs, bc.q[bh], bc.k[bh], bc.v[bh], scale)
 			o[bh] = oh
 			bc.probs[bh] = probs
 		}
@@ -180,29 +191,29 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 		out := spHeadsToSeq(sp, [][]*tensor.Tensor{o}, batch, localSeq, heads, c)
 		bc.attnOut = out
 
-		proj := linear(out, blk.WO, blk.BO)
-		res1 := tensor.New(n, c)
+		proj := linear(ws, out, blk.WO, blk.BO)
+		res1 := ws.get(n, c)
 		tensor.AddInto(res1, x, proj)
 		bc.res1 = res1
 
-		ln2y, ln2c := layerNorm(res1, blk.LN2G, blk.LN2B)
+		ln2y, ln2c := layerNorm(ws, res1, blk.LN2G, blk.LN2B)
 		bc.ln2, bc.ln2y = ln2c, ln2y
-		h1 := linear(ln2y, blk.W1, blk.B1)
+		h1 := linear(ws, ln2y, blk.W1, blk.B1)
 		bc.h1 = h1
-		hg := gelu(h1)
+		hg := gelu(ws, h1)
 		bc.hGelu = hg
-		h2 := linear(hg, blk.W2, blk.B2)
+		h2 := linear(ws, hg, blk.W2, blk.B2)
 
-		x2 := tensor.New(n, c)
+		x2 := ws.get(n, c)
 		tensor.AddInto(x2, res1, h2)
 		x = x2
 		cache.blocks = append(cache.blocks, bc)
 	}
 
-	lnfy, lnfc := layerNorm(x, g.LNFG, g.LNFB)
+	lnfy, lnfc := layerNorm(ws, x, g.LNFG, g.LNFB)
 	cache.lnf, cache.lnfy = lnfc, lnfy
-	logits := linear(lnfy, g.Head, nil)
-	losses, dlogits := crossEntropyRows(logits, targets, batch*globalSeq)
+	logits := linear(ws, lnfy, g.Head, nil)
+	losses, dlogits := crossEntropyRows(ws, logits, targets, batch*globalSeq)
 	cache.dlogit = dlogits
 	return losses, cache
 }
@@ -213,15 +224,18 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 // pair is retained on the cache, and the engine replays the weight-grad
 // accumulation deterministically via AccumBatchRow.
 func (g *GPT) BackwardSP(cache *SPCache, lossScale float64, sp *SP) {
+	ws := &cache.ws
 	dlogits := cache.dlogit
 	if lossScale != 1 {
-		dlogits = cache.dlogit.Clone()
+		dlogits = ws.get(cache.dlogit.Dim(0), cache.dlogit.Dim(1))
+		copy(dlogits.Data, cache.dlogit.Data)
 		dlogits.Scale(float32(lossScale))
 	}
 	cache.dlogitScaled = dlogits
-	dlnfy := tensor.MatMulT(dlogits, g.Head.W)
+	dlnfy := ws.get(dlogits.Dim(0), g.Head.W.Dim(0))
+	tensor.MatMulTInto(dlnfy, dlogits, g.Head.W)
 	cache.dlnfy = dlnfy
-	dx := layerNormBackwardDX(dlnfy, cache.lnf, g.LNFG)
+	dx := layerNormBackwardDX(ws, dlnfy, cache.lnf, g.LNFG)
 
 	c := g.Cfg.Hidden
 	heads := g.Cfg.Heads
@@ -235,32 +249,43 @@ func (g *GPT) BackwardSP(cache *SPCache, lossScale float64, sp *SP) {
 
 		// MLP branch: x2 = res1 + W2·gelu(W1·ln2(res1)).
 		bc.dh2 = dx
-		dhg := tensor.MatMulT(dx, blk.W2.W)
-		dh1 := geluBackward(dhg, bc.h1)
+		dhg := ws.get(dx.Dim(0), blk.W2.W.Dim(0))
+		tensor.MatMulTInto(dhg, dx, blk.W2.W)
+		dh1 := geluBackward(ws, dhg, bc.h1)
 		bc.dh1 = dh1
-		dln2y := tensor.MatMulT(dh1, blk.W1.W)
+		dln2y := ws.get(dh1.Dim(0), blk.W1.W.Dim(0))
+		tensor.MatMulTInto(dln2y, dh1, blk.W1.W)
 		bc.dln2y = dln2y
-		dres1FromMLP := layerNormBackwardDX(dln2y, bc.ln2, blk.LN2G)
-		dres1 := tensor.New(dx.Dim(0), dx.Dim(1))
+		dres1FromMLP := layerNormBackwardDX(ws, dln2y, bc.ln2, blk.LN2G)
+		dres1 := ws.get(dx.Dim(0), dx.Dim(1))
 		tensor.AddInto(dres1, dx, dres1FromMLP)
 		bc.dres1 = dres1
 
 		// Attention branch, with the two all-to-alls reversed.
-		dOut := tensor.MatMulT(dres1, blk.WO.W)
+		dOut := ws.get(dres1.Dim(0), blk.WO.W.Dim(0))
+		tensor.MatMulTInto(dOut, dres1, blk.WO.W)
 		doHeads := spSeqToHeads(sp, dOut, 1, cache.batch, cache.localSeq, heads, c)[0]
 		dq := make([]*tensor.Tensor, cache.batch*hl)
 		dk := make([]*tensor.Tensor, cache.batch*hl)
 		dv := make([]*tensor.Tensor, cache.batch*hl)
+		globalSeq := cache.localSeq * sp.Ranks
+		dp := ws.get(globalSeq, globalSeq)
+		dsS := ws.get(globalSeq, globalSeq)
 		for bh := range dq {
-			dq[bh], dk[bh], dv[bh] = attendHeadBackward(bc.probs[bh], bc.q[bh], bc.k[bh], bc.v[bh], doHeads[bh], scale)
+			dq[bh] = ws.get(globalSeq, hs)
+			dk[bh] = ws.get(globalSeq, hs)
+			dv[bh] = ws.get(globalSeq, hs)
+			attendHeadBackwardInto(dq[bh], dk[bh], dv[bh], dp, dsS,
+				bc.probs[bh], bc.q[bh], bc.k[bh], bc.v[bh], doHeads[bh], scale)
 		}
 		dqkv := spHeadsToSeq(sp, [][]*tensor.Tensor{dq, dk, dv}, cache.batch, cache.localSeq, heads, c)
 		bc.dqkv = dqkv
 
-		dln1y := tensor.MatMulT(dqkv, blk.WQKV.W)
+		dln1y := ws.get(dqkv.Dim(0), blk.WQKV.W.Dim(0))
+		tensor.MatMulTInto(dln1y, dqkv, blk.WQKV.W)
 		bc.dln1y = dln1y
-		dxFromAttn := layerNormBackwardDX(dln1y, bc.ln1, blk.LN1G)
-		dxNext := tensor.New(dx.Dim(0), dx.Dim(1))
+		dxFromAttn := layerNormBackwardDX(ws, dln1y, bc.ln1, blk.LN1G)
+		dxNext := ws.get(dx.Dim(0), dx.Dim(1))
 		tensor.AddInto(dxNext, dres1, dxFromAttn)
 		dx = dxNext
 	}
@@ -321,19 +346,16 @@ func (cache *SPCache) AccumBatchRow(flat []float32, b int) {
 }
 
 // accumLinearRows folds rows [lo,hi)'s dW = xᵀ·dy contributions into dst,
-// mirroring tensor.TMatMul's kernel exactly — per output element the data
-// rows fold in ascending order, with the same skip of zero activations —
-// so a chained replay reproduces linearBackward's weight gradient bit for
-// bit.
+// mirroring tensor.TMatMul's per-element fold exactly — data rows in
+// ascending order, one add at a time, and no skip of zero activations
+// (0 × NaN must stay NaN, exactly as in the kernel) — so a chained replay
+// reproduces linearBackward's weight gradient bit for bit.
 func accumLinearRows(dst []float32, x, dy *tensor.Tensor, lo, hi int) {
 	in, out := x.Dim(1), dy.Dim(1)
 	for i := 0; i < in; i++ {
 		orow := dst[i*out : (i+1)*out]
 		for r := lo; r < hi; r++ {
 			av := x.Data[r*in+i]
-			if av == 0 {
-				continue
-			}
 			brow := dy.Data[r*out : (r+1)*out]
 			for j := range orow {
 				orow[j] += av * brow[j]

@@ -1,0 +1,88 @@
+package nn
+
+import "superoffload/internal/tensor"
+
+// workspace is a per-model step arena: every transient tensor and slice a
+// forward/backward pass needs is handed out from a cursor that rewinds at
+// the next Forward. Because a training step's allocation sequence is
+// deterministic, the second step onward runs allocation-free — the churn
+// that used to dominate TrainStep allocs/op.
+//
+// Lifetime contract: tensors handed out are valid until the next
+// reset() — i.e. for exactly one Forward→Backward→(replay/accumulate)
+// cycle. Forward caches (fwdCache/SPCache) point into the arena, which is
+// safe because every engine consumes a cache before its model's next
+// forward (the STV redo loop discards the stale cache first). Anything
+// that crosses a step boundary or a rank boundary (collective payloads,
+// returned losses) must NOT come from the workspace.
+type workspace struct {
+	tensors []*tensor.Tensor
+	tcur    int
+	f32     [][]float32
+	fcur    int
+	f64     [][]float64
+	dcur    int
+}
+
+func (ws *workspace) reset() { ws.tcur, ws.fcur, ws.dcur = 0, 0, 0 }
+
+// get returns a (r,c) tensor with undefined contents — callers must fully
+// overwrite it. A shape mismatch (batch/seq change) replaces the slot.
+func (ws *workspace) get(r, c int) *tensor.Tensor {
+	if ws.tcur < len(ws.tensors) {
+		t := ws.tensors[ws.tcur]
+		if t.Dim(0) == r && t.Dim(1) == c {
+			ws.tcur++
+			return t
+		}
+		t = tensor.New(r, c)
+		ws.tensors[ws.tcur] = t
+		ws.tcur++
+		return t
+	}
+	t := tensor.New(r, c)
+	ws.tensors = append(ws.tensors, t)
+	ws.tcur++
+	return t
+}
+
+// zeros is get with cleared contents, for accumulation targets.
+func (ws *workspace) zeros(r, c int) *tensor.Tensor {
+	t := ws.get(r, c)
+	t.Zero()
+	return t
+}
+
+// floats returns an n-element float32 scratch slice (undefined contents).
+func (ws *workspace) floats(n int) []float32 {
+	if ws.fcur < len(ws.f32) && cap(ws.f32[ws.fcur]) >= n {
+		s := ws.f32[ws.fcur][:n]
+		ws.fcur++
+		return s
+	}
+	s := make([]float32, n)
+	if ws.fcur < len(ws.f32) {
+		ws.f32[ws.fcur] = s
+	} else {
+		ws.f32 = append(ws.f32, s)
+	}
+	ws.fcur++
+	return s
+}
+
+// floats64 is floats for float64 scratch.
+func (ws *workspace) floats64(n int) []float64 {
+	if ws.dcur < len(ws.f64) && cap(ws.f64[ws.dcur]) >= n {
+		s := ws.f64[ws.dcur][:n]
+		ws.dcur++
+		return s
+	}
+	s := make([]float64, n)
+	if ws.dcur < len(ws.f64) {
+		ws.f64[ws.dcur] = s
+	} else {
+		ws.f64 = append(ws.f64, s)
+	}
+	ws.dcur++
+	return s
+}

@@ -78,7 +78,9 @@ func NewMixedShard(params []float32) *MixedShard {
 		Master: append([]float32(nil), params...),
 		State:  NewState(len(params)),
 	}
-	m.Half = fp16.Cast(nil, m.Master)
+	// One exact-size allocation at construction; Step re-casts into the
+	// same buffer thereafter (fp16.Cast reuses dst when it fits).
+	m.Half = fp16.Cast(make([]fp16.Num, len(params)), m.Master)
 	return m
 }
 

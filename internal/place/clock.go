@@ -56,16 +56,20 @@ func (p Plan) Work(elems []int) []BucketWork {
 type TierSeconds struct {
 	// Buckets counts the work items on this tier.
 	Buckets int
-	// Cast is GPU-side fp16→fp32 gradient casting (charged on the GPU
-	// stream; zero for GPU-resident buckets, whose update reads HBM
-	// directly).
+	// Cast is standalone conversion time. Under the fused-transfer model
+	// it stays zero: the GPU-side gradient cast is charged to the D2H hop
+	// and the CPU-side weight re-cast to the H2D hop (each hop costs the
+	// slower of its cast and copy rates). The field remains for schedules
+	// that model an unfused conversion pass.
 	Cast float64
-	// D2H is fp32 gradient traffic to the CPU over the C2C link.
+	// D2H is the gradient hop to the CPU over the C2C link, with the
+	// fp16→fp32 cast fused into the copy.
 	D2H float64
 	// Adam is optimizer compute (CPU kernel for cpu/nvme tiers, the
 	// post-backward GPU kernel for the resident tail).
 	Adam float64
-	// H2D is the fp16 weight return over the C2C link.
+	// H2D is the fp16 weight return over the C2C link, with the fp32→fp16
+	// re-cast fused into the copy.
 	H2D float64
 	// NVMe is flash traffic (state fetch + write-behind flush).
 	NVMe float64
@@ -126,10 +130,10 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 			gpuTail = append(gpuTail, elems)
 			continue
 		}
-		cast := spec.CastGPUTime(elems)
-		ts.Cast += cast
-		gpu += cast
-		dt := spec.GradD2HTime(elems)
+		// The gradient cast rides the D2H copy (fused streaming kernel),
+		// so the hop is charged max(cast, move) on the copy engine and
+		// nothing on the GPU stream.
+		dt := spec.GradD2HFusedTime(elems)
 		ts.D2H += dt
 		d2h = math.Max(gpu, d2h) + dt
 		stateReady := d2h
@@ -144,7 +148,7 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 		at := spec.CPUAdamTime(elems)
 		ts.Adam += at
 		cpu = math.Max(stateReady, cpu) + at
-		ht := spec.WeightH2DTime(elems)
+		ht := spec.WeightH2DFusedTime(elems)
 		ts.H2D += ht
 		h2d = math.Max(cpu, h2d) + ht
 		if wk.Tier == NVMeWindow {

@@ -152,14 +152,13 @@ func AccumInto(dst, src []float32, first bool) {
 
 // PublishHalf writes the fp16 payload into the group's model tensors,
 // rounding through fp16 exactly as the H2D parameter return does in mixed
-// precision (GPU working weights are fp16).
+// precision (GPU working weights are fp16). One batch Uncast per tensor —
+// the table-driven kernel — instead of a per-scalar decode.
 func PublishHalf(group nn.Params, half []fp16.Num) {
 	off := 0
 	for _, p := range group {
 		dst := p.W.Data
-		for i := range dst {
-			dst[i] = half[off+i].Float32()
-		}
+		fp16.Uncast(dst, half[off:off+len(dst)])
 		off += len(dst)
 	}
 }

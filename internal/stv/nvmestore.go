@@ -107,6 +107,24 @@ type nvmeRecord struct {
 	off   int64
 	bytes int64
 	read  *nvmeOp // in-flight fetch, if any
+	// buf is the record's reusable IO buffer. One buffer per record is
+	// safe: a record's ops alternate write (evict) / read (acquire) in
+	// program order, the FIFO worker serializes them, and a buffer is only
+	// re-filled (encode) or consumed (decode) after the record's previous
+	// op has completed.
+	buf []byte
+	// spare parks the evicted bucket's DRAM state so the next fetch of
+	// this record decodes into it instead of allocating fresh slices
+	// (sizes always match — elems is fixed per record).
+	spare *BucketState
+}
+
+// ioBuf returns the record's lazily allocated IO buffer.
+func (rec *nvmeRecord) ioBuf() []byte {
+	if rec.buf == nil {
+		rec.buf = make([]byte, rec.bytes)
+	}
+	return rec.buf
 }
 
 // nvmeResident is a bucket currently held in the DRAM window.
@@ -314,10 +332,11 @@ func (s *NVMeStore) evictLocked() bool {
 	}
 	r := s.resident[victim]
 	delete(s.resident, victim)
+	rec := s.recs[victim]
 	if r.modified {
-		rec := s.recs[victim]
 		s.enqueueLocked(true, rec, s.encode(rec, r.st), true)
 	}
+	rec.spare = r.st // decode reuses the slices on the next fetch
 	return true
 }
 
@@ -333,7 +352,7 @@ func (s *NVMeStore) prefetchLocked(idx int) {
 	if len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && !s.evictLocked() {
 		return
 	}
-	rec.read = s.enqueueLocked(false, rec, make([]byte, rec.bytes), true)
+	rec.read = s.enqueueLocked(false, rec, rec.ioBuf(), true)
 	s.inflight++
 }
 
@@ -371,7 +390,7 @@ func (s *NVMeStore) Acquire(idx int) *BucketState {
 		// window, then enqueue.
 		for len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && s.evictLocked() {
 		}
-		op = s.enqueueLocked(false, rec, make([]byte, rec.bytes), true)
+		op = s.enqueueLocked(false, rec, rec.ioBuf(), true)
 		rec.read = op
 		s.inflight++
 	}
@@ -450,12 +469,16 @@ func (s *NVMeStore) Close() error {
 	return err
 }
 
-// encode serializes a bucket record. float32 round-trips through the raw
-// bit pattern, so storage is bit-exact.
+// encode serializes a bucket record into the record's reusable IO buffer.
+// float32 round-trips through the raw bit pattern, so storage is bit-exact.
+// The header is written unconditionally because the buffer may carry a
+// previous encoding's snapshot flag.
 func (s *NVMeStore) encode(rec *nvmeRecord, st *BucketState) []byte {
-	buf := make([]byte, rec.bytes)
+	buf := rec.ioBuf()
 	le := binary.LittleEndian
 	le.PutUint64(buf[0:], uint64(st.Shard.State.Step))
+	le.PutUint64(buf[8:], 0)
+	buf[16] = 0
 	off := 17
 	put := func(xs []float32) {
 		for _, x := range xs {
@@ -477,32 +500,47 @@ func (s *NVMeStore) encode(rec *nvmeRecord, st *BucketState) []byte {
 }
 
 // decode reconstructs a bucket record, re-deriving the fp16 working copy
-// from the masters (it is never stored — the paper's recombine).
+// from the masters (it is never stored — the paper's recombine). It decodes
+// into the record's parked spare state when one exists, so the steady-state
+// fetch→step→evict cycle stops allocating DRAM shards.
 func (s *NVMeStore) decode(rec *nvmeRecord, buf []byte) *BucketState {
 	n := rec.elems
+	st := rec.spare
+	rec.spare = nil
+	if st == nil {
+		st = &BucketState{Shard: &optim.MixedShard{
+			Master: make([]float32, n),
+			State:  optim.NewState(n),
+		}}
+	}
 	le := binary.LittleEndian
 	off := 17
-	get := func() []float32 {
-		xs := make([]float32, n)
+	get := func(xs []float32) {
 		for i := range xs {
 			xs[i] = math.Float32frombits(le.Uint32(buf[off:]))
 			off += 4
 		}
-		return xs
 	}
-	shard := &optim.MixedShard{
-		Master: get(),
-		State:  &optim.State{Step: int(int64(le.Uint64(buf[0:])))},
-	}
-	shard.State.M = get()
-	shard.State.V = get()
-	shard.Half = fp16.Cast(nil, shard.Master)
-	st := &BucketState{Shard: shard}
+	shard := st.Shard
+	shard.State.Step = int(int64(le.Uint64(buf[0:])))
+	get(shard.Master)
+	get(shard.State.M)
+	get(shard.State.V)
+	shard.Half = fp16.Cast(shard.Half, shard.Master)
 	if buf[16] == 1 {
-		st.Snap = &optim.Snapshot{Step: int(int64(le.Uint64(buf[8:])))}
-		st.Snap.Master = get()
-		st.Snap.M = get()
-		st.Snap.V = get()
+		if st.Snap == nil {
+			st.Snap = &optim.Snapshot{
+				Master: make([]float32, n),
+				M:      make([]float32, n),
+				V:      make([]float32, n),
+			}
+		}
+		st.Snap.Step = int(int64(le.Uint64(buf[8:])))
+		get(st.Snap.Master)
+		get(st.Snap.M)
+		get(st.Snap.V)
+	} else {
+		st.Snap = nil
 	}
 	return st
 }

@@ -28,6 +28,10 @@ type PlacementTier struct {
 	Buckets int
 	// CastSeconds, D2HSeconds, AdamSeconds, H2DSeconds, and NVMeSeconds
 	// accumulate the tier's modeled phase times over all recorded steps.
+	// Conversions are fused into the transfers they precede (see
+	// place.TierSeconds), so CastSeconds stays zero for offloaded tiers:
+	// the gradient cast is inside D2HSeconds, the weight re-cast inside
+	// H2DSeconds.
 	CastSeconds float64
 	D2HSeconds  float64
 	AdamSeconds float64

@@ -130,6 +130,22 @@ type Trainer struct {
 	validCh     chan valResult
 	lastLoss    float64
 	stepIndex   int
+
+	// valShards caches the per-bucket gradient slice headers the
+	// validator scans; bucket staging buffers never move, so it is built
+	// once instead of per step.
+	valShards [][]float32
+}
+
+// gradShards returns the stable per-bucket gradient views for validation.
+func (t *Trainer) gradShards() [][]float32 {
+	if t.valShards == nil {
+		t.valShards = make([][]float32, len(t.buckets))
+		for i, bk := range t.buckets {
+			t.valShards[i] = bk.grad
+		}
+	}
+	return t.valShards
 }
 
 // stepAdam returns the Adam config for the current step, with the
@@ -253,10 +269,7 @@ func (t *Trainer) maybeInject() {
 
 // validate computes the deferred global state over staged gradients.
 func (t *Trainer) validate() valResult {
-	shards := make([][]float32, len(t.buckets))
-	for i, bk := range t.buckets {
-		shards[i] = bk.grad
-	}
+	shards := t.gradShards()
 	return valResult{bad: optim.HasBad(shards), globalNorm: optim.GlobalNorm(shards)}
 }
 
@@ -341,13 +354,12 @@ func (t *Trainer) stepSTV(b data.Batch) (float64, error) {
 // critical path, delivered through the queue.
 func (t *Trainer) launchValidation() {
 	t.pendingAdam = t.stepAdam()
-	go func(v chan<- valResult, buckets []*Bucket) {
-		shards := make([][]float32, len(buckets))
-		for i, bk := range buckets {
-			shards[i] = bk.grad
-		}
+	// The staged gradients stay untouched until resolvePending consumes
+	// this result (the next step's StageGrads runs after resolution), so
+	// the background scan reads stable data.
+	go func(v chan<- valResult, shards [][]float32) {
 		v <- valResult{bad: optim.HasBad(shards), globalNorm: optim.GlobalNorm(shards)}
-	}(t.validCh, t.buckets)
+	}(t.validCh, t.gradShards())
 	t.pending = true
 }
 

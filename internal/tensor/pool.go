@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The matmul family shares one process-wide band pool instead of spawning
+// goroutines per call: a TrainStep issues dozens of matmuls per layer, and
+// per-call goroutine fan-out both allocates and defeats the scheduler's
+// locality. Workers are started lazily on the first large product.
+
+type bandTask struct {
+	f      func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan bandTask
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0) - 1
+	poolCh = make(chan bandTask, 4*(n+1))
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range poolCh {
+				t.f(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelRows splits [0,m) into bands across the shared pool when the work
+// is large enough. The submitting goroutine always runs the first band
+// inline, so progress never depends on pool capacity and the kernels stay
+// deadlock-free (band functions never re-enter parallelRows).
+func parallelRows(m, flops int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers == 1 || m == 1 {
+		f(0, m)
+		return
+	}
+	poolOnce.Do(startPool)
+	if workers > m {
+		workers = m
+	}
+	band := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := band; lo < m; lo += band {
+		hi := min(lo+band, m)
+		wg.Add(1)
+		poolCh <- bandTask{f, lo, hi, &wg}
+	}
+	f(0, min(band, m))
+	wg.Wait()
+}

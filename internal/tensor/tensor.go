@@ -32,6 +32,9 @@ func New(shape ...int) *Tensor {
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %d in %v", d, shape))
+		}
 		n *= d
 	}
 	if n != len(data) {
@@ -80,6 +83,9 @@ func (t *Tensor) Clone() *Tensor {
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %d in %v", d, shape))
+		}
 		n *= d
 	}
 	if n != len(t.Data) {
