@@ -47,6 +47,12 @@ func main() {
 	if d, err := superoffload.Describe(req); err == nil {
 		fmt.Printf("SuperOffload plan: %s, %s, %d buckets x %d MB (streaming efficiency %.0f%%)\n",
 			d.Policy, d.CastPath, d.NBuckets, d.BucketMB, 100*d.Efficiency)
+		if d.ActSpill {
+			fmt.Printf("activation tier: spill to %d resident layers (-act-offload; co-planned with the optimizer placement under one HBM budget)\n",
+				d.ActResidentLayers)
+		} else {
+			fmt.Printf("activation tier: not needed (all layers resident next to the optimizer placement)\n")
+		}
 	}
 	if *emitPlacement {
 		p, err := superoffload.DescribePlacement(req)

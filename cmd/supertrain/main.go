@@ -41,6 +41,7 @@ type engine interface {
 	NumBuckets() int
 	StoreTelemetry() (superoffload.StoreTelemetry, bool)
 	PlacementTelemetry() (superoffload.PlacementTelemetry, bool)
+	ActTelemetry() (superoffload.ActTelemetry, bool)
 	Close() error
 }
 
@@ -73,7 +74,9 @@ type trainFlags struct {
 	steps, layers, hidden, heads, vocab int
 	batch, seq, ranks, seqRanks         int
 	resident, bucketElems, gpuBuckets   int
+	actResident                         int
 	mode, offload, placement            string
+	actOffload                          string
 }
 
 // validate rejects incompatible flag combinations before any engine
@@ -96,6 +99,14 @@ func (f trainFlags) validate() error {
 	}
 	if f.offload != "dram" && f.offload != "nvme" {
 		return usageError("unknown -offload %q (want dram or nvme)", f.offload)
+	}
+	switch f.actOffload {
+	case "", "dram", "nvme":
+	default:
+		return usageError("unknown -act-offload %q (want dram or nvme)", f.actOffload)
+	}
+	if f.actResident < 1 {
+		return usageError("-act-resident-layers must be >= 1, got %d", f.actResident)
 	}
 	switch f.placement {
 	case "", "auto", "cpu", "gpu":
@@ -160,6 +171,7 @@ type jsonReport struct {
 	Comm        *superoffload.SPCommStats        `json:"comm,omitempty"`
 	Store       *superoffload.StoreTelemetry     `json:"store,omitempty"`
 	Placement   *superoffload.PlacementTelemetry `json:"placement,omitempty"`
+	Act         *superoffload.ActTelemetry       `json:"act,omitempty"`
 }
 
 func run() (err error) {
@@ -178,6 +190,9 @@ func run() (err error) {
 	offload := flag.String("offload", "dram", "optimizer-state tier: dram (resident) or nvme (file-backed window)")
 	offloadDir := flag.String("offload-dir", "", "directory for nvme backing files (default: system temp)")
 	resident := flag.Int("resident-buckets", 2, "nvme store resident-bucket window")
+	actOffload := flag.String("act-offload", "", "activation spill tier: dram (host cache over C2C), nvme (file-backed), or empty (activations stay resident)")
+	actDir := flag.String("act-dir", "", "directory for nvme activation backing files (default: system temp)")
+	actResident := flag.Int("act-resident-layers", 2, "activation write-behind window: layers kept resident with -act-offload (floor 2)")
 	bucketElems := flag.Int("bucket-elems", 0, "per-bucket element budget (0: the 64 MB default; shrink so toy models split into several buckets)")
 	placement := flag.String("placement", "", "bucket placement: auto (GPU-retained tail, §4.3), cpu, gpu, or empty (homogeneous)")
 	gpuBuckets := flag.Int("gpu-buckets", 0, "pin the GPU-retained bucket tail in -placement auto (0: derive by grid search)")
@@ -188,7 +203,9 @@ func run() (err error) {
 		steps: *steps, layers: *layers, hidden: *hidden, heads: *heads, vocab: *vocab,
 		batch: *batch, seq: *seq, ranks: *ranks, seqRanks: *seqRanks,
 		resident: *resident, bucketElems: *bucketElems, gpuBuckets: *gpuBuckets,
-		mode: *mode, offload: *offload, placement: *placement,
+		actResident: *actResident,
+		mode:        *mode, offload: *offload, placement: *placement,
+		actOffload: *actOffload,
 	}).validate(); err != nil {
 		return err
 	}
@@ -209,6 +226,9 @@ func run() (err error) {
 	}
 	cfg.Placement = superoffload.PlacementConfig{
 		Mode: *placement, GPUBuckets: *gpuBuckets, Batch: *batch, Seq: *seq,
+	}
+	cfg.Activation = superoffload.ActivationConfig{
+		Offload: *actOffload, Dir: *actDir, ResidentLayers: *actResident,
 	}
 
 	var eng engine
@@ -298,6 +318,15 @@ func run() (err error) {
 		fmt.Printf("superchip step: %.3f ms pipelined vs %.3f ms serialized (overlap hides %.0f%%)\n",
 			1e3*tel.PipelinedSeconds/n, 1e3*tel.SerializedSeconds/n, 100*tel.HiddenFraction())
 	}
+	if tel, ok := eng.ActTelemetry(); ok && tel.Passes > 0 {
+		n := float64(tel.Passes)
+		fmt.Printf("activation tier: %.1f spills/pass (%.1f MB), %.1f fetches/pass (%.1f MB)\n",
+			float64(tel.Spills)/n, float64(tel.BytesSpilled)/1e6/n,
+			float64(tel.Fetches)/n, float64(tel.BytesFetched)/1e6/n)
+		fmt.Printf("activation step: %.3f ms pipelined vs %.3f ms serialized (prefetch overlap hides %.0f%%)\n",
+			1e3*tel.PipelinedSeconds()/n, 1e3*tel.SerializedSeconds()/n,
+			100*(1-tel.PipelinedSeconds()/tel.SerializedSeconds()))
+	}
 	return nil
 }
 
@@ -321,6 +350,9 @@ func emitJSON(eng engine, params int, mode, parallelism string, steps int, final
 	}
 	if tel, ok := eng.PlacementTelemetry(); ok {
 		rep.Placement = &tel
+	}
+	if tel, ok := eng.ActTelemetry(); ok {
+		rep.Act = &tel
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

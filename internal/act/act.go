@@ -1,0 +1,526 @@
+// Package act is the activation offloading tier: an SSDTrain-style
+// store that spills each transformer layer's forward activations out of
+// the resident replica as the forward pass's write-behind window slides
+// past them, and prefetches them back ahead of the backward pass with
+// async double buffering (at most two reads in flight).
+//
+// Two backing tiers share one store: a DRAM cache (host memory over the
+// modeled C2C link) and a file-backed NVMe tier (real file IO, modeled
+// flash rates). Both run the same FIFO worker and the same virtual
+// dev/cpu clocks as stv.NVMeStore, so telemetry reports the same
+// pipelined-vs-serialized contrast: PipelinedSeconds is compute plus
+// the prefetch stalls the double buffer could not hide, SerializedSeconds
+// is what a blocking store would have cost.
+//
+// Spilling is numerically invisible. Restores copy back the exact bytes
+// spilled (float32 end to end, no recompute, no rounding), and spilled
+// buffers are poisoned with NaN until their fetch so that any read of a
+// non-resident activation corrupts the loss loudly instead of silently.
+package act
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"superoffload/internal/hw"
+)
+
+// Tier selects the spill destination.
+type Tier int
+
+const (
+	// DRAM spills into a host-memory cache over the C2C link.
+	DRAM Tier = iota
+	// NVMe spills into a backing file at modeled flash rates.
+	NVMe
+)
+
+// String names the tier the way the facade's -act-offload flag spells it.
+func (t Tier) String() string {
+	if t == NVMe {
+		return "nvme"
+	}
+	return "dram"
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Tier is the backing tier (DRAM cache or file-backed NVMe).
+	Tier Tier
+	// Dir is the NVMe tier's backing directory (empty: the OS temp dir).
+	// Ignored by the DRAM tier.
+	Dir string
+	// ResidentLayers is the write-behind window W: the W most recent
+	// forward layers stay resident, everything older spills. The floor
+	// is 2 (the backward always needs the layer it is differentiating
+	// while the next fetch is in flight); values below it are raised.
+	ResidentLayers int
+	// Spec is the hardware model charging the virtual clocks (zero value:
+	// hw.DefaultSuperchip).
+	Spec hw.SuperchipSpec
+	// Hidden and Params describe the replica whose forward/backward feed
+	// the compute clock.
+	Hidden int
+	Params int64
+}
+
+// Telemetry is the store's cumulative modeled-time and traffic
+// accounting. Seconds are virtual (hw-throttled), never wall clock;
+// multi-rank engines sum per-rank figures.
+type Telemetry struct {
+	// Passes counts forward passes begun (redo passes included).
+	Passes int
+	// Spills and Fetches count layer writes and reads; BytesSpilled and
+	// BytesFetched their traffic.
+	Spills       int
+	Fetches      int
+	BytesSpilled int64
+	BytesFetched int64
+	// WriteSeconds and ReadSeconds are modeled tier-transfer times.
+	WriteSeconds float64
+	ReadSeconds  float64
+	// StallSeconds is prefetch time the double buffer could not hide:
+	// the backward sat idle waiting for a layer's read to land.
+	StallSeconds float64
+	// ComputeSeconds is modeled forward plus backward time observed at
+	// the layer boundaries (the final layer's backward has no subsequent
+	// boundary, so backward contributes (L-1)/L of its total).
+	ComputeSeconds float64
+}
+
+// PipelinedSeconds is the modeled wall time with the store's async
+// engine overlapping compute: compute plus unhidden stalls.
+func (t Telemetry) PipelinedSeconds() float64 { return t.ComputeSeconds + t.StallSeconds }
+
+// SerializedSeconds is the blocking-store reference: compute plus every
+// transfer end to end.
+func (t Telemetry) SerializedSeconds() float64 {
+	return t.ComputeSeconds + t.WriteSeconds + t.ReadSeconds
+}
+
+// Add accumulates another store's telemetry (per-rank stores of a
+// multi-rank engine sum into one figure; Passes, equal across ranks,
+// take the max).
+func (t Telemetry) Add(o Telemetry) Telemetry {
+	return Telemetry{
+		Passes:         max(t.Passes, o.Passes),
+		Spills:         t.Spills + o.Spills,
+		Fetches:        t.Fetches + o.Fetches,
+		BytesSpilled:   t.BytesSpilled + o.BytesSpilled,
+		BytesFetched:   t.BytesFetched + o.BytesFetched,
+		WriteSeconds:   t.WriteSeconds + o.WriteSeconds,
+		ReadSeconds:    t.ReadSeconds + o.ReadSeconds,
+		StallSeconds:   t.StallSeconds + o.StallSeconds,
+		ComputeSeconds: t.ComputeSeconds + o.ComputeSeconds,
+	}
+}
+
+// op is one queued store transfer. The worker performs file IO for the
+// NVMe tier and is a pure completion marker for the DRAM tier (whose
+// host copy happens synchronously at enqueue, before the originals are
+// poisoned); doneAt is the op's completion on the virtual clocks.
+type op struct {
+	off    int64
+	buf    []byte
+	write  bool
+	io     bool
+	doneAt float64
+	done   chan struct{}
+}
+
+// layerState tracks one forward layer within the current pass.
+type layerState struct {
+	bufs     [][]float32
+	bytes    int64
+	spilled  bool
+	restored bool
+	read     *op
+}
+
+// record is a layer index's backing slot, reused across passes: a file
+// region + IO buffer on the NVMe tier, a host slice on the DRAM tier.
+// last is the newest op touching the slot; spills wait it out before
+// re-encoding so a pass abandoned mid-flight (an STV redo) can never
+// race the worker.
+type record struct {
+	off  int64
+	cap  int64
+	buf  []byte
+	host []float32
+	last *op
+}
+
+// Store spills per-layer forward activations behind a resident window
+// and prefetches them ahead of backward. It implements nn.ActivationTap.
+// All methods are called from the holder's training goroutine; the only
+// concurrency is the store's own IO worker, which never takes the mutex.
+type Store struct {
+	cfg  Config
+	file *os.File
+	path string
+	ops  chan *op
+	wg   sync.WaitGroup
+
+	errMu sync.Mutex
+	ioErr error
+
+	mu       sync.Mutex
+	closed   bool
+	layers   []*layerState
+	recs     map[int]*record
+	end      int64
+	begun    bool
+	bwd      bool
+	next     int // next spilled layer to prefetch (descending)
+	inflight int
+	layerFwd float64
+	layerBwd float64
+	dev, cpu float64
+	tel      Telemetry
+}
+
+// NewStore opens a store. The NVMe tier creates its backing file
+// immediately so configuration errors surface at setup, not mid-step.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.ResidentLayers < 2 {
+		cfg.ResidentLayers = 2
+	}
+	cfg.Spec = cfg.Spec.OrDefault()
+	s := &Store{
+		cfg:  cfg,
+		ops:  make(chan *op, 64),
+		recs: make(map[int]*record),
+	}
+	if cfg.Tier == NVMe {
+		f, err := os.CreateTemp(cfg.Dir, "superoffload-act-*.dat")
+		if err != nil {
+			return nil, fmt.Errorf("act: create backing file: %w", err)
+		}
+		s.file, s.path = f, f.Name()
+	}
+	s.wg.Add(1)
+	go s.worker()
+	return s, nil
+}
+
+// worker drains the op queue in FIFO order, latching the first IO error
+// (surfaced by the next store call) rather than crashing mid-drain.
+func (s *Store) worker() {
+	defer s.wg.Done()
+	for o := range s.ops {
+		if o.io {
+			var err error
+			if o.write {
+				_, err = s.file.WriteAt(o.buf, o.off)
+			} else {
+				_, err = s.file.ReadAt(o.buf, o.off)
+			}
+			if err != nil {
+				s.errMu.Lock()
+				if s.ioErr == nil {
+					s.ioErr = err
+				}
+				s.errMu.Unlock()
+			}
+		}
+		close(o.done)
+	}
+}
+
+func (s *Store) checkIOErr() {
+	s.errMu.Lock()
+	err := s.ioErr
+	s.errMu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("act: backing IO failed: %v", err))
+	}
+}
+
+// Resident returns the effective write-behind window W.
+func (s *Store) Resident() int { return s.cfg.ResidentLayers }
+
+// OnNVMe reports whether the store spills to the flash tier.
+func (s *Store) OnNVMe() bool { return s.cfg.Tier == NVMe }
+
+// Path returns the NVMe tier's backing file path ("" for DRAM).
+func (s *Store) Path() string { return s.path }
+
+// BeginPass starts a forward pass over the given depth and local shape
+// (tokens is this holder's batch rows × positions; seq the attention
+// span feeding the GEMM model). Any previous pass's state is dropped —
+// an STV redo abandons its half-spilled pass simply by beginning the
+// next one; in-flight ops from it are fenced by each record's last op.
+func (s *Store) BeginPass(layers, tokens, seq int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic("act: begin pass after Close")
+	}
+	s.checkIOErr()
+	s.layers = make([]*layerState, 0, layers)
+	s.begun, s.bwd = true, false
+	s.inflight, s.next = 0, -1
+	bwd := s.cfg.Spec.BackwardTime(s.cfg.Params, tokens, s.cfg.Hidden, seq)
+	s.layerBwd = bwd / float64(max(layers, 1))
+	s.layerFwd = s.layerBwd / 2
+	s.tel.Passes++
+}
+
+// StashLayer hands the store layer l's forward activation buffers, in
+// forward order. The slices alias the model's caches: once the window
+// slides past the layer, the store copies them to the backing tier,
+// poisons the originals with NaN, and restores them in FetchLayer.
+func (s *Store) StashLayer(l int, bufs [][]float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic(fmt.Sprintf("act: stash of layer %d after Close", l))
+	}
+	s.checkIOErr()
+	if !s.begun || l != len(s.layers) {
+		panic(fmt.Sprintf("act: stash of layer %d out of order (have %d, begun=%v)", l, len(s.layers), s.begun))
+	}
+	var bytes int64
+	for _, b := range bufs {
+		bytes += 4 * int64(len(b))
+	}
+	s.layers = append(s.layers, &layerState{bufs: bufs, bytes: bytes})
+	s.cpu += s.layerFwd
+	s.tel.ComputeSeconds += s.layerFwd
+	if spill := l - s.cfg.ResidentLayers; spill >= 0 {
+		s.spillLocked(spill)
+	}
+}
+
+// spillLocked writes layer l to the backing tier and poisons its
+// buffers. The encode (NVMe) or host copy (DRAM) happens here, under
+// the mutex and after fencing the record's previous op, so the worker
+// only ever touches bytes no one else is writing.
+func (s *Store) spillLocked(l int) {
+	ls := s.layers[l]
+	rec := s.recs[l]
+	if rec == nil {
+		rec = &record{off: -1}
+		s.recs[l] = rec
+	}
+	if rec.last != nil {
+		<-rec.last.done
+		rec.last = nil
+	}
+	if s.cfg.Tier == NVMe {
+		if rec.cap < ls.bytes {
+			rec.off, rec.cap = s.end, ls.bytes
+			rec.buf = make([]byte, ls.bytes)
+			s.end += ls.bytes
+		}
+		encode(rec.buf, ls.bufs)
+	} else {
+		if rec.cap < ls.bytes {
+			rec.cap = ls.bytes
+			rec.host = make([]float32, ls.bytes/4)
+		}
+		n := 0
+		for _, b := range ls.bufs {
+			n += copy(rec.host[n:], b)
+		}
+	}
+	dur := s.writeTime(ls.bytes)
+	o := &op{off: rec.off, write: true, io: s.cfg.Tier == NVMe, done: make(chan struct{})}
+	if o.io {
+		o.buf = rec.buf[:ls.bytes]
+	}
+	o.doneAt = math.Max(s.dev, s.cpu) + dur
+	s.dev = o.doneAt
+	rec.last = o
+	s.ops <- o
+	poison(ls.bufs)
+	ls.spilled = true
+	s.tel.Spills++
+	s.tel.BytesSpilled += ls.bytes
+	s.tel.WriteSeconds += dur
+}
+
+// FetchLayer blocks until layer l's activations are back in their
+// original buffers, issuing depth-2 prefetches for the layers backward
+// will need next. Call it for every layer, resident or not, at the top
+// of its backward step (descending order): resident layers only charge
+// the compute clock that paces the prefetcher.
+func (s *Store) FetchLayer(l int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic(fmt.Sprintf("act: fetch of layer %d after Close", l))
+	}
+	s.checkIOErr()
+	if !s.begun || l < 0 || l >= len(s.layers) {
+		panic(fmt.Sprintf("act: fetch of layer %d outside pass of %d layers", l, len(s.layers)))
+	}
+	if !s.bwd {
+		// Backward begins at the top layer; prefetch walks the spilled
+		// ones down from the highest.
+		s.bwd = true
+		s.next = len(s.layers) - s.cfg.ResidentLayers - 1
+	} else {
+		// The layer above this one just ran its backward.
+		s.cpu += s.layerBwd
+		s.tel.ComputeSeconds += s.layerBwd
+	}
+	s.topUpLocked()
+	ls := s.layers[l]
+	if !ls.spilled || ls.restored {
+		return
+	}
+	if ls.read == nil {
+		// Prefetch missed it (out-of-window fetch order); read it now.
+		s.issueReadLocked(l)
+	}
+	o := ls.read
+	if o.doneAt > s.cpu {
+		s.tel.StallSeconds += o.doneAt - s.cpu
+		s.cpu = o.doneAt
+	}
+	s.mu.Unlock()
+	<-o.done
+	s.mu.Lock()
+	s.checkIOErr()
+	rec := s.recs[l]
+	if s.cfg.Tier == NVMe {
+		decode(ls.bufs, rec.buf)
+	} else {
+		n := 0
+		for _, b := range ls.bufs {
+			n += copy(b, rec.host[n:n+len(b)])
+		}
+	}
+	ls.restored = true
+	ls.read = nil
+	s.inflight--
+	s.topUpLocked()
+}
+
+// topUpLocked keeps up to two prefetch reads in flight, walking the
+// spilled layers in the order backward consumes them.
+func (s *Store) topUpLocked() {
+	for s.inflight < 2 && s.next >= 0 {
+		if ls := s.layers[s.next]; ls.spilled && !ls.restored && ls.read == nil {
+			s.issueReadLocked(s.next)
+		}
+		s.next--
+	}
+}
+
+// issueReadLocked enqueues layer l's fetch. The worker's FIFO order
+// guarantees the layer's spill write lands before the read; the read
+// decodes from the record's own buffer, so it cannot race a later
+// spill either (those fence on rec.last).
+func (s *Store) issueReadLocked(l int) {
+	ls := s.layers[l]
+	rec := s.recs[l]
+	dur := s.readTime(ls.bytes)
+	o := &op{off: rec.off, io: s.cfg.Tier == NVMe, done: make(chan struct{})}
+	if o.io {
+		o.buf = rec.buf[:ls.bytes]
+	}
+	o.doneAt = math.Max(s.dev, s.cpu) + dur
+	s.dev = o.doneAt
+	rec.last = o
+	ls.read = o
+	s.inflight++
+	s.ops <- o
+	s.tel.Fetches++
+	s.tel.BytesFetched += ls.bytes
+	s.tel.ReadSeconds += dur
+}
+
+func (s *Store) writeTime(bytes int64) float64 {
+	if s.cfg.Tier == NVMe {
+		return s.cfg.Spec.NVMe.WriteTime(bytes)
+	}
+	return s.cfg.Spec.Chip.Link.TransferTime(bytes, hw.DeviceToHost, hw.Pinned)
+}
+
+func (s *Store) readTime(bytes int64) float64 {
+	if s.cfg.Tier == NVMe {
+		return s.cfg.Spec.NVMe.ReadTime(bytes)
+	}
+	return s.cfg.Spec.Chip.Link.TransferTime(bytes, hw.HostToDevice, hw.Pinned)
+}
+
+// Telemetry snapshots the cumulative counters.
+func (s *Store) Telemetry() Telemetry {
+	if s == nil {
+		return Telemetry{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tel
+}
+
+// Close waits out every in-flight op, then deletes the NVMe backing
+// file. Idempotent; any further store call panics with a clear message.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.ops)
+	s.wg.Wait()
+	s.errMu.Lock()
+	err := s.ioErr
+	s.errMu.Unlock()
+	if s.file != nil {
+		if cerr := s.file.Close(); err == nil {
+			err = cerr
+		}
+		if rerr := os.Remove(s.path); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// encode packs the buffers' float32 bits little-endian into dst —
+// bit-exact round-tripping, NaN payloads included.
+func encode(dst []byte, bufs [][]float32) {
+	n := 0
+	for _, b := range bufs {
+		for _, v := range b {
+			bits := math.Float32bits(v)
+			dst[n] = byte(bits)
+			dst[n+1] = byte(bits >> 8)
+			dst[n+2] = byte(bits >> 16)
+			dst[n+3] = byte(bits >> 24)
+			n += 4
+		}
+	}
+}
+
+// decode is encode's inverse, restoring the exact spilled bits.
+func decode(bufs [][]float32, src []byte) {
+	n := 0
+	for _, b := range bufs {
+		for i := range b {
+			bits := uint32(src[n]) | uint32(src[n+1])<<8 | uint32(src[n+2])<<16 | uint32(src[n+3])<<24
+			b[i] = math.Float32frombits(bits)
+			n += 4
+		}
+	}
+}
+
+// actPoison is the NaN spilled buffers hold until their fetch: any use
+// of a non-resident activation poisons the loss instead of silently
+// training on stale data.
+var actPoison = math.Float32frombits(0x7fc0dead)
+
+func poison(bufs [][]float32) {
+	for _, b := range bufs {
+		for i := range b {
+			b[i] = actPoison
+		}
+	}
+}

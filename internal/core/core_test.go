@@ -283,3 +283,48 @@ func TestDeviceAndPolicyStrings(t *testing.T) {
 		t.Error("cast path strings")
 	}
 }
+
+func TestActCoPlanWindow(t *testing.T) {
+	chip := hw.DefaultSuperchip().Chip
+	m, _ := model.ByName("5B")
+	exec := sched.Execution{MicroBatch: 8}
+
+	// A zero-layer model has no windowable activations.
+	headOnly := m
+	headOnly.Layers = 0
+	if w, spill := ActCoPlan(chip, headOnly, m.Params(), WeightStationary, exec, 1024, 1<<24, 0); w != 0 || spill {
+		t.Errorf("zero-layer co-plan = (%d, %v), want (0, false)", w, spill)
+	}
+
+	// Plenty of HBM: every layer stays resident, no spill.
+	roomy := chip
+	roomy.GPU.MemBytes = 1 << 50
+	if w, spill := ActCoPlan(roomy, m, m.Params(), WeightStationary, exec, 1024, 1<<24, 0); w != m.Layers || spill {
+		t.Errorf("roomy co-plan = (%d, %v), want (%d, false)", w, spill, m.Layers)
+	}
+
+	// No HBM at all: the window floors at ActMinResidentLayers and spills
+	// (feasibility is the caller's Fits check, not ActCoPlan's).
+	tiny := chip
+	tiny.GPU.MemBytes = 1
+	if w, spill := ActCoPlan(tiny, m, m.Params(), WeightStationary, exec, 1024, 1<<24, 0); w != ActMinResidentLayers || !spill {
+		t.Errorf("tiny co-plan = (%d, %v), want (%d, true)", w, spill, ActMinResidentLayers)
+	}
+
+	// The window is monotone in HBM: more memory never shrinks it, and
+	// a budget between the extremes yields a partial window that fits.
+	noAct := exec
+	noAct.MicroBatch = 0
+	base := GPUMemory(m, m.Params(), WeightStationary, noAct, 1024, 1<<24, 0)
+	full := m.ActivationBytes(exec.MicroBatch, 1024, false)
+	mid := chip
+	mid.GPU.MemBytes = base + full/2
+	w, spill := ActCoPlan(mid, m, m.Params(), WeightStationary, exec, 1024, 1<<24, 0)
+	if !spill || w <= ActMinResidentLayers || w >= m.Layers {
+		t.Errorf("mid co-plan = (%d, %v), want a partial spilling window", w, spill)
+	}
+	wRoomy, _ := ActCoPlan(roomy, m, m.Params(), WeightStationary, exec, 1024, 1<<24, 0)
+	if wRoomy < w {
+		t.Errorf("window shrank with more HBM: %d < %d", wRoomy, w)
+	}
+}

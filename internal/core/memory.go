@@ -69,6 +69,38 @@ func CPUMemory(shardParams int64, bucketParams int64, gpuBuckets int) int64 {
 	return cpuParams*model.BytesCPUStatesFull + hw.CPUMemoryOverheadBytes
 }
 
+// ActMinResidentLayers is the activation tier's write-behind floor: the
+// layer being differentiated plus the prefetch in flight.
+const ActMinResidentLayers = 2
+
+// ActCoPlan sizes the activation tier against the HBM left over after
+// the optimizer placement claims its share — the two offload subsystems
+// planned under one budget. It returns the largest resident-layer window
+// W (ActMinResidentLayers ≤ W ≤ layers) such that the plan's
+// non-activation GPU demand plus W/L of the uncheckpointed per-layer
+// activation footprint (the logit activations always stay resident) fits
+// the chip, plus whether that window spills (W < layers). When even the
+// floor does not fit, it reports the floor with spill — the caller's
+// Fits check governs feasibility, typically by re-enabling activation
+// checkpointing.
+func ActCoPlan(chip hw.Chip, m model.Config, shardParams int64, pol Policy, exec sched.Execution, seq int, bucketParams int64, gpuBuckets int) (int, bool) {
+	if m.Layers <= 0 {
+		return 0, false
+	}
+	noAct := exec
+	noAct.MicroBatch = 0
+	base := GPUMemory(m, shardParams, pol, noAct, seq, bucketParams, gpuBuckets)
+	head := m
+	head.Layers = 0
+	logit := head.ActivationBytes(exec.MicroBatch, seq, false)
+	perLayer := (m.ActivationBytes(exec.MicroBatch, seq, false) - logit) / int64(m.Layers)
+	w := m.Layers
+	for w > ActMinResidentLayers && base+logit+int64(w)*perLayer > chip.GPU.MemBytes {
+		w--
+	}
+	return w, w < m.Layers
+}
+
 // Fits reports whether the configuration fits one Superchip of the
 // cluster, with the reason when it does not.
 func Fits(chip hw.Chip, m model.Config, shardParams int64, pol Policy, exec sched.Execution, seq int, bucketParams int64, gpuBuckets int) (bool, string) {

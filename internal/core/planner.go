@@ -33,6 +33,12 @@ type Plan struct {
 	GPUBuckets   int
 	Exec         sched.Execution
 	Efficiency   float64 // Eq. 1-3 efficiency for the flow decision
+	// ActResidentLayers and ActSpill are the activation tier's co-plan
+	// under the same HBM budget (see ActCoPlan): the largest write-behind
+	// window that fits next to the optimizer placement, and whether it
+	// spills any layers at all.
+	ActResidentLayers int
+	ActSpill          bool
 }
 
 // System is the SuperOffload training system (implements sched.System).
@@ -168,9 +174,11 @@ func (s *System) Describe(w sched.Workload) (Plan, bool) {
 	}
 	pol, eff := s.ChoosePolicy(w, exec, bucketParams, chips)
 	gpuBuckets, _, _ := s.searchGPUBuckets(w, exec, pol, bucketParams, nb)
+	actW, actSpill := ActCoPlan(chip, w.Model, shard, pol, exec, w.Seq, bucketParams, gpuBuckets)
 	return Plan{Policy: pol, CastPath: s.castPath(chip, bucketParams), BucketBytes: bb,
 		BucketParams: bucketParams, NBuckets: nb, GPUBuckets: gpuBuckets,
-		Exec: exec, Efficiency: eff}, true
+		Exec: exec, Efficiency: eff,
+		ActResidentLayers: actW, ActSpill: actSpill}, true
 }
 
 // searchGPUBuckets grid-searches the GPU-retained bucket count (§4.3)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
@@ -101,6 +102,7 @@ type engineRank interface {
 	bucketStore() stv.BucketStore
 	bucketLayout() []nn.Params
 	placementExec() *stv.PlacementExecutor
+	actStore() *act.Store
 }
 
 // storeList collects every rank's bucket store, in rank order.
@@ -151,6 +153,41 @@ func sumNVMeTelemetry(stores []stv.BucketStore) (stv.StoreTelemetry, bool) {
 		}
 	}
 	return sum, any
+}
+
+// actStoreList collects every rank's activation store, in rank order
+// (entries are nil without an activation tier).
+func actStoreList[R engineRank](ranks []R) []*act.Store {
+	out := make([]*act.Store, len(ranks))
+	for i, rk := range ranks {
+		out[i] = rk.actStore()
+	}
+	return out
+}
+
+// sumActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over every rank; ok is false without an activation tier.
+func sumActTelemetry[R engineRank](ranks []R) (act.Telemetry, bool) {
+	var sum act.Telemetry
+	any := false
+	for _, rk := range ranks {
+		if s := rk.actStore(); s != nil {
+			sum = sum.Add(s.Telemetry())
+			any = true
+		}
+	}
+	return sum, any
+}
+
+// attachActStore wires a rank's activation store into its replica path
+// (the model-level tap — DP ranks own their replicas) and its placement
+// executor's step model. Nil-safe on both sides.
+func attachActStore(model *nn.GPT, exec *stv.PlacementExecutor, st *act.Store) {
+	if st == nil {
+		return
+	}
+	model.SetActivationTap(st)
+	exec.SetAct(stv.ActShapeFor(model, st))
 }
 
 // newRankExecutor builds rank executors for a placement plan: the
@@ -267,9 +304,9 @@ func (c *coordinator) flush(w *world) (bool, error) {
 }
 
 // closeWorld resolves any pending validation, stops the rank goroutines
-// and the validation aggregator, and closes every rank's bucket store.
-// The engine is unusable afterwards.
-func (c *coordinator) closeWorld(w *world, stores []stv.BucketStore) error {
+// and the validation aggregator, and closes every rank's bucket store
+// and activation store. The engine is unusable afterwards.
+func (c *coordinator) closeWorld(w *world, stores []stv.BucketStore, acts []*act.Store) error {
 	if c.closed {
 		return nil
 	}
@@ -279,7 +316,16 @@ func (c *coordinator) closeWorld(w *world, stores []stv.BucketStore) error {
 	}
 	close(w.partial)
 	c.closed = true
-	return closeStores(stores, err)
+	err = closeStores(stores, err)
+	for _, a := range acts {
+		if a == nil {
+			continue
+		}
+		if aerr := a.Close(); err == nil {
+			err = aerr
+		}
+	}
+	return err
 }
 
 // buildStores constructs every rank's bucket store before any rank
@@ -298,6 +344,29 @@ func buildStores(n int, factory func(rank int) (stv.BucketStore, error)) ([]stv.
 				s.Close()
 			}
 			return nil, fmt.Errorf("dp: building rank %d store: %w", id, err)
+		}
+		stores[id] = st
+	}
+	return stores, nil
+}
+
+// buildActStores constructs every rank's activation store before any
+// rank goroutine starts (nil factory: no activation tier, all entries
+// nil). A failing constructor unwinds the stores already built.
+func buildActStores(n int, factory func(rank int) (*act.Store, error)) ([]*act.Store, error) {
+	stores := make([]*act.Store, n)
+	if factory == nil {
+		return stores, nil
+	}
+	for id := 0; id < n; id++ {
+		st, err := factory(id)
+		if err != nil {
+			for _, s := range stores[:id] {
+				if s != nil {
+					s.Close()
+				}
+			}
+			return nil, fmt.Errorf("dp: building rank %d activation store: %w", id, err)
 		}
 		stores[id] = st
 	}

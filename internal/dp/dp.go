@@ -26,6 +26,7 @@
 package dp
 
 import (
+	"superoffload/internal/act"
 	"superoffload/internal/hw"
 	"superoffload/internal/optim"
 	"superoffload/internal/place"
@@ -83,6 +84,13 @@ type Config struct {
 	// against; the zero value means hw.DefaultSuperchip(). Ignored when
 	// Placement is nil.
 	Superchip hw.SuperchipSpec
+	// NewActStore, when non-nil, builds each rank's activation offloading
+	// tier (internal/act): per-layer forward activations spill out of the
+	// rank's replica behind the store's resident window and prefetch back
+	// ahead of backward. Spilling is numerically invisible, so every
+	// engine stays bit-identical to its non-spilling counterpart. The
+	// engine owns the stores: Close closes them.
+	NewActStore func(rank int) (*act.Store, error)
 }
 
 // resolution is the verdict for the previous speculative step, broadcast

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/stv"
@@ -56,6 +57,10 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	acts, err := buildActStores(cfg.Ranks, cfg.NewActStore)
+	if err != nil {
+		return nil, closeStores(stores, err)
+	}
 	for id := 0; id < cfg.Ranks; id++ {
 		replica := model
 		if id > 0 {
@@ -63,6 +68,8 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 		}
 		rk := newRank(id, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
 		rk.exec = newRankExecutor(cfg, replica, rk.owned, nBuckets)
+		rk.ast = acts[id]
+		attachActStore(replica, rk.exec, rk.ast)
 		for _, ob := range rk.owned {
 			e.buckets[ob.idx] = ob.b
 		}
@@ -83,6 +90,12 @@ func (e *Engine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 // accounting over every rank; ok is false without a placement plan.
 func (e *Engine) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
 	return sumPlacementTelemetry(e.ranks)
+}
+
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over every rank; ok is false without an activation tier.
+func (e *Engine) ActTelemetry() (act.Telemetry, bool) {
+	return sumActTelemetry(e.ranks)
 }
 
 // Ranks reports the data-parallel degree R.
@@ -188,6 +201,8 @@ func (e *Engine) Load(r io.Reader) error { return e.load(r, e.buckets, replicaGr
 func (e *Engine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
 
 // Close resolves any pending validation, stops the rank goroutines and
-// the validation aggregator, and closes every rank's bucket store. The
-// engine is unusable afterwards.
-func (e *Engine) Close() error { return e.closeWorld(e.w.world, storeList(e.ranks)) }
+// the validation aggregator, and closes every rank's bucket and
+// activation stores. The engine is unusable afterwards.
+func (e *Engine) Close() error {
+	return e.closeWorld(e.w.world, storeList(e.ranks), actStoreList(e.ranks))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/stv"
@@ -101,6 +102,10 @@ func NewMesh(model *nn.GPT, cfg Config) (*MeshEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	acts, err := buildActStores(r*s, cfg.NewActStore)
+	if err != nil {
+		return nil, closeStores(stores, err)
+	}
 	for g := 0; g < r; g++ {
 		for sl := 0; sl < s; sl++ {
 			id := g*s + sl
@@ -110,6 +115,7 @@ func NewMesh(model *nn.GPT, cfg Config) (*MeshEngine, error) {
 			}
 			rk := newMeshRank(g, sl, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
 			rk.exec = newRankExecutor(cfg, replica, rk.owned, nBuckets)
+			rk.attachAct(acts[id])
 			for _, ob := range rk.owned {
 				e.buckets[ob.idx] = ob.b
 			}
@@ -135,6 +141,12 @@ func (e *MeshEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 // accounting over every rank; ok is false without a placement plan.
 func (e *MeshEngine) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
 	return sumPlacementTelemetry(e.ranks)
+}
+
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over every rank; ok is false without an activation tier.
+func (e *MeshEngine) ActTelemetry() (act.Telemetry, bool) {
+	return sumActTelemetry(e.ranks)
 }
 
 // Ranks reports the data-parallel degree R (the number of replica
@@ -269,4 +281,6 @@ func (e *MeshEngine) MasterWeights() []float32 { return gatherMasters(e.buckets)
 // Close resolves any pending validation, stops the rank goroutines and
 // the validation aggregator, and closes every rank's bucket store. The
 // engine is unusable afterwards.
-func (e *MeshEngine) Close() error { return e.closeWorld(e.w.world, storeList(e.ranks)) }
+func (e *MeshEngine) Close() error {
+	return e.closeWorld(e.w.world, storeList(e.ranks), actStoreList(e.ranks))
+}

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
@@ -25,6 +26,7 @@ type meshRank struct {
 	impl   optim.Impl
 	store  stv.BucketStore
 	exec   *stv.PlacementExecutor // nil without a placement plan
+	ast    *act.Store             // nil without an activation tier
 	groups []nn.Params            // global bucket layout over this replica
 	owned  []ownedBucket          // this rank's partition, ascending bucket index
 	// offsets[b] is bucket b's start in the flat gradient layout
@@ -61,6 +63,18 @@ func newMeshRank(group, local int, w *meshWorld, model *nn.GPT, impl optim.Impl,
 	}}
 	r.groups, r.owned, r.offsets = partitionReplica(model, bucketElems, r.id, w.N, store)
 	return r
+}
+
+// attachAct wires this rank's activation store into its group's
+// sequence-parallel pass (via nn.SP.Tap) and its placement executor's
+// step model. Nil-safe.
+func (r *meshRank) attachAct(st *act.Store) {
+	if st == nil {
+		return
+	}
+	r.ast = st
+	r.sp.Tap = st
+	r.exec.SetAct(stv.ActShapeFor(r.model, st))
 }
 
 // run is the rank's top-level loop.
@@ -174,3 +188,4 @@ func (r *meshRank) allGather() {
 func (r *meshRank) bucketStore() stv.BucketStore          { return r.store }
 func (r *meshRank) bucketLayout() []nn.Params             { return r.groups }
 func (r *meshRank) placementExec() *stv.PlacementExecutor { return r.exec }
+func (r *meshRank) actStore() *act.Store                  { return r.ast }

@@ -3,6 +3,7 @@ package dp
 import (
 	"math"
 
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/fp16"
 	"superoffload/internal/nn"
@@ -135,6 +136,7 @@ type rank struct {
 	impl   optim.Impl
 	store  stv.BucketStore
 	exec   *stv.PlacementExecutor // nil without a placement plan
+	ast    *act.Store             // nil without an activation tier
 	groups []nn.Params            // global bucket layout over this replica
 	owned  []ownedBucket          // this rank's partition, ascending bucket index
 	// sendBufs[m][b] stages the gradient contribution for micro-batch m
@@ -247,3 +249,4 @@ func (r *rank) allGather() {
 func (r *rank) bucketStore() stv.BucketStore          { return r.store }
 func (r *rank) bucketLayout() []nn.Params             { return r.groups }
 func (r *rank) placementExec() *stv.PlacementExecutor { return r.exec }
+func (r *rank) actStore() *act.Store                  { return r.ast }

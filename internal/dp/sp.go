@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/stv"
@@ -65,6 +66,10 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	acts, err := buildActStores(cfg.Ranks, cfg.NewActStore)
+	if err != nil {
+		return nil, closeStores(stores, err)
+	}
 	for id := 0; id < cfg.Ranks; id++ {
 		replica := model
 		if id > 0 {
@@ -72,6 +77,7 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 		}
 		rk := newSPRank(id, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
 		rk.exec = newRankExecutor(cfg, replica, rk.owned, nBuckets)
+		rk.attachAct(acts[id])
 		for _, ob := range rk.owned {
 			e.buckets[ob.idx] = ob.b
 		}
@@ -109,6 +115,12 @@ func (e *SPEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
 // accounting over every rank; ok is false without a placement plan.
 func (e *SPEngine) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
 	return sumPlacementTelemetry(e.ranks)
+}
+
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over every rank; ok is false without an activation tier.
+func (e *SPEngine) ActTelemetry() (act.Telemetry, bool) {
+	return sumActTelemetry(e.ranks)
 }
 
 // SeqRanks reports the sequence-parallel degree S.
@@ -223,6 +235,8 @@ func (e *SPEngine) Load(r io.Reader) error { return e.load(r, e.buckets, replica
 func (e *SPEngine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
 
 // Close resolves any pending validation, stops the rank goroutines and
-// the validation aggregator, and closes every rank's bucket store. The
-// engine is unusable afterwards.
-func (e *SPEngine) Close() error { return e.closeWorld(e.w.world, storeList(e.ranks)) }
+// the validation aggregator, and closes every rank's bucket and
+// activation stores. The engine is unusable afterwards.
+func (e *SPEngine) Close() error {
+	return e.closeWorld(e.w.world, storeList(e.ranks), actStoreList(e.ranks))
+}

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
 	"superoffload/internal/optim"
@@ -20,6 +21,7 @@ type spRank struct {
 	impl   optim.Impl
 	store  stv.BucketStore
 	exec   *stv.PlacementExecutor // nil without a placement plan
+	ast    *act.Store             // nil without an activation tier
 	groups []nn.Params            // global bucket layout over this replica
 	owned  []ownedBucket          // this rank's partition, ascending bucket index
 	// offsets[b] is bucket b's start in the flat gradient layout
@@ -39,6 +41,18 @@ func newSPRank(id int, w *spWorld, model *nn.GPT, impl optim.Impl, bucketElems i
 	}}
 	r.groups, r.owned, r.offsets = partitionReplica(model, bucketElems, id, w.N, store)
 	return r
+}
+
+// attachAct wires this rank's activation store into the sequence-parallel
+// pass (the tap lives on nn.SP, not the model — see nn.SP.Tap) and its
+// placement executor's step model. Nil-safe.
+func (r *spRank) attachAct(st *act.Store) {
+	if st == nil {
+		return
+	}
+	r.ast = st
+	r.sp.Tap = st
+	r.exec.SetAct(stv.ActShapeFor(r.model, st))
 }
 
 // run is the rank's top-level loop.
@@ -124,3 +138,4 @@ func (r *spRank) allGather() {
 func (r *spRank) bucketStore() stv.BucketStore          { return r.store }
 func (r *spRank) bucketLayout() []nn.Params             { return r.groups }
 func (r *spRank) placementExec() *stv.PlacementExecutor { return r.exec }
+func (r *spRank) actStore() *act.Store                  { return r.ast }

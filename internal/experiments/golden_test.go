@@ -24,6 +24,7 @@ const hostMeasuredMarker = "\nReal Go kernels measured on this machine:"
 // render non-empty.
 var archSensitive = map[string]string{
 	"fig14":             "amd64",
+	"ext-act-stv":       "amd64",
 	"ext-nvme-stv":      "amd64",
 	"ext-ulysses-stv":   "amd64",
 	"ext-mesh-stv":      "amd64",

@@ -32,6 +32,7 @@ var registry = map[string]Runner{
 	"table3":            func() string { return RenderTable3(Table3(0)) },
 	"fig14":             func() string { return RenderFig14(Fig14Real(150), Fig14Envelope(80000)) },
 	"fig15":             func() string { return RenderIdle("Fig. 15: GPU idle with SuperOffload", Fig15()) },
+	"ext-act-stv":       ExtActSTV,
 	"ext-nvme":          ExtNVMe,
 	"ext-nvme-stv":      ExtNVMeSTV,
 	"ext-ulysses-stv":   ExtUlyssesSTV,

@@ -46,7 +46,7 @@ func attendHead(q, k, v *tensor.Tensor, scale float32) (o, probs *tensor.Tensor)
 // weight-free.
 func attendHeadBackwardInto(dq, dk, dv, dp, ds *tensor.Tensor, p, q, k, v, do *tensor.Tensor, scale float32) {
 	seq := p.Dim(0)
-	tensor.TMatMulInto(dv, p, do)  // (T,hs)
+	tensor.TMatMulInto(dv, p, do) // (T,hs)
 	tensor.MatMulTInto(dp, do, v) // (T,T)
 
 	// Softmax backward row-wise: dS = P ⊙ (dP − rowSum(dP⊙P)).

@@ -37,6 +37,12 @@ type GPT struct {
 	// Forward/ForwardSP, it hands the pass its transient tensors so
 	// steady-state training steps allocate almost nothing.
 	ws workspace
+
+	// tap, when set, observes layer boundaries on the single-rank path
+	// (see SetActivationTap): forward stashes each block's retained
+	// activations as it completes, backward fetches them back just in
+	// time.
+	tap ActivationTap
 }
 
 // NewGPT builds a model with N(0, 0.02) initialization (residual
@@ -170,7 +176,10 @@ func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fw
 	}
 
 	cache := &fwdCache{tokens: tokens, batch: batch, seq: seq, embedded: x}
-	for _, blk := range g.Blocks {
+	if g.tap != nil {
+		g.tap.BeginPass(len(g.Blocks), n, seq)
+	}
+	for l, blk := range g.Blocks {
 		bc := &blockCache{xIn: x}
 		ln1y, ln1c := layerNorm(ws, x, blk.LN1G, blk.LN1B)
 		bc.ln1 = ln1c
@@ -192,6 +201,9 @@ func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fw
 		tensor.AddInto(x2, res1, h2)
 		x = x2
 		cache.blocks = append(cache.blocks, bc)
+		if g.tap != nil {
+			g.tap.StashLayer(l, bc.actBufs())
+		}
 	}
 
 	lnfy, lnfc := layerNorm(ws, x, g.LNFG, g.LNFB)
@@ -220,6 +232,9 @@ func (g *GPT) Backward(cache *fwdCache, lossScale float64) {
 	for l := len(g.Blocks) - 1; l >= 0; l-- {
 		blk := g.Blocks[l]
 		bc := cache.blocks[l]
+		if g.tap != nil {
+			g.tap.FetchLayer(l)
+		}
 
 		// MLP branch: x2 = res1 + W2·gelu(W1·ln2(res1)).
 		dh2 := dx

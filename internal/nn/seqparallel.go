@@ -44,6 +44,12 @@ type SP struct {
 	// addressed here. May be nil when Ranks == 1 (the exchange is then
 	// the identity).
 	AllToAll func(payloads [][]float32) [][]float32
+	// Tap, when set, observes layer boundaries on this rank's
+	// sequence-parallel passes (the SP analogue of GPT.SetActivationTap:
+	// the tap lives here because several SP ranks may share one
+	// read-only GPT). The fetched buffers stay restored through the
+	// AccumBatchRow weight-gradient replay.
+	Tap ActivationTap
 }
 
 // exchange runs the collective, short-circuiting the degenerate world.
@@ -166,7 +172,10 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 		}
 	}
 
-	for _, blk := range g.Blocks {
+	if sp.Tap != nil {
+		sp.Tap.BeginPass(len(g.Blocks), n, globalSeq)
+	}
+	for l, blk := range g.Blocks {
 		bc := &spBlockCache{}
 		ln1y, ln1c := layerNorm(ws, x, blk.LN1G, blk.LN1B)
 		bc.ln1, bc.ln1y = ln1c, ln1y
@@ -208,6 +217,9 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 		tensor.AddInto(x2, res1, h2)
 		x = x2
 		cache.blocks = append(cache.blocks, bc)
+		if sp.Tap != nil {
+			sp.Tap.StashLayer(l, bc.actBufs())
+		}
 	}
 
 	lnfy, lnfc := layerNorm(ws, x, g.LNFG, g.LNFB)
@@ -246,6 +258,9 @@ func (g *GPT) BackwardSP(cache *SPCache, lossScale float64, sp *SP) {
 	for l := len(g.Blocks) - 1; l >= 0; l-- {
 		blk := g.Blocks[l]
 		bc := cache.blocks[l]
+		if sp.Tap != nil {
+			sp.Tap.FetchLayer(l)
+		}
 
 		// MLP branch: x2 = res1 + W2·gelu(W1·ln2(res1)).
 		bc.dh2 = dx

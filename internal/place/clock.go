@@ -29,6 +29,27 @@ type Shape struct {
 	// Params is the replica's parameter count (backward covers the whole
 	// model even when this holder owns only a shard of the optimizer).
 	Params int64
+	// Act describes the activation-offload tier, when one is configured.
+	// The zero value (Act.Layers == 0) models fully resident activations
+	// and leaves the step schedule exactly as before.
+	Act ActShape
+}
+
+// ActShape describes an activation store (internal/act) hanging off the
+// step: per-layer forward activations stream out on the copy/flash
+// engine behind a resident window and prefetch back ahead of backward
+// with depth-2 double buffering.
+type ActShape struct {
+	// Layers is the transformer depth (0 disables activation modeling).
+	Layers int
+	// Resident is the store's resident window W: the trailing W layers
+	// never spill. Values below the store's floor of 2 model W = 2.
+	Resident int
+	// Heads is the attention head count feeding hw.ActLayerBytes.
+	Heads int
+	// NVMe selects the flash tier; false models the DRAM cache tier over
+	// the C2C link.
+	NVMe bool
 }
 
 // BucketWork is one bucket the holder steps: its global index (production
@@ -82,6 +103,17 @@ func (t TierSeconds) Total() float64 { return t.Cast + t.D2H + t.Adam + t.H2D + 
 type Breakdown struct {
 	// Backward is the modeled GPU backward producing the gradients.
 	Backward float64
+	// Forward is the modeled GPU forward (half of Backward). Zero unless
+	// the shape carries an activation tier: without one, forward never
+	// interacts with the optimizer schedule and stays out of both totals.
+	Forward float64
+	// ActWrite and ActRead are the activation tier's spill and prefetch
+	// transfer times; ActStall is the portion of the reads the depth-2
+	// prefetch could not hide ahead of the backward layer that needed
+	// them (the activation tier's only critical-path contribution).
+	ActWrite float64
+	ActRead  float64
+	ActStall float64
 	// Pipelined is the schedule's completion time with every engine
 	// overlapping: backward + whatever optimizer work the clocks could
 	// not hide.
@@ -109,11 +141,16 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 		return bd
 	}
 	bd.Backward = spec.BackwardTime(shape.Params, shape.Tokens, shape.Hidden, shape.Seq)
-	chunk := bd.Backward / float64(nGlobal)
+	fwdEnd := actSchedule(spec, shape, &bd)
+	chunk := (bd.Backward + bd.ActStall) / float64(nGlobal)
 
 	// Engine clocks: gpu is the GPU stream's current time; the others
-	// are each engine's next-free time.
+	// are each engine's next-free time. With an activation tier the GPU
+	// stream starts after the modeled forward (whose spills ride their
+	// own store engine), and prefetch stalls stretch the backward the
+	// optimizer chunks are spaced over.
 	var gpu, d2h, cpu, h2d, nvme float64
+	gpu = fwdEnd
 	var gpuTail []int64 // element counts of GPU-resident buckets, stepped post-backward
 
 	prevIndex := nGlobal // one past the first-produced bucket
@@ -168,7 +205,7 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 	}
 
 	bd.Pipelined = math.Max(gpu, math.Max(cpu, h2d))
-	bd.Serialized = bd.Backward
+	bd.Serialized = bd.Backward + bd.Forward + bd.ActWrite + bd.ActRead
 	for _, ts := range bd.Tiers {
 		bd.Serialized += ts.Total()
 	}
@@ -177,6 +214,98 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 	// clamp to keep Pipelined ≤ Serialized an invariant.
 	bd.Pipelined = math.Min(bd.Pipelined, bd.Serialized)
 	return bd
+}
+
+// actSchedule models the activation tier around the optimizer step,
+// mirroring the real store's clock discipline (internal/act): layer
+// spills enqueue on the store engine as soon as the write-behind window
+// slides past them during forward, and backward walks the layers top
+// down with at most two prefetch reads in flight, stalling only when
+// the layer it needs has not landed. It fills bd.Forward/ActWrite/
+// ActRead/ActStall and returns the GPU time at which forward completes;
+// with no activation tier (shape.Act.Layers == 0) it is a no-op and
+// returns 0, leaving the step schedule bit-identical to the
+// activation-free model.
+func actSchedule(spec hw.SuperchipSpec, shape Shape, bd *Breakdown) float64 {
+	L := shape.Act.Layers
+	if L <= 0 || shape.Tokens <= 0 {
+		return 0
+	}
+	bd.Forward = bd.Backward / 2
+	w := shape.Act.Resident
+	if w < 2 {
+		w = 2
+	}
+	spilled := L - w
+	if spilled <= 0 {
+		return bd.Forward
+	}
+	layerFwd := bd.Forward / float64(L)
+	layerBwd := bd.Backward / float64(L)
+	bytes := hw.ActLayerBytes(shape.Tokens, shape.Hidden, shape.Act.Heads, shape.Seq)
+	var wt, rt float64
+	if shape.Act.NVMe {
+		wt = spec.NVMe.WriteTime(bytes)
+		rt = spec.NVMe.ReadTime(bytes)
+	} else {
+		wt = spec.Chip.Link.TransferTime(bytes, hw.DeviceToHost, hw.Pinned)
+		rt = spec.Chip.Link.TransferTime(bytes, hw.HostToDevice, hw.Pinned)
+	}
+
+	// Forward: layer s spills when layer s+w finishes (the window slides
+	// past it), serialized on the store's own engine clock.
+	var dev float64
+	for s := 0; s < spilled; s++ {
+		issue := float64(s+w+1) * layerFwd
+		dev = math.Max(dev, issue)
+		dev += wt
+		bd.ActWrite += wt
+	}
+
+	// Backward: depth-2 double-buffered prefetch, consuming spilled
+	// layers in the order backward reaches them (descending index).
+	cpu := bd.Forward
+	done := make([]float64, spilled)
+	next := spilled - 1
+	inflight := 0
+	for l := L - 1; l >= 0; l-- {
+		for inflight < 2 && next >= 0 {
+			dev = math.Max(dev, cpu)
+			dev += rt
+			bd.ActRead += rt
+			done[next] = dev
+			next--
+			inflight++
+		}
+		if l < spilled {
+			if done[l] > cpu {
+				bd.ActStall += done[l] - cpu
+				cpu = done[l]
+			}
+			inflight--
+		}
+		cpu += layerBwd
+	}
+	return bd.Forward
+}
+
+// ActResidentBytes is the HBM the activation tier keeps resident: the
+// trailing W layers that never spill (W floors at the store's minimum
+// window of 2 and caps at the depth). Auto charges it against the same
+// budget as retained optimizer state, co-planning the two tiers.
+func ActResidentBytes(shape Shape) int64 {
+	L := shape.Act.Layers
+	if L <= 0 || shape.Tokens <= 0 {
+		return 0
+	}
+	w := shape.Act.Resident
+	if w < 2 {
+		w = 2
+	}
+	if w > L {
+		w = L
+	}
+	return int64(w) * hw.ActLayerBytes(shape.Tokens, shape.Hidden, shape.Act.Heads, shape.Seq)
 }
 
 // GPUStateBytesPerElem is the HBM footprint of one GPU-resident
@@ -198,6 +327,12 @@ func Auto(spec hw.SuperchipSpec, elems []int, shape Shape, budgetBytes int64) Pl
 	}
 	if budgetBytes <= 0 {
 		budgetBytes = spec.Chip.GPU.MemBytes / 4
+	}
+	// Resident activations and retained optimizer state share one HBM
+	// budget: an activation tier's never-spilled window is charged first,
+	// shrinking what the grid search may retain.
+	if budgetBytes -= ActResidentBytes(shape); budgetBytes < 0 {
+		budgetBytes = 0
 	}
 	best := Uniform(nb, CPUAdam)
 	bestT := StepTimes(spec, best.Work(elems), nb, shape).Pipelined

@@ -1,0 +1,148 @@
+package stv
+
+import (
+	"bytes"
+	"testing"
+
+	"superoffload/internal/act"
+	"superoffload/internal/data"
+	"superoffload/internal/model"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/place"
+	"superoffload/internal/tensor"
+)
+
+// actGPT is deep enough (5 layers) that the activation store's resident
+// floor of 2 leaves three layers actually spilling per pass.
+func actGPT(seed uint64) *nn.GPT {
+	cfg := model.Config{Name: "t", Layers: 5, Hidden: 32, Heads: 2, Vocab: 64}
+	return nn.NewGPT(cfg, 16, tensor.NewRNG(seed))
+}
+
+// runActTrainer trains a 5-layer model for steps iterations with the
+// given activation store (nil for the resident reference), with clipping
+// and fault injection active so the exactness claim covers the clip
+// rollback, the NaN skip, and the redo-forward that abandons a
+// half-spilled pass. Returns losses, stats, checkpoint bytes, and master
+// weights.
+func runActTrainer(t *testing.T, st *act.Store, steps int) ([]float64, Stats, []byte, []float32) {
+	t.Helper()
+	cfg := trainerConfig(STV)
+	cfg.ClipNorm = 0.9
+	cfg.Scaler = optim.NewLossScaler()
+	cfg.InjectBad = func(step int) bool { return step == 4 }
+	cfg.Act = st
+	tr := NewTrainer(actGPT(42), cfg)
+	defer tr.Close()
+	corpus := data.NewCorpus(64, 321)
+	losses := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		l, err := tr.Step(corpus.NextBatch(2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, l)
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := tr.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	return losses, tr.Stats(), ckpt.Bytes(), tr.MasterWeights()
+}
+
+// TestTrainerActBitExact is the single-rank half of the activation-spill
+// exactness contract: a trainer spilling through either tier reproduces
+// the resident trainer's losses, rollback stats, checkpoint bytes, and
+// master weights bit for bit — including across redo-forwards, which
+// abandon a half-spilled pass mid-flight.
+func TestTrainerActBitExact(t *testing.T) {
+	const steps = 18
+	refLosses, refStats, refCkpt, refMasters := runActTrainer(t, nil, steps)
+	if refStats.Rollbacks() == 0 || refStats.Redos == 0 {
+		t.Fatalf("reference run exercised no rollbacks/redos: %+v", refStats)
+	}
+
+	for _, tier := range []act.Tier{act.DRAM, act.NVMe} {
+		t.Run(tier.String(), func(t *testing.T) {
+			st, err := act.NewStore(act.Config{
+				Tier: tier, Dir: t.TempDir(), ResidentLayers: 2,
+				Hidden: 32, Params: int64(actGPT(42).NumParams()),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses, stats, ckpt, masters := runActTrainer(t, st, steps)
+			for i := range refLosses {
+				if losses[i] != refLosses[i] {
+					t.Fatalf("loss diverged at step %d: %v vs %v", i, losses[i], refLosses[i])
+				}
+			}
+			if stats != refStats {
+				t.Fatalf("stats diverged: %+v vs %+v", stats, refStats)
+			}
+			if !bytes.Equal(ckpt, refCkpt) {
+				t.Fatal("checkpoint bytes diverged")
+			}
+			for i := range masters {
+				if masters[i] != refMasters[i] {
+					t.Fatalf("master weights diverged at %d", i)
+				}
+			}
+			tel := st.Telemetry()
+			// Redo-forwards spill layers whose pass is then abandoned, so
+			// spilled traffic can exceed fetched — never the reverse.
+			if tel.Spills == 0 || tel.Fetches == 0 || tel.BytesSpilled < tel.BytesFetched {
+				t.Fatalf("store saw no spill traffic: %+v", tel)
+			}
+			if tel.PipelinedSeconds() >= tel.SerializedSeconds() {
+				t.Fatalf("double buffering hid nothing: pipelined %v >= serialized %v",
+					tel.PipelinedSeconds(), tel.SerializedSeconds())
+			}
+		})
+	}
+}
+
+// TestTrainerActPlacementClock pins the co-modeled step clock: with an
+// activation store attached, the placement executor's telemetry gains the
+// activation phases, and the pipelined schedule strictly beats the
+// serialized one (the prefetcher overlaps reads under backward compute).
+func TestTrainerActPlacementClock(t *testing.T) {
+	m := actGPT(42)
+	nb := len(PartitionGroups(m.Params(), 20000))
+	plan := place.GPUTail(nb, 1)
+	st, err := act.NewStore(act.Config{
+		Tier: act.NVMe, Dir: t.TempDir(), ResidentLayers: 2,
+		Hidden: 32, Params: int64(m.NumParams()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trainerConfig(STV)
+	cfg.Placement = &plan
+	cfg.Act = st
+	tr := NewTrainer(m, cfg)
+	defer tr.Close()
+	corpus := data.NewCorpus(64, 5)
+	for i := 0; i < 6; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tel, ok := tr.PlacementTelemetry()
+	if !ok {
+		t.Fatal("placement telemetry missing")
+	}
+	if tel.ActWriteSeconds <= 0 || tel.ActReadSeconds <= 0 || tel.ForwardSeconds <= 0 {
+		t.Fatalf("activation phases not modeled: %+v", tel)
+	}
+	if tel.PipelinedSeconds <= 0 || tel.PipelinedSeconds >= tel.SerializedSeconds {
+		t.Fatalf("pipelined schedule does not strictly beat serialized: %+v", tel)
+	}
+}

@@ -72,6 +72,13 @@ type PlacementTelemetry struct {
 	// SerializedSeconds is the no-overlap reference (backward plus every
 	// phase of every bucket end to end).
 	SerializedSeconds float64
+	// ForwardSeconds, ActWriteSeconds, ActReadSeconds, and
+	// ActStallSeconds are the activation tier's modeled phases (see
+	// place.Breakdown); all zero unless an activation store is attached.
+	ForwardSeconds  float64
+	ActWriteSeconds float64
+	ActReadSeconds  float64
+	ActStallSeconds float64
 	// Tiers is the per-tier breakdown, indexed by place.Tier.
 	Tiers [place.NumTiers]PlacementTier
 }
@@ -93,6 +100,10 @@ func (t PlacementTelemetry) Add(o PlacementTelemetry) PlacementTelemetry {
 		BackwardSeconds:   t.BackwardSeconds + o.BackwardSeconds,
 		PipelinedSeconds:  t.PipelinedSeconds + o.PipelinedSeconds,
 		SerializedSeconds: t.SerializedSeconds + o.SerializedSeconds,
+		ForwardSeconds:    t.ForwardSeconds + o.ForwardSeconds,
+		ActWriteSeconds:   t.ActWriteSeconds + o.ActWriteSeconds,
+		ActReadSeconds:    t.ActReadSeconds + o.ActReadSeconds,
+		ActStallSeconds:   t.ActStallSeconds + o.ActStallSeconds,
 	}
 	for i := range out.Tiers {
 		out.Tiers[i] = t.Tiers[i].add(o.Tiers[i])
@@ -110,9 +121,20 @@ type PlacementExecutor struct {
 	nGlobal int
 	hidden  int
 	params  int64
+	act     place.ActShape
 
 	mu  sync.Mutex
 	tel PlacementTelemetry
+}
+
+// SetAct attaches an activation-offload shape, so recorded steps model
+// the spill/prefetch schedule around the optimizer phases. Nil-safe;
+// call before the first Record.
+func (e *PlacementExecutor) SetAct(a place.ActShape) {
+	if e == nil {
+		return
+	}
+	e.act = a
 }
 
 // NewPlacementExecutor builds an executor over the holder's bucket
@@ -146,7 +168,7 @@ func (e *PlacementExecutor) Record(tokens, seq int) {
 		return
 	}
 	bd := place.StepTimes(e.spec, e.work, e.nGlobal, place.Shape{
-		Tokens: tokens, Hidden: e.hidden, Seq: seq, Params: e.params,
+		Tokens: tokens, Hidden: e.hidden, Seq: seq, Params: e.params, Act: e.act,
 	})
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -154,6 +176,10 @@ func (e *PlacementExecutor) Record(tokens, seq int) {
 	e.tel.BackwardSeconds += bd.Backward
 	e.tel.PipelinedSeconds += bd.Pipelined
 	e.tel.SerializedSeconds += bd.Serialized
+	e.tel.ForwardSeconds += bd.Forward
+	e.tel.ActWriteSeconds += bd.ActWrite
+	e.tel.ActReadSeconds += bd.ActRead
+	e.tel.ActStallSeconds += bd.ActStall
 	for i, ts := range bd.Tiers {
 		pt := &e.tel.Tiers[i]
 		pt.CastSeconds += ts.Cast

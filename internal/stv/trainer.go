@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/hw"
 	"superoffload/internal/nn"
@@ -71,6 +72,12 @@ type Config struct {
 	// against; the zero value means hw.DefaultSuperchip(). Ignored when
 	// Placement is nil.
 	Superchip hw.SuperchipSpec
+	// Act, when non-nil, is the activation offloading tier: per-layer
+	// forward activations spill out of the replica behind the store's
+	// resident window and prefetch back ahead of backward. Numerically
+	// invisible (restores are bit-exact); the trainer owns the store and
+	// attaches it to the model — Close closes it.
+	Act *act.Store
 }
 
 // WarmupCosine returns the standard warm-up + cosine-decay schedule used
@@ -196,7 +203,26 @@ func NewTrainer(m *nn.GPT, cfg Config) *Trainer {
 		t.exec = NewPlacementExecutor(cfg.Superchip, *cfg.Placement, idx, elems,
 			len(t.buckets), m.Cfg.Hidden, int64(m.NumParams()))
 	}
+	if cfg.Act != nil {
+		m.SetActivationTap(cfg.Act)
+		t.exec.SetAct(ActShapeFor(m, cfg.Act))
+	}
 	return t
+}
+
+// ActShapeFor describes a model's activation store to the virtual-clock
+// step model — the bridge every engine uses to put spill/prefetch time
+// on its placement executor's clocks. Zero when the store is nil.
+func ActShapeFor(m *nn.GPT, s *act.Store) place.ActShape {
+	if s == nil {
+		return place.ActShape{}
+	}
+	return place.ActShape{
+		Layers:   m.Cfg.Layers,
+		Resident: s.Resident(),
+		Heads:    m.Cfg.Heads,
+		NVMe:     s.OnNVMe(),
+	}
 }
 
 // NumBuckets reports the partition size (diagnostics).
@@ -205,9 +231,27 @@ func (t *Trainer) NumBuckets() int { return len(t.buckets) }
 // Store returns the trainer's bucket store (telemetry access).
 func (t *Trainer) Store() BucketStore { return t.store }
 
-// Close releases the bucket store's backing resources. The trainer is
-// unusable afterwards; resolve any in-flight validation (Flush) first.
-func (t *Trainer) Close() error { return t.store.Close() }
+// Close releases the bucket store's (and activation store's) backing
+// resources. The trainer is unusable afterwards; resolve any in-flight
+// validation (Flush) first.
+func (t *Trainer) Close() error {
+	err := t.store.Close()
+	if t.Cfg.Act != nil {
+		if aerr := t.Cfg.Act.Close(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}
+
+// ActTelemetry returns the activation store's traffic and modeled-time
+// accounting; ok is false without an activation tier.
+func (t *Trainer) ActTelemetry() (act.Telemetry, bool) {
+	if t.Cfg.Act == nil {
+		return act.Telemetry{}, false
+	}
+	return t.Cfg.Act.Telemetry(), true
+}
 
 // Stats returns validation counters.
 func (t *Trainer) Stats() Stats { return t.stats }

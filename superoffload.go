@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 
+	"superoffload/internal/act"
 	"superoffload/internal/core"
 	"superoffload/internal/data"
 	"superoffload/internal/dp"
@@ -117,6 +118,140 @@ type OptimizerConfig struct {
 	// §4.3 adaptive GPU/CPU weight-update split) and enables the
 	// virtual-clock superchip executor.
 	Placement PlacementConfig
+	// Activation selects the activation offloading tier (per-layer
+	// forward activations spill behind a write-behind window and prefetch
+	// back ahead of backward, SSDTrain-style).
+	Activation ActivationConfig
+}
+
+// ActivationConfig selects the activation offloading tier: per-layer
+// forward activations spill out of the replica as the forward pass's
+// write-behind window slides past them and prefetch back ahead of the
+// backward pass with async double buffering. Spilling is numerically
+// invisible — restores are bit-exact — so any configuration trains
+// identically to the resident engine; what changes is the modeled HBM
+// footprint and the spill/prefetch time on the virtual clocks.
+type ActivationConfig struct {
+	// Offload is "" (activations stay resident), "dram" (spill into a
+	// host-memory cache over the C2C link), or "nvme" (spill into a
+	// backing file at modeled flash rates).
+	Offload string
+	// Dir is the nvme tier's backing directory (default: the system temp
+	// directory). Each rank gets its own file.
+	Dir string
+	// ResidentLayers is the write-behind window W: the W most recent
+	// forward layers stay resident, everything older spills. The floor is
+	// 2 (the layer being differentiated plus the fetch in flight).
+	ResidentLayers int
+	// HBMBudgetBytes overrides the modeled per-superchip HBM capacity the
+	// facade guards step shapes against (0: the modeled GH200's 96 GiB).
+	// A step whose fp16 replica plus resident activation window exceeds
+	// the budget is rejected before training touches it — enabling
+	// offload shrinks the window from all layers to ResidentLayers, which
+	// is what lets overflowing seq×batch shapes train.
+	HBMBudgetBytes int64
+}
+
+// window returns the effective resident-layer window for a model of the
+// given depth: every layer without offload, the floored ResidentLayers
+// (≥2, ≤layers) with it.
+func (a ActivationConfig) window(layers int) int {
+	if a.Offload == "" {
+		return layers
+	}
+	w := a.ResidentLayers
+	if w < 2 {
+		w = 2
+	}
+	if w > layers {
+		w = layers
+	}
+	return w
+}
+
+// storeFactory translates the activation selection into a per-rank store
+// constructor (nil means resident activations, the engines' default).
+func (a ActivationConfig) storeFactory(m *Model) (func(rank int) (*act.Store, error), error) {
+	var tier act.Tier
+	switch a.Offload {
+	case "":
+		return nil, nil
+	case "dram":
+		tier = act.DRAM
+	case "nvme":
+		tier = act.NVMe
+	default:
+		return nil, fmt.Errorf("superoffload: unknown activation offload %q (want dram or nvme)", a.Offload)
+	}
+	hidden, params := m.gpt.Cfg.Hidden, int64(m.NumParams())
+	return func(rank int) (*act.Store, error) {
+		return act.NewStore(act.Config{
+			Tier: tier, Dir: a.Dir, ResidentLayers: a.ResidentLayers,
+			Hidden: hidden, Params: params,
+		})
+	}, nil
+}
+
+// ActTelemetry is the activation store's traffic and modeled-time
+// accounting (spills, fetches, prefetch stalls, pipelined vs serialized
+// seconds); see act.Telemetry.
+type ActTelemetry = act.Telemetry
+
+// hbmGuard models the per-superchip HBM footprint of a step — the fp16
+// replica with its fp16 gradients (4 bytes/param) plus the resident
+// activation window — and rejects shapes that overflow the modeled
+// budget before any rank touches them. Activation offloading shrinks the
+// window from every layer to ActivationConfig.ResidentLayers, which is
+// exactly what lets long-sequence shapes clear the guard.
+type hbmGuard struct {
+	budget           int64
+	params           int64
+	hidden, heads    int
+	resident         int
+	rowsDiv, seqDiv  int
+	offloadAvailable bool // false when Activation.Offload is already on
+}
+
+// newHBMGuard builds the guard for an engine whose ranks each hold
+// rows/rowsDiv × seq/seqDiv tokens of the batch.
+func (cfg OptimizerConfig) newHBMGuard(m *Model, rowsDiv, seqDiv int) *hbmGuard {
+	budget := cfg.Activation.HBMBudgetBytes
+	if budget <= 0 {
+		budget = hw.DefaultSuperchip().Chip.GPU.MemBytes
+	}
+	return &hbmGuard{
+		budget: budget, params: int64(m.NumParams()),
+		hidden: m.gpt.Cfg.Hidden, heads: m.gpt.Cfg.Heads,
+		resident: cfg.Activation.window(m.gpt.Cfg.Layers),
+		rowsDiv:  rowsDiv, seqDiv: seqDiv,
+		offloadAvailable: cfg.Activation.Offload == "",
+	}
+}
+
+// check validates one batch's shape against the modeled budget.
+func (g *hbmGuard) check(b Batch) error {
+	tokens := (b.BatchSize / max(g.rowsDiv, 1)) * (b.Seq / max(g.seqDiv, 1))
+	need := 4*g.params + int64(g.resident)*hw.ActLayerBytes(tokens, g.hidden, g.heads, b.Seq)
+	if need <= g.budget {
+		return nil
+	}
+	hint := "shrink the batch or sequence"
+	if g.offloadAvailable {
+		hint = "enable activation offloading (Activation.Offload / -act-offload) or shrink the batch"
+	}
+	return fmt.Errorf("superoffload: step shape %d×%d needs ~%d MiB of modeled HBM (%d resident layers) against a %d MiB budget; %s",
+		b.BatchSize, b.Seq, need>>20, g.resident, g.budget>>20, hint)
+}
+
+// checkAll validates every accumulated micro-batch (each is a full
+// forward/backward, so each must fit on its own).
+func (g *hbmGuard) checkAll(batches []Batch) error {
+	for _, b := range batches {
+		if err := g.check(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // OffloadConfig selects where the fp32 master weights and Adam moments
@@ -191,10 +326,22 @@ func (cfg OptimizerConfig) placementPlan(m *Model) (*place.Plan, error) {
 			if seq < 1 {
 				seq = m.gpt.MaxSeq
 			}
-			plan = place.Auto(hw.DefaultSuperchip(), elems, place.Shape{
+			shape := place.Shape{
 				Tokens: batch * seq, Hidden: m.gpt.Cfg.Hidden, Seq: seq,
 				Params: int64(m.NumParams()),
-			}, 0)
+			}
+			if cfg.Activation.Offload != "" {
+				// Co-plan optimizer and activation placement under one
+				// HBM budget: the resident activation window claims its
+				// bytes first, shrinking the GPU-retained bucket tail.
+				shape.Act = place.ActShape{
+					Layers:   m.gpt.Cfg.Layers,
+					Resident: cfg.Activation.window(m.gpt.Cfg.Layers),
+					Heads:    m.gpt.Cfg.Heads,
+					NVMe:     cfg.Activation.Offload == "nvme",
+				}
+			}
+			plan = place.Auto(hw.DefaultSuperchip(), elems, shape, 0)
 		}
 	default:
 		return nil, fmt.Errorf("superoffload: unknown placement mode %q (want auto, cpu, or gpu)", pc.Mode)
@@ -205,20 +352,24 @@ func (cfg OptimizerConfig) placementPlan(m *Model) (*place.Plan, error) {
 	return &plan, nil
 }
 
-// trainSetup resolves the optimizer config's placement plan and bucket
-// store factory for the model — one place shared by every InitX, so the
-// engines can never diverge on placement/offload wiring. Without a
-// placement the legacy offload path applies unchanged; with one, the
-// GPU/CPU tiers stay resident and only an nvme backend's body buckets
-// spill (through a per-rank PlacedStore).
-func (cfg OptimizerConfig) trainSetup(m *Model) (*place.Plan, func(rank int) (stv.BucketStore, error), error) {
+// trainSetup resolves the optimizer config's placement plan, bucket
+// store factory, and activation store factory for the model — one place
+// shared by every InitX, so the engines can never diverge on
+// placement/offload wiring. Without a placement the legacy offload path
+// applies unchanged; with one, the GPU/CPU tiers stay resident and only
+// an nvme backend's body buckets spill (through a per-rank PlacedStore).
+func (cfg OptimizerConfig) trainSetup(m *Model) (*place.Plan, func(rank int) (stv.BucketStore, error), func(rank int) (*act.Store, error), error) {
+	actFactory, err := cfg.Activation.storeFactory(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	plan, err := cfg.placementPlan(m)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if plan == nil {
 		factory, err := cfg.Offload.storeFactory()
-		return nil, factory, err
+		return nil, factory, actFactory, err
 	}
 	// Reuse storeFactory's backend dispatch (one switch, one error
 	// message); a non-nil factory means the nvme backend, which the
@@ -226,12 +377,12 @@ func (cfg OptimizerConfig) trainSetup(m *Model) (*place.Plan, func(rank int) (st
 	// plan's NVMe-tier body spills.
 	factory, err := cfg.Offload.storeFactory()
 	if err != nil || factory == nil {
-		return plan, nil, err
+		return plan, nil, actFactory, err
 	}
 	p := *plan
 	return plan, func(rank int) (stv.BucketStore, error) {
 		return stv.NewPlacedStore(p, cfg.Offload.nvmeConfig())
-	}, nil
+	}, actFactory, nil
 }
 
 // StoreTelemetry is the NVMe store's modeled-time accounting (reads,
@@ -280,6 +431,7 @@ type Batch = data.Batch
 // background validation, and exact rollback (§4.4).
 type Engine struct {
 	trainer *stv.Trainer
+	guard   *hbmGuard
 }
 
 // translate expands an OptimizerConfig into the Adam config, loss scaler,
@@ -312,7 +464,7 @@ func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
 	if cfg.Synchronous {
 		mode = stv.STE
 	}
-	plan, factory, err := cfg.trainSetup(m)
+	plan, factory, actFactory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -322,22 +474,38 @@ func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
 			return nil, err
 		}
 	}
+	var actStore *act.Store
+	if actFactory != nil {
+		if actStore, err = actFactory(0); err != nil {
+			return nil, err
+		}
+	}
 	a, scaler, schedule := cfg.translate()
 	tr := stv.NewTrainer(m.gpt, stv.Config{
 		Adam: a, Impl: optim.GraceAdam, ClipNorm: cfg.ClipNorm,
 		BucketElems: cfg.BucketElems, Mode: mode, Scaler: scaler,
-		Schedule: schedule, Store: store, Placement: plan,
+		Schedule: schedule, Store: store, Placement: plan, Act: actStore,
 	})
-	return &Engine{trainer: tr}, nil
+	return &Engine{trainer: tr, guard: cfg.newHBMGuard(m, 1, 1)}, nil
 }
 
 // Step runs one training iteration (forward, backward, speculative
 // optimizer step, background validation) and returns the batch loss.
-func (e *Engine) Step(b Batch) (float64, error) { return e.trainer.Step(b) }
+func (e *Engine) Step(b Batch) (float64, error) {
+	if err := e.guard.check(b); err != nil {
+		return 0, err
+	}
+	return e.trainer.Step(b)
+}
 
 // StepAccum runs one optimizer step over several accumulated micro-batches
 // (the §5.2 OOM-mitigation path) and returns the mean loss.
-func (e *Engine) StepAccum(batches []Batch) (float64, error) { return e.trainer.StepAccum(batches) }
+func (e *Engine) StepAccum(batches []Batch) (float64, error) {
+	if err := e.guard.checkAll(batches); err != nil {
+		return 0, err
+	}
+	return e.trainer.StepAccum(batches)
+}
 
 // Save serializes the training state (fp32 masters, Adam moments, step
 // counters, loss scale). Call Flush first; an in-flight validation blocks
@@ -379,6 +547,10 @@ func (e *Engine) PlacementTelemetry() (PlacementTelemetry, bool) {
 	return e.trainer.PlacementTelemetry()
 }
 
+// ActTelemetry returns the activation store's traffic and modeled-time
+// accounting; ok is false without an activation tier.
+func (e *Engine) ActTelemetry() (ActTelemetry, bool) { return e.trainer.ActTelemetry() }
+
 // Close releases the engine's bucket store (the nvme backend holds a
 // backing file and an IO worker). Call Flush first; safe on the dram
 // backend too.
@@ -405,6 +577,7 @@ type DPConfig struct {
 // micro-batch decomposition.
 type DPEngine struct {
 	engine *dp.Engine
+	guard  *hbmGuard
 }
 
 // InitDP wraps a model and optimizer into a data-parallel SuperOffload
@@ -415,7 +588,7 @@ func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
 	if m == nil {
 		return nil, fmt.Errorf("superoffload: nil model")
 	}
-	plan, factory, err := cfg.trainSetup(m)
+	plan, factory, actFactory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -430,21 +603,32 @@ func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
 		Scaler:      scaler,
 		Schedule:    schedule,
 		NewStore:    factory,
+		NewActStore: actFactory,
 		Placement:   plan,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DPEngine{engine: e}, nil
+	return &DPEngine{engine: e, guard: cfg.newHBMGuard(m, dpc.Ranks, 1)}, nil
 }
 
 // Step runs one training iteration over the global batch (its rows split
 // evenly across ranks) and returns the mean loss.
-func (e *DPEngine) Step(b Batch) (float64, error) { return e.engine.Step(b) }
+func (e *DPEngine) Step(b Batch) (float64, error) {
+	if err := e.guard.check(b); err != nil {
+		return 0, err
+	}
+	return e.engine.Step(b)
+}
 
 // StepAccum runs one optimizer step over several accumulated global
 // micro-batches, each split across ranks.
-func (e *DPEngine) StepAccum(batches []Batch) (float64, error) { return e.engine.StepAccum(batches) }
+func (e *DPEngine) StepAccum(batches []Batch) (float64, error) {
+	if err := e.guard.checkAll(batches); err != nil {
+		return 0, err
+	}
+	return e.engine.StepAccum(batches)
+}
 
 // Save serializes the sharded training state (gathered into the global
 // bucket order, so the checkpoint is identical to a single-rank one).
@@ -479,6 +663,10 @@ func (e *DPEngine) PlacementTelemetry() (PlacementTelemetry, bool) {
 	return e.engine.PlacementTelemetry()
 }
 
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over every rank; ok is false without an activation tier.
+func (e *DPEngine) ActTelemetry() (ActTelemetry, bool) { return e.engine.ActTelemetry() }
+
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
 func (e *DPEngine) Close() error { return e.engine.Close() }
@@ -509,6 +697,7 @@ type SPCommStats = dp.SPCommStats
 // checkpoints and all — is bit-identical to the single-rank Engine.
 type SPEngine struct {
 	engine *dp.SPEngine
+	guard  *hbmGuard
 }
 
 // InitSP wraps a model and optimizer into a sequence-parallel SuperOffload
@@ -519,7 +708,7 @@ func InitSP(m *Model, cfg OptimizerConfig, spc SPConfig) (*SPEngine, error) {
 	if m == nil {
 		return nil, fmt.Errorf("superoffload: nil model")
 	}
-	plan, factory, err := cfg.trainSetup(m)
+	plan, factory, actFactory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -534,21 +723,32 @@ func InitSP(m *Model, cfg OptimizerConfig, spc SPConfig) (*SPEngine, error) {
 		Scaler:      scaler,
 		Schedule:    schedule,
 		NewStore:    factory,
+		NewActStore: actFactory,
 		Placement:   plan,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &SPEngine{engine: e}, nil
+	return &SPEngine{engine: e, guard: cfg.newHBMGuard(m, 1, spc.SeqRanks)}, nil
 }
 
 // Step runs one training iteration over the batch (its sequence sharded
 // across ranks) and returns the mean loss.
-func (e *SPEngine) Step(b Batch) (float64, error) { return e.engine.Step(b) }
+func (e *SPEngine) Step(b Batch) (float64, error) {
+	if err := e.guard.check(b); err != nil {
+		return 0, err
+	}
+	return e.engine.Step(b)
+}
 
 // StepAccum runs one optimizer step over several accumulated
 // micro-batches, each sequence-sharded across ranks.
-func (e *SPEngine) StepAccum(batches []Batch) (float64, error) { return e.engine.StepAccum(batches) }
+func (e *SPEngine) StepAccum(batches []Batch) (float64, error) {
+	if err := e.guard.checkAll(batches); err != nil {
+		return 0, err
+	}
+	return e.engine.StepAccum(batches)
+}
 
 // Save serializes the sharded training state (gathered into the global
 // bucket order, identical to a single-rank checkpoint).
@@ -586,6 +786,10 @@ func (e *SPEngine) PlacementTelemetry() (PlacementTelemetry, bool) {
 	return e.engine.PlacementTelemetry()
 }
 
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over every rank; ok is false without an activation tier.
+func (e *SPEngine) ActTelemetry() (ActTelemetry, bool) { return e.engine.ActTelemetry() }
+
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
 func (e *SPEngine) Close() error { return e.engine.Close() }
@@ -621,6 +825,7 @@ type MeshConfig struct {
 // numerics).
 type MeshEngine struct {
 	engine *dp.MeshEngine
+	guard  *hbmGuard
 }
 
 // InitMesh wraps a model and optimizer into a hybrid R×S SuperOffload
@@ -631,7 +836,7 @@ func InitMesh(m *Model, cfg OptimizerConfig, mc MeshConfig) (*MeshEngine, error)
 	if m == nil {
 		return nil, fmt.Errorf("superoffload: nil model")
 	}
-	plan, factory, err := cfg.trainSetup(m)
+	plan, factory, actFactory, err := cfg.trainSetup(m)
 	if err != nil {
 		return nil, err
 	}
@@ -647,22 +852,33 @@ func InitMesh(m *Model, cfg OptimizerConfig, mc MeshConfig) (*MeshEngine, error)
 		Scaler:      scaler,
 		Schedule:    schedule,
 		NewStore:    factory,
+		NewActStore: actFactory,
 		Placement:   plan,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &MeshEngine{engine: e}, nil
+	return &MeshEngine{engine: e, guard: cfg.newHBMGuard(m, mc.Ranks, mc.SeqRanks)}, nil
 }
 
 // Step runs one training iteration over the global batch (rows split
 // across the R groups, each slice's sequence split across the group's S
 // ranks) and returns the mean loss.
-func (e *MeshEngine) Step(b Batch) (float64, error) { return e.engine.Step(b) }
+func (e *MeshEngine) Step(b Batch) (float64, error) {
+	if err := e.guard.check(b); err != nil {
+		return 0, err
+	}
+	return e.engine.Step(b)
+}
 
 // StepAccum runs one optimizer step over several accumulated global
 // micro-batches, each sharded over the mesh.
-func (e *MeshEngine) StepAccum(batches []Batch) (float64, error) { return e.engine.StepAccum(batches) }
+func (e *MeshEngine) StepAccum(batches []Batch) (float64, error) {
+	if err := e.guard.checkAll(batches); err != nil {
+		return 0, err
+	}
+	return e.engine.StepAccum(batches)
+}
 
 // Save serializes the sharded training state (gathered into the global
 // bucket order, identical to a single-rank checkpoint).
@@ -704,6 +920,10 @@ func (e *MeshEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.S
 func (e *MeshEngine) PlacementTelemetry() (PlacementTelemetry, bool) {
 	return e.engine.PlacementTelemetry()
 }
+
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over every rank; ok is false without an activation tier.
+func (e *MeshEngine) ActTelemetry() (ActTelemetry, bool) { return e.engine.ActTelemetry() }
 
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
@@ -786,6 +1006,12 @@ type PlanDescription struct {
 	MicroBatch int
 	GradAccum  int
 	Checkpoint bool
+	// ActResidentLayers and ActSpill are the activation tier's co-plan
+	// under the same HBM budget: the largest write-behind window that
+	// fits next to the optimizer placement, and whether it spills at all
+	// (false means every layer stays resident and the tier is moot).
+	ActResidentLayers int
+	ActSpill          bool
 }
 
 // Describe returns the planner's decisions without running the full grid
@@ -809,6 +1035,9 @@ func Describe(req PlanRequest) (PlanDescription, error) {
 		MicroBatch: p.Exec.MicroBatch,
 		GradAccum:  p.Exec.GradAccum,
 		Checkpoint: p.Exec.Checkpoint,
+
+		ActResidentLayers: p.ActResidentLayers,
+		ActSpill:          p.ActSpill,
 	}, nil
 }
 
