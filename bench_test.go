@@ -392,6 +392,43 @@ func BenchmarkTrainStepMesh(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainStepPipe is one 3-D 1×1×2 pipeline step over 2 micro-
+// batches: per-micro boundary activation/gradient sends over the stage
+// links, the 1F1B interleave (M=2 puts one warmup forward in flight on
+// stage 0), the span-restricted reduce, and the 2-rank all-gather on
+// the critical path. One step here is two micro-batches of compute —
+// the ns/op baseline is only comparable to itself.
+func BenchmarkTrainStepPipe(b *testing.B) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	eng, err := dp.NewPipe(m, dp.Config{
+		Ranks: 1, SeqRanks: 1, PipeRanks: 2,
+		Adam: optim.DefaultConfig(), Impl: optim.GraceAdam,
+		ClipNorm: 10, BucketElems: 20000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := data.NewCorpus(128, 2)
+	micros := []data.Batch{corpus.NextBatch(2, 16), corpus.NextBatch(2, 16)}
+	if _, err := eng.StepAccum(micros); err != nil { // warm-up (see benchTrainer)
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.StepAccum(micros); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		b.Error(err)
+	}
+}
+
 // ---- ablation benches (design choices from DESIGN.md §4) ----
 
 // BenchmarkAblationBucketSize sweeps the transfer bucket size on the 5B

@@ -14,6 +14,9 @@
 //  3. Experiment surface: every experiment id registered in
 //     internal/experiments/registry.go must have a row in EXPERIMENTS.md
 //     (as `id`), so the registry and its documentation cannot drift.
+//  4. Example surface: every examples/<dir> program must be mentioned in
+//     README.md (as examples/<dir>), so a new example cannot ship
+//     outside the examples table.
 //
 // Run from the repository root: go run ./cmd/doccheck
 package main
@@ -40,6 +43,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkFlags()...)
 	problems = append(problems, checkExperiments()...)
+	problems = append(problems, checkExamples()...)
 	for _, dir := range auditedPackages {
 		problems = append(problems, checkDocs(dir)...)
 	}
@@ -162,6 +166,38 @@ func checkExperiments() []string {
 		if !strings.Contains(string(docs), "`"+id+"`") {
 			out = append(out, fmt.Sprintf("experiment %q has no row in EXPERIMENTS.md", id))
 		}
+	}
+	return out
+}
+
+// checkExamples lists every example program directory and verifies
+// README.md mentions it as examples/<dir> — the examples ↔ docs drift
+// gate.
+func checkExamples() []string {
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		return []string{fmt.Sprintf("reading examples/: %v", err)}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		return []string{fmt.Sprintf("reading README.md: %v", err)}
+	}
+	var out []string
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		// Whole-token match, like checkFlags: examples/mesh must not be
+		// satisfied by examples/mesh_nvme.
+		token := regexp.MustCompile(`examples/` + regexp.QuoteMeta(e.Name()) + `([^a-z0-9_-]|$)`)
+		if !token.Match(readme) {
+			out = append(out, fmt.Sprintf("example examples/%s is not documented in README.md", e.Name()))
+		}
+	}
+	if found == 0 {
+		out = append(out, "no example directories found under examples/ (layout drift?)")
 	}
 	return out
 }

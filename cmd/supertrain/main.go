@@ -9,9 +9,12 @@
 // and a deterministic weight-gradient ring; and with both, the hybrid
 // R×S mesh — data parallelism across superchip groups, sequence
 // parallelism within each group, the paper's multi-superchip evaluation
-// shape. -placement enables the §4.3 adaptive weight-update split (a
-// GPU-retained bucket tail updating synchronously while the rest flows
-// to the CPU Adam), timed by the virtual-clock superchip executor.
+// shape. -pipe-ranks > 1 adds the third axis: the transformer depth
+// splits over P pipeline stages per (group, sequence) column, scheduled
+// 1F1B — the full R×S×P 3-D engine. -placement enables the §4.3
+// adaptive weight-update split (a GPU-retained bucket tail updating
+// synchronously while the rest flows to the CPU Adam), timed by the
+// virtual-clock superchip executor.
 //
 // Usage:
 //
@@ -19,12 +22,14 @@
 //	supertrain -steps 300 -ranks 4 -batch 8
 //	supertrain -steps 300 -seq-ranks 4 -seq 32 -heads 4
 //	supertrain -steps 300 -ranks 2 -seq-ranks 2 -batch 8 -seq 32 -heads 4
+//	supertrain -steps 300 -ranks 2 -seq-ranks 2 -pipe-ranks 2 -layers 4 -batch 8 -seq 32 -heads 4
 //	supertrain -steps 300 -placement auto -bucket-elems 16384
 //	supertrain -steps 100 -json > stats.json
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -53,37 +58,50 @@ type commStatser interface {
 
 func main() {
 	if err := run(); err != nil {
+		var ue usageErr
+		if errors.As(err, &ue) {
+			// A flag-validation failure reads as a usage problem — message
+			// plus the full usage text, exit 2 — rather than a runtime
+			// fault deep in engine init.
+			fmt.Fprintf(flag.CommandLine.Output(), "supertrain: %s\n\n", ue.msg)
+			flag.Usage()
+			os.Exit(2)
+		}
 		log.Fatal(err)
 	}
 }
 
-// usageError reports a flag-validation failure: the message plus the full
-// usage text, so an incompatible combination reads as a usage problem
-// rather than a runtime fault deep in engine init.
+// usageErr marks a flag-validation failure so main can render it as a
+// usage message. Keeping it an ordinary error (no printing, no exit in
+// validate) is what makes the validation rules unit-testable.
+type usageErr struct{ msg string }
+
+func (e usageErr) Error() string { return "supertrain: " + e.msg }
+
+// usageError builds a usageErr from a format string.
 func usageError(format string, args ...any) error {
-	fmt.Fprintf(flag.CommandLine.Output(), "supertrain: %s\n\n", fmt.Sprintf(format, args...))
-	flag.Usage()
-	os.Exit(2)
-	return nil // unreachable
+	return usageErr{msg: fmt.Sprintf(format, args...)}
 }
 
 // trainFlags carries the parsed flag values by name, so every
 // validation check reads the field it means (a positional int list
 // would make argument swaps invisible to the compiler).
 type trainFlags struct {
-	steps, layers, hidden, heads, vocab int
-	batch, seq, ranks, seqRanks         int
-	resident, bucketElems, gpuBuckets   int
-	actResident                         int
-	mode, offload, placement            string
-	actOffload                          string
+	steps, layers, hidden, heads, vocab   int
+	batch, seq, ranks, seqRanks, pipeRank int
+	resident, bucketElems, gpuBuckets     int
+	actResident                           int
+	mode, offload, placement              string
+	actOffload                            string
 }
 
 // validate rejects incompatible flag combinations before any engine
 // construction. Divisibility rules: -batch must divide by -ranks (rows
 // split across data-parallel groups), -seq by -seq-ranks (positions
 // split within a group), -hidden by the effective head count, and the
-// head count by -seq-ranks (heads shard across sequence ranks).
+// head count by -seq-ranks (heads shard across sequence ranks);
+// -pipe-ranks needs at least that many -layers (each pipeline stage
+// owns at least one transformer block).
 func (f trainFlags) validate() error {
 	if f.steps < 1 {
 		return usageError("-steps must be >= 1, got %d", f.steps)
@@ -105,8 +123,8 @@ func (f trainFlags) validate() error {
 	default:
 		return usageError("unknown -act-offload %q (want dram or nvme)", f.actOffload)
 	}
-	if f.actResident < 1 {
-		return usageError("-act-resident-layers must be >= 1, got %d", f.actResident)
+	if f.actResident < 2 {
+		return usageError("-act-resident-layers must be >= 2 (the activation store's minimum write-behind window), got %d", f.actResident)
 	}
 	switch f.placement {
 	case "", "auto", "cpu", "gpu":
@@ -130,6 +148,12 @@ func (f trainFlags) validate() error {
 	}
 	if f.seqRanks < 1 {
 		return usageError("-seq-ranks must be >= 1, got %d", f.seqRanks)
+	}
+	if f.pipeRank < 1 {
+		return usageError("-pipe-ranks must be >= 1, got %d", f.pipeRank)
+	}
+	if f.layers < f.pipeRank {
+		return usageError("-layers %d fewer than -pipe-ranks %d (each pipeline stage needs at least one transformer block)", f.layers, f.pipeRank)
 	}
 	if f.heads < 0 {
 		return usageError("-heads must be >= 0, got %d", f.heads)
@@ -186,6 +210,7 @@ func run() (err error) {
 	clip := flag.Float64("clip", 4.0, "global gradient-norm clip (0 disables)")
 	ranks := flag.Int("ranks", 1, "simulated superchip ranks (data parallelism; with -seq-ranks > 1, the mesh's group count)")
 	seqRanks := flag.Int("seq-ranks", 1, "simulated superchip ranks (Ulysses sequence parallelism; with -ranks > 1, per-group)")
+	pipeRanks := flag.Int("pipe-ranks", 1, "simulated superchip ranks (pipeline parallelism: 1F1B stages per column; -layers must be >= this)")
 	seed := flag.Uint64("seed", 42, "initialization seed")
 	offload := flag.String("offload", "dram", "optimizer-state tier: dram (resident) or nvme (file-backed window)")
 	offloadDir := flag.String("offload-dir", "", "directory for nvme backing files (default: system temp)")
@@ -201,7 +226,7 @@ func run() (err error) {
 
 	if err := (trainFlags{
 		steps: *steps, layers: *layers, hidden: *hidden, heads: *heads, vocab: *vocab,
-		batch: *batch, seq: *seq, ranks: *ranks, seqRanks: *seqRanks,
+		batch: *batch, seq: *seq, ranks: *ranks, seqRanks: *seqRanks, pipeRank: *pipeRanks,
 		resident: *resident, bucketElems: *bucketElems, gpuBuckets: *gpuBuckets,
 		actResident: *actResident,
 		mode:        *mode, offload: *offload, placement: *placement,
@@ -234,6 +259,16 @@ func run() (err error) {
 	var eng engine
 	parallelism := "1 rank"
 	switch {
+	case *pipeRanks > 1:
+		pe, err := superoffload.InitPipe(model, cfg, superoffload.MeshConfig{
+			Ranks: *ranks, SeqRanks: *seqRanks, PipeRanks: *pipeRanks,
+		})
+		if err != nil {
+			return err
+		}
+		eng = pe
+		parallelism = fmt.Sprintf("%d×%d×%d 3-D engine (%d DP groups × %d SP ranks × %d pipeline stages)",
+			*ranks, *seqRanks, *pipeRanks, *ranks, *seqRanks, *pipeRanks)
 	case *ranks > 1 && *seqRanks > 1:
 		me, err := superoffload.InitMesh(model, cfg, superoffload.MeshConfig{Ranks: *ranks, SeqRanks: *seqRanks})
 		if err != nil {

@@ -1,0 +1,142 @@
+// The full 3-D R×S×P engine, for real: data parallelism across
+// superchip groups × Ulysses sequence parallelism within each cell ×
+// 1F1B pipeline stages down each column, on actual numerics. The
+// transformer depth splits into P contiguous block ranges; boundary
+// activations flow downstream and boundary gradients upstream over
+// per-column links while the stages overlap M micro-batches under the
+// one-forward-one-backward schedule. The headline property: every
+// (R,S,P) shape lands — bit for bit — on the trajectory of single-rank
+// training over the same R-way row decomposition (the sequence AND
+// pipeline axes are invisible), checkpoints move freely across shapes,
+// and the virtual-clock model shows the 1F1B stage time beating the
+// serialized forward+backward whenever M ≥ 2.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"superoffload"
+	"superoffload/internal/hw"
+	"superoffload/internal/place"
+)
+
+const (
+	steps  = 30
+	accum  = 2  // micro-batches per step: M ≥ 2 makes 1F1B overlap real
+	batch  = 4  // rows split across R groups
+	seq    = 32 // positions split across S ranks within a cell
+	layers = 4  // depth split across P stages within a column
+	vocab  = 128
+)
+
+func train(ranks, seqRanks, pipeRanks int, backend string) ([]float64, superoffload.Stats, superoffload.SPCommStats, []byte) {
+	model, err := superoffload.NewModel(superoffload.ModelConfig{
+		Layers: layers, Hidden: 64, Heads: 4, Vocab: vocab, MaxSeq: seq,
+	}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := superoffload.DefaultOptimizer()
+	cfg.ClipNorm = 4.0
+	cfg.BucketElems = 16384 // several buckets → every rank owns a ZeRO shard
+	cfg.Offload = superoffload.OffloadConfig{Backend: backend, ResidentBuckets: 2}
+	engine, err := superoffload.InitPipe(model, cfg, superoffload.MeshConfig{
+		Ranks: ranks, SeqRanks: seqRanks, PipeRanks: pipeRanks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if cerr := engine.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}()
+	corpus := superoffload.NewCorpus(vocab, 11)
+	var losses []float64
+	for step := 1; step <= steps; step++ {
+		micros := make([]superoffload.Batch, accum)
+		for m := range micros {
+			micros[m] = corpus.NextBatch(batch, seq)
+		}
+		loss, err := engine.StepAccum(micros)
+		if err != nil {
+			log.Fatal(err)
+		}
+		losses = append(losses, loss)
+	}
+	if err := engine.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := engine.Save(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	return losses, engine.Stats(), engine.CommStats(), ckpt.Bytes()
+}
+
+func main() {
+	fmt.Printf("training one GPT (batch %d × %d micro-batches, seq %d, %d layers) across R×S×P engines:\n",
+		batch, accum, seq, layers)
+	// The reference carries degenerate sequence and pipeline axes:
+	// bit-identical to the DP engine — and to a single-rank trainer
+	// accumulating the same row slices.
+	ref, refStats, _, refCkpt := train(2, 1, 1, "dram")
+	for _, shape := range [][3]int{{2, 1, 2}, {2, 2, 2}, {1, 1, 4}} {
+		r, s, p := shape[0], shape[1], shape[2]
+		losses, stats, comm, ckpt := train(r, s, p, "dram")
+		if r == 2 {
+			for i := range ref {
+				if losses[i] != ref[i] {
+					log.Fatalf("R=%d,S=%d,P=%d diverged from the R=2 reference at step %d", r, s, p, i)
+				}
+			}
+			if stats != refStats {
+				log.Fatalf("R=%d,S=%d,P=%d stats diverged (%+v vs %+v)", r, s, p, stats, refStats)
+			}
+			if !bytes.Equal(ckpt, refCkpt) {
+				log.Fatalf("R=%d,S=%d,P=%d checkpoint differs from the reference's bytes", r, s, p)
+			}
+		}
+		note := "bit-identical to R=2×S=1×P=1, byte-identical checkpoint"
+		if r != 2 {
+			note = "R=1 trajectory (its own single-rank reference)"
+		}
+		fmt.Printf("  R=%d×S=%d×P=%d (%d ranks): loss %.4f → %.4f, %d commits, %d rollbacks — %s\n",
+			r, s, p, r*s*p, losses[0], losses[steps-1], stats.Commits, stats.Rollbacks(), note)
+		fmt.Printf("          links: %.0f stage-boundary sends/step (%.2f MB/step), %.0f all-to-all payloads/step\n",
+			float64(comm.StageSends)/steps, float64(comm.StageFloats)*4/1e6/steps,
+			float64(comm.A2APayloads)/steps)
+	}
+
+	// The full composition: eight ranks, every ZeRO shard behind its own
+	// file-backed NVMe store window, stages still overlapping 1F1B.
+	nvme, nvmeStats, _, nvmeCkpt := train(2, 2, 2, "nvme")
+	for i := range ref {
+		if nvme[i] != ref[i] {
+			log.Fatal("nvme-backed pipeline run diverged: the store broke bit-exactness")
+		}
+	}
+	if !bytes.Equal(nvmeCkpt, refCkpt) {
+		log.Fatal("nvme-backed pipeline checkpoint differs from the reference's bytes")
+	}
+	fmt.Printf("  R=2×S=2×P=2 + nvme bucket stores: still bit-identical (%d commits, %d rollbacks)\n",
+		nvmeStats.Commits, nvmeStats.Rollbacks())
+
+	// The virtual-clock model of the win: 1F1B overlaps the stages, so a
+	// stage's compute time beats serializing the replica's
+	// forward+backward — strictly, whenever M ≥ 2 and P ≥ 2.
+	shape := place.Shape{Tokens: batch * seq, Hidden: 64, Seq: seq, Params: 1 << 20,
+		Pipe: place.PipeShape{Stages: 2, Micros: accum}}
+	plan := place.Uniform(4, place.CPUAdam)
+	bd := place.StepTimes(hw.DefaultSuperchip(), plan.Work([]int{1 << 18, 1 << 18, 1 << 18, 1 << 18}), 4, shape)
+	if bd.PipeStage >= bd.Forward+bd.Backward {
+		log.Fatal("modeled 1F1B stage time failed to beat the serialized forward+backward")
+	}
+	fmt.Printf("\nmodeled stage time (P=2, M=%d): %.3f ms 1F1B vs %.3f ms serialized compute (bubble %.3f ms)\n",
+		accum, 1e3*bd.PipeStage, 1e3*(bd.Forward+bd.Backward), 1e3*bd.PipeBubble)
+	fmt.Println("\nall three axes — replica groups, sequence shards, pipeline stages — and")
+	fmt.Println("optimizer-state residency are invisible to the numerics; only traffic and")
+	fmt.Println("the modeled step time change. (Two-axis runs: examples/hybrid_mesh.)")
+}

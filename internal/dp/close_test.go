@@ -1,0 +1,122 @@
+package dp
+
+import (
+	"testing"
+
+	"superoffload/internal/data"
+	"superoffload/internal/stv"
+)
+
+// closeable is the lifecycle surface the idempotency tests drive.
+type closeable interface {
+	Close() error
+}
+
+// buildEngines constructs all five engine flavors over NVMe-backed
+// stores (the backend with real resources to double-release) and steps
+// each one WITHOUT flushing, so a speculative step's validation is
+// still in flight when Close arrives. Run under -race, this covers the
+// close-while-validation-pending path: closeWorld must drain the
+// background aggregator before tearing the world down.
+func buildEngines(t *testing.T) map[string]closeable {
+	t.Helper()
+	engines := map[string]closeable{}
+	corpus := data.NewCorpus(64, 11)
+
+	mk := func(name string, build func(cfg Config) (closeable, func(b data.Batch) error)) {
+		cfg := meshConfig(1, 1)
+		cfg.NewStore = nvmeFactory(t)
+		eng, step := build(cfg)
+		if err := step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatalf("%s: step: %v", name, err)
+		}
+		engines[name] = eng
+	}
+	mk("dp", func(cfg Config) (closeable, func(b data.Batch) error) {
+		cfg.Ranks = 2
+		e, err := New(tinyGPT(3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, func(b data.Batch) error { _, err := e.Step(b); return err }
+	})
+	mk("sp", func(cfg Config) (closeable, func(b data.Batch) error) {
+		cfg.Ranks = 2
+		e, err := NewSP(tinyGPT(3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, func(b data.Batch) error { _, err := e.Step(b); return err }
+	})
+	mk("mesh", func(cfg Config) (closeable, func(b data.Batch) error) {
+		cfg.Ranks, cfg.SeqRanks = 2, 2
+		e, err := NewMesh(tinyGPT(3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, func(b data.Batch) error { _, err := e.Step(b); return err }
+	})
+	mk("pipe", func(cfg Config) (closeable, func(b data.Batch) error) {
+		cfg.Ranks, cfg.SeqRanks, cfg.PipeRanks = 2, 1, 2
+		e, err := NewPipe(deepGPT(3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, func(b data.Batch) error { _, err := e.Step(b); return err }
+	})
+	mk("stv", func(cfg Config) (closeable, func(b data.Batch) error) {
+		sc := stvConfig(cfg)
+		store, err := cfg.NewStore(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Store = store
+		e := stv.NewTrainer(tinyGPT(3), sc)
+		return e, func(b data.Batch) error { _, err := e.Step(b); return err }
+	})
+	return engines
+}
+
+// TestCloseIdempotent: Close on every engine — with a validation still
+// in flight from an unflushed step — must succeed, and a second Close
+// must be a harmless no-op (nil error, no panic, no double-release of
+// the NVMe stores' worker channels and files).
+func TestCloseIdempotent(t *testing.T) {
+	for name, eng := range buildEngines(t) {
+		if err := eng.Close(); err != nil {
+			t.Errorf("%s: first Close: %v", name, err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Errorf("%s: second Close: %v", name, err)
+		}
+		// And a third, for luck: closed must be absorbing.
+		if err := eng.Close(); err != nil {
+			t.Errorf("%s: third Close: %v", name, err)
+		}
+	}
+}
+
+// TestCloseRejectsFurtherUse: after Close, the multi-rank engines'
+// step/flush/save surfaces must return errors, never deadlock against
+// the stopped rank goroutines.
+func TestCloseRejectsFurtherUse(t *testing.T) {
+	cfg := meshConfig(1, 1)
+	cfg.Ranks, cfg.SeqRanks, cfg.PipeRanks = 2, 1, 2
+	eng, err := NewPipe(deepGPT(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := data.NewCorpus(64, 11)
+	if _, err := eng.Step(corpus.NextBatch(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step(corpus.NextBatch(2, 8)); err == nil {
+		t.Error("Step on a closed engine succeeded")
+	}
+	if _, err := eng.Flush(); err == nil {
+		t.Error("Flush on a closed engine succeeded")
+	}
+}

@@ -44,6 +44,7 @@ type world struct {
 type command struct {
 	kind   int          // cmdStep, cmdResolve, cmdStop
 	micros []data.Batch // cmdStep: this rank's micro-batches, in order
+	ops    []scheduleOp // cmdStep: the schedule to interpret over them
 	res    resolution   // cmdResolve
 }
 

@@ -20,6 +20,7 @@ import (
 // cross-engine trajectory and checkpoint parity the tests assert.
 type coordinator struct {
 	cfg         Config
+	sched       scheduleBuilder // per-rank step schedule (engine topology)
 	stepIndex   int
 	pending     bool
 	pendingAdam optim.Config
@@ -241,11 +242,15 @@ func closeStores(stores []stv.BucketStore, err error) error {
 	return err
 }
 
-// runStep drives one iteration over the shared world: dispatch the
-// per-rank micro-batches, resolve the previous step's validation while
-// the forwards run (the §4.4 overlap), release the ranks into backward,
-// and collect their step reports in rank order. The caller folds the
-// reported losses in its engine's canonical order.
+// runStep drives one iteration over the shared world. The step structure
+// itself lives in the schedules: each rank receives the op sequence the
+// engine's scheduleBuilder emits for this step's micro count, and the
+// rank-side interpreter (runSchedule) executes it. The coordinator only
+// keeps the control plane — dispatch the schedules, resolve the previous
+// step's validation while the early forwards run (the §4.4 overlap),
+// release the ranks into backward via goMsg, and collect their step
+// reports in rank order. The caller folds the reported losses in its
+// engine's canonical order.
 func (c *coordinator) runStep(w *world, micross [][]data.Batch) ([]stepResult, error) {
 	if c.closed {
 		return nil, fmt.Errorf("dp: engine closed")
@@ -253,7 +258,7 @@ func (c *coordinator) runStep(w *world, micross [][]data.Batch) ([]stepResult, e
 	c.stepIndex++
 	adam := c.stepAdam()
 	for r := 0; r < w.N; r++ {
-		w.cmd[r] <- command{kind: cmdStep, micros: micross[r]}
+		w.cmd[r] <- command{kind: cmdStep, micros: micross[r], ops: c.sched(r, len(micross[r]))}
 	}
 	// Ranks are now forwarding; the pending verdict resolves in parallel
 	// with that compute, exactly like the single-rank background

@@ -43,9 +43,14 @@ type Config struct {
 	// data-parallel replica groups.
 	Ranks int
 	// SeqRanks is the per-group sequence-parallel degree S, read only by
-	// NewMesh (the other constructors take their single degree from
-	// Ranks). 0 means 1.
+	// NewMesh and NewPipe (the other constructors take their single
+	// degree from Ranks). 0 means 1.
 	SeqRanks int
+	// PipeRanks is the pipeline-parallel degree P — the number of stage
+	// ranks each (group, sequence) column splits the transformer depth
+	// over — read only by NewPipe. 0 means 1. The model must have at
+	// least P transformer blocks.
+	PipeRanks int
 	// Adam is the optimizer hyperparameter set.
 	Adam optim.Config
 	// Impl is the Adam kernel (default optim.GraceAdam).

@@ -97,7 +97,7 @@ func NewMesh(model *nn.GPT, cfg Config) (*MeshEngine, error) {
 		}
 	}
 	w := newMeshWorld(r, s, nBuckets)
-	e := &MeshEngine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
+	e := &MeshEngine{coordinator: coordinator{cfg: cfg, sched: legacyBuilder}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(r*s, cfg.NewStore)
 	if err != nil {
 		return nil, err

@@ -44,6 +44,12 @@ type meshRank struct {
 	// across steps only after the coordinator has collected every rank's
 	// results.
 	sendBufs [][][]float32
+
+	// Per-step interpreter state (begin resets it). Caches are retained
+	// per micro — each SPCache owns its arena, so multiple can be alive.
+	micros []data.Batch
+	rows   [][]float64
+	caches []*nn.SPCache
 }
 
 // delegateLocal maps a bucket to the in-group rank that forwards each
@@ -78,7 +84,14 @@ func (r *meshRank) attachAct(st *act.Store) {
 }
 
 // run is the rank's top-level loop.
-func (r *meshRank) run() { runRankLoop(r.w.world, r.id, r.step, r.apply) }
+func (r *meshRank) run() { runRankLoop(r.w.world, r.id, r) }
+
+// begin resets the per-step interpreter state for a new schedule.
+func (r *meshRank) begin(micros []data.Batch) {
+	r.micros = micros
+	r.rows = make([][]float64, len(micros))
+	r.caches = make([]*nn.SPCache, len(micros))
+}
 
 // apply executes a validation resolution: owners mutate their partition,
 // and if weights changed every rank republishes via the mesh-wide
@@ -87,53 +100,43 @@ func (r *meshRank) apply(v resolution) {
 	applyResolution(v, r.owned, r.impl, r.allGather)
 }
 
-// step runs one training iteration over this rank's sequence shards of
-// its group's batch rows, mirroring stv.Trainer's STV sequencing:
-// forward first (with its two all-to-alls per layer), then resolve the
-// previous step's validation; a rollback changes weights, so every rank
-// redoes the forward in lockstep before backward.
-func (r *meshRank) step(micros []data.Batch) {
-	rows := make([][]float64, 0, len(micros))
-	var g goMsg
-	var cache *nn.SPCache
-	redone := false
-	for {
-		b := micros[0]
-		losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
-		if !redone {
-			v := <-r.w.resolution[r.id]
-			r.apply(v)
-			if v.weightsChanged() {
-				redone = true
-				continue
-			}
-		}
-		g = <-r.w.goCh[r.id]
-		r.model.BackwardSP(c, g.scale, r.sp)
-		rows = append(rows, losses)
-		cache = c
-		break
-	}
-	r.meshReduce(0, cache, micros[0].BatchSize)
-	for m := 1; m < len(micros); m++ {
-		b := micros[m]
-		losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
-		r.model.BackwardSP(c, g.scale, r.sp)
-		rows = append(rows, losses)
-		r.meshReduce(m, c, b.BatchSize)
-	}
+// forward runs micro m's forward over this rank's sequence shard of its
+// group's batch rows (every rank's schedule forwards the same micros in
+// the same order, so the per-layer all-to-alls pair in lockstep). An STV
+// redo overwrites the slot, exactly like the pre-schedule driver.
+func (r *meshRank) forward(m int) {
+	b := r.micros[m]
+	losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
+	r.rows[m] = losses
+	r.caches[m] = c
+}
 
-	// Speculative phase on the owned partition: normalize the reduced
-	// sum — each group's ring produced its whole row slice's gradient,
-	// and the cross-group reduce summed R of them per micro, so the
-	// divisor is micros·R, exactly the single-rank trainer's count for
-	// the same R-way decomposition — then apply per-bucket Adam and
-	// publish fp16 weights to all R·S ranks.
-	inv := float32(1 / (g.scale * float64(len(micros)*r.w.R)))
+// backward runs micro m's backward from its retained cache.
+func (r *meshRank) backward(m int, scale float64) {
+	r.model.BackwardSP(r.caches[m], scale, r.sp)
+}
+
+// reduce runs micro m's two-level mesh reduction.
+func (r *meshRank) reduce(m int) {
+	r.meshReduce(m, r.caches[m], r.micros[m].BatchSize)
+}
+
+// speculate runs the shared speculative phase: normalize the reduced
+// sum — each group's ring produced its whole row slice's gradient, and
+// the cross-group reduce summed R of them per micro, so the divisor is
+// micros·R, exactly the single-rank trainer's count for the same R-way
+// decomposition — then apply per-bucket Adam and publish fp16 weights
+// to all R·S ranks.
+func (r *meshRank) speculate(g goMsg) {
+	inv := float32(1 / (g.scale * float64(len(r.micros)*r.w.R)))
 	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
-	r.exec.Record(localTokens(micros), micros[0].Seq)
+}
 
-	r.w.results[r.id] <- stepResult{rows: rows}
+// report closes the step out: record placement telemetry and hand the
+// per-micro loss rows to the coordinator.
+func (r *meshRank) report() stepResult {
+	r.exec.Record(localTokens(r.micros), r.micros[0].Seq)
+	return stepResult{rows: r.rows}
 }
 
 // meshReduce is the two-level gradient reduction for micro-batch m.

@@ -1,0 +1,306 @@
+package dp
+
+import (
+	"fmt"
+	"io"
+
+	"superoffload/internal/act"
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/stv"
+)
+
+// PipeEngine is the full 3-D R×S×P training engine: R data-parallel
+// replica groups × S-way Ulysses sequence parallelism per cell × P
+// pipeline stages per column, scheduled 1F1B over the step's
+// micro-batches. Each (group, sequence) column splits the transformer
+// depth into P contiguous block ranges; boundary activations flow
+// downstream and boundary gradients upstream over per-column channel
+// links, while each (group, stage) cell of S ranks runs the usual
+// per-layer attention all-to-alls and reduces its stage's weight
+// gradients over the in-cell ring. Completed per-cell span gradients
+// reduce-scatter across cells to the global bucket owners — the fp32
+// masters and Adam moments stay ZeRO-partitioned over all R·S·P ranks,
+// each behind its own pluggable bucket store — and STV's speculative
+// step, background validation, and exact rollback run unchanged on top.
+//
+// Determinism contract: for the same global batch, an R×S×P engine
+// reproduces — bit for bit — the loss trajectory, rollback decisions,
+// stats, and checkpoints of a single-rank stv.Trainer processing the
+// same R-way row decomposition via gradient accumulation. S and P are
+// invisible to the numerics: stage spans partition the flat parameter
+// space, so every gradient element still folds in (micro, group) order,
+// and the 1F1B interleaving only reorders compute, never arithmetic
+// (DESIGN.md, "1F1B exactness"). Checkpoints are byte-identical across
+// (R,S,P) shapes and interchangeable with every other engine's.
+//
+// The one asymmetry: an activation offload tier (Config.NewActStore)
+// attaches only to final-stage ranks, because act.Store is strictly
+// single-pass and only the last stage's 1F1B schedule completes each
+// forward pass before the next begins.
+type PipeEngine struct {
+	coordinator
+	w     *pipeWorld
+	ranks []*pipeRank
+	// buckets is the global bucket order; entry b points at the owning
+	// rank's optimizer state (used for checkpointing and diagnostics).
+	buckets []*stv.Bucket
+}
+
+// NewPipe builds an R×S×P pipeline engine over the model: cfg.Ranks
+// data-parallel groups × cfg.SeqRanks sequence ranks × cfg.PipeRanks
+// pipeline stages (0 counts as 1 for each). The model becomes rank
+// (0,0,0)'s replica; the other R·S·P-1 ranks train on bit-identical
+// clones, each computing only its own stage's block range.
+func NewPipe(model *nn.GPT, cfg Config) (*PipeEngine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("dp: nil model")
+	}
+	if cfg.SeqRanks == 0 {
+		cfg.SeqRanks = 1
+	}
+	if cfg.PipeRanks == 0 {
+		cfg.PipeRanks = 1
+	}
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("dp: pipe Ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	if cfg.SeqRanks < 1 {
+		return nil, fmt.Errorf("dp: pipe SeqRanks must be >= 1, got %d", cfg.SeqRanks)
+	}
+	if cfg.PipeRanks < 1 {
+		return nil, fmt.Errorf("dp: pipe PipeRanks must be >= 1, got %d", cfg.PipeRanks)
+	}
+	if model.Cfg.Heads%cfg.SeqRanks != 0 {
+		return nil, fmt.Errorf("dp: %d attention heads not divisible by %d sequence ranks",
+			model.Cfg.Heads, cfg.SeqRanks)
+	}
+	if err := model.ValidateStages(cfg.PipeRanks); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	r, s, p := cfg.Ranks, cfg.SeqRanks, cfg.PipeRanks
+	nBuckets := len(stv.PartitionGroups(model.Params(), cfg.BucketElems))
+	if cfg.Placement != nil {
+		if err := cfg.Placement.Validate(nBuckets); err != nil {
+			return nil, fmt.Errorf("dp: %w", err)
+		}
+	}
+	w := newPipeWorld(r, s, p, nBuckets)
+	e := &PipeEngine{
+		coordinator: coordinator{cfg: cfg, sched: func(rank, micros int) []scheduleOp {
+			return pipeSchedule(rank%p, p, micros)
+		}},
+		w:       w,
+		buckets: make([]*stv.Bucket, nBuckets),
+	}
+	stores, err := buildStores(r*s*p, cfg.NewStore)
+	if err != nil {
+		return nil, err
+	}
+	// Activation stores attach only on final-stage ranks (see the
+	// PipeEngine doc comment); the factory is gated accordingly so no
+	// store is built just to sit idle.
+	actFactory := cfg.NewActStore
+	if actFactory != nil {
+		inner := actFactory
+		actFactory = func(rank int) (*act.Store, error) {
+			if rank%p != p-1 {
+				return nil, nil
+			}
+			return inner(rank)
+		}
+	}
+	acts, err := buildActStores(r*s*p, actFactory)
+	if err != nil {
+		return nil, closeStores(stores, err)
+	}
+	for g := 0; g < r; g++ {
+		for sl := 0; sl < s; sl++ {
+			for st := 0; st < p; st++ {
+				id := (g*s+sl)*p + st
+				replica := model
+				if id > 0 {
+					replica = model.Clone()
+				}
+				rk := newPipeRank(g, sl, st, w, replica, cfg.Impl, cfg.BucketElems, stores[id])
+				rk.exec = newRankExecutor(cfg, replica, rk.owned, nBuckets)
+				rk.attachAct(acts[id])
+				for _, ob := range rk.owned {
+					e.buckets[ob.idx] = ob.b
+				}
+				e.ranks = append(e.ranks, rk)
+				go rk.run()
+			}
+		}
+	}
+	go w.aggregate()
+	return e, nil
+}
+
+// CommStats reports the engine's cumulative link traffic: every cell's
+// all-to-all and ring links plus the stage-boundary tensor sends.
+func (e *PipeEngine) CommStats() SPCommStats { return e.w.tel.snapshot() }
+
+// StoreTelemetry sums the modeled NVMe telemetry over every rank's store.
+// ok is false when no rank uses an NVMe-backed store.
+func (e *PipeEngine) StoreTelemetry() (stv.StoreTelemetry, bool) {
+	return sumNVMeTelemetry(storeList(e.ranks))
+}
+
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *PipeEngine) PlacementTelemetry() (stv.PlacementTelemetry, bool) {
+	return sumPlacementTelemetry(e.ranks)
+}
+
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over the final-stage ranks; ok is false without an
+// activation tier.
+func (e *PipeEngine) ActTelemetry() (act.Telemetry, bool) {
+	return sumActTelemetry(e.ranks)
+}
+
+// Ranks reports the data-parallel degree R (the number of replica
+// groups).
+func (e *PipeEngine) Ranks() int { return e.w.R }
+
+// SeqRanks reports the per-cell sequence-parallel degree S.
+func (e *PipeEngine) SeqRanks() int { return e.w.S }
+
+// PipeRanks reports the pipeline-parallel degree P (stages per column).
+func (e *PipeEngine) PipeRanks() int { return e.w.P }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *PipeEngine) NumBuckets() int { return len(e.buckets) }
+
+// split shards a global batch over the 3-D engine: rows split R ways
+// across groups, each group slice's sequence splits S ways across the
+// cell's ranks, and every stage rank of a column receives the same
+// (rows, sequence) shard — stage 0 reads its tokens, the final stage
+// its targets, and every stage its shape. The sharding arithmetic is
+// validated here, in the caller's goroutine, so a malformed batch
+// surfaces as an error instead of a rank-goroutine panic.
+func (e *PipeEngine) split(b data.Batch) ([]data.Batch, error) {
+	if b.BatchSize%e.w.R != 0 {
+		return nil, fmt.Errorf("dp: global batch %d not divisible by %d pipe groups", b.BatchSize, e.w.R)
+	}
+	if err := e.ranks[0].model.ValidateSP(e.w.S, b.Seq); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	out := make([]data.Batch, e.w.N)
+	for g, slice := range splitRows(b, e.w.R) {
+		for s, shard := range splitSeq(slice, e.w.S) {
+			for p := 0; p < e.w.P; p++ {
+				out[(g*e.w.S+s)*e.w.P+p] = shard
+			}
+		}
+	}
+	return out, nil
+}
+
+// Step runs one training iteration over the global batch. With one
+// micro-batch the pipeline degenerates to sequential stages; use
+// StepAccum with M >= 2 micro-batches to overlap them 1F1B. Returns the
+// mean loss — bit-identical to the single-rank engine's loss for the
+// same R-way row decomposition.
+func (e *PipeEngine) Step(b data.Batch) (float64, error) {
+	shards, err := e.split(b)
+	if err != nil {
+		return 0, err
+	}
+	micross := make([][]data.Batch, e.w.N)
+	for id, sh := range shards {
+		micross[id] = []data.Batch{sh}
+	}
+	return e.step(micross)
+}
+
+// StepAccum runs one optimizer step over several accumulated global
+// micro-batches — the pipeline's natural shape: the M micro-batches
+// fill the 1F1B schedule, overlapping stages so each stage idles only
+// the (P-1)/(M+P-1) warmup/cooldown bubble. Reductions complete per
+// micro-batch in (micro-batch, group) order and one optimizer step
+// applies at the end, exactly like every other engine.
+func (e *PipeEngine) StepAccum(batches []data.Batch) (float64, error) {
+	if len(batches) == 0 {
+		return 0, nil
+	}
+	micross := make([][]data.Batch, e.w.N)
+	for _, b := range batches {
+		shards, err := e.split(b)
+		if err != nil {
+			return 0, err
+		}
+		for id, sh := range shards {
+			micross[id] = append(micross[id], sh)
+		}
+	}
+	return e.step(micross)
+}
+
+// step drives one iteration through the shared coordinator and folds the
+// reported per-row losses in canonical order. Only final-stage ranks
+// (g, s, P-1) produce loss rows; per (micro, group) they fold in (batch
+// row, shard, position) order — ascending global row order within the
+// group's slice — and the R·m slice losses then sum in (micro, group)
+// order and divide once, matching the single-rank trainer accumulating
+// the same R-way decomposition (and the mesh engine's fold exactly).
+func (e *PipeEngine) step(micross [][]data.Batch) (float64, error) {
+	perRank, err := e.runStep(e.w.world, micross)
+	if err != nil {
+		return 0, err
+	}
+	m := len(micross[0])
+	var loss float64
+	for mi := 0; mi < m; mi++ {
+		rowsB, tl := micross[0][mi].BatchSize, micross[0][mi].Seq
+		for g := 0; g < e.w.R; g++ {
+			var micro float64
+			for b := 0; b < rowsB; b++ {
+				for s := 0; s < e.w.S; s++ {
+					last := (g*e.w.S+s)*e.w.P + e.w.P - 1
+					for t := 0; t < tl; t++ {
+						micro += perRank[last].rows[mi][b*tl+t]
+					}
+				}
+			}
+			loss += micro / float64(rowsB*tl*e.w.S)
+		}
+	}
+	loss /= float64(m * e.w.R)
+
+	if e.cfg.Synchronous {
+		if _, err := e.Flush(); err != nil {
+			return loss, err
+		}
+	}
+	return loss, nil
+}
+
+// Flush resolves any in-flight validation (call at end of training so
+// the final step is validated). Returns whether the final step was
+// rolled back or re-executed.
+func (e *PipeEngine) Flush() (bool, error) { return e.flush(e.w.world) }
+
+// Save serializes the training state in the stv checkpoint format, over
+// the global bucket order — byte-identical to every other engine on the
+// same trajectory, so checkpoints move freely across (R,S,P) shapes.
+func (e *PipeEngine) Save(w io.Writer) error { return e.save(w, e.buckets) }
+
+// Load restores state saved by any engine's Save, scattering each bucket
+// to its owner and republishing the fp16-rounded weights to every
+// replica.
+func (e *PipeEngine) Load(r io.Reader) error { return e.load(r, e.buckets, replicaGroups(e.ranks)) }
+
+// MasterWeights returns the fp32 master parameters gathered from their
+// owners, concatenated in bucket order — the ground truth for exactness
+// comparisons against the single-rank engine.
+func (e *PipeEngine) MasterWeights() []float32 { return gatherMasters(e.buckets) }
+
+// Close resolves any pending validation, stops the rank goroutines and
+// the validation aggregator, and closes every rank's bucket store and
+// activation store. Idempotent; the engine is unusable afterwards.
+func (e *PipeEngine) Close() error {
+	return e.closeWorld(e.w.world, storeList(e.ranks), actStoreList(e.ranks))
+}

@@ -1,0 +1,104 @@
+package dp
+
+import (
+	"sync"
+
+	"superoffload/internal/tensor"
+)
+
+// pipeLink is one stage-boundary link of the pipeline engine: an
+// unbounded FIFO of boundary tensors between vertically adjacent ranks
+// of one (group, sequence) column. Sends never block — under 1F1B an
+// upstream stage may run several micro-batches ahead of its consumer,
+// and a bounded link there could deadlock against the cap-1 collective
+// channels the rest of the world uses — while receives block until a
+// tensor arrives. Tensors pass by reference: each SPCache owns its
+// buffers for its own lifetime, so the receiver reads them in place and
+// the happens-before edge comes from the mutex.
+type pipeLink struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*tensor.Tensor
+}
+
+// newPipeLink wires one boundary FIFO.
+func newPipeLink() *pipeLink {
+	l := &pipeLink{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// send enqueues a boundary tensor; never blocks.
+func (l *pipeLink) send(t *tensor.Tensor) {
+	l.mu.Lock()
+	l.q = append(l.q, t)
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+// recv dequeues the oldest boundary tensor, blocking until one exists.
+// Micro-batch order is preserved because each boundary's sender emits in
+// schedule order.
+func (l *pipeLink) recv() *tensor.Tensor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.q) == 0 {
+		l.cond.Wait()
+	}
+	t := l.q[0]
+	l.q = l.q[1:]
+	return t
+}
+
+// pipeWorld is the R×S×P engine's interconnect: the shared world core
+// over all N = R·S·P ranks, one set of sequence-parallel links per
+// (group, stage) cell of S ranks, cross-cell reduce links, and the
+// stage-boundary activation/gradient FIFOs. Cells are indexed g·P + p;
+// global rank ids are (g·S + s)·P + p.
+type pipeWorld struct {
+	*world
+	R, S, P int
+
+	// links[g·P+p] is cell (g, p)'s in-cell sequence-parallel links; the
+	// ring there reduces over the stage's contiguous parameter span, not
+	// the full flat layout.
+	links []*spLinks
+	// reduce[b][g·P+p] carries cell (g, p)'s delegated contribution for
+	// bucket b — the intersection of the cell's stage span with bucket
+	// b's range — to the bucket's global owner.
+	reduce reduceLinks
+	// acts[p][g·S+s] carries stage p → p+1 boundary activations for
+	// column (g, s); grads[p][g·S+s] the p+1 → p boundary gradients.
+	acts  [][]*pipeLink
+	grads [][]*pipeLink
+	tel   *linkTelemetry
+}
+
+// newPipeWorld wires the 3-D engine's interconnect for r groups, s
+// sequence ranks per cell, p pipeline stages, and b buckets.
+func newPipeWorld(r, s, p, b int) *pipeWorld {
+	tel := &linkTelemetry{}
+	w := &pipeWorld{
+		world:  newWorld(r*s*p, b),
+		R:      r,
+		S:      s,
+		P:      p,
+		reduce: newReduceLinks(b, r*p),
+		tel:    tel,
+	}
+	w.links = make([]*spLinks, r*p)
+	for i := range w.links {
+		w.links[i] = newSPLinks(s, tel)
+	}
+	w.acts = make([][]*pipeLink, p-1)
+	w.grads = make([][]*pipeLink, p-1)
+	for bi := 0; bi < p-1; bi++ {
+		w.acts[bi] = make([]*pipeLink, r*s)
+		w.grads[bi] = make([]*pipeLink, r*s)
+		for col := 0; col < r*s; col++ {
+			w.acts[bi][col] = newPipeLink()
+			w.grads[bi][col] = newPipeLink()
+		}
+	}
+	return w
+}

@@ -1,0 +1,263 @@
+package dp
+
+import (
+	"superoffload/internal/act"
+	"superoffload/internal/data"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+	"superoffload/internal/tensor"
+)
+
+// pipeRank is one simulated superchip of the R×S×P pipeline engine:
+// rank (g, s, p) — global id (g·S + s)·P + p — holds a full fp16 model
+// replica but computes only pipeline stage p's contiguous block range,
+// over sequence shard s of data-parallel group g's batch rows. Boundary
+// activations and gradients flow over the column's pipeLinks under the
+// 1F1B schedule; gradients reduce in-cell over the stage's parameter
+// span, then cross-cell to the global ZeRO owner. Every rank still owns
+// its round-robin share of ALL buckets (ownership ignores topology), so
+// checkpoints stay byte-identical to every other engine.
+type pipeRank struct {
+	id    int // global rank: (group·S + local)·P + stage
+	group int // data-parallel group g ∈ [0, R)
+	local int // in-cell sequence rank s ∈ [0, S)
+	stage int // pipeline stage p ∈ [0, P)
+
+	w      *pipeWorld
+	model  *nn.GPT
+	sp     *nn.SP
+	impl   optim.Impl
+	store  stv.BucketStore
+	exec   *stv.PlacementExecutor // nil without a placement plan
+	ast    *act.Store             // nil without an activation tier (final stage only)
+	groups []nn.Params            // global bucket layout over this replica
+	owned  []ownedBucket          // this rank's partition, ascending bucket index
+	// offsets[b] is bucket b's start in the flat Params() layout.
+	offsets []int
+	// spans[p] is stage p's StageParamSpan — spans partition the flat
+	// layout, so every bucket element belongs to exactly one stage.
+	spans [][2]int
+	// seeder hands each cell's local rank 0 the per-micro ring buffers,
+	// sized to this stage's span (see flatSeeder for reuse discipline).
+	seeder flatSeeder
+	// sendBufs[m][b] stages this cell's delegated cross-cell contribution
+	// for micro m and bucket b — same staging discipline as the mesh
+	// rank's sendBufs (distinct per micro within a step, reused across
+	// steps only after the coordinator collected every rank's results).
+	sendBufs [][][]float32
+
+	// Per-step interpreter state (begin resets it). caches[m] is micro
+	// m's stage cache; bounds[m]/dBounds[m] hold the received boundary
+	// activation/gradient for micro m (nil on stage 0 / the last stage).
+	micros  []data.Batch
+	rows    [][]float64
+	caches  []*nn.SPCache
+	bounds  []*tensor.Tensor
+	dBounds []*tensor.Tensor
+}
+
+// intersectRange clips [alo, ahi) to [blo, bhi); empty intersections
+// come back with lo >= hi.
+func intersectRange(alo, ahi, blo, bhi int) (lo, hi int) {
+	lo, hi = alo, ahi
+	if blo > lo {
+		lo = blo
+	}
+	if bhi < hi {
+		hi = bhi
+	}
+	return lo, hi
+}
+
+// newPipeRank partitions the replica under the global (R·S·P-way)
+// ownership policy and wires this rank into its cell's sequence-parallel
+// links.
+func newPipeRank(group, local, stage int, w *pipeWorld, model *nn.GPT, impl optim.Impl, bucketElems int, store stv.BucketStore) *pipeRank {
+	r := &pipeRank{
+		id:    (group*w.S+local)*w.P + stage,
+		group: group, local: local, stage: stage,
+		w: w, model: model, impl: impl, store: store,
+	}
+	links := w.links[group*w.P+stage]
+	r.sp = &nn.SP{Rank: local, Ranks: w.S, AllToAll: func(p [][]float32) [][]float32 {
+		return links.allToAll(local, p)
+	}}
+	r.groups, r.owned, r.offsets = partitionReplica(model, bucketElems, r.id, w.N, store)
+	r.spans = make([][2]int, w.P)
+	for p := 0; p < w.P; p++ {
+		lo, hi := model.StageParamSpan(p, w.P)
+		r.spans[p] = [2]int{lo, hi}
+	}
+	return r
+}
+
+// col is this rank's (group, sequence) column index into the boundary
+// links.
+func (r *pipeRank) col() int { return r.group*r.w.S + r.local }
+
+// attachAct wires this rank's activation store into its cell's
+// sequence-parallel pass (via nn.SP.Tap) and its placement executor's
+// step model. Nil-safe. The pipeline engine only attaches stores on
+// final-stage ranks: act.Store is strictly single-pass, and only the
+// last stage's 1F1B schedule (F0,B0,F1,B1,…) completes each forward
+// pass before the next begins.
+func (r *pipeRank) attachAct(st *act.Store) {
+	if st == nil {
+		return
+	}
+	r.ast = st
+	r.sp.Tap = st
+	r.exec.SetAct(stv.ActShapeFor(r.model, st))
+}
+
+// run is the rank's top-level loop.
+func (r *pipeRank) run() { runRankLoop(r.w.world, r.id, r) }
+
+// begin resets the per-step interpreter state for a new schedule.
+func (r *pipeRank) begin(micros []data.Batch) {
+	r.micros = micros
+	r.rows = make([][]float64, len(micros))
+	r.caches = make([]*nn.SPCache, len(micros))
+	r.bounds = make([]*tensor.Tensor, len(micros))
+	r.dBounds = make([]*tensor.Tensor, len(micros))
+}
+
+// apply executes a validation resolution: owners mutate their partition,
+// and if weights changed every rank republishes via the 3-D all-gather.
+func (r *pipeRank) apply(v resolution) {
+	applyResolution(v, r.owned, r.impl, r.allGather)
+}
+
+// forward runs micro m's forward over this stage's block range and this
+// rank's sequence shard. Stage 0 embeds from the micro's tokens; later
+// stages consume the boundary activation recvAct stored for this micro.
+// Only the final stage produces loss rows.
+func (r *pipeRank) forward(m int) {
+	b := r.micros[m]
+	losses, c := r.model.ForwardSPStage(b.Tokens, b.Targets, b.BatchSize, b.Seq,
+		r.sp, r.stage, r.w.P, r.bounds[m])
+	r.rows[m] = losses
+	r.caches[m] = c
+}
+
+// backward runs micro m's backward over the stage's block range: the
+// final stage seeds from its loss gradient (lossScale applies there and
+// rides the chain upstream), earlier stages from the boundary gradient
+// recvGrad stored for this micro.
+func (r *pipeRank) backward(m int, scale float64) {
+	r.model.BackwardSPStage(r.caches[m], scale, r.sp, r.dBounds[m])
+}
+
+// sendAct ships micro m's boundary activation to the next stage down
+// the column.
+func (r *pipeRank) sendAct(m int) {
+	t := r.caches[m].StageOut()
+	r.w.tel.stageSends.Add(1)
+	r.w.tel.stageFloats.Add(int64(len(t.Data)))
+	r.w.acts[r.stage][r.col()].send(t)
+}
+
+// recvAct receives micro m's boundary activation from the previous
+// stage up the column.
+func (r *pipeRank) recvAct(m int) {
+	r.bounds[m] = r.w.acts[r.stage-1][r.col()].recv()
+}
+
+// sendGrad ships micro m's boundary gradient to the previous stage up
+// the column.
+func (r *pipeRank) sendGrad(m int) {
+	t := r.caches[m].StageDIn()
+	r.w.tel.stageSends.Add(1)
+	r.w.tel.stageFloats.Add(int64(len(t.Data)))
+	r.w.grads[r.stage-1][r.col()].send(t)
+}
+
+// recvGrad receives micro m's boundary gradient from the next stage
+// down the column.
+func (r *pipeRank) recvGrad(m int) {
+	r.dBounds[m] = r.w.grads[r.stage][r.col()].recv()
+}
+
+// reduce is the two-level gradient reduction for micro m, restricted to
+// this stage's parameter span. Level one is the in-cell ring
+// (spLinks.ringReduce over a span-sized flat buffer): hops visit (batch
+// row, shard) pairs in ascending global row order, so the completed
+// span reduction is bit-identical to a single-rank backward over this
+// group's row slice, restricted to the span. Level two is the
+// cross-cell bucketized reduce-scatter: for each bucket intersecting
+// the span, the cell's delegate stages a copy of the intersection slice
+// and sends it to the bucket's global owner; owners fold contributions
+// per stage in ascending stage order and per group in ascending group
+// order. Stage spans are disjoint, so each bucket ELEMENT still folds
+// in exactly (micro, group) order — the same order the mesh engine and
+// the single-rank trainer fold, keeping the reduced sum bit-identical.
+func (r *pipeRank) reduce(m int) {
+	links := r.w.links[r.group*r.w.P+r.stage]
+	span := r.spans[r.stage]
+	buf := links.ringReduce(r.local, r.caches[m], r.micros[m].BatchSize, func() []float32 {
+		return r.seeder.next(span[1] - span[0])
+	})
+	for len(r.sendBufs) <= m {
+		r.sendBufs = append(r.sendBufs, make([][]float32, len(r.groups)))
+	}
+	for bi, g := range r.groups {
+		lo, hi := intersectRange(r.offsets[bi], r.offsets[bi]+g.TotalSize(), span[0], span[1])
+		if lo >= hi || delegateLocal(bi, r.w.S) != r.local {
+			continue
+		}
+		payload := r.sendBufs[m][bi]
+		if len(payload) != hi-lo {
+			payload = make([]float32, hi-lo)
+			r.sendBufs[m][bi] = payload
+		}
+		copy(payload, buf[lo-span[0]:hi-span[0]])
+		r.w.reduce[bi][r.group*r.w.P+r.stage] <- payload
+	}
+	for _, ob := range r.owned {
+		dst := ob.b.Grad()
+		bo := r.offsets[ob.idx]
+		for p := 0; p < r.w.P; p++ {
+			lo, hi := intersectRange(bo, bo+ob.b.Size(), r.spans[p][0], r.spans[p][1])
+			if lo >= hi {
+				continue
+			}
+			for g := 0; g < r.w.R; g++ {
+				c := <-r.w.reduce[ob.idx][g*r.w.P+p]
+				stv.AccumInto(dst[lo-bo:hi-bo], c, m == 0 && g == 0)
+			}
+		}
+	}
+}
+
+// speculate runs the shared speculative phase: each cell's ring produced
+// its whole row slice's span gradient, and the cross-cell reduce summed
+// R of them per micro (stages contribute disjoint spans), so the divisor
+// is micros·R — exactly the mesh engine's and the single-rank trainer's
+// count for the same R-way decomposition.
+func (r *pipeRank) speculate(g goMsg) {
+	inv := float32(1 / (g.scale * float64(len(r.micros)*r.w.R)))
+	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
+}
+
+// report closes the step out: record placement telemetry and hand the
+// per-micro loss rows (nil except on the final stage) to the
+// coordinator.
+func (r *pipeRank) report() stepResult {
+	r.exec.Record(localTokens(r.micros), r.micros[0].Seq)
+	return stepResult{rows: r.rows}
+}
+
+// allGather publishes every owned bucket's fp16 weights to the other
+// R·S·P-1 ranks and installs the payloads this rank receives into its
+// replica.
+func (r *pipeRank) allGather() {
+	gatherWeights(r.owned, r.groups, r.w.gather, r.w.N, r.id)
+}
+
+// bucketStore, bucketLayout, placementExec, and actStore satisfy
+// engineRank for the shared engine plumbing.
+func (r *pipeRank) bucketStore() stv.BucketStore          { return r.store }
+func (r *pipeRank) bucketLayout() []nn.Params             { return r.groups }
+func (r *pipeRank) placementExec() *stv.PlacementExecutor { return r.exec }
+func (r *pipeRank) actStore() *act.Store                  { return r.ast }

@@ -41,14 +41,16 @@ func partitionReplica(model *nn.GPT, bucketElems, id, ranks int, store stv.Bucke
 }
 
 // runRankLoop is every rank's top-level loop over the shared control
-// links: execute steps, apply out-of-step resolutions (Flush), stop.
-func runRankLoop(w *world, id int, step func([]data.Batch), apply func(resolution)) {
+// links: interpret step schedules, apply out-of-step resolutions
+// (Flush), stop.
+func runRankLoop(w *world, id int, ex stepExecutor) {
 	for c := range w.cmd[id] {
 		switch c.kind {
 		case cmdStep:
-			step(c.micros)
+			ex.begin(c.micros)
+			runSchedule(w, id, c.ops, ex)
 		case cmdResolve:
-			apply(c.res)
+			ex.apply(c.res)
 			w.results[id] <- stepResult{}
 		case cmdStop:
 			return
@@ -146,6 +148,15 @@ type rank struct {
 	// rank's results before releasing the next step, so all owner reads
 	// of step N happen before any step-N+1 write.
 	sendBufs [][][]float32
+
+	// Per-step interpreter state (begin resets it). cache holds the
+	// latest forward's intermediates; the legacy schedule backwards each
+	// micro immediately after its forward (a resolve-triggered redo only
+	// ever re-forwards the same micro), so one slot suffices — exactly
+	// the single-cache discipline the model-level arena requires.
+	micros []data.Batch
+	losses []float64
+	cache  *nn.FwdCache
 }
 
 // newRank partitions the replica and seeds this rank's store with the
@@ -157,7 +168,13 @@ func newRank(id int, w *dpWorld, model *nn.GPT, impl optim.Impl, bucketElems int
 }
 
 // run is the rank's top-level loop.
-func (r *rank) run() { runRankLoop(r.w.world, r.id, r.step, r.apply) }
+func (r *rank) run() { runRankLoop(r.w.world, r.id, r) }
+
+// begin resets the per-step interpreter state for a new schedule.
+func (r *rank) begin(micros []data.Batch) {
+	r.micros = micros
+	r.losses = make([]float64, len(micros))
+}
 
 // apply executes a validation resolution on this rank: owners mutate their
 // partition, and if weights changed every rank republishes via all-gather.
@@ -165,57 +182,42 @@ func (r *rank) apply(v resolution) {
 	applyResolution(v, r.owned, r.impl, r.allGather)
 }
 
-// step runs one training iteration over this rank's micro-batches,
-// mirroring stv.Trainer's STV sequencing: forward first, then resolve the
-// previous step's validation (it has been running in the background); a
-// rollback changes weights, so the forward is redone before backward.
-func (r *rank) step(micros []data.Batch) {
-	losses := make([]float64, 0, len(micros))
-	var g goMsg
-	redone := false
-	for {
-		b := micros[0]
-		loss, cache := r.model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
-		if !redone {
-			v := <-r.w.resolution[r.id]
-			r.apply(v)
-			if v.weightsChanged() {
-				redone = true
-				continue
-			}
-		}
-		g = <-r.w.goCh[r.id]
-		r.model.Params().ZeroGrads()
-		r.model.Backward(cache, g.scale)
-		losses = append(losses, loss)
-		break
-	}
-	r.contribute(0)
-	for m := 1; m < len(micros); m++ {
-		b := micros[m]
-		loss, cache := r.model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
-		r.model.Params().ZeroGrads()
-		r.model.Backward(cache, g.scale)
-		losses = append(losses, loss)
-		r.contribute(m)
-	}
-
-	// Speculative phase on the owned partition: normalize the reduced
-	// sum (accumulated over len(micros)·R micro-batch slices), apply
-	// per-bucket Adam, publish fp16 weights to every rank.
-	inv := float32(1 / (g.scale * float64(len(micros)*r.w.N)))
-	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
-	r.exec.Record(localTokens(micros), micros[0].Seq)
-
-	r.w.results[r.id] <- stepResult{losses: losses}
+// forward runs micro m's forward pass on the replica, recording its loss
+// (an STV redo overwrites the slot, so the reported loss is the last
+// forward's — mirroring stv.Trainer's post-rollback loss).
+func (r *rank) forward(m int) {
+	b := r.micros[m]
+	loss, cache := r.model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+	r.losses[m] = loss
+	r.cache = cache
 }
 
-// contribute sends this rank's raw gradient contribution for every bucket
+// backward runs micro m's backward pass from the retained forward cache.
+func (r *rank) backward(m int, scale float64) {
+	r.model.Params().ZeroGrads()
+	r.model.Backward(r.cache, scale)
+}
+
+// speculate runs the shared speculative phase: the reduced sum
+// accumulated over micros·N micro-batch slices is normalized by inv.
+func (r *rank) speculate(g goMsg) {
+	inv := float32(1 / (g.scale * float64(len(r.micros)*r.w.N)))
+	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
+}
+
+// report closes the step out: record placement telemetry and hand the
+// per-micro losses to the coordinator.
+func (r *rank) report() stepResult {
+	r.exec.Record(localTokens(r.micros), r.micros[0].Seq)
+	return stepResult{losses: r.losses}
+}
+
+// reduce sends this rank's raw gradient contribution for every bucket
 // to the bucket's owner, then (as owner) folds the incoming contributions
 // for micro-batch m into the owned reduction buffers. Contributions sum in
 // (micro-batch, rank) order — the same order a single-rank trainer's
 // gradient accumulation stages them — so the reduced sum is bit-identical.
-func (r *rank) contribute(m int) {
+func (r *rank) reduce(m int) {
 	for len(r.sendBufs) <= m {
 		r.sendBufs = append(r.sendBufs, make([][]float32, len(r.groups)))
 	}

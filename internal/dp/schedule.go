@@ -1,0 +1,214 @@
+package dp
+
+// The schedule layer: a training step is, per rank, a sequence of
+// schedule ops produced by a pluggable builder and executed by one small
+// interpreter over the rank's engine body (stepExecutor). The legacy
+// engines (DP, SP, mesh) build the trivial all-forward-then-backward
+// sequence the old imperative driver hard-coded in each rank's control
+// flow; the pipeline engine builds a 1F1B schedule per stage. Keeping
+// the step structure in data — instead of in each rank body — is what
+// lets one interpreter, one STV redo rule, and one coordinator drive
+// every topology.
+
+import "superoffload/internal/data"
+
+// opKind enumerates the schedule ops a rank can execute in one step.
+type opKind int
+
+const (
+	// opForward runs the forward pass of micro-batch `micro`.
+	opForward opKind = iota
+	// opBackward runs the backward pass of micro-batch `micro`, scaled by
+	// the goMsg's loss scale (so it must come after opGo).
+	opBackward
+	// opReduce folds micro `micro`'s gradients into the owned buckets
+	// through the engine's reduction topology.
+	opReduce
+	// opResolve receives the previous step's validation verdict from the
+	// coordinator and applies it to the owned partition. If the weights
+	// changed (rollback/clip), every forwarded-but-not-yet-backwarded
+	// micro re-runs its forward on the corrected weights — the STV redo.
+	opResolve
+	// opGo receives the goMsg (Adam step params, loss scale, fault
+	// injection) that releases the rank into its backward phase.
+	opGo
+	// opSendAct ships micro `micro`'s boundary activation downstream to
+	// the next pipeline stage; opRecvAct receives it from upstream.
+	opSendAct
+	opRecvAct
+	// opSendGrad ships micro `micro`'s boundary gradient upstream to the
+	// previous pipeline stage; opRecvGrad receives it from downstream.
+	opSendGrad
+	opRecvGrad
+	// opSpeculate runs the speculative optimizer step on the owned
+	// partition and streams validation partials to the coordinator.
+	opSpeculate
+	// opReport sends the rank's stepResult to the coordinator.
+	opReport
+)
+
+// scheduleOp is one step of a rank's schedule.
+type scheduleOp struct {
+	kind  opKind
+	micro int
+}
+
+// scheduleBuilder produces rank `rank`'s op sequence for a step of
+// `micros` micro-batches. Builders must be deterministic: every rank of
+// a collective group must emit matching collective ops in matching
+// order, or the channel collectives deadlock.
+type scheduleBuilder func(rank, micros int) []scheduleOp
+
+// legacyBuilder is the scheduleBuilder the non-pipelined engines (DP,
+// SP, mesh) share: every rank runs the same all-forward-then-backward
+// sequence regardless of its position in the topology.
+func legacyBuilder(rank, micros int) []scheduleOp {
+	return legacySchedule(micros)
+}
+
+// legacySchedule is the all-forward-then-backward step the imperative
+// driver used to hard-code: forward micro 0, resolve the previous step's
+// validation (redoing forward 0 if the weights changed), receive go,
+// then backward+reduce micro 0 and forward/backward/reduce each
+// remaining micro, speculate, report.
+func legacySchedule(micros int) []scheduleOp {
+	ops := make([]scheduleOp, 0, 3*micros+4)
+	ops = append(ops,
+		scheduleOp{kind: opForward, micro: 0},
+		scheduleOp{kind: opResolve},
+		scheduleOp{kind: opGo},
+		scheduleOp{kind: opBackward, micro: 0},
+		scheduleOp{kind: opReduce, micro: 0},
+	)
+	for m := 1; m < micros; m++ {
+		ops = append(ops,
+			scheduleOp{kind: opForward, micro: m},
+			scheduleOp{kind: opBackward, micro: m},
+			scheduleOp{kind: opReduce, micro: m},
+		)
+	}
+	return append(ops, scheduleOp{kind: opSpeculate}, scheduleOp{kind: opReport})
+}
+
+// pipeSchedule is pipeline stage `stage`'s 1F1B schedule over `micros`
+// micro-batches. It resolves BEFORE the first forward (numerically
+// identical — forwards read post-resolution weights either way — and it
+// keeps the redo machinery off the multi-micro-in-flight pipeline), then
+// runs the classic warmup/steady/cooldown pattern: min(stages-1-stage,
+// micros) warmup forwards, alternating forward/backward in steady state,
+// and draining backwards. Each forward is bracketed by recvAct (stages
+// above 0) and sendAct (stages below the last); each backward by
+// recvGrad/sendGrad symmetrically, followed by that micro's reduce.
+func pipeSchedule(stage, stages, micros int) []scheduleOp {
+	ops := []scheduleOp{{kind: opResolve}, {kind: opGo}}
+	emitF := func(m int) {
+		if stage > 0 {
+			ops = append(ops, scheduleOp{kind: opRecvAct, micro: m})
+		}
+		ops = append(ops, scheduleOp{kind: opForward, micro: m})
+		if stage < stages-1 {
+			ops = append(ops, scheduleOp{kind: opSendAct, micro: m})
+		}
+	}
+	emitB := func(m int) {
+		if stage < stages-1 {
+			ops = append(ops, scheduleOp{kind: opRecvGrad, micro: m})
+		}
+		ops = append(ops, scheduleOp{kind: opBackward, micro: m})
+		if stage > 0 {
+			ops = append(ops, scheduleOp{kind: opSendGrad, micro: m})
+		}
+		ops = append(ops, scheduleOp{kind: opReduce, micro: m})
+	}
+	warmup := stages - 1 - stage
+	if warmup > micros {
+		warmup = micros
+	}
+	fwd, bwd := 0, 0
+	for ; fwd < warmup; fwd++ {
+		emitF(fwd)
+	}
+	for fwd < micros {
+		emitF(fwd)
+		fwd++
+		emitB(bwd)
+		bwd++
+	}
+	for bwd < micros {
+		emitB(bwd)
+		bwd++
+	}
+	return append(ops, scheduleOp{kind: opSpeculate}, scheduleOp{kind: opReport})
+}
+
+// stepExecutor is a rank's engine body: the interpreter calls these in
+// schedule order. begin resets per-step state before the first op.
+type stepExecutor interface {
+	begin(micros []data.Batch)
+	forward(m int)
+	backward(m int, scale float64)
+	reduce(m int)
+	apply(v resolution)
+	speculate(g goMsg)
+	report() stepResult
+}
+
+// stageExecutor extends stepExecutor with the pipeline-boundary ops.
+// Only schedules that emit stage ops need it; the interpreter
+// type-asserts on demand, so legacy executors stay oblivious.
+type stageExecutor interface {
+	stepExecutor
+	sendAct(m int)
+	recvAct(m int)
+	sendGrad(m int)
+	recvGrad(m int)
+}
+
+// runSchedule interprets one step's op sequence for rank id. It owns the
+// coordinator handshakes (resolution, goMsg, result report) and the STV
+// redo rule: on a weight-changing resolution, every micro that has
+// forwarded but not yet backwarded re-runs its forward — which for the
+// legacy schedules is exactly micro 0, reproducing the old redo loop.
+func runSchedule(w *world, id int, ops []scheduleOp, ex stepExecutor) {
+	var g goMsg
+	var inFlight []int // forwarded, not yet backwarded, in forward order
+	for _, op := range ops {
+		switch op.kind {
+		case opForward:
+			ex.forward(op.micro)
+			inFlight = append(inFlight, op.micro)
+		case opBackward:
+			ex.backward(op.micro, g.scale)
+			for i, m := range inFlight {
+				if m == op.micro {
+					inFlight = append(inFlight[:i], inFlight[i+1:]...)
+					break
+				}
+			}
+		case opReduce:
+			ex.reduce(op.micro)
+		case opResolve:
+			v := <-w.resolution[id]
+			ex.apply(v)
+			if v.weightsChanged() {
+				for _, m := range inFlight {
+					ex.forward(m)
+				}
+			}
+		case opGo:
+			g = <-w.goCh[id]
+		case opSendAct:
+			ex.(stageExecutor).sendAct(op.micro)
+		case opRecvAct:
+			ex.(stageExecutor).recvAct(op.micro)
+		case opSendGrad:
+			ex.(stageExecutor).sendGrad(op.micro)
+		case opRecvGrad:
+			ex.(stageExecutor).recvGrad(op.micro)
+		case opSpeculate:
+			ex.speculate(g)
+		case opReport:
+			w.results[id] <- ex.report()
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package dp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// opNames renders a schedule compactly for golden comparison:
+// "F0 resolve go B0 R0 …".
+func opNames(ops []scheduleOp) string {
+	short := map[opKind]string{
+		opForward: "F", opBackward: "B", opReduce: "R",
+		opSendAct: "sa", opRecvAct: "ra", opSendGrad: "sg", opRecvGrad: "rg",
+	}
+	var parts []string
+	for _, op := range ops {
+		switch op.kind {
+		case opResolve:
+			parts = append(parts, "resolve")
+		case opGo:
+			parts = append(parts, "go")
+		case opSpeculate:
+			parts = append(parts, "speculate")
+		case opReport:
+			parts = append(parts, "report")
+		default:
+			parts = append(parts, fmt.Sprintf("%s%d", short[op.kind], op.micro))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// TestLegacyScheduleGolden pins the exact op sequence the imperative
+// driver used to hard-code, so the schedule refactor provably changed
+// nothing about the legacy engines' step structure: forward micro 0,
+// resolve (redo point), go, backward+reduce 0, then
+// forward/backward/reduce each remaining micro, speculate, report.
+func TestLegacyScheduleGolden(t *testing.T) {
+	goldens := map[int]string{
+		1: "F0 resolve go B0 R0 speculate report",
+		2: "F0 resolve go B0 R0 F1 B1 R1 speculate report",
+		3: "F0 resolve go B0 R0 F1 B1 R1 F2 B2 R2 speculate report",
+	}
+	for micros, want := range goldens {
+		if got := opNames(legacySchedule(micros)); got != want {
+			t.Errorf("legacySchedule(%d):\n got %s\nwant %s", micros, got, want)
+		}
+	}
+	// legacyBuilder ignores the rank: every rank of a collective group
+	// must emit identical schedules or the channel collectives deadlock.
+	for rank := 0; rank < 4; rank++ {
+		if got := opNames(legacyBuilder(rank, 2)); got != goldens[2] {
+			t.Errorf("legacyBuilder(%d, 2) = %s, want %s", rank, got, goldens[2])
+		}
+	}
+}
+
+// TestPipeScheduleGolden pins the 1F1B sequences for a 2-stage and a
+// 3-stage pipeline. Stage 0 never receives activations or sends
+// gradients; the last stage never sends activations or receives
+// gradients; warmup depth falls linearly with the stage index.
+func TestPipeScheduleGolden(t *testing.T) {
+	cases := []struct {
+		stage, stages, micros int
+		want                  string
+	}{
+		// P=1 degenerates to the legacy shape, modulo resolve-first.
+		{0, 1, 2, "resolve go F0 B0 R0 F1 B1 R1 speculate report"},
+		// P=2, M=3: stage 0 warms up one forward, then steady 1F1B.
+		{0, 2, 3, "resolve go F0 sa0 F1 sa1 rg0 B0 R0 F2 sa2 rg1 B1 R1 rg2 B2 R2 speculate report"},
+		{1, 2, 3, "resolve go ra0 F0 B0 sg0 R0 ra1 F1 B1 sg1 R1 ra2 F2 B2 sg2 R2 speculate report"},
+		// P=3, M=2: warmup min(stages-1-stage, micros) forwards.
+		{0, 3, 2, "resolve go F0 sa0 F1 sa1 rg0 B0 R0 rg1 B1 R1 speculate report"},
+		{1, 3, 2, "resolve go ra0 F0 sa0 ra1 F1 sa1 rg0 B0 sg0 R0 rg1 B1 sg1 R1 speculate report"},
+		{2, 3, 2, "resolve go ra0 F0 B0 sg0 R0 ra1 F1 B1 sg1 R1 speculate report"},
+		// More stages above than micros: warmup clamps to M.
+		{0, 4, 1, "resolve go F0 sa0 rg0 B0 R0 speculate report"},
+	}
+	for _, c := range cases {
+		if got := opNames(pipeSchedule(c.stage, c.stages, c.micros)); got != c.want {
+			t.Errorf("pipeSchedule(%d, %d, %d):\n got %s\nwant %s", c.stage, c.stages, c.micros, got, c.want)
+		}
+	}
+}
+
+// TestPipeScheduleProperties checks the structural invariants every
+// generated 1F1B schedule must satisfy, across a sweep of shapes.
+func TestPipeScheduleProperties(t *testing.T) {
+	for stages := 1; stages <= 5; stages++ {
+		for stage := 0; stage < stages; stage++ {
+			for micros := 1; micros <= 6; micros++ {
+				ops := pipeSchedule(stage, stages, micros)
+				name := fmt.Sprintf("stage %d/%d, %d micros", stage, stages, micros)
+				if ops[0].kind != opResolve || ops[1].kind != opGo {
+					t.Fatalf("%s: must open resolve, go; got %s", name, opNames(ops[:2]))
+				}
+				if ops[len(ops)-2].kind != opSpeculate || ops[len(ops)-1].kind != opReport {
+					t.Fatalf("%s: must close speculate, report", name)
+				}
+				counts := map[opKind][]int{}
+				inFlight := 0
+				maxInFlight := 0
+				for _, op := range ops {
+					counts[op.kind] = append(counts[op.kind], op.micro)
+					if op.kind == opForward {
+						inFlight++
+						if inFlight > maxInFlight {
+							maxInFlight = inFlight
+						}
+					}
+					if op.kind == opBackward {
+						inFlight--
+					}
+				}
+				ascending := func(k opKind, want int) {
+					ms := counts[k]
+					if len(ms) != want {
+						t.Fatalf("%s: op %d count %d, want %d", name, k, len(ms), want)
+					}
+					for i, m := range ms {
+						if m != i {
+							t.Fatalf("%s: op %d micros %v not in order", name, k, ms)
+						}
+					}
+				}
+				// Every micro forwards, backwards, and reduces exactly once,
+				// in ascending micro order per op kind.
+				ascending(opForward, micros)
+				ascending(opBackward, micros)
+				ascending(opReduce, micros)
+				// Boundary ops exist iff the boundary exists.
+				wantUp, wantDown := 0, 0
+				if stage > 0 {
+					wantUp = micros
+				}
+				if stage < stages-1 {
+					wantDown = micros
+				}
+				ascending(opRecvAct, wantUp)
+				ascending(opSendGrad, wantUp)
+				ascending(opSendAct, wantDown)
+				ascending(opRecvGrad, wantDown)
+				// 1F1B bounds in-flight micro-batches by the warmup depth + 1,
+				// never by M: memory stays O(P), not O(M).
+				warmup := stages - 1 - stage
+				if warmup > micros {
+					warmup = micros
+				}
+				if maxInFlight != warmup+1 && !(micros == warmup && maxInFlight == warmup) {
+					t.Fatalf("%s: max in-flight %d, want %d", name, maxInFlight, warmup+1)
+				}
+			}
+		}
+	}
+}

@@ -61,7 +61,7 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 		}
 	}
 	w := newSPWorld(cfg.Ranks, nBuckets)
-	e := &SPEngine{coordinator: coordinator{cfg: cfg}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
+	e := &SPEngine{coordinator: coordinator{cfg: cfg, sched: legacyBuilder}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(cfg.Ranks, cfg.NewStore)
 	if err != nil {
 		return nil, err
@@ -100,6 +100,11 @@ type SPCommStats struct {
 	// total float32 volume they carried.
 	RingHops   int64
 	RingFloats int64
+	// StageSends and StageFloats count pipeline stage-boundary tensor
+	// sends (activations downstream + gradients upstream) and their total
+	// float32 volume. Zero outside the pipeline engine.
+	StageSends  int64
+	StageFloats int64
 }
 
 // CommStats reports the engine's cumulative link traffic.

@@ -7,14 +7,17 @@ import (
 )
 
 // linkTelemetry counts sequence-parallel link traffic: all-to-all
-// payloads/floats (two exchanges per layer per pass) and weight-gradient
-// ring hops/floats. Ranks update the counters concurrently; totals are
-// deterministic for a fixed model and step count.
+// payloads/floats (two exchanges per layer per pass), weight-gradient
+// ring hops/floats, and (under the pipeline engine) stage-boundary
+// tensor sends/floats. Ranks update the counters concurrently; totals
+// are deterministic for a fixed model and step count.
 type linkTelemetry struct {
 	a2aPayloads atomic.Int64
 	a2aFloats   atomic.Int64
 	ringHops    atomic.Int64
 	ringFloats  atomic.Int64
+	stageSends  atomic.Int64
+	stageFloats atomic.Int64
 }
 
 // snapshot renders the counters as the public stats type.
@@ -24,6 +27,8 @@ func (t *linkTelemetry) snapshot() SPCommStats {
 		A2AFloats:   t.a2aFloats.Load(),
 		RingHops:    t.ringHops.Load(),
 		RingFloats:  t.ringFloats.Load(),
+		StageSends:  t.stageSends.Load(),
+		StageFloats: t.stageFloats.Load(),
 	}
 }
 

@@ -30,6 +30,12 @@ type spRank struct {
 	// seeder hands rank 0 the per-micro flat ring buffers (see
 	// flatSeeder for the reuse discipline).
 	seeder flatSeeder
+
+	// Per-step interpreter state (begin resets it). Caches are retained
+	// per micro — each SPCache owns its arena, so multiple can be alive.
+	micros []data.Batch
+	rows   [][]float64
+	caches []*nn.SPCache
 }
 
 // newSPRank partitions the replica and seeds this rank's store with the
@@ -56,7 +62,14 @@ func (r *spRank) attachAct(st *act.Store) {
 }
 
 // run is the rank's top-level loop.
-func (r *spRank) run() { runRankLoop(r.w.world, r.id, r.step, r.apply) }
+func (r *spRank) run() { runRankLoop(r.w.world, r.id, r) }
+
+// begin resets the per-step interpreter state for a new schedule.
+func (r *spRank) begin(micros []data.Batch) {
+	r.micros = micros
+	r.rows = make([][]float64, len(micros))
+	r.caches = make([]*nn.SPCache, len(micros))
+}
 
 // apply executes a validation resolution: owners mutate their partition,
 // and if weights changed every rank republishes via all-gather.
@@ -64,50 +77,40 @@ func (r *spRank) apply(v resolution) {
 	applyResolution(v, r.owned, r.impl, r.allGather)
 }
 
-// step runs one training iteration over this rank's sequence shards,
-// mirroring stv.Trainer's STV sequencing: forward first (with its two
-// all-to-alls per layer), then resolve the previous step's validation; a
-// rollback changes weights, so every rank redoes the forward in lockstep
-// before backward.
-func (r *spRank) step(micros []data.Batch) {
-	rows := make([][]float64, 0, len(micros))
-	var g goMsg
-	var cache *nn.SPCache
-	redone := false
-	for {
-		b := micros[0]
-		losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
-		if !redone {
-			v := <-r.w.resolution[r.id]
-			r.apply(v)
-			if v.weightsChanged() {
-				redone = true
-				continue
-			}
-		}
-		g = <-r.w.goCh[r.id]
-		r.model.BackwardSP(c, g.scale, r.sp)
-		rows = append(rows, losses)
-		cache = c
-		break
-	}
-	r.ringReduce(0, cache, micros[0].BatchSize)
-	for m := 1; m < len(micros); m++ {
-		b := micros[m]
-		losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
-		r.model.BackwardSP(c, g.scale, r.sp)
-		rows = append(rows, losses)
-		r.ringReduce(m, c, b.BatchSize)
-	}
+// forward runs micro m's forward over this rank's sequence shard (with
+// its two all-to-alls per layer; every rank's schedule forwards the same
+// micros in the same order, so the collectives pair in lockstep). An STV
+// redo overwrites the slot, exactly like the pre-schedule driver.
+func (r *spRank) forward(m int) {
+	b := r.micros[m]
+	losses, c := r.model.ForwardSP(b.Tokens, b.Targets, b.BatchSize, b.Seq, r.sp)
+	r.rows[m] = losses
+	r.caches[m] = c
+}
 
-	// Speculative phase on the owned partition: normalize the reduced
-	// sum (no rank-count factor — the ring already produced the whole
-	// batch's gradient), apply per-bucket Adam, publish fp16 weights.
-	inv := float32(1 / (g.scale * float64(len(micros))))
+// backward runs micro m's backward from its retained cache.
+func (r *spRank) backward(m int, scale float64) {
+	r.model.BackwardSP(r.caches[m], scale, r.sp)
+}
+
+// reduce chains micro m's weight gradients through the group ring.
+func (r *spRank) reduce(m int) {
+	r.ringReduce(m, r.caches[m], r.micros[m].BatchSize)
+}
+
+// speculate runs the shared speculative phase: normalize the reduced sum
+// (no rank-count factor — the ring already produced the whole batch's
+// gradient), apply per-bucket Adam, publish fp16 weights.
+func (r *spRank) speculate(g goMsg) {
+	inv := float32(1 / (g.scale * float64(len(r.micros))))
 	speculate(r.w.world, r.owned, r.impl, g, inv, r.allGather)
-	r.exec.Record(localTokens(micros), micros[0].Seq)
+}
 
-	r.w.results[r.id] <- stepResult{rows: rows}
+// report closes the step out: record placement telemetry and hand the
+// per-micro loss rows to the coordinator.
+func (r *spRank) report() stepResult {
+	r.exec.Record(localTokens(r.micros), r.micros[0].Seq)
+	return stepResult{rows: r.rows}
 }
 
 // ringReduce chains micro-batch m's weight-gradient accumulation through

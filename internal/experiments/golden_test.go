@@ -28,6 +28,7 @@ var archSensitive = map[string]string{
 	"ext-nvme-stv":      "amd64",
 	"ext-ulysses-stv":   "amd64",
 	"ext-mesh-stv":      "amd64",
+	"ext-pipe-stv":      "amd64",
 	"ext-placement-stv": "amd64",
 }
 

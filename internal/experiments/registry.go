@@ -37,6 +37,7 @@ var registry = map[string]Runner{
 	"ext-nvme-stv":      ExtNVMeSTV,
 	"ext-ulysses-stv":   ExtUlyssesSTV,
 	"ext-mesh-stv":      ExtMeshSTV,
+	"ext-pipe-stv":      ExtPipeSTV,
 	"ext-placement-stv": ExtPlacementSTV,
 }
 

@@ -135,8 +135,8 @@ type blockCache struct {
 	hGelu *tensor.Tensor
 }
 
-// fwdCache retains one iteration's intermediates for Backward.
-type fwdCache struct {
+// FwdCache retains one iteration's intermediates for Backward.
+type FwdCache struct {
 	tokens     []int
 	batch, seq int
 	embedded   *tensor.Tensor
@@ -149,7 +149,7 @@ type fwdCache struct {
 // Forward runs the model over a (batch, seq) token matrix flattened
 // row-major into tokens, computing mean cross-entropy loss against targets
 // (same layout). Returns the loss; call Backward to populate gradients.
-func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fwdCache) {
+func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *FwdCache) {
 	if len(tokens) != batch*seq || len(targets) != batch*seq {
 		panic("nn: token/target shape mismatch")
 	}
@@ -175,7 +175,7 @@ func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fw
 		}
 	}
 
-	cache := &fwdCache{tokens: tokens, batch: batch, seq: seq, embedded: x}
+	cache := &FwdCache{tokens: tokens, batch: batch, seq: seq, embedded: x}
 	if g.tap != nil {
 		g.tap.BeginPass(len(g.Blocks), n, seq)
 	}
@@ -218,7 +218,7 @@ func (g *GPT) Forward(tokens []int, targets []int, batch, seq int) (float64, *fw
 // Gradients add into Params().G, so gradient accumulation across
 // micro-batches works by not zeroing between calls. lossScale multiplies
 // the loss (mixed-precision loss scaling); gradients come out scaled.
-func (g *GPT) Backward(cache *fwdCache, lossScale float64) {
+func (g *GPT) Backward(cache *FwdCache, lossScale float64) {
 	ws := &g.ws
 	dlogits := cache.dlogits
 	if lossScale != 1 {

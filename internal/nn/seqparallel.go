@@ -113,22 +113,42 @@ type SPCache struct {
 	localSeq int
 	posOff   int
 
+	// stage/stages identify the pipeline stage whose block range this
+	// cache covers (0 of 1 for the non-pipelined entry points).
+	stage, stages int
+
 	// ws is this iteration's scratch arena. It lives on the cache, not the
 	// model, because SP ranks may share one GPT's weights across
 	// goroutines (the model stays read-only in ForwardSP/BackwardSP); a
 	// model-level arena would race.
 	ws workspace
 
-	blocks []*spBlockCache
-	lnf    *layerNormCache
-	lnfy   *tensor.Tensor
-	dlogit *tensor.Tensor // unscaled CE gradient (local rows)
+	blocks   []*spBlockCache
+	stageOut *tensor.Tensor // boundary activation a non-final stage ships downstream
+	lnf      *layerNormCache
+	lnfy     *tensor.Tensor
+	dlogit   *tensor.Tensor // unscaled CE gradient (local rows; final stage only)
 
-	// retained by BackwardSP:
-	dlogitScaled *tensor.Tensor // dy into Head (input: lnfy)
-	dlnfy        *tensor.Tensor // dy into LNF gain/bias
-	dEmb         *tensor.Tensor // embedding-layer gradient rows
+	// retained by BackwardSPStage:
+	dlogitScaled *tensor.Tensor // dy into Head (input: lnfy; final stage only)
+	dlnfy        *tensor.Tensor // dy into LNF gain/bias (final stage only)
+	dIn          *tensor.Tensor // d-input of the stage's first block: the
+	// embedding-layer gradient rows on stage 0, the boundary gradient for
+	// the upstream stage otherwise.
 }
+
+// StageOut returns the boundary activation a non-final stage's forward
+// produced — the (batch·localSeq, hidden) tensor the pipeline engine
+// ships downstream. The data stays valid for the cache's lifetime (each
+// SPCache owns its arena), so it passes between stage goroutines by
+// reference. Nil on the final stage.
+func (cache *SPCache) StageOut() *tensor.Tensor { return cache.stageOut }
+
+// StageDIn returns the boundary gradient BackwardSPStage left behind:
+// the d-input of this stage's first block, which the pipeline engine
+// ships upstream (on stage 0 it is instead the embedding-layer gradient
+// AccumBatchRow folds). Nil until BackwardSPStage runs.
+func (cache *SPCache) StageDIn() *tensor.Tensor { return cache.dIn }
 
 // ForwardSP runs the model over this rank's sequence shard: tokens and
 // targets hold batch rows of localSeq consecutive positions starting at
@@ -138,9 +158,27 @@ type SPCache struct {
 // bit-identical to the single-rank Forward loss — and the cache for
 // BackwardSP.
 func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]float64, *SPCache) {
+	return g.ForwardSPStage(tokens, targets, batch, localSeq, sp, 0, 1, nil)
+}
+
+// ForwardSPStage runs pipeline stage `stage` of `stages` — transformer
+// blocks StageLayers(layers, stage, stages) — over this rank's sequence
+// shard. Stage 0 embeds from tokens; later stages take the upstream
+// boundary activation xIn (batch·localSeq rows, read but never written).
+// The final stage computes the head and returns per-row losses exactly
+// as ForwardSP; earlier stages return nil losses and expose the boundary
+// output via StageOut. Computing the same blocks over the same inputs as
+// the single-pass ForwardSP, the stage split is bit-invisible.
+func (g *GPT) ForwardSPStage(tokens, targets []int, batch, localSeq int, sp *SP, stage, stages int, xIn *tensor.Tensor) ([]float64, *SPCache) {
 	globalSeq := localSeq * sp.Ranks
 	if err := g.ValidateSP(sp.Ranks, globalSeq); err != nil {
 		panic(err)
+	}
+	if err := g.ValidateStages(stages); err != nil {
+		panic(err)
+	}
+	if stage < 0 || stage >= stages {
+		panic(fmt.Sprintf("nn: pipeline stage %d out of range [0,%d)", stage, stages))
 	}
 	if sp.Rank < 0 || sp.Rank >= sp.Ranks {
 		panic(fmt.Sprintf("nn: sequence rank %d out of range [0,%d)", sp.Rank, sp.Ranks))
@@ -155,27 +193,38 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 	scale := float32(1 / math.Sqrt(float64(hs)))
 	n := batch * localSeq
 	posOff := sp.Rank * localSeq
+	blo, bhi := StageLayers(len(g.Blocks), stage, stages)
 
-	cache := &SPCache{g: g, tokens: tokens, batch: batch, localSeq: localSeq, posOff: posOff}
+	cache := &SPCache{g: g, tokens: tokens, batch: batch, localSeq: localSeq,
+		posOff: posOff, stage: stage, stages: stages}
 	ws := &cache.ws
-	x := ws.get(n, c)
-	for i, tok := range tokens {
-		if tok < 0 || tok >= g.Cfg.Vocab {
-			panic(fmt.Sprintf("nn: token %d out of vocab", tok))
+	var x *tensor.Tensor
+	if stage == 0 {
+		x = ws.get(n, c)
+		for i, tok := range tokens {
+			if tok < 0 || tok >= g.Cfg.Vocab {
+				panic(fmt.Sprintf("nn: token %d out of vocab", tok))
+			}
+			t := posOff + i%localSeq
+			dst := x.Data[i*c : (i+1)*c]
+			te := g.TokEmb.W.Data[tok*c : (tok+1)*c]
+			pe := g.PosEmb.W.Data[t*c : (t+1)*c]
+			for j := 0; j < c; j++ {
+				dst[j] = te[j] + pe[j]
+			}
 		}
-		t := posOff + i%localSeq
-		dst := x.Data[i*c : (i+1)*c]
-		te := g.TokEmb.W.Data[tok*c : (tok+1)*c]
-		pe := g.PosEmb.W.Data[t*c : (t+1)*c]
-		for j := 0; j < c; j++ {
-			dst[j] = te[j] + pe[j]
+	} else {
+		if xIn == nil || xIn.Dim(0) != n || xIn.Dim(1) != c {
+			panic("nn: stage boundary activation shape mismatch")
 		}
+		x = xIn
 	}
 
 	if sp.Tap != nil {
-		sp.Tap.BeginPass(len(g.Blocks), n, globalSeq)
+		sp.Tap.BeginPass(bhi-blo, n, globalSeq)
 	}
-	for l, blk := range g.Blocks {
+	for l := blo; l < bhi; l++ {
+		blk := g.Blocks[l]
 		bc := &spBlockCache{}
 		ln1y, ln1c := layerNorm(ws, x, blk.LN1G, blk.LN1B)
 		bc.ln1, bc.ln1y = ln1c, ln1y
@@ -218,10 +267,14 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 		x = x2
 		cache.blocks = append(cache.blocks, bc)
 		if sp.Tap != nil {
-			sp.Tap.StashLayer(l, bc.actBufs())
+			sp.Tap.StashLayer(l-blo, bc.actBufs())
 		}
 	}
 
+	if stage < stages-1 {
+		cache.stageOut = x
+		return nil, cache
+	}
 	lnfy, lnfc := layerNorm(ws, x, g.LNFG, g.LNFB)
 	cache.lnf, cache.lnfy = lnfc, lnfy
 	logits := linear(ws, lnfy, g.Head, nil)
@@ -236,30 +289,49 @@ func (g *GPT) ForwardSP(tokens, targets []int, batch, localSeq int, sp *SP) ([]f
 // pair is retained on the cache, and the engine replays the weight-grad
 // accumulation deterministically via AccumBatchRow.
 func (g *GPT) BackwardSP(cache *SPCache, lossScale float64, sp *SP) {
+	g.BackwardSPStage(cache, lossScale, sp, nil)
+}
+
+// BackwardSPStage propagates activation gradients through the stage's
+// block range. The final stage seeds from its own loss gradient (the
+// lossScale factor applies there and only there — it rides the chain to
+// every earlier stage); other stages seed from dOut, the boundary
+// gradient the downstream stage left in its StageDIn. On return this
+// cache's StageDIn holds the gradient for the next stage up.
+func (g *GPT) BackwardSPStage(cache *SPCache, lossScale float64, sp *SP, dOut *tensor.Tensor) {
 	ws := &cache.ws
-	dlogits := cache.dlogit
-	if lossScale != 1 {
-		dlogits = ws.get(cache.dlogit.Dim(0), cache.dlogit.Dim(1))
-		copy(dlogits.Data, cache.dlogit.Data)
-		dlogits.Scale(float32(lossScale))
+	var dx *tensor.Tensor
+	if cache.stage == cache.stages-1 {
+		dlogits := cache.dlogit
+		if lossScale != 1 {
+			dlogits = ws.get(cache.dlogit.Dim(0), cache.dlogit.Dim(1))
+			copy(dlogits.Data, cache.dlogit.Data)
+			dlogits.Scale(float32(lossScale))
+		}
+		cache.dlogitScaled = dlogits
+		dlnfy := ws.get(dlogits.Dim(0), g.Head.W.Dim(0))
+		tensor.MatMulTInto(dlnfy, dlogits, g.Head.W)
+		cache.dlnfy = dlnfy
+		dx = layerNormBackwardDX(ws, dlnfy, cache.lnf, g.LNFG)
+	} else {
+		if dOut == nil {
+			panic("nn: non-final stage backward needs the downstream boundary gradient")
+		}
+		dx = dOut
 	}
-	cache.dlogitScaled = dlogits
-	dlnfy := ws.get(dlogits.Dim(0), g.Head.W.Dim(0))
-	tensor.MatMulTInto(dlnfy, dlogits, g.Head.W)
-	cache.dlnfy = dlnfy
-	dx := layerNormBackwardDX(ws, dlnfy, cache.lnf, g.LNFG)
 
 	c := g.Cfg.Hidden
 	heads := g.Cfg.Heads
 	hl := heads / sp.Ranks
 	hs := c / heads
 	scale := float32(1 / math.Sqrt(float64(hs)))
+	blo, bhi := StageLayers(len(g.Blocks), cache.stage, cache.stages)
 
-	for l := len(g.Blocks) - 1; l >= 0; l-- {
+	for l := bhi - 1; l >= blo; l-- {
 		blk := g.Blocks[l]
-		bc := cache.blocks[l]
+		bc := cache.blocks[l-blo]
 		if sp.Tap != nil {
-			sp.Tap.FetchLayer(l)
+			sp.Tap.FetchLayer(l - blo)
 		}
 
 		// MLP branch: x2 = res1 + W2·gelu(W1·ln2(res1)).
@@ -304,19 +376,22 @@ func (g *GPT) BackwardSP(cache *SPCache, lossScale float64, sp *SP) {
 		tensor.AddInto(dxNext, dres1, dxFromAttn)
 		dx = dxNext
 	}
-	cache.dEmb = dx
+	cache.dIn = dx
 }
 
 // AccumBatchRow folds this rank's weight-gradient contributions for batch
-// row b into flat (the Params() registration-order layout), continuing
-// whatever element-wise accumulation the buffer already carries. Chaining
-// hops in (batch row, sequence shard) order visits rows in ascending
-// global row order, so the completed buffer equals the single-rank
-// Backward gradient bit for bit.
+// row b into flat, continuing whatever element-wise accumulation the
+// buffer already carries. flat covers the cache's StageParamSpan in the
+// Params() registration-order layout — the full parameter space for the
+// non-pipelined entry points, one stage's contiguous span under the
+// pipeline engine. Chaining hops in (batch row, sequence shard) order
+// visits rows in ascending global row order, so the completed buffer
+// equals the single-rank Backward gradient bit for bit.
 func (cache *SPCache) AccumBatchRow(flat []float32, b int) {
 	g := cache.g
-	if len(flat) != g.params.TotalSize() {
-		panic(fmt.Sprintf("nn: flat gradient buffer %d, want %d", len(flat), g.params.TotalSize()))
+	spanLo, spanHi := g.StageParamSpan(cache.stage, cache.stages)
+	if len(flat) != spanHi-spanLo {
+		panic(fmt.Sprintf("nn: flat gradient buffer %d, want %d", len(flat), spanHi-spanLo))
 	}
 	lo, hi := b*cache.localSeq, (b+1)*cache.localSeq
 	off := 0
@@ -326,22 +401,26 @@ func (cache *SPCache) AccumBatchRow(flat []float32, b int) {
 		return s
 	}
 
-	// Embeddings (the registration order opens with TokEmb, PosEmb).
-	tok, pos := next(g.TokEmb), next(g.PosEmb)
-	c := g.Cfg.Hidden
-	for r := lo; r < hi; r++ {
-		t := cache.posOff + r%cache.localSeq
-		src := cache.dEmb.Data[r*c : (r+1)*c]
-		te := tok[cache.tokens[r]*c : (cache.tokens[r]+1)*c]
-		pe := pos[t*c : (t+1)*c]
-		for j := 0; j < c; j++ {
-			te[j] += src[j]
-			pe[j] += src[j]
+	if cache.stage == 0 {
+		// Embeddings (the registration order opens with TokEmb, PosEmb).
+		tok, pos := next(g.TokEmb), next(g.PosEmb)
+		c := g.Cfg.Hidden
+		for r := lo; r < hi; r++ {
+			t := cache.posOff + r%cache.localSeq
+			src := cache.dIn.Data[r*c : (r+1)*c]
+			te := tok[cache.tokens[r]*c : (cache.tokens[r]+1)*c]
+			pe := pos[t*c : (t+1)*c]
+			for j := 0; j < c; j++ {
+				te[j] += src[j]
+				pe[j] += src[j]
+			}
 		}
 	}
 
-	for l, blk := range g.Blocks {
-		bc := cache.blocks[l]
+	blo, bhi := StageLayers(len(g.Blocks), cache.stage, cache.stages)
+	for l := blo; l < bhi; l++ {
+		blk := g.Blocks[l]
+		bc := cache.blocks[l-blo]
 		accumLayerNormRows(next(blk.LN1G), next(blk.LN1B), bc.ln1, bc.dln1y, lo, hi)
 		accumLinearRows(next(blk.WQKV), bc.ln1y, bc.dqkv, lo, hi)
 		accumBiasRows(next(blk.BQKV), bc.dqkv, lo, hi)
@@ -353,10 +432,12 @@ func (cache *SPCache) AccumBatchRow(flat []float32, b int) {
 		accumLinearRows(next(blk.W2), bc.hGelu, bc.dh2, lo, hi)
 		accumBiasRows(next(blk.B2), bc.dh2, lo, hi)
 	}
-	accumLayerNormRows(next(g.LNFG), next(g.LNFB), cache.lnf, cache.dlnfy, lo, hi)
-	accumLinearRows(next(g.Head), cache.lnfy, cache.dlogitScaled, lo, hi)
+	if cache.stage == cache.stages-1 {
+		accumLayerNormRows(next(g.LNFG), next(g.LNFB), cache.lnf, cache.dlnfy, lo, hi)
+		accumLinearRows(next(g.Head), cache.lnfy, cache.dlogitScaled, lo, hi)
+	}
 	if off != len(flat) {
-		panic("nn: replay did not cover the parameter space")
+		panic("nn: replay did not cover the stage's parameter span")
 	}
 }
 

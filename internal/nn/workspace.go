@@ -10,7 +10,7 @@ import "superoffload/internal/tensor"
 //
 // Lifetime contract: tensors handed out are valid until the next
 // reset() — i.e. for exactly one Forward→Backward→(replay/accumulate)
-// cycle. Forward caches (fwdCache/SPCache) point into the arena, which is
+// cycle. Forward caches (FwdCache/SPCache) point into the arena, which is
 // safe because every engine consumes a cache before its model's next
 // forward (the STV redo loop discards the stale cache first). Anything
 // that crosses a step boundary or a rank boundary (collective payloads,

@@ -33,6 +33,24 @@ type Shape struct {
 	// The zero value (Act.Layers == 0) models fully resident activations
 	// and leaves the step schedule exactly as before.
 	Act ActShape
+	// Pipe describes the pipeline-parallel axis, when one is configured.
+	// The zero value (Pipe.Stages <= 1) models an unpipelined replica and
+	// leaves the step schedule exactly as before.
+	Pipe PipeShape
+}
+
+// PipeShape describes the pipeline axis of an R×S×P engine for the
+// virtual clock: the transformer depth splits over Stages ranks, and
+// each step's Micros micro-batches fill the 1F1B schedule. The model
+// charges each stage 1/Stages of the replica's forward+backward per
+// micro-batch; a stage completes its compute in (Micros + Stages - 1)
+// micro slots — Micros of steady-state work plus the Stages-1 slot
+// warmup/cooldown bubble.
+type PipeShape struct {
+	// Stages is the pipeline depth P (values <= 1 disable the model).
+	Stages int
+	// Micros is the micro-batches per optimizer step M (0 counts as 1).
+	Micros int
 }
 
 // ActShape describes an activation store (internal/act) hanging off the
@@ -104,9 +122,21 @@ type Breakdown struct {
 	// Backward is the modeled GPU backward producing the gradients.
 	Backward float64
 	// Forward is the modeled GPU forward (half of Backward). Zero unless
-	// the shape carries an activation tier: without one, forward never
-	// interacts with the optimizer schedule and stays out of both totals.
+	// the shape carries an activation tier or a pipeline axis: otherwise
+	// forward never interacts with the optimizer schedule and stays out
+	// of both totals.
 	Forward float64
+	// PipeStage is one stage's modeled compute time under the 1F1B
+	// schedule: (Micros + Stages - 1) micro slots of the per-stage,
+	// per-micro forward+backward share. Zero unless the shape carries a
+	// pipeline axis. With Micros >= 2 it beats the serialized
+	// forward+backward strictly — the pipelining win the engine exists
+	// for — while Micros == 1 degenerates to sequential stages.
+	PipeStage float64
+	// PipeBubble is the warmup/cooldown share of PipeStage: the
+	// (Stages - 1) micro slots each stage idles while the pipeline fills
+	// and drains.
+	PipeBubble float64
 	// ActWrite and ActRead are the activation tier's spill and prefetch
 	// transfer times; ActStall is the portion of the reads the depth-2
 	// prefetch could not hide ahead of the backward layer that needed
@@ -142,6 +172,7 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 	}
 	bd.Backward = spec.BackwardTime(shape.Params, shape.Tokens, shape.Hidden, shape.Seq)
 	fwdEnd := actSchedule(spec, shape, &bd)
+	pipeTimes(shape, &bd)
 	chunk := (bd.Backward + bd.ActStall) / float64(nGlobal)
 
 	// Engine clocks: gpu is the GPU stream's current time; the others
@@ -214,6 +245,33 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 	// clamp to keep Pipelined ≤ Serialized an invariant.
 	bd.Pipelined = math.Min(bd.Pipelined, bd.Serialized)
 	return bd
+}
+
+// pipeTimes models the pipeline axis: with Stages > 1 the replica's
+// forward+backward splits evenly over the stages, each micro-batch
+// charges one stage 1/(Micros·Stages) of the whole, and 1F1B completes
+// a stage's compute in Micros + Stages - 1 micro slots. It fills
+// bd.PipeStage/PipeBubble (and bd.Forward when the activation model
+// left it zero, so the serialized reference covers the same
+// forward+backward the pipeline overlaps); with no pipeline axis it is
+// a no-op, leaving the step schedule bit-identical to the unpipelined
+// model. Runs after actSchedule and before the serialized total
+// accumulates.
+func pipeTimes(shape Shape, bd *Breakdown) {
+	p := shape.Pipe.Stages
+	if p <= 1 {
+		return
+	}
+	if bd.Forward == 0 {
+		bd.Forward = bd.Backward / 2
+	}
+	m := shape.Pipe.Micros
+	if m < 1 {
+		m = 1
+	}
+	perMicro := (bd.Backward + bd.Forward) / float64(m*p)
+	bd.PipeStage = float64(m+p-1) * perMicro
+	bd.PipeBubble = float64(p-1) * perMicro
 }
 
 // actSchedule models the activation tier around the optimizer step,

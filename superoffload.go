@@ -808,6 +808,12 @@ type MeshConfig struct {
 	// head count must divide by S, and every batch's sequence length
 	// must too. The mesh spawns R·S simulated superchip ranks.
 	SeqRanks int
+	// PipeRanks is the pipeline-parallel degree P, read only by InitPipe
+	// (InitMesh ignores it): each (group, sequence) column splits the
+	// transformer depth over P stage ranks running 1F1B. 0 means 1. The
+	// model must have at least P transformer blocks; the full engine
+	// spawns R·S·P simulated superchip ranks.
+	PipeRanks int
 }
 
 // MeshEngine trains a Model across an R×S mesh of simulated superchip
@@ -928,6 +934,132 @@ func (e *MeshEngine) ActTelemetry() (ActTelemetry, bool) { return e.engine.ActTe
 // Close stops the rank goroutines (resolving any pending validation
 // first). The engine is unusable afterwards.
 func (e *MeshEngine) Close() error { return e.engine.Close() }
+
+// ---- 3-D R×S×P pipeline engine ----
+
+// PipeEngine trains a Model across the full 3-D R×S×P engine: R
+// data-parallel groups × S-way sequence parallelism per cell × P
+// pipeline stages per column, scheduled 1F1B over each step's
+// micro-batches. Boundary activations and gradients flow over
+// per-column channel links; the fp32 masters and Adam moments stay
+// ZeRO-partitioned over all R·S·P ranks. For the same global batch, the
+// loss trajectory — rollbacks, checkpoints and all — is bit-identical
+// to the single-rank Engine processing the same R-way row decomposition
+// (S and P are invisible to the numerics), and checkpoints move freely
+// across (R,S,P) shapes.
+type PipeEngine struct {
+	engine *dp.PipeEngine
+	guard  *hbmGuard
+}
+
+// InitPipe wraps a model and optimizer into the 3-D R×S×P SuperOffload
+// engine (mc.PipeRanks sets P; InitMesh is the P=1 special case). Its
+// surface matches Engine's; use StepAccum with several micro-batches to
+// actually overlap the stages — one micro-batch degenerates to
+// sequential stages. Call Close when done to stop the rank goroutines.
+func InitPipe(m *Model, cfg OptimizerConfig, mc MeshConfig) (*PipeEngine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("superoffload: nil model")
+	}
+	plan, factory, actFactory, err := cfg.trainSetup(m)
+	if err != nil {
+		return nil, err
+	}
+	a, scaler, schedule := cfg.translate()
+	e, err := dp.NewPipe(m.gpt, dp.Config{
+		Ranks:       mc.Ranks,
+		SeqRanks:    mc.SeqRanks,
+		PipeRanks:   mc.PipeRanks,
+		Adam:        a,
+		Impl:        optim.GraceAdam,
+		ClipNorm:    cfg.ClipNorm,
+		BucketElems: cfg.BucketElems,
+		Synchronous: cfg.Synchronous,
+		Scaler:      scaler,
+		Schedule:    schedule,
+		NewStore:    factory,
+		NewActStore: actFactory,
+		Placement:   plan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PipeEngine{engine: e, guard: cfg.newHBMGuard(m, mc.Ranks, mc.SeqRanks)}, nil
+}
+
+// Step runs one training iteration over the global batch (rows split
+// across the R groups, sequence split across each cell's S ranks, depth
+// split across each column's P stages) and returns the mean loss.
+func (e *PipeEngine) Step(b Batch) (float64, error) {
+	if err := e.guard.check(b); err != nil {
+		return 0, err
+	}
+	return e.engine.Step(b)
+}
+
+// StepAccum runs one optimizer step over several accumulated global
+// micro-batches — the pipeline's natural shape: M micro-batches fill
+// the 1F1B schedule, shrinking each stage's idle bubble to
+// (P-1)/(M+P-1) of its compute.
+func (e *PipeEngine) StepAccum(batches []Batch) (float64, error) {
+	if err := e.guard.checkAll(batches); err != nil {
+		return 0, err
+	}
+	return e.engine.StepAccum(batches)
+}
+
+// Save serializes the sharded training state (gathered into the global
+// bucket order, identical to a single-rank checkpoint).
+func (e *PipeEngine) Save(w io.Writer) error { return e.engine.Save(w) }
+
+// Load restores state saved by any engine's Save.
+func (e *PipeEngine) Load(r io.Reader) error { return e.engine.Load(r) }
+
+// Flush resolves the final in-flight validation; call once after the
+// last Step.
+func (e *PipeEngine) Flush() error {
+	_, err := e.engine.Flush()
+	return err
+}
+
+// Stats returns the engine's validation counters.
+func (e *PipeEngine) Stats() Stats { return e.engine.Stats() }
+
+// NumBuckets reports how many offload buckets the parameter space uses.
+func (e *PipeEngine) NumBuckets() int { return e.engine.NumBuckets() }
+
+// Ranks reports the data-parallel degree R (the number of replica
+// groups).
+func (e *PipeEngine) Ranks() int { return e.engine.Ranks() }
+
+// SeqRanks reports the per-cell sequence-parallel degree S.
+func (e *PipeEngine) SeqRanks() int { return e.engine.SeqRanks() }
+
+// PipeRanks reports the pipeline-parallel degree P (stages per column).
+func (e *PipeEngine) PipeRanks() int { return e.engine.PipeRanks() }
+
+// CommStats reports the cumulative link traffic: every cell's
+// all-to-all and ring links plus the stage-boundary tensor sends.
+func (e *PipeEngine) CommStats() SPCommStats { return e.engine.CommStats() }
+
+// StoreTelemetry sums the modeled NVMe-tier accounting over every rank's
+// store; ok is false when optimizer state is DRAM-resident.
+func (e *PipeEngine) StoreTelemetry() (StoreTelemetry, bool) { return e.engine.StoreTelemetry() }
+
+// PlacementTelemetry sums the virtual-clock superchip executors' modeled
+// accounting over every rank; ok is false without a placement plan.
+func (e *PipeEngine) PlacementTelemetry() (PlacementTelemetry, bool) {
+	return e.engine.PlacementTelemetry()
+}
+
+// ActTelemetry sums the activation stores' traffic and modeled-time
+// accounting over the final-stage ranks; ok is false without an
+// activation tier.
+func (e *PipeEngine) ActTelemetry() (ActTelemetry, bool) { return e.engine.ActTelemetry() }
+
+// Close stops the rank goroutines (resolving any pending validation
+// first). Idempotent; the engine is unusable afterwards.
+func (e *PipeEngine) Close() error { return e.engine.Close() }
 
 // NewCorpus returns the deterministic synthetic corpus used throughout the
 // examples and experiments (the Pile stand-in; see DESIGN.md).
