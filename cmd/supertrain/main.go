@@ -91,6 +91,7 @@ type trainFlags struct {
 	batch, seq, ranks, seqRanks, pipeRank int
 	resident, bucketElems, gpuBuckets     int
 	actResident                           int
+	ioPaths, dramCache                    int
 	mode, offload, placement              string
 	actOffload                            string
 }
@@ -139,6 +140,15 @@ func (f trainFlags) validate() error {
 	}
 	if f.resident < 1 {
 		return usageError("-resident-buckets must be >= 1, got %d", f.resident)
+	}
+	if f.ioPaths < 1 {
+		return usageError("-io-paths must be >= 1, got %d", f.ioPaths)
+	}
+	if f.dramCache < 0 {
+		return usageError("-dram-cache-buckets must be >= 0, got %d", f.dramCache)
+	}
+	if (f.ioPaths > 1 || f.dramCache > 0) && f.offload != "nvme" {
+		return usageError("-io-paths/-dram-cache-buckets configure the flash tier and require -offload nvme (got -offload %q)", f.offload)
 	}
 	if f.bucketElems < 0 {
 		return usageError("-bucket-elems must be >= 0, got %d", f.bucketElems)
@@ -215,6 +225,8 @@ func run() (err error) {
 	offload := flag.String("offload", "dram", "optimizer-state tier: dram (resident) or nvme (file-backed window)")
 	offloadDir := flag.String("offload-dir", "", "directory for nvme backing files (default: system temp)")
 	resident := flag.Int("resident-buckets", 2, "nvme store resident-bucket window")
+	ioPaths := flag.Int("io-paths", 1, "independently scheduled nvme flash paths: >1 stripes bucket records across per-path files (multi-path store; requires -offload nvme)")
+	dramCache := flag.Int("dram-cache-buckets", 0, "DRAM cache tier in front of the nvme store, in buckets (0 disables; requires -offload nvme)")
 	actOffload := flag.String("act-offload", "", "activation spill tier: dram (host cache over C2C), nvme (file-backed), or empty (activations stay resident)")
 	actDir := flag.String("act-dir", "", "directory for nvme activation backing files (default: system temp)")
 	actResident := flag.Int("act-resident-layers", 2, "activation write-behind window: layers kept resident with -act-offload (floor 2)")
@@ -229,7 +241,8 @@ func run() (err error) {
 		batch: *batch, seq: *seq, ranks: *ranks, seqRanks: *seqRanks, pipeRank: *pipeRanks,
 		resident: *resident, bucketElems: *bucketElems, gpuBuckets: *gpuBuckets,
 		actResident: *actResident,
-		mode:        *mode, offload: *offload, placement: *placement,
+		ioPaths:     *ioPaths, dramCache: *dramCache,
+		mode: *mode, offload: *offload, placement: *placement,
 		actOffload: *actOffload,
 	}).validate(); err != nil {
 		return err
@@ -248,6 +261,7 @@ func run() (err error) {
 	cfg.BucketElems = *bucketElems
 	cfg.Offload = superoffload.OffloadConfig{
 		Backend: *offload, Dir: *offloadDir, ResidentBuckets: *resident,
+		IOPaths: *ioPaths, CacheBuckets: *dramCache,
 	}
 	cfg.Placement = superoffload.PlacementConfig{
 		Mode: *placement, GPUBuckets: *gpuBuckets, Batch: *batch, Seq: *seq,

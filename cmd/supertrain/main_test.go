@@ -11,7 +11,7 @@ func goodFlags() trainFlags {
 	return trainFlags{
 		steps: 10, layers: 4, hidden: 64, heads: 4, vocab: 128,
 		batch: 4, seq: 16, ranks: 2, seqRanks: 2, pipeRank: 2,
-		resident: 2, actResident: 2,
+		resident: 2, actResident: 2, ioPaths: 1,
 		mode: "stv", offload: "dram",
 	}
 }
@@ -47,6 +47,10 @@ func TestValidateRejections(t *testing.T) {
 		{"gpu buckets without auto", func(f *trainFlags) { f.gpuBuckets = 2; f.placement = "cpu" }, "-gpu-buckets requires -placement auto"},
 		{"zero resident window", func(f *trainFlags) { f.resident = 0 }, "-resident-buckets"},
 		{"negative bucket elems", func(f *trainFlags) { f.bucketElems = -1 }, "-bucket-elems"},
+		{"zero io paths", func(f *trainFlags) { f.ioPaths = 0 }, "-io-paths must be >= 1"},
+		{"negative dram cache", func(f *trainFlags) { f.dramCache = -1 }, "-dram-cache-buckets must be >= 0"},
+		{"io paths without nvme", func(f *trainFlags) { f.ioPaths = 2 }, "require -offload nvme"},
+		{"dram cache without nvme", func(f *trainFlags) { f.dramCache = 4 }, "require -offload nvme"},
 		{"zero ranks", func(f *trainFlags) { f.ranks = 0 }, "-ranks"},
 		{"zero seq ranks", func(f *trainFlags) { f.seqRanks = 0 }, "-seq-ranks"},
 		{"zero pipe ranks", func(f *trainFlags) { f.pipeRank = 0 }, "-pipe-ranks must be >= 1"},

@@ -26,6 +26,7 @@ var archSensitive = map[string]string{
 	"fig14":             "amd64",
 	"ext-act-stv":       "amd64",
 	"ext-nvme-stv":      "amd64",
+	"ext-mlp-stv":       "amd64",
 	"ext-ulysses-stv":   "amd64",
 	"ext-mesh-stv":      "amd64",
 	"ext-pipe-stv":      "amd64",

@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"ext-act-stv":       ExtActSTV,
 	"ext-nvme":          ExtNVMe,
 	"ext-nvme-stv":      ExtNVMeSTV,
+	"ext-mlp-stv":       ExtMlpSTV,
 	"ext-ulysses-stv":   ExtUlyssesSTV,
 	"ext-mesh-stv":      ExtMeshSTV,
 	"ext-pipe-stv":      ExtPipeSTV,

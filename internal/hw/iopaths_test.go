@@ -1,0 +1,108 @@
+package hw
+
+import "testing"
+
+// TestSplitPathsConservesHardware: splitting one array into n lanes must
+// neither create nor destroy bandwidth or capacity, and every lane pays
+// the array's setup latency independently.
+func TestSplitPathsConservesHardware(t *testing.T) {
+	spec := NodeNVMe()
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		paths := SplitPaths(spec, n)
+		if len(paths) != n {
+			t.Fatalf("SplitPaths(%d) produced %d lanes", n, len(paths))
+		}
+		var rbw, wbw float64
+		var cap int64
+		for _, lane := range paths {
+			rbw += lane.ReadBW
+			wbw += lane.WriteBW
+			cap += lane.Capacity
+			if lane.LatencyS != spec.LatencyS {
+				t.Fatalf("n=%d: lane latency %v != array latency %v", n, lane.LatencyS, spec.LatencyS)
+			}
+		}
+		if rbw != spec.ReadBW || wbw != spec.WriteBW {
+			t.Errorf("n=%d: bandwidth not conserved: read %v want %v, write %v want %v",
+				n, rbw, spec.ReadBW, wbw, spec.WriteBW)
+		}
+		// Integer division may shed a remainder byte per lane, never gain.
+		if cap > spec.Capacity || cap < spec.Capacity-int64(n) {
+			t.Errorf("n=%d: capacity %d drifted from %d", n, cap, spec.Capacity)
+		}
+	}
+}
+
+// TestSplitPathsDegenerate: n < 1 clamps to a single lane.
+func TestSplitPathsDegenerate(t *testing.T) {
+	spec := NodeNVMe()
+	if got := SplitPaths(spec, 0); len(got) != 1 || got[0] != spec {
+		t.Fatalf("SplitPaths(spec, 0) = %+v, want the spec as one lane", got)
+	}
+}
+
+// TestNodeIOPathsSingleLaneMatchesLegacySpec: NodeIOPaths(1) must be the
+// RAID exactly, so the facade's -io-paths 1 default models the same
+// hardware as the legacy single-lane store.
+func TestNodeIOPathsSingleLaneMatchesLegacySpec(t *testing.T) {
+	paths := NodeIOPaths(1)
+	if len(paths) != 1 || paths[0] != NodeNVMe() {
+		t.Fatalf("NodeIOPaths(1) = %+v, want exactly [NodeNVMe()]", paths)
+	}
+}
+
+// TestAggregateModelsOriginalArray: the striped aggregate of a split
+// recovers the original array's rates and latency, so a transfer striped
+// over every lane costs what the unsplit array charged.
+func TestAggregateModelsOriginalArray(t *testing.T) {
+	spec := NodeNVMe()
+	paths := SplitPaths(spec, 4)
+	agg := paths.Aggregate()
+	if agg.ReadBW != spec.ReadBW || agg.WriteBW != spec.WriteBW || agg.LatencyS != spec.LatencyS {
+		t.Fatalf("aggregate %+v does not recover the array %+v", agg, spec)
+	}
+	const size = 1 << 20
+	if got, want := paths.ReadTime(size), spec.ReadTime(size); got != want {
+		t.Errorf("striped ReadTime %v != array %v", got, want)
+	}
+	if got, want := paths.WriteTime(size), spec.WriteTime(size); got != want {
+		t.Errorf("striped WriteTime %v != array %v", got, want)
+	}
+	// A single-lane set aggregates to that lane verbatim, name included.
+	one := IOPaths{spec}
+	if one.Aggregate() != spec {
+		t.Errorf("single-lane Aggregate() = %+v, want the lane itself", one.Aggregate())
+	}
+}
+
+// TestSuperchipPathHelpers: the per-path accessors fall back to the
+// legacy scalar spec when IOPaths is unset or the index is out of range.
+func TestSuperchipPathHelpers(t *testing.T) {
+	s := DefaultSuperchip()
+	if s.NVMePathCount() != 1 {
+		t.Fatalf("legacy spec path count = %d, want 1", s.NVMePathCount())
+	}
+	if s.PathNVMe(0) != s.NVMe {
+		t.Fatalf("legacy PathNVMe(0) = %+v, want the scalar NVMe spec", s.PathNVMe(0))
+	}
+
+	s.IOPaths = SplitPaths(s.NVMe, 2)
+	if s.NVMePathCount() != 2 {
+		t.Fatalf("split path count = %d, want 2", s.NVMePathCount())
+	}
+	if s.PathNVMe(1) != s.IOPaths[1] {
+		t.Errorf("PathNVMe(1) = %+v, want lane 1", s.PathNVMe(1))
+	}
+	if s.PathNVMe(7) != s.NVMe {
+		t.Errorf("out-of-range PathNVMe falls back to %+v, want the scalar spec", s.PathNVMe(7))
+	}
+	const elems = 4096
+	wantFetch := s.IOPaths[0].ReadTime(superchipNVMeBytesPerElem * elems)
+	if got := s.NVMePathFetchTime(0, elems); got != wantFetch {
+		t.Errorf("NVMePathFetchTime(0) = %v, want %v", got, wantFetch)
+	}
+	wantFlush := s.IOPaths[1].WriteTime(superchipNVMeBytesPerElem * elems)
+	if got := s.NVMePathFlushTime(1, elems); got != wantFlush {
+		t.Errorf("NVMePathFlushTime(1) = %v, want %v", got, wantFlush)
+	}
+}

@@ -17,6 +17,12 @@ type SuperchipSpec struct {
 	CPUImpl AdamImpl
 	// NVMe is the flash array backing NVMe-tier buckets.
 	NVMe NVMeSpec
+	// IOPaths, when non-empty, replaces the single-lane NVMe model with
+	// independently scheduled flash paths (MLP-Offload): virtual-clock
+	// executors dispatch fetches and write-behind flushes to the
+	// least-loaded path and account per-path occupancy. Empty keeps the
+	// legacy single-lane model bit-identical.
+	IOPaths IOPaths
 }
 
 // DefaultSuperchip is the paper's evaluation platform: a GH200 with
@@ -117,4 +123,32 @@ func (s SuperchipSpec) NVMeFetchTime(elems int64) float64 {
 // updated optimizer state.
 func (s SuperchipSpec) NVMeFlushTime(elems int64) float64 {
 	return s.NVMe.WriteTime(superchipNVMeBytesPerElem * elems)
+}
+
+// NVMePathCount is the number of independently scheduled flash paths the
+// spec models (1 for the legacy single-lane model).
+func (s SuperchipSpec) NVMePathCount() int {
+	if n := len(s.IOPaths); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// PathNVMe returns the transfer model of flash path i: the configured
+// IOPaths entry, or the single-lane NVMe spec when none are set.
+func (s SuperchipSpec) PathNVMe(i int) NVMeSpec {
+	if i >= 0 && i < len(s.IOPaths) {
+		return s.IOPaths[i]
+	}
+	return s.NVMe
+}
+
+// NVMePathFetchTime is NVMeFetchTime on flash path i's lane.
+func (s SuperchipSpec) NVMePathFetchTime(i int, elems int64) float64 {
+	return s.PathNVMe(i).ReadTime(superchipNVMeBytesPerElem * elems)
+}
+
+// NVMePathFlushTime is NVMeFlushTime on flash path i's lane.
+func (s SuperchipSpec) NVMePathFlushTime(i int, elems int64) float64 {
+	return s.PathNVMe(i).WriteTime(superchipNVMeBytesPerElem * elems)
 }

@@ -144,6 +144,11 @@ type Breakdown struct {
 	ActWrite float64
 	ActRead  float64
 	ActStall float64
+	// NVMePathSeconds is the per-path modeled flash occupancy when the
+	// spec carries hw.IOPaths (MLP-Offload's multi-path layer): fetches
+	// and write-behind flushes dispatched to the least-loaded path. Nil
+	// under the legacy single-lane model.
+	NVMePathSeconds []float64
 	// Pipelined is the schedule's completion time with every engine
 	// overlapping: backward + whatever optimizer work the clocks could
 	// not hide.
@@ -179,8 +184,27 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 	// are each engine's next-free time. With an activation tier the GPU
 	// stream starts after the modeled forward (whose spills ride their
 	// own store engine), and prefetch stalls stretch the backward the
-	// optimizer chunks are spaced over.
-	var gpu, d2h, cpu, h2d, nvme float64
+	// optimizer chunks are spaced over. The flash tier is one clock per
+	// path: the legacy single-lane model uses one, and a spec with
+	// hw.IOPaths dispatches each transfer to the least-loaded path —
+	// multiPath additionally charges write-behind flushes to the path
+	// clocks (lane contention the idealized single-lane model omits).
+	var gpu, d2h, cpu, h2d float64
+	multiPath := len(spec.IOPaths) > 0
+	nvmePaths := make([]float64, spec.NVMePathCount())
+	var pathBusy []float64
+	if multiPath {
+		pathBusy = make([]float64, len(nvmePaths))
+	}
+	leastLoaded := func() int {
+		best := 0
+		for i := 1; i < len(nvmePaths); i++ {
+			if nvmePaths[i] < nvmePaths[best] {
+				best = i
+			}
+		}
+		return best
+	}
 	gpu = fwdEnd
 	var gpuTail []int64 // element counts of GPU-resident buckets, stepped post-backward
 
@@ -207,11 +231,16 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 		stateReady := d2h
 		if wk.Tier == NVMeWindow {
 			// The state fetch is gradient-independent: prefetches
-			// pipeline on the flash engine from step start.
-			ft := spec.NVMeFetchTime(elems)
+			// pipeline on the flash engine from step start, dispatched
+			// to the least-loaded path.
+			p := leastLoaded()
+			ft := spec.NVMePathFetchTime(p, elems)
 			ts.NVMe += ft
-			nvme += ft
-			stateReady = math.Max(stateReady, nvme)
+			nvmePaths[p] += ft
+			if multiPath {
+				pathBusy[p] += ft
+			}
+			stateReady = math.Max(stateReady, nvmePaths[p])
 		}
 		at := spec.CPUAdamTime(elems)
 		ts.Adam += at
@@ -222,8 +251,19 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 		if wk.Tier == NVMeWindow {
 			// Write-behind flush: charged to the serialized reference
 			// but never on the step's critical path (the store's
-			// eviction discipline).
-			ts.NVMe += spec.NVMeFlushTime(elems)
+			// eviction discipline). Under the multi-path model the flush
+			// additionally occupies its least-loaded path after the
+			// step, delaying later fetches on that lane — the contention
+			// that makes path count matter.
+			if multiPath {
+				p := leastLoaded()
+				flt := spec.NVMePathFlushTime(p, elems)
+				ts.NVMe += flt
+				nvmePaths[p] = math.Max(nvmePaths[p], cpu) + flt
+				pathBusy[p] += flt
+			} else {
+				ts.NVMe += spec.NVMeFlushTime(elems)
+			}
 		}
 	}
 	// Backward chunks below the lowest owned bucket, then the resident
@@ -235,6 +275,7 @@ func StepTimes(spec hw.SuperchipSpec, work []BucketWork, nGlobal int, shape Shap
 		gpu += at
 	}
 
+	bd.NVMePathSeconds = pathBusy
 	bd.Pipelined = math.Max(gpu, math.Max(cpu, h2d))
 	bd.Serialized = bd.Backward + bd.Forward + bd.ActWrite + bd.ActRead
 	for _, ts := range bd.Tiers {
@@ -370,6 +411,37 @@ func ActResidentBytes(shape Shape) int64 {
 // parameter's optimizer state (fp32 master + Adam m + v + fp32 gradient),
 // the budget the Auto grid search charges per retained bucket.
 const GPUStateBytesPerElem = 16
+
+// AutoPaths extends Auto's grid search with the flash path count for an
+// NVMe-bodied deployment: the spec's NVMe array splits into 1..maxPaths
+// independently scheduled lanes (hw.SplitPaths — total hardware
+// conserved), Auto picks each candidate's GPU tail under that lane
+// model, the offloaded body spills through the flash window
+// (WithNVMeBody — the same transform the facade applies for the nvme
+// backend), and the placement and path count with the lowest modeled
+// pipelined step time win. Ties prefer fewer paths, so path splitting
+// must pay for itself. Every candidate — including the single-path one —
+// uses the multi-path clock model (flushes occupy their lane), keeping
+// the comparison apples-to-apples rather than pitting real lane
+// contention against the legacy idealized single-lane model.
+func AutoPaths(spec hw.SuperchipSpec, elems []int, shape Shape, budgetBytes int64, maxPaths int) (Plan, int) {
+	spec = spec.OrDefault()
+	if maxPaths < 1 {
+		maxPaths = 1
+	}
+	var best Plan
+	bestN := 1
+	bestT := math.Inf(1)
+	for n := 1; n <= maxPaths; n++ {
+		sp := spec
+		sp.IOPaths = hw.SplitPaths(spec.NVMe, n)
+		p := Auto(sp, elems, shape, budgetBytes).WithNVMeBody()
+		if t := StepTimes(sp, p.Work(elems), len(elems), shape).Pipelined; t < bestT {
+			best, bestN, bestT = p, n, t
+		}
+	}
+	return best, bestN
+}
 
 // Auto derives the GPU-retained bucket tail for a partition with the
 // given per-bucket element counts by the paper's §4.3 policy: grid-search

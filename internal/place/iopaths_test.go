@@ -1,0 +1,80 @@
+package place
+
+import (
+	"testing"
+
+	"superoffload/internal/hw"
+)
+
+// TestStepTimesLegacySpecHasNoPathAccounting: a spec without IOPaths
+// must take the legacy single-lane model — no per-path occupancy
+// breakdown (nil, not empty, so the zero value round-trips through
+// reflect.DeepEqual comparisons unchanged).
+func TestStepTimesLegacySpecHasNoPathAccounting(t *testing.T) {
+	bd := StepTimes(hw.DefaultSuperchip(), Uniform(8, NVMeWindow).Work(toyElems(8)), 8, toyShape())
+	if bd.NVMePathSeconds != nil {
+		t.Fatalf("legacy spec produced path accounting: %v", bd.NVMePathSeconds)
+	}
+}
+
+// TestStepTimesMultiPathBeatsSinglePath pins the modeled win the
+// multi-path layer exists for: with latency-dominated records, two
+// split lanes (same total hardware) pay their per-IO setup latency
+// concurrently and strictly beat one lane under the same path-charged
+// clock model.
+func TestStepTimesMultiPathBeatsSinglePath(t *testing.T) {
+	elems := toyElems(8) // 4096-elem buckets: ~98 KB records, latency-dominated
+	plan := Uniform(8, NVMeWindow)
+	shape := toyShape()
+	run := func(n int) Breakdown {
+		spec := hw.DefaultSuperchip()
+		spec.IOPaths = hw.SplitPaths(spec.NVMe, n)
+		return StepTimes(spec, plan.Work(elems), 8, shape)
+	}
+	one, two := run(1), run(2)
+	if len(one.NVMePathSeconds) != 1 || len(two.NVMePathSeconds) != 2 {
+		t.Fatalf("path accounting shape wrong: %v / %v", one.NVMePathSeconds, two.NVMePathSeconds)
+	}
+	for i, busy := range two.NVMePathSeconds {
+		if busy <= 0 {
+			t.Fatalf("path %d never used: %v", i, two.NVMePathSeconds)
+		}
+	}
+	if two.Pipelined >= one.Pipelined {
+		t.Errorf("2-lane pipelined %.9g not below 1-lane %.9g", two.Pipelined, one.Pipelined)
+	}
+	for _, bd := range []Breakdown{one, two} {
+		if bd.Pipelined > bd.Serialized || bd.Pipelined < bd.Backward {
+			t.Errorf("clock invariants broken: %+v", bd)
+		}
+	}
+}
+
+// TestAutoPaths: the joint placement × path-count search returns an
+// NVMe-bodied plan (the deployment it models), a path count within
+// bounds, and — on a flash-heavy partition where lane concurrency pays —
+// more than one path.
+func TestAutoPaths(t *testing.T) {
+	elems := toyElems(8)
+	// A 1-byte HBM budget forces the whole partition off the GPU, so
+	// every bucket spills through the flash window and the path count
+	// decides the step time.
+	plan, n := AutoPaths(hw.DefaultSuperchip(), elems, toyShape(), 1, 4)
+	if err := plan.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 4 {
+		t.Fatalf("path count %d out of bounds", n)
+	}
+	if c := plan.Counts(); c.NVMe == 0 {
+		t.Fatalf("AutoPaths returned a plan with no flash body: %+v", c)
+	}
+	if n < 2 {
+		t.Errorf("latency-dominated flash-heavy partition picked %d path(s); lane concurrency should pay", n)
+	}
+	// maxPaths < 1 clamps to a single-lane search instead of returning
+	// an empty plan.
+	if _, n := AutoPaths(hw.DefaultSuperchip(), elems, toyShape(), 1, 0); n != 1 {
+		t.Errorf("maxPaths 0 returned %d paths, want 1", n)
+	}
+}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"reflect"
 	"testing"
 
 	"superoffload/internal/core"
@@ -253,7 +254,7 @@ func TestStepTimesPipeModel(t *testing.T) {
 	}
 	one := toyShape()
 	one.Pipe = PipeShape{Stages: 1, Micros: 4}
-	if got := StepTimes(spec, plan.Work(elems), 8, one); got != base {
+	if got := StepTimes(spec, plan.Work(elems), 8, one); !reflect.DeepEqual(got, base) {
 		t.Fatalf("Stages=1 changed the schedule: %+v vs %+v", got, base)
 	}
 

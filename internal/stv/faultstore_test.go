@@ -1,0 +1,170 @@
+package stv_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"superoffload/internal/data"
+	"superoffload/internal/hw"
+	"superoffload/internal/model"
+	"superoffload/internal/nn"
+	"superoffload/internal/optim"
+	"superoffload/internal/stv"
+	"superoffload/internal/stv/stvtest"
+	"superoffload/internal/tensor"
+)
+
+// faultTrainer builds the standard tiny-GPT training setup over the
+// given store (nil = DRAM), mirroring the in-package test helpers from
+// the outside.
+func faultTrainer(store stv.BucketStore) *stv.Trainer {
+	a := optim.DefaultConfig()
+	a.LR = 3e-3
+	cfg := stv.Config{
+		Adam:        a,
+		Impl:        optim.GraceAdam,
+		ClipNorm:    1.0,
+		BucketElems: 4000,
+		Mode:        stv.STV,
+		Store:       store,
+	}
+	gpt := nn.NewGPT(model.Config{Name: "t", Layers: 2, Hidden: 32, Heads: 2, Vocab: 64}, 16, tensor.NewRNG(42))
+	return stv.NewTrainer(gpt, cfg)
+}
+
+func faultTrain(t *testing.T, tr *stv.Trainer, steps int) {
+	t.Helper()
+	corpus := data.NewCorpus(64, 123)
+	for i := 0; i < steps; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eventKinds(events []stv.PathEvent) map[string]int {
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	return kinds
+}
+
+// TestFaultInjectionGracefulDegradation is the single-rank
+// fault-injection matrix: for each fault mode — a path erroring its IO,
+// a path silently dropping writes (caught by the record checksums), and
+// a path stalling (caught by the SlowOpWall watchdog) — training over
+// the degraded multi-path store must stay bit-identical to the resident
+// engine, the telemetry must show the quarantine and the DRAM recovery,
+// and Close must still report that the hardware failed underneath.
+func TestFaultInjectionGracefulDegradation(t *testing.T) {
+	dram := faultTrainer(nil)
+	t.Cleanup(func() { dram.Close() })
+	faultTrain(t, dram, 25)
+
+	cases := []struct {
+		name    string
+		inj     *stvtest.Injector
+		wall    time.Duration
+		cache   int
+		errPath int // path named in the latched Close error
+	}{
+		// Seed writes round-robin ~6 ops onto each of the 2 paths, so
+		// AfterOps 10 trips the fault a few IOs into real training.
+		{"write-read-errors", stvtest.NewInjector(stvtest.Fault{Path: 1, Kind: stvtest.FaultError, AfterOps: 10}), 0, 0, 1},
+		{"dropped-writes", stvtest.NewInjector(stvtest.Fault{Path: 0, Kind: stvtest.FaultDrop, AfterOps: 10}), 0, 0, 0},
+		{"stalled-path", stvtest.NewInjector(stvtest.Fault{Path: 1, Kind: stvtest.FaultStall, AfterOps: 10, Delay: 150 * time.Millisecond}), 30 * time.Millisecond, 0, 1},
+		{"errors-with-cache-tier", stvtest.NewInjector(stvtest.Fault{Path: 0, Kind: stvtest.FaultError, AfterOps: 12}), 0, 2, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			store, err := stv.NewMLPStore(stv.MLPStoreConfig{
+				Dir:             t.TempDir(),
+				Paths:           hw.NodeIOPaths(2),
+				ResidentBuckets: 2,
+				CacheBuckets:    c.cache,
+				WrapPath:        c.inj.WrapPath,
+				SlowOpWall:      c.wall,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := faultTrainer(store)
+			faultTrain(t, tr, 25)
+
+			sameWeights(t, dram.MasterWeights(), tr.MasterWeights())
+			if dram.Stats() != tr.Stats() {
+				t.Errorf("stats diverge: dram %+v vs faulty %+v", dram.Stats(), tr.Stats())
+			}
+			if store.Err() == nil {
+				t.Error("store latched no error despite the injected fault")
+			}
+			kinds := eventKinds(store.Telemetry().Events)
+			if kinds["quarantine"] == 0 {
+				t.Errorf("no quarantine event logged: %+v", store.Telemetry().Events)
+			}
+			if kinds["recover"]+kinds["reroute"] == 0 {
+				t.Errorf("path failed but nothing recovered or re-routed: %+v", store.Telemetry().Events)
+			}
+			cerr := tr.Close()
+			if cerr == nil {
+				t.Fatal("Close swallowed the latched path error")
+			}
+			if want := "path"; !strings.Contains(cerr.Error(), want) || !strings.Contains(cerr.Error(), "failed") {
+				t.Errorf("Close error %q does not report the path failure", cerr)
+			}
+		})
+	}
+}
+
+// TestFaultAllPathsDead: when every path is quarantined, modified
+// buckets pin to the DRAM tier instead of spilling — training still
+// completes bit-exactly and Close still reports the first failure.
+func TestFaultAllPathsDead(t *testing.T) {
+	dram := faultTrainer(nil)
+	t.Cleanup(func() { dram.Close() })
+	faultTrain(t, dram, 25)
+
+	inj := stvtest.NewInjector(
+		stvtest.Fault{Path: 0, Kind: stvtest.FaultError, AfterOps: 10},
+		stvtest.Fault{Path: 1, Kind: stvtest.FaultError, AfterOps: 12},
+	)
+	store, err := stv.NewMLPStore(stv.MLPStoreConfig{
+		Dir:             t.TempDir(),
+		Paths:           hw.NodeIOPaths(2),
+		ResidentBuckets: 2,
+		WrapPath:        inj.WrapPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := faultTrainer(store)
+	faultTrain(t, tr, 25)
+	sameWeights(t, dram.MasterWeights(), tr.MasterWeights())
+	kinds := eventKinds(store.Telemetry().Events)
+	if kinds["quarantine"] != 2 {
+		t.Errorf("expected both paths quarantined, got events %+v", store.Telemetry().Events)
+	}
+	if kinds["pin"] == 0 {
+		t.Error("no bucket pinned to the DRAM tier with every path dead")
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close swallowed the latched path errors")
+	}
+}
+
+func sameWeights(t *testing.T, a, b []float32) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("weight counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weights diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,737 @@
+package stv
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"superoffload/internal/hw"
+	"superoffload/internal/optim"
+)
+
+// MLPStore is the multi-level multi-path generalization of NVMeStore
+// (MLP-Offload): bucket records stripe across N flash paths — each path
+// a backing file with its own FIFO worker goroutine and its own modeled
+// device clock — behind an optional DRAM cache tier. Writes (seed
+// bootstraps and write-behind flushes) dispatch whole records to the
+// least-loaded live path by virtual clock, reads follow the record to
+// wherever it last landed, and a window eviction drops the state into
+// the DRAM cache (tier-aware LRU) before flash, so a cache hit skips the
+// flash fetch entirely.
+//
+// Degradation is graceful, not just fast. Every record keeps a crc32 of
+// its last encoding, so a dropped or corrupted write is detected at read
+// time; a path whose op errors (or, with SlowOpWall, stalls) is
+// quarantined — its in-flight ops drain, no new ops are dispatched to it
+// — and the affected bucket recovers bit-exactly from its DRAM replica
+// (the parked spare/cache state every non-resident record retains). The
+// recovered bucket re-enters the window modified, so its next eviction
+// re-routes the record to a surviving path. When every path is dead,
+// modified buckets pin to the DRAM tier instead. All of it is recorded
+// as PathEvents in the telemetry, and the first path error stays latched
+// for Close — training completes bit-identically to the resident engine
+// throughout.
+//
+// Locking follows NVMeStore's discipline: workers never take mu (the
+// consumer can block sending on a path's op channel while holding mu,
+// and that path's worker is the drain); quarantine flags, the latched
+// error, and the event log live under the small pathMu that workers and
+// the consumer share.
+
+// PathFile is the file-like surface one I/O path needs. *os.File
+// implements it; the fault-injection harness wraps it to throttle,
+// stall, drop, or error a chosen path at a chosen op count.
+type PathFile interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Close() error
+}
+
+// MLPStoreConfig parameterizes an MLPStore.
+type MLPStoreConfig struct {
+	// Dir is where the per-path backing files are created (default
+	// os.TempDir()).
+	Dir string
+	// Paths is the per-path transfer-time model; len(Paths) is the path
+	// count (default hw.NodeIOPaths(2)).
+	Paths hw.IOPaths
+	// ResidentBuckets caps the resident window (default and minimum 2).
+	ResidentBuckets int
+	// CacheBuckets caps the DRAM cache tier in front of flash (0
+	// disables the cache).
+	CacheBuckets int
+	// ComputeTime models the overlappable CPU work of one bucket's Adam
+	// step (default: GraceAdam on the GH200 Grace CPU).
+	ComputeTime func(elems int) float64
+	// WrapPath, when non-nil, wraps each path's backing file before its
+	// worker starts — the fault-injection hook.
+	WrapPath func(path int, f PathFile) PathFile
+	// SlowOpWall, when positive, bounds the real wall-clock wait on any
+	// single fetch: a path whose op exceeds it is treated as stalled and
+	// quarantined, and the bucket recovers from its DRAM replica. Zero
+	// disables the watchdog.
+	SlowOpWall time.Duration
+}
+
+// PathEvent records one degradation event in the multi-path store's
+// lifetime, in occurrence order.
+type PathEvent struct {
+	// Path is the affected path index (-1 when no single path applies,
+	// e.g. an all-paths-dead pin).
+	Path int
+	// Kind is "quarantine" (path taken out of service), "reroute" (a
+	// record moved off a dead path), "recover" (a bucket restored from
+	// its DRAM replica), or "pin" (a bucket pinned resident because no
+	// live path remains).
+	Kind string
+	// Bucket is the affected bucket index (-1 when none applies).
+	Bucket int
+	// Detail is a human-readable cause.
+	Detail string
+}
+
+// MLPTelemetry extends the flash-tier accounting with multi-path and
+// cache-tier detail.
+type MLPTelemetry struct {
+	StoreTelemetry
+	// CacheHits counts Acquires served by the DRAM cache tier (no flash
+	// read, no stall).
+	CacheHits int
+	// PathReadSeconds/PathWriteSeconds are per-path modeled occupancy.
+	PathReadSeconds  []float64
+	PathWriteSeconds []float64
+	// Events is the degradation log, in occurrence order.
+	Events []PathEvent
+}
+
+// mlpRecord is a bucket's fixed slot, present at the same offset in
+// every path's backing file so the record can land on (or move to) any
+// path without space management.
+type mlpRecord struct {
+	elems int
+	off   int64
+	bytes int64
+	path  int    // path holding the record's current bytes
+	sum   uint32 // crc32 of the last encoding written
+	read  *mlpOp // in-flight fetch, if any
+	// buf is the record's reusable IO buffer. Unlike nvmeRecord.buf it is
+	// NOT unconditionally safe to re-fill: with one worker per path there
+	// is no single FIFO serializing the record's ops, and a DRAM cache
+	// hit skips the read that would have waited out the previous
+	// write-behind — so flushLocked surrenders the buffer to a still
+	// in-flight op (tracked in pending) instead of encoding underneath
+	// the worker. It is likewise dropped when an op is abandoned to a
+	// stalled path: the zombie op still owns it.
+	buf []byte
+	// pending is the record's most recently enqueued op; nil or done
+	// means buf is free to reuse.
+	pending *mlpOp
+	// spare parks the bucket's latest DRAM state whenever the record is
+	// neither resident nor cached: the decode target on the next fetch,
+	// and the bit-exact recovery replica when that fetch fails.
+	spare *BucketState
+}
+
+// ioBuf returns the record's lazily allocated IO buffer.
+func (rec *mlpRecord) ioBuf() []byte {
+	if rec.buf == nil {
+		rec.buf = make([]byte, rec.bytes)
+	}
+	return rec.buf
+}
+
+// mlpResident is a bucket currently held in the DRAM window.
+type mlpResident struct {
+	st       *BucketState
+	held     bool
+	modified bool
+	pinned   bool // no live path can hold it; never evict
+	lastUse  int64
+}
+
+// mlpOp is one unit of path-worker IO.
+type mlpOp struct {
+	path   int
+	idx    int // bucket index (event reporting)
+	off    int64
+	buf    []byte
+	write  bool
+	sum    uint32  // expected content checksum; reads verify it
+	doneAt float64 // modeled completion on the path's device timeline
+	err    error
+	done   chan struct{}
+}
+
+// MLPStore implements BucketStore over N path files plus a DRAM cache
+// tier. See the type comment for the degradation contract.
+type MLPStore struct {
+	cfg   MLPStoreConfig
+	files []PathFile
+	names []string // backing file paths, for cleanup
+	ops   []chan *mlpOp
+	wg    sync.WaitGroup
+
+	// pathMu guards the quarantine flags, the latched first error, and
+	// the event log — the only state workers share with the consumer.
+	pathMu sync.Mutex
+	dead   []bool
+	ioErr  error
+	events []PathEvent
+
+	// mu guards everything below; path workers never take it.
+	mu       sync.Mutex
+	recs     map[int]*mlpRecord
+	order    []int // seeded indices, ascending: the prefetch cycle
+	end      int64 // next free record offset (same layout on every path)
+	resident map[int]*mlpResident
+	inflight int
+	tick     int64
+	cache    map[int]*BucketState // DRAM cache tier
+	cacheUse map[int]int64        // cache LRU ticks
+	cpu      float64              // virtual consumer clock
+	dev      []float64            // per-path virtual device clocks
+	tel      MLPTelemetry
+	closed   bool
+}
+
+// NewMLPStore creates the per-path backing files and starts one IO
+// worker per path.
+func NewMLPStore(cfg MLPStoreConfig) (*MLPStore, error) {
+	if len(cfg.Paths) == 0 {
+		cfg.Paths = hw.NodeIOPaths(2)
+	}
+	if cfg.ResidentBuckets < 2 {
+		cfg.ResidentBuckets = 2
+	}
+	if cfg.ComputeTime == nil {
+		chip := hw.GH200()
+		cfg.ComputeTime = func(elems int) float64 {
+			return hw.AdamStepTime(chip, hw.AdamGrace, int64(elems))
+		}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	n := len(cfg.Paths)
+	s := &MLPStore{
+		cfg:      cfg,
+		dead:     make([]bool, n),
+		recs:     map[int]*mlpRecord{},
+		resident: map[int]*mlpResident{},
+		cache:    map[int]*BucketState{},
+		cacheUse: map[int]int64{},
+		dev:      make([]float64, n),
+	}
+	s.tel.PathReadSeconds = make([]float64, n)
+	s.tel.PathWriteSeconds = make([]float64, n)
+	for i := 0; i < n; i++ {
+		f, err := os.CreateTemp(dir, fmt.Sprintf("superoffload-mlp-p%d-*.bin", i))
+		if err != nil {
+			for j, g := range s.files {
+				g.Close()
+				os.Remove(s.names[j])
+			}
+			return nil, fmt.Errorf("stv: creating MLP path %d backing file: %w", i, err)
+		}
+		s.names = append(s.names, f.Name())
+		var pf PathFile = f
+		if cfg.WrapPath != nil {
+			pf = cfg.WrapPath(i, f)
+		}
+		s.files = append(s.files, pf)
+		s.ops = append(s.ops, make(chan *mlpOp, 16))
+	}
+	for i := range s.files {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// BackingPaths returns the per-path backing file locations (diagnostics).
+func (s *MLPStore) BackingPaths() []string { return append([]string(nil), s.names...) }
+
+// Telemetry returns a snapshot of the modeled-time, cache, and
+// degradation counters.
+func (s *MLPStore) Telemetry() MLPTelemetry {
+	s.mu.Lock()
+	t := s.tel
+	t.PathReadSeconds = append([]float64(nil), s.tel.PathReadSeconds...)
+	t.PathWriteSeconds = append([]float64(nil), s.tel.PathWriteSeconds...)
+	s.mu.Unlock()
+	s.pathMu.Lock()
+	t.Events = append([]PathEvent(nil), s.events...)
+	s.pathMu.Unlock()
+	return t
+}
+
+// NVMeTelemetry implements TelemetrySource with the flash-tier share of
+// the accounting.
+func (s *MLPStore) NVMeTelemetry() (StoreTelemetry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tel.StoreTelemetry, true
+}
+
+// Err returns the first latched path error. Unlike NVMeStore's, a
+// non-nil value is not fatal — it records that the store degraded
+// (quarantined a path and re-routed its records) while training
+// continued bit-exactly. Close reports it too.
+func (s *MLPStore) Err() error {
+	s.pathMu.Lock()
+	defer s.pathMu.Unlock()
+	return s.ioErr
+}
+
+// worker drains one path's IO ops in FIFO order and verifies read
+// checksums, so a dropped or corrupted write surfaces as the fetch
+// error that triggers DRAM recovery. A failing op quarantines its path.
+func (s *MLPStore) worker(i int) {
+	defer s.wg.Done()
+	f := s.files[i]
+	for op := range s.ops[i] {
+		if op.write {
+			_, op.err = f.WriteAt(op.buf, op.off)
+		} else {
+			_, op.err = f.ReadAt(op.buf, op.off)
+			if op.err == nil && crc32.ChecksumIEEE(op.buf) != op.sum {
+				op.err = fmt.Errorf("stv: bucket %d record checksum mismatch on path %d", op.idx, i)
+			}
+		}
+		if op.err != nil {
+			s.quarantine(i, op.idx, op.err.Error())
+		}
+		close(op.done)
+	}
+}
+
+// quarantine takes path i out of service and latches the first error.
+// Callable from workers and the consumer: only pathMu is taken.
+func (s *MLPStore) quarantine(i, bucket int, detail string) {
+	s.pathMu.Lock()
+	defer s.pathMu.Unlock()
+	if s.ioErr == nil {
+		s.ioErr = fmt.Errorf("stv: MLP store path %d failed: %s", i, detail)
+	}
+	if s.dead[i] {
+		return
+	}
+	s.dead[i] = true
+	s.events = append(s.events, PathEvent{Path: i, Kind: "quarantine", Bucket: bucket, Detail: detail})
+}
+
+// event appends to the degradation log.
+func (s *MLPStore) event(e PathEvent) {
+	s.pathMu.Lock()
+	s.events = append(s.events, e)
+	s.pathMu.Unlock()
+}
+
+// deadPaths snapshots the quarantine flags.
+func (s *MLPStore) deadPaths() []bool {
+	s.pathMu.Lock()
+	defer s.pathMu.Unlock()
+	return append([]bool(nil), s.dead...)
+}
+
+// pickPathLocked returns the live path with the lowest device clock
+// (ties to the lowest index, so dispatch is deterministic); ok is false
+// when every path is quarantined. avoid names a lane to steer clear of
+// when any other lane is live (-1 steers nothing): a write-behind flush
+// dispatched onto the lane an imminent fetch needs would serialize
+// behind it — exactly the single-lane contention the path split exists
+// to break — so evictions avoid the fetch's home lane.
+func (s *MLPStore) pickPathLocked(dead []bool, avoid int) (int, bool) {
+	best, ok := -1, false
+	for i, d := range dead {
+		if d || i == avoid {
+			continue
+		}
+		if !ok || s.dev[i] < s.dev[best] {
+			best, ok = i, true
+		}
+	}
+	if !ok && avoid >= 0 && avoid < len(dead) && !dead[avoid] {
+		return avoid, true
+	}
+	return best, ok
+}
+
+// enqueueLocked schedules one IO on the given path, advancing that
+// path's modeled device timeline when modeled is true (seed bootstraps
+// pass false, as in NVMeStore). Issue order is the consumer's program
+// order, so modeled times are deterministic regardless of worker
+// scheduling.
+func (s *MLPStore) enqueueLocked(write bool, rec *mlpRecord, idx int, buf []byte, path int, modeled bool) *mlpOp {
+	op := &mlpOp{
+		path: path, idx: idx, off: rec.off, buf: buf, write: write,
+		sum: rec.sum, doneAt: s.dev[path], done: make(chan struct{}),
+	}
+	if modeled {
+		spec := s.cfg.Paths[path]
+		var dur float64
+		if write {
+			dur = spec.WriteTime(rec.bytes)
+			s.tel.Writes++
+			s.tel.BytesWritten += rec.bytes
+			s.tel.WriteSeconds += dur
+			s.tel.PathWriteSeconds[path] += dur
+		} else {
+			dur = spec.ReadTime(rec.bytes)
+			s.tel.Reads++
+			s.tel.BytesRead += rec.bytes
+			s.tel.ReadSeconds += dur
+			s.tel.PathReadSeconds[path] += dur
+		}
+		op.doneAt = math.Max(s.dev[path], s.cpu) + dur
+		s.dev[path] = op.doneAt
+	}
+	rec.pending = op
+	s.ops[path] <- op
+	return op
+}
+
+// flushLocked encodes the state, refreshes the record's checksum, and
+// enqueues the write to the given path, recording a reroute event when
+// the record is moving off a quarantined path.
+func (s *MLPStore) flushLocked(rec *mlpRecord, idx int, st *BucketState, path int, dead []bool, modeled bool) {
+	// The record's previous op may still be in flight on another path's
+	// worker (a cache hit skips the read that would have waited it out),
+	// and write-behinds are never waited on — surrender the buffer to it
+	// rather than encoding underneath a concurrent WriteAt.
+	if rec.pending != nil {
+		select {
+		case <-rec.pending.done:
+		default:
+			rec.buf = nil
+		}
+		rec.pending = nil
+	}
+	buf := encodeRecord(rec.ioBuf(), st)
+	rec.sum = crc32.ChecksumIEEE(buf)
+	if path != rec.path && rec.path < len(dead) && dead[rec.path] {
+		s.event(PathEvent{Path: rec.path, Kind: "reroute", Bucket: idx,
+			Detail: fmt.Sprintf("record moved to path %d", path)})
+	}
+	rec.path = path
+	s.enqueueLocked(true, rec, idx, buf, path, modeled)
+}
+
+// Seed writes the bucket's initial record (round-robin path placement);
+// nothing becomes resident, and the seed state parks as the record's
+// DRAM replica until the first successful fetch.
+func (s *MLPStore) Seed(idx int, master []float32) {
+	st := &BucketState{Shard: optim.NewMixedShard(master)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[idx]; ok {
+		panic(fmt.Sprintf("stv: bucket %d seeded twice", idx))
+	}
+	rec := &mlpRecord{elems: len(master), off: s.end, bytes: recordBytes(len(master))}
+	s.recs[idx] = rec
+	s.end += rec.bytes
+	i := sort.SearchInts(s.order, idx)
+	s.order = append(s.order, 0)
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = idx
+	buf := encodeRecord(rec.ioBuf(), st)
+	rec.sum = crc32.ChecksumIEEE(buf)
+	rec.path = idx % len(s.cfg.Paths)
+	s.enqueueLocked(true, rec, idx, buf, rec.path, false)
+	rec.spare = st
+}
+
+// next returns the index after idx in the seeded cycle.
+func (s *MLPStore) next(idx int) int {
+	i := sort.SearchInts(s.order, idx) + 1
+	if i >= len(s.order) {
+		i = 0
+	}
+	return s.order[i]
+}
+
+// parkLocked hands an evicted bucket's state to the next tier down:
+// into the DRAM cache when one is configured (evicting the cache's LRU
+// entry to its record's spare slot), else directly onto the record as
+// the decode spare / recovery replica.
+func (s *MLPStore) parkLocked(idx int, rec *mlpRecord, st *BucketState) {
+	if s.cfg.CacheBuckets <= 0 {
+		rec.spare = st
+		return
+	}
+	for len(s.cache) >= s.cfg.CacheBuckets {
+		victim := -1
+		var oldest int64 = math.MaxInt64
+		for i, use := range s.cacheUse {
+			if use < oldest {
+				victim, oldest = i, use
+			}
+		}
+		s.recs[victim].spare = s.cache[victim]
+		delete(s.cache, victim)
+		delete(s.cacheUse, victim)
+	}
+	s.cache[idx] = st
+	s.tick++
+	s.cacheUse[idx] = s.tick
+}
+
+// evictLocked frees one window slot: the least-recently-used unheld,
+// unpinned resident bucket. Modified state write-behind flushes to the
+// least-loaded live path that is not avoid (the imminent fetch's home
+// lane — see pickPathLocked); the state then drops to the cache tier
+// (or parks as the record's spare). When every path is dead a modified
+// bucket has nowhere durable to go — it is pinned to the DRAM tier
+// instead and the search continues. Reports whether a slot was freed.
+func (s *MLPStore) evictLocked(avoid int) bool {
+	dead := s.deadPaths()
+	for {
+		victim := -1
+		var oldest int64 = math.MaxInt64
+		for idx, r := range s.resident {
+			if !r.held && !r.pinned && r.lastUse < oldest {
+				victim, oldest = idx, r.lastUse
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		r := s.resident[victim]
+		rec := s.recs[victim]
+		if r.modified {
+			path, ok := s.pickPathLocked(dead, avoid)
+			if !ok {
+				r.pinned = true
+				s.event(PathEvent{Path: -1, Kind: "pin", Bucket: victim,
+					Detail: "all paths quarantined; bucket pinned to DRAM tier"})
+				continue
+			}
+			s.flushLocked(rec, victim, r.st, path, dead, true)
+		}
+		delete(s.resident, victim)
+		s.parkLocked(victim, rec, r.st)
+		return true
+	}
+}
+
+// prefetchLocked starts an async fetch of idx if a window slot is free.
+// Cached and dead-path records are skipped: the former are a guaranteed
+// DRAM hit, the latter recover from DRAM at Acquire.
+func (s *MLPStore) prefetchLocked(idx int) {
+	rec, ok := s.recs[idx]
+	if !ok || rec.read != nil {
+		return
+	}
+	if _, ok := s.resident[idx]; ok {
+		return
+	}
+	if _, ok := s.cache[idx]; ok {
+		return
+	}
+	if dead := s.deadPaths(); dead[rec.path] {
+		return
+	}
+	if len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && !s.evictLocked(rec.path) {
+		return
+	}
+	rec.read = s.enqueueLocked(false, rec, idx, rec.ioBuf(), rec.path, true)
+	s.inflight++
+}
+
+// insertLocked makes st bucket idx's held resident entry and prefetches
+// the next bucket in the cycle.
+func (s *MLPStore) insertLocked(idx int, st *BucketState, modified bool) {
+	avoid := -1
+	if len(s.order) > 1 {
+		if rec, ok := s.recs[s.next(idx)]; ok {
+			avoid = rec.path
+		}
+	}
+	for len(s.resident) >= s.cfg.ResidentBuckets && s.evictLocked(avoid) {
+	}
+	s.tick++
+	s.resident[idx] = &mlpResident{st: st, held: true, modified: modified, lastUse: s.tick}
+	if len(s.order) > 1 {
+		s.prefetchLocked(s.next(idx))
+	}
+}
+
+// recoverLocked restores bucket idx from its DRAM replica after a
+// failed or abandoned fetch — the graceful-degradation path. The
+// recovered state enters the window modified, so the next eviction
+// re-flushes (and thereby re-routes) the record to a surviving path.
+func (s *MLPStore) recoverLocked(idx int, rec *mlpRecord, detail string) *BucketState {
+	st := rec.spare
+	if st == nil {
+		// Cannot happen — every record that is neither resident nor
+		// cached parks its latest state — but fail loudly rather than
+		// train on stale bytes.
+		s.mu.Unlock()
+		panic(fmt.Sprintf("stv: bucket %d unrecoverable after path failure: %s", idx, detail))
+	}
+	rec.spare = nil
+	s.event(PathEvent{Path: rec.path, Kind: "recover", Bucket: idx, Detail: detail})
+	s.insertLocked(idx, st, true)
+	return st
+}
+
+// Acquire makes bucket idx resident and returns its state: from the
+// window, the DRAM cache tier, or a (prefetched) flash fetch — falling
+// back to the DRAM replica when the fetch's path has failed.
+func (s *MLPStore) Acquire(idx int) *BucketState {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("stv: acquire of bucket %d after Close", idx))
+	}
+	rec, ok := s.recs[idx]
+	if !ok {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("stv: acquire of unseeded bucket %d", idx))
+	}
+	if r, ok := s.resident[idx]; ok {
+		r.held = true
+		s.tick++
+		r.lastUse = s.tick
+		if len(s.order) > 1 {
+			s.prefetchLocked(s.next(idx))
+		}
+		s.mu.Unlock()
+		return r.st
+	}
+	if st, ok := s.cache[idx]; ok {
+		// DRAM cache hit: promote to the window with no flash traffic
+		// and no stall. The flash copy still matches (the state was
+		// flushed on window eviction), so the entry re-enters clean.
+		delete(s.cache, idx)
+		delete(s.cacheUse, idx)
+		s.tel.CacheHits++
+		s.insertLocked(idx, st, false)
+		s.mu.Unlock()
+		return st
+	}
+	op := rec.read
+	if op == nil {
+		if dead := s.deadPaths(); dead[rec.path] {
+			// The record's bytes live on a quarantined path: skip flash
+			// and restore from the DRAM replica.
+			st := s.recoverLocked(idx, rec, "record on quarantined path")
+			s.mu.Unlock()
+			return st
+		}
+		// Cold fetch: make room first so the read doesn't overshoot the
+		// window, then enqueue.
+		for len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && s.evictLocked(rec.path) {
+		}
+		op = s.enqueueLocked(false, rec, idx, rec.ioBuf(), rec.path, true)
+		rec.read = op
+		s.inflight++
+	}
+	if op.doneAt > s.cpu {
+		s.tel.StallSeconds += op.doneAt - s.cpu
+		s.cpu = op.doneAt
+	}
+	s.mu.Unlock()
+
+	if s.cfg.SlowOpWall > 0 {
+		select {
+		case <-op.done:
+		case <-time.After(s.cfg.SlowOpWall):
+			// The path is stalled (throttled or hung). Quarantine it and
+			// abandon the op: the zombie keeps the old IO buffer (the
+			// record allocates a fresh one) and its eventual completion
+			// is ignored.
+			s.quarantine(op.path, idx, fmt.Sprintf("fetch exceeded SlowOpWall %s", s.cfg.SlowOpWall))
+			s.mu.Lock()
+			rec.read = nil
+			s.inflight--
+			rec.buf = nil
+			st := s.recoverLocked(idx, rec, "fetch abandoned after stall")
+			s.mu.Unlock()
+			return st
+		}
+	} else {
+		<-op.done
+	}
+	if op.err != nil {
+		// The worker already quarantined the path; restore from DRAM.
+		s.mu.Lock()
+		rec.read = nil
+		s.inflight--
+		st := s.recoverLocked(idx, rec, op.err.Error())
+		s.mu.Unlock()
+		return st
+	}
+	st, derr := decodeRecord(rec.spare, rec.elems, op.buf)
+	s.mu.Lock()
+	rec.read = nil
+	s.inflight--
+	if derr != nil {
+		// Checksum passed but the codec rejected the bytes — treat the
+		// path as corrupting data and recover (decodeRecord validated
+		// before touching spare, so the replica is intact).
+		s.quarantine(op.path, idx, derr.Error())
+		st := s.recoverLocked(idx, rec, derr.Error())
+		s.mu.Unlock()
+		return st
+	}
+	rec.spare = nil
+	s.insertLocked(idx, st, false)
+	s.mu.Unlock()
+	return st
+}
+
+// Release ends a hold; modes carry the same write-back and modeled-time
+// semantics as NVMeStore's Release.
+func (s *MLPStore) Release(idx int, mode ReleaseMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.resident[idx]
+	if !ok || !r.held {
+		panic(fmt.Sprintf("stv: release of unheld bucket %d", idx))
+	}
+	r.held = false
+	if mode != ReleaseClean {
+		r.modified = true
+	}
+	if mode == ReleaseStep {
+		c := s.cfg.ComputeTime(s.recs[idx].elems)
+		s.cpu += c
+		s.tel.ComputeSeconds += c
+	}
+}
+
+// Close drains every path worker, deletes the backing files, and
+// reports the first latched path error — degradation events included,
+// so a run that quarantined a path and completed anyway still tells the
+// caller the hardware failed underneath it.
+func (s *MLPStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, ch := range s.ops {
+		close(ch)
+	}
+	s.wg.Wait()
+	s.pathMu.Lock()
+	err := s.ioErr
+	s.pathMu.Unlock()
+	for i, f := range s.files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if rmErr := os.Remove(s.names[i]); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}

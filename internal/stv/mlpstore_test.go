@@ -1,0 +1,332 @@
+package stv
+
+import (
+	"bytes"
+	"testing"
+
+	"superoffload/internal/data"
+	"superoffload/internal/hw"
+	"superoffload/internal/optim"
+)
+
+// mlpTestStore builds a tightly-windowed multi-path store backed by the
+// test's temp dir: paths flash lanes, an optional DRAM cache tier, and a
+// 2-bucket window so state streams through the per-path files for real.
+func mlpTestStore(t *testing.T, paths, cache int) *MLPStore {
+	t.Helper()
+	s, err := NewMLPStore(MLPStoreConfig{
+		Dir:             t.TempDir(),
+		Paths:           hw.NodeIOPaths(paths),
+		ResidentBuckets: 2,
+		CacheBuckets:    cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMLPStoreSTVMatchesDRAMBitExact is the multi-path exactness claim:
+// striping bucket records across two flash paths — with and without the
+// DRAM cache tier in front — must not change a single bit of the
+// trajectory, across both schedules and through injected-overflow
+// rollbacks.
+func TestMLPStoreSTVMatchesDRAMBitExact(t *testing.T) {
+	inject := func(step int) bool { return step == 4 || step == 11 }
+	run := func(mode Mode, store BucketStore) *Trainer {
+		cfg := trainerConfig(mode)
+		cfg.BucketElems = 4000
+		cfg.Store = store
+		cfg.InjectBad = inject
+		cfg.Scaler = optim.NewLossScaler()
+		tr := NewTrainer(tinyGPT(42), cfg)
+		t.Cleanup(func() { tr.Close() })
+		corpus := data.NewCorpus(64, 123)
+		for i := 0; i < 25; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	dram := run(STV, nil)
+	striped := mlpTestStore(t, 2, 0)
+	mlp := run(STV, striped)
+	if mlp.NumBuckets() < 3 {
+		t.Fatalf("need several buckets to exercise the window, got %d", mlp.NumBuckets())
+	}
+	assertSameWeights(t, "STV mlp vs dram", dram.MasterWeights(), mlp.MasterWeights())
+	if dram.Stats() != mlp.Stats() {
+		t.Errorf("stats diverge: dram %+v vs mlp %+v", dram.Stats(), mlp.Stats())
+	}
+	tel := striped.Telemetry()
+	for i := 0; i < 2; i++ {
+		if tel.PathWriteSeconds[i] <= 0 {
+			t.Errorf("path %d never wrote: %+v", i, tel)
+		}
+	}
+	if len(tel.Events) != 0 {
+		t.Errorf("healthy run logged degradation events: %+v", tel.Events)
+	}
+
+	cached := run(STV, mlpTestStore(t, 2, 2))
+	assertSameWeights(t, "STV mlp+cache vs dram", dram.MasterWeights(), cached.MasterWeights())
+
+	ste := run(STE, mlpTestStore(t, 3, 1))
+	assertSameWeights(t, "STE(mlp) vs STV(dram)", ste.MasterWeights(), dram.MasterWeights())
+}
+
+// TestMLPStoreClipRollbackExact drives the clip re-execution rollback on
+// multi-path-windowed state: the snapshots the rollback restores from
+// have striped out to the per-path files and fetched back.
+func TestMLPStoreClipRollbackExact(t *testing.T) {
+	run := func(store BucketStore) *Trainer {
+		cfg := trainerConfig(STV)
+		cfg.BucketElems = 4000
+		cfg.ClipNorm = 0.35 // clip fires nearly every step
+		cfg.Schedule = WarmupCosine(5, 30, 0.1)
+		cfg.Store = store
+		tr := NewTrainer(tinyGPT(7), cfg)
+		t.Cleanup(func() { tr.Close() })
+		corpus := data.NewCorpus(64, 9)
+		for i := 0; i < 30; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	dram, mlp := run(nil), run(mlpTestStore(t, 2, 2))
+	if mlp.Stats().ClipRolls < 20 {
+		t.Fatalf("tight clip produced only %d rollbacks; window untested", mlp.Stats().ClipRolls)
+	}
+	assertSameWeights(t, "clip rollback", dram.MasterWeights(), mlp.MasterWeights())
+}
+
+// TestMLPStoreCacheTier: with a DRAM cache tier in front of flash, some
+// Acquires hit the cache (no flash read, no stall), so the cached run
+// does strictly less flash reading than the cache-less one — while
+// TestMLPStoreSTVMatchesDRAMBitExact already pinned the trajectory.
+func TestMLPStoreCacheTier(t *testing.T) {
+	run := func(cache int) MLPTelemetry {
+		store := mlpTestStore(t, 2, cache)
+		cfg := trainerConfig(STV)
+		cfg.BucketElems = 4000
+		cfg.Store = store
+		tr := NewTrainer(tinyGPT(11), cfg)
+		t.Cleanup(func() { tr.Close() })
+		corpus := data.NewCorpus(64, 31)
+		for i := 0; i < 10; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return store.Telemetry()
+	}
+	// The cache must cover the non-resident span of the cyclic bucket
+	// walk, or LRU evicts every entry before its re-acquire comes around.
+	plain, cached := run(0), run(32)
+	if plain.CacheHits != 0 {
+		t.Fatalf("cache-less store reported %d cache hits", plain.CacheHits)
+	}
+	if cached.CacheHits == 0 {
+		t.Fatal("cache tier never hit")
+	}
+	if cached.Reads >= plain.Reads {
+		t.Errorf("cache did not reduce flash reads: %d with cache vs %d without", cached.Reads, plain.Reads)
+	}
+}
+
+// TestMLPStoreMultipathBeatsSinglePath pins the modeled performance
+// claim on the real store: striping the same NVMe array over two
+// independently scheduled paths strictly beats the single lane on
+// pipelined step time — latency-dominated records pay their per-IO setup
+// concurrently — while total hardware is conserved (hw.SplitPaths).
+func TestMLPStoreMultipathBeatsSinglePath(t *testing.T) {
+	run := func(paths int) StoreTelemetry {
+		store, err := NewMLPStore(MLPStoreConfig{
+			Dir:             t.TempDir(),
+			Paths:           hw.NodeIOPaths(paths),
+			ResidentBuckets: 2,
+			// Compute comparable to the transfer time makes the overlap
+			// and the lane contention both visible.
+			ComputeTime: func(elems int) float64 { return float64(elems) * 16 / 1e9 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := trainerConfig(STV)
+		cfg.BucketElems = 4000
+		cfg.Store = store
+		tr := NewTrainer(tinyGPT(3), cfg)
+		t.Cleanup(func() { tr.Close() })
+		corpus := data.NewCorpus(64, 5)
+		for i := 0; i < 8; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		tel, ok := store.NVMeTelemetry()
+		if !ok {
+			t.Fatal("store reported no telemetry")
+		}
+		return tel
+	}
+	one, two := run(1), run(2)
+	if one.Reads != two.Reads || one.Writes != two.Writes {
+		t.Fatalf("path count changed the IO schedule: %+v vs %+v", one, two)
+	}
+	if two.PipelinedSeconds() >= one.PipelinedSeconds() {
+		t.Errorf("2-path pipelined %.6fs not below 1-path %.6fs",
+			two.PipelinedSeconds(), one.PipelinedSeconds())
+	}
+}
+
+// TestCheckpointPortableAcrossFlashStores extends the cross-backend
+// checkpoint property to the multi-path store: a checkpoint written
+// under any of {single-lane NVMe, N-path striped, striped + DRAM cache}
+// loads under the others and resumes bit-exactly, including a
+// post-rollback checkpoint taken mid-schedule.
+func TestCheckpointPortableAcrossFlashStores(t *testing.T) {
+	const warm, cont = 9, 8
+	schedule := WarmupCosine(5, warm+cont, 0.1)
+	inject := func(step int) bool { return step == warm }
+	mkStore := func(kind string) BucketStore {
+		switch kind {
+		case "dram":
+			return nil
+		case "nvme":
+			return nvmeTestStore(t, 2)
+		case "mlp":
+			return mlpTestStore(t, 2, 0)
+		case "mlp+cache":
+			return mlpTestStore(t, 3, 2)
+		}
+		t.Fatalf("unknown store kind %q", kind)
+		return nil
+	}
+	mkTrainer := func(seed uint64, kind string) *Trainer {
+		cfg := trainerConfig(STV)
+		cfg.BucketElems = 4000
+		cfg.Schedule = schedule
+		cfg.InjectBad = inject
+		cfg.Scaler = optim.NewLossScaler()
+		cfg.Store = mkStore(kind)
+		tr := NewTrainer(tinyGPT(seed), cfg)
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	train := func(tr *Trainer, corpus *data.Corpus, steps int) {
+		t.Helper()
+		for i := 0; i < steps; i++ {
+			if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dir := range []struct{ src, dst string }{
+		{"nvme", "mlp"},
+		{"mlp", "dram"},
+		{"mlp+cache", "mlp"},
+	} {
+		t.Run(dir.src+"->"+dir.dst, func(t *testing.T) {
+			src := mkTrainer(42, dir.src)
+			corpus := data.NewCorpus(64, 77)
+			train(src, corpus, warm)
+			if src.Stats().SkipRolls != 1 {
+				t.Fatalf("expected the injected overflow to roll back before Save, got %+v", src.Stats())
+			}
+			var ckpt bytes.Buffer
+			if err := src.Save(&ckpt); err != nil {
+				t.Fatal(err)
+			}
+
+			dst := mkTrainer(999, dir.dst) // different init: must be overwritten
+			if err := dst.Load(bytes.NewReader(ckpt.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			assertSameWeights(t, "restored masters", src.MasterWeights(), dst.MasterWeights())
+
+			srcCont := data.NewCorpus(64, 88)
+			dstCont := data.NewCorpus(64, 88)
+			train(src, srcCont, cont)
+			train(dst, dstCont, cont)
+			assertSameWeights(t, "post-resume masters", src.MasterWeights(), dst.MasterWeights())
+			if src.StepIndex() != dst.StepIndex() {
+				t.Errorf("step indices diverge: %d vs %d", src.StepIndex(), dst.StepIndex())
+			}
+		})
+	}
+}
+
+// TestMLPWindowStaysBounded: residency never exceeds the configured
+// window, every path receives traffic (the round-robin seed placement
+// plus least-loaded dispatch actually stripe), and Close is idempotent.
+func TestMLPWindowStaysBounded(t *testing.T) {
+	store := mlpTestStore(t, 2, 0)
+	cfg := trainerConfig(STV)
+	cfg.BucketElems = 4000
+	cfg.Store = store
+	tr := NewTrainer(tinyGPT(3), cfg)
+	if tr.NumBuckets() <= store.cfg.ResidentBuckets {
+		t.Fatalf("model must split into more buckets (%d) than the window (%d)",
+			tr.NumBuckets(), store.cfg.ResidentBuckets)
+	}
+	corpus := data.NewCorpus(64, 5)
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+		store.mu.Lock()
+		res, held := len(store.resident), 0
+		for _, r := range store.resident {
+			if r.held {
+				held++
+			}
+		}
+		cached := len(store.cache)
+		store.mu.Unlock()
+		if res > store.cfg.ResidentBuckets {
+			t.Fatalf("window overflow: %d resident > %d", res, store.cfg.ResidentBuckets)
+		}
+		if held != 0 {
+			t.Fatalf("%d buckets still held between steps", held)
+		}
+		if cached != 0 {
+			t.Fatalf("cache-less store cached %d buckets", cached)
+		}
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tel := store.Telemetry()
+	if tel.Reads == 0 || tel.Writes == 0 {
+		t.Fatalf("state never streamed through the files: %+v", tel)
+	}
+	for i := 0; i < 2; i++ {
+		if tel.PathReadSeconds[i] <= 0 || tel.PathWriteSeconds[i] <= 0 {
+			t.Fatalf("path %d idle: reads %v writes %v", i, tel.PathReadSeconds, tel.PathWriteSeconds)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,14 +1,12 @@
 package stv
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"os"
 	"sort"
 	"sync"
 
-	"superoffload/internal/fp16"
 	"superoffload/internal/hw"
 	"superoffload/internal/optim"
 )
@@ -174,11 +172,6 @@ type NVMeStore struct {
 	closed   bool
 }
 
-// recordBytes is the file footprint of an n-element bucket: step +
-// snapshot step + snapshot flag, then master/m/v and their snapshot
-// copies (snapshot space is always reserved so offsets stay fixed).
-func recordBytes(n int) int64 { return 17 + 24*int64(n) }
-
 // NewNVMeStore creates the backing file and starts the IO worker.
 func NewNVMeStore(cfg NVMeStoreConfig) (*NVMeStore, error) {
 	if cfg.Spec.ReadBW == 0 {
@@ -250,13 +243,24 @@ func (s *NVMeStore) worker() {
 	}
 }
 
+// Err returns the first latched background IO failure (nil while the
+// backing file is healthy). Unlike MLPStore, the single-lane store has
+// no surviving path to re-route to, so any latched error is fatal: the
+// next Acquire panics with it.
+func (s *NVMeStore) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.ioErr
+}
+
+// fatalIOErr marks the store's latched errors as training-aborting for
+// PlacedStore, which must surface them even on resident-tier acquires.
+func (s *NVMeStore) fatalIOErr() error { return s.Err() }
+
 // checkIOErr panics on a latched background IO failure: continuing would
 // silently train on stale bytes, breaking the bit-exactness contract.
 func (s *NVMeStore) checkIOErr() {
-	s.errMu.Lock()
-	err := s.ioErr
-	s.errMu.Unlock()
-	if err != nil {
+	if err := s.Err(); err != nil {
 		panic(fmt.Sprintf("stv: NVMe store IO failed: %v", err))
 	}
 }
@@ -469,78 +473,22 @@ func (s *NVMeStore) Close() error {
 	return err
 }
 
-// encode serializes a bucket record into the record's reusable IO buffer.
-// float32 round-trips through the raw bit pattern, so storage is bit-exact.
-// The header is written unconditionally because the buffer may carry a
-// previous encoding's snapshot flag.
+// encode serializes a bucket record into the record's reusable IO buffer
+// via the shared codec (codec.go).
 func (s *NVMeStore) encode(rec *nvmeRecord, st *BucketState) []byte {
-	buf := rec.ioBuf()
-	le := binary.LittleEndian
-	le.PutUint64(buf[0:], uint64(st.Shard.State.Step))
-	le.PutUint64(buf[8:], 0)
-	buf[16] = 0
-	off := 17
-	put := func(xs []float32) {
-		for _, x := range xs {
-			le.PutUint32(buf[off:], math.Float32bits(x))
-			off += 4
-		}
-	}
-	put(st.Shard.Master)
-	put(st.Shard.State.M)
-	put(st.Shard.State.V)
-	if st.Snap != nil {
-		le.PutUint64(buf[8:], uint64(st.Snap.Step))
-		buf[16] = 1
-		put(st.Snap.Master)
-		put(st.Snap.M)
-		put(st.Snap.V)
-	}
-	return buf
+	return encodeRecord(rec.ioBuf(), st)
 }
 
-// decode reconstructs a bucket record, re-deriving the fp16 working copy
-// from the masters (it is never stored — the paper's recombine). It decodes
-// into the record's parked spare state when one exists, so the steady-state
-// fetch→step→evict cycle stops allocating DRAM shards.
+// decode reconstructs a bucket record via the shared codec, decoding into
+// the record's parked spare state when one exists, so the steady-state
+// fetch→step→evict cycle stops allocating DRAM shards. The bytes came
+// from the store's own encoding, so a codec rejection means the backing
+// file was corrupted underneath us — fail loudly.
 func (s *NVMeStore) decode(rec *nvmeRecord, buf []byte) *BucketState {
-	n := rec.elems
-	st := rec.spare
+	st, err := decodeRecord(rec.spare, rec.elems, buf)
+	if err != nil {
+		panic(fmt.Sprintf("stv: NVMe store record corrupt: %v", err))
+	}
 	rec.spare = nil
-	if st == nil {
-		st = &BucketState{Shard: &optim.MixedShard{
-			Master: make([]float32, n),
-			State:  optim.NewState(n),
-		}}
-	}
-	le := binary.LittleEndian
-	off := 17
-	get := func(xs []float32) {
-		for i := range xs {
-			xs[i] = math.Float32frombits(le.Uint32(buf[off:]))
-			off += 4
-		}
-	}
-	shard := st.Shard
-	shard.State.Step = int(int64(le.Uint64(buf[0:])))
-	get(shard.Master)
-	get(shard.State.M)
-	get(shard.State.V)
-	shard.Half = fp16.Cast(shard.Half, shard.Master)
-	if buf[16] == 1 {
-		if st.Snap == nil {
-			st.Snap = &optim.Snapshot{
-				Master: make([]float32, n),
-				M:      make([]float32, n),
-				V:      make([]float32, n),
-			}
-		}
-		st.Snap.Step = int(int64(le.Uint64(buf[8:])))
-		get(st.Snap.Master)
-		get(st.Snap.M)
-		get(st.Snap.V)
-	} else {
-		st.Snap = nil
-	}
 	return st
 }

@@ -1,0 +1,139 @@
+package stv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"superoffload/internal/place"
+)
+
+// mustPanic runs fn expecting a panic whose message contains want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic mentioning %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not mention %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestNVMeStoreLatchedErrorSurfacesAtNextAcquire is the regression for
+// the error-latching bug: a failed write-behind flush has no waiter, so
+// its error used to sit latched until Close — training kept running on
+// state the backing file no longer held. The contract now is that the
+// very next Acquire surfaces the latched failure, even when the bucket
+// it asks for is already resident and needs no IO at all.
+func TestNVMeStoreLatchedErrorSurfacesAtNextAcquire(t *testing.T) {
+	s, err := NewNVMeStore(NVMeStoreConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		s.Seed(i, make([]float32, 64))
+	}
+	// A healthy hold: bucket 0 is resident, so re-acquiring it performs
+	// no file IO.
+	s.Acquire(0)
+	s.Release(0, ReleaseClean)
+
+	// Latch a background write failure the way the worker does when a
+	// write-behind flush errors (nothing waits on those ops).
+	injected := errors.New("injected write-behind failure")
+	s.errMu.Lock()
+	s.ioErr = injected
+	s.errMu.Unlock()
+
+	if got := s.Err(); !errors.Is(got, injected) {
+		t.Fatalf("Err() = %v, want the latched injected error", got)
+	}
+	mustPanic(t, "NVMe store IO failed", func() { s.Acquire(0) })
+}
+
+// TestNVMeStoreRealIOFailureLatches drives the latch end to end with a
+// real failure: the backing file is closed underneath the store, so the
+// next fetch's IO errors, the error latches, Acquire panics instead of
+// decoding stale bytes, and Close still reports the failure.
+func TestNVMeStoreRealIOFailureLatches(t *testing.T) {
+	s, err := NewNVMeStore(NVMeStoreConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Seed(i, make([]float32, 64))
+	}
+	st := s.Acquire(0)
+	if len(st.Shard.Master) != 64 {
+		t.Fatalf("acquired bucket has %d elems, want 64", len(st.Shard.Master))
+	}
+	s.Release(0, ReleaseStep)
+
+	// Pull the device out from under the store. Every subsequent worker
+	// op fails with "file already closed".
+	if err := s.file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "NVMe store", func() {
+		// The window holds two buckets, so walking the cycle is
+		// guaranteed to need a fetch from the dead file within a few
+		// acquires.
+		for i := 1; i < 4; i++ {
+			s.Acquire(i)
+			s.Release(i, ReleaseStep)
+		}
+	})
+	if s.Err() == nil {
+		t.Fatal("no error latched after the backing file died")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the latched IO failure")
+	}
+}
+
+// TestPlacedStoreSurfacesFlashErrorOnResidentAcquire pins the companion
+// fix at the placement layer: when the flash tier has latched a fatal
+// error, a PlacedStore Acquire must panic even for a bucket routed to
+// the resident DRAM tier. A GPU/CPU-heavy plan may not touch the flash
+// tier again for a long time, and waiting for the next NVMe-tier acquire
+// would let training continue on lost state.
+func TestPlacedStoreSurfacesFlashErrorOnResidentAcquire(t *testing.T) {
+	plan := place.GPUTail(6, 2).WithNVMeBody()
+	ps, err := NewPlacedStore(plan, NVMeStoreConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	for i := 0; i < 6; i++ {
+		ps.Seed(i, make([]float32, 32))
+	}
+	resident := -1
+	for i, tier := range plan.Tiers {
+		if tier != place.NVMeWindow {
+			resident = i
+			break
+		}
+	}
+	if resident < 0 {
+		t.Fatal("plan has no resident-tier bucket")
+	}
+	// Healthy resident acquire first.
+	ps.Acquire(resident)
+	ps.Release(resident, ReleaseClean)
+
+	inner, ok := ps.flash.(*NVMeStore)
+	if !ok {
+		t.Fatalf("flash tier is %T, want *NVMeStore", ps.flash)
+	}
+	inner.errMu.Lock()
+	inner.ioErr = errors.New("injected flash failure")
+	inner.errMu.Unlock()
+
+	mustPanic(t, "NVMe store IO failed", func() { ps.Acquire(resident) })
+}

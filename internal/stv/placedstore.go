@@ -1,33 +1,56 @@
 package stv
 
-import "superoffload/internal/place"
+import (
+	"fmt"
+
+	"superoffload/internal/place"
+)
 
 // PlacedStore routes bucket residency by placement tier: GPU-resident and
 // CPU-tier buckets stay permanently resident (DRAM semantics — in the
 // modeled system the tail lives in HBM and the body in host DRAM), while
-// NVMe-tier buckets spill through a windowed file-backed NVMeStore
-// between touches. The inner store is only created when the plan actually
-// has NVMe buckets, and its prefetch cycle covers exactly the NVMe-tier
-// indices seeded into it.
+// NVMe-tier buckets spill through a windowed flash store between touches
+// — the single-lane NVMeStore or the multi-path MLPStore. The inner
+// store is only created when the plan actually has NVMe buckets, and its
+// prefetch cycle covers exactly the NVMe-tier indices seeded into it.
 type PlacedStore struct {
 	tiers []place.Tier
 	dram  *DRAMStore
-	nvme  *NVMeStore // nil when the plan has no NVMe-tier buckets
+	flash BucketStore // nil when the plan has no NVMe-tier buckets
 }
 
-// NewPlacedStore builds a store for the plan; cfg parameterizes the inner
-// NVMe store (ignored when no bucket is NVMe-tier).
+// fatalErrSource is implemented by flash stores whose latched background
+// errors must abort training (NVMeStore: no surviving path to re-route
+// to). MLPStore deliberately does not implement it — its latched errors
+// record graceful degradation, not corruption.
+type fatalErrSource interface {
+	fatalIOErr() error
+}
+
+// NewPlacedStore builds a store for the plan over a single-lane inner
+// NVMe store; cfg parameterizes it (ignored when no bucket is
+// NVMe-tier).
 func NewPlacedStore(plan place.Plan, cfg NVMeStoreConfig) (*PlacedStore, error) {
+	return NewPlacedStoreFlash(plan, func() (BucketStore, error) {
+		return NewNVMeStore(cfg)
+	})
+}
+
+// NewPlacedStoreFlash builds a store for the plan with the flash tier
+// supplied by newFlash — the hook the facade uses to put the multi-path
+// MLPStore behind a placement. newFlash is only called when the plan has
+// NVMe-tier buckets.
+func NewPlacedStoreFlash(plan place.Plan, newFlash func() (BucketStore, error)) (*PlacedStore, error) {
 	s := &PlacedStore{
 		tiers: append([]place.Tier(nil), plan.Tiers...),
 		dram:  NewDRAMStore(),
 	}
 	if plan.Counts().NVMe > 0 {
-		nvme, err := NewNVMeStore(cfg)
+		flash, err := newFlash()
 		if err != nil {
 			return nil, err
 		}
-		s.nvme = nvme
+		s.flash = flash
 	}
 	return s, nil
 }
@@ -35,8 +58,8 @@ func NewPlacedStore(plan place.Plan, cfg NVMeStoreConfig) (*PlacedStore, error) 
 // route picks the backing store for a bucket index. Indices beyond the
 // plan default to resident (place.Plan.Tier's graceful default).
 func (s *PlacedStore) route(idx int) BucketStore {
-	if s.nvme != nil && idx >= 0 && idx < len(s.tiers) && s.tiers[idx] == place.NVMeWindow {
-		return s.nvme
+	if s.flash != nil && idx >= 0 && idx < len(s.tiers) && s.tiers[idx] == place.NVMeWindow {
+		return s.flash
 	}
 	return s.dram
 }
@@ -44,29 +67,41 @@ func (s *PlacedStore) route(idx int) BucketStore {
 // Seed installs the bucket's initial state in its tier's backing store.
 func (s *PlacedStore) Seed(idx int, master []float32) { s.route(idx).Seed(idx, master) }
 
-// Acquire makes the bucket's state resident and returns it.
-func (s *PlacedStore) Acquire(idx int) *BucketState { return s.route(idx).Acquire(idx) }
+// Acquire makes the bucket's state resident and returns it. A fatal
+// error latched by the flash tier (a failed write-behind on the
+// single-lane store) surfaces here even when this bucket routes to a
+// resident tier: waiting for the next NVMe-tier acquire — which a
+// GPU/CPU-heavy plan may never issue again — would let training continue
+// on state the backing file no longer holds.
+func (s *PlacedStore) Acquire(idx int) *BucketState {
+	if f, ok := s.flash.(fatalErrSource); ok {
+		if err := f.fatalIOErr(); err != nil {
+			panic(fmt.Sprintf("stv: NVMe store IO failed: %v", err))
+		}
+	}
+	return s.route(idx).Acquire(idx)
+}
 
 // Release ends the hold started by Acquire.
 func (s *PlacedStore) Release(idx int, mode ReleaseMode) { s.route(idx).Release(idx, mode) }
 
-// Close releases the inner NVMe store's backing resources (no-op for the
-// resident tiers).
+// Close releases the inner flash store's backing resources (no-op for
+// the resident tiers).
 func (s *PlacedStore) Close() error {
 	err := s.dram.Close()
-	if s.nvme != nil {
-		if nerr := s.nvme.Close(); err == nil {
+	if s.flash != nil {
+		if nerr := s.flash.Close(); err == nil {
 			err = nerr
 		}
 	}
 	return err
 }
 
-// NVMeTelemetry implements TelemetrySource: the inner store's modeled
-// accounting, present only when the plan has NVMe-tier buckets.
+// NVMeTelemetry implements TelemetrySource: the inner flash store's
+// modeled accounting, present only when the plan has NVMe-tier buckets.
 func (s *PlacedStore) NVMeTelemetry() (StoreTelemetry, bool) {
-	if s.nvme == nil {
-		return StoreTelemetry{}, false
+	if src, ok := s.flash.(TelemetrySource); ok {
+		return src.NVMeTelemetry()
 	}
-	return s.nvme.Telemetry(), true
+	return StoreTelemetry{}, false
 }

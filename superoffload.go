@@ -268,12 +268,50 @@ type OffloadConfig struct {
 	// ResidentBuckets caps the nvme store's resident window (default 2:
 	// the bucket being stepped plus the one being prefetched).
 	ResidentBuckets int
+	// IOPaths splits the modeled NVMe array into this many independently
+	// scheduled flash paths (MLP-Offload's multi-path layer): bucket
+	// records stripe across per-path backing files with one IO worker
+	// each, and a failed path quarantines while its records re-route to
+	// survivors. Values <= 1 keep the single-lane store.
+	IOPaths int
+	// CacheBuckets caps the DRAM cache tier the multi-path store keeps
+	// in front of flash (0 disables the cache tier). Setting it selects
+	// the multi-path store even with IOPaths <= 1.
+	CacheBuckets int
 }
 
 // nvmeConfig translates the offload knobs into the windowed store's
 // configuration (shared by the homogeneous and placement-routed paths).
 func (o OffloadConfig) nvmeConfig() stv.NVMeStoreConfig {
 	return stv.NVMeStoreConfig{Dir: o.Dir, ResidentBuckets: o.ResidentBuckets}
+}
+
+// multipath reports whether the nvme backend should build the
+// multi-path store instead of the single-lane one.
+func (o OffloadConfig) multipath() bool { return o.IOPaths > 1 || o.CacheBuckets > 0 }
+
+// mlpConfig translates the offload knobs into the multi-path store's
+// configuration.
+func (o OffloadConfig) mlpConfig() stv.MLPStoreConfig {
+	n := o.IOPaths
+	if n < 1 {
+		n = 1
+	}
+	return stv.MLPStoreConfig{
+		Dir:             o.Dir,
+		Paths:           hw.NodeIOPaths(n),
+		ResidentBuckets: o.ResidentBuckets,
+		CacheBuckets:    o.CacheBuckets,
+	}
+}
+
+// newFlashStore builds the flash-tier store the nvme backend selected:
+// multi-path when any MLP knob is set, else the single-lane store.
+func (o OffloadConfig) newFlashStore() (stv.BucketStore, error) {
+	if o.multipath() {
+		return stv.NewMLPStore(o.mlpConfig())
+	}
+	return stv.NewNVMeStore(o.nvmeConfig())
 }
 
 // storeFactory translates the offload selection into a per-rank bucket
@@ -284,7 +322,7 @@ func (o OffloadConfig) storeFactory() (func(rank int) (stv.BucketStore, error), 
 		return nil, nil
 	case "nvme":
 		return func(rank int) (stv.BucketStore, error) {
-			return stv.NewNVMeStore(o.nvmeConfig())
+			return o.newFlashStore()
 		}, nil
 	}
 	return nil, fmt.Errorf("superoffload: unknown offload backend %q (want dram or nvme)", o.Backend)
@@ -341,7 +379,14 @@ func (cfg OptimizerConfig) placementPlan(m *Model) (*place.Plan, error) {
 					NVMe:     cfg.Activation.Offload == "nvme",
 				}
 			}
-			plan = place.Auto(hw.DefaultSuperchip(), elems, shape, 0)
+			spec := hw.DefaultSuperchip()
+			if cfg.Offload.Backend == "nvme" && cfg.Offload.IOPaths > 1 {
+				// Multi-path flash: the auto search times NVMe-tier
+				// buckets under the per-path clock model, so path count
+				// influences the GPU/CPU/flash split it picks.
+				spec.IOPaths = hw.NodeIOPaths(cfg.Offload.IOPaths)
+			}
+			plan = place.Auto(spec, elems, shape, 0)
 		}
 	default:
 		return nil, fmt.Errorf("superoffload: unknown placement mode %q (want auto, cpu, or gpu)", pc.Mode)
@@ -381,13 +426,21 @@ func (cfg OptimizerConfig) trainSetup(m *Model) (*place.Plan, func(rank int) (st
 	}
 	p := *plan
 	return plan, func(rank int) (stv.BucketStore, error) {
-		return stv.NewPlacedStore(p, cfg.Offload.nvmeConfig())
+		return stv.NewPlacedStoreFlash(p, cfg.Offload.newFlashStore)
 	}, actFactory, nil
 }
 
 // StoreTelemetry is the NVMe store's modeled-time accounting (reads,
 // writes, stalls, overlapped compute); see stv.StoreTelemetry.
 type StoreTelemetry = stv.StoreTelemetry
+
+// MLPTelemetry is the multi-path store's extended accounting (per-path
+// occupancy, DRAM cache hits, degradation events); see stv.MLPTelemetry.
+type MLPTelemetry = stv.MLPTelemetry
+
+// PathEvent is one degradation event (quarantine, reroute, recover, pin)
+// in a multi-path store's lifetime; see stv.PathEvent.
+type PathEvent = stv.PathEvent
 
 // PlacementConfig selects the adaptive weight-update placement: which
 // buckets update synchronously on the GPU (the §4.3 GPU-retained tail)

@@ -332,8 +332,8 @@ func TestModelNamesAndExperiments(t *testing.T) {
 		t.Errorf("model zoo too small: %d", len(names))
 	}
 	exps := ExperimentNames()
-	if len(exps) != 23 {
-		t.Errorf("experiment registry has %d entries, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Errorf("experiment registry has %d entries, want 24", len(exps))
 	}
 	out, err := RunExperiment("table1")
 	if err != nil || !strings.Contains(out, "GH200") {
