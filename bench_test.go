@@ -20,6 +20,7 @@ import (
 	"superoffload/internal/hw"
 	"superoffload/internal/model"
 	"superoffload/internal/nn"
+	"superoffload/internal/obs"
 	"superoffload/internal/optim"
 	"superoffload/internal/place"
 	"superoffload/internal/sched"
@@ -351,6 +352,41 @@ func BenchmarkTrainStepDP(b *testing.B) {
 	eng, err := dp.New(m, dp.Config{
 		Ranks: 2, Adam: optim.DefaultConfig(), Impl: optim.GraceAdam,
 		ClipNorm: 10, BucketElems: 20000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := data.NewCorpus(128, 2)
+	batch := corpus.NextBatch(2, 16)
+	if _, err := eng.Step(batch); err != nil { // warm-up (see benchTrainer)
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		b.Error(err)
+	}
+}
+
+// BenchmarkTrainStepTraced is BenchmarkTrainStepDP with a live Tracer
+// attached: every schedule op records a span and every store/collective
+// site records an instant. Comparing its ns/op against TrainStepDP
+// bounds the tracing-on overhead; the tracing-off cost is covered by
+// the untraced TrainStep* benches staying inside the benchdiff slack.
+func BenchmarkTrainStepTraced(b *testing.B) {
+	cfg := model.Config{Name: "bench", Layers: 2, Hidden: 64, Heads: 4, Vocab: 128}
+	m := nn.NewGPT(cfg, 16, tensor.NewRNG(1))
+	eng, err := dp.New(m, dp.Config{
+		Ranks: 2, Adam: optim.DefaultConfig(), Impl: optim.GraceAdam,
+		ClipNorm: 10, BucketElems: 20000, Tracer: obs.NewTracer(),
 	})
 	if err != nil {
 		b.Fatal(err)

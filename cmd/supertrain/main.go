@@ -33,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"superoffload"
@@ -194,6 +196,9 @@ func (f trainFlags) validate() error {
 
 // jsonReport is the machine-readable run summary -json emits on stdout:
 // final stats plus whatever telemetry the selected engine produced.
+// MetricsV1 is the unified metrics snapshot (every registered
+// superoffload_* sample by name); the _v1 suffix versions the key so
+// consumers can detect naming-scheme changes.
 type jsonReport struct {
 	Params      int                              `json:"params"`
 	Buckets     int                              `json:"buckets"`
@@ -206,6 +211,7 @@ type jsonReport struct {
 	Store       *superoffload.StoreTelemetry     `json:"store,omitempty"`
 	Placement   *superoffload.PlacementTelemetry `json:"placement,omitempty"`
 	Act         *superoffload.ActTelemetry       `json:"act,omitempty"`
+	MetricsV1   map[string]float64               `json:"metrics_v1,omitempty"`
 }
 
 func run() (err error) {
@@ -234,6 +240,8 @@ func run() (err error) {
 	placement := flag.String("placement", "", "bucket placement: auto (GPU-retained tail, §4.3), cpu, gpu, or empty (homogeneous)")
 	gpuBuckets := flag.Int("gpu-buckets", 0, "pin the GPU-retained bucket tail in -placement auto (0: derive by grid search)")
 	jsonOut := flag.Bool("json", false, "emit final stats and telemetry as JSON on stdout (suppresses the human progress log)")
+	traceOut := flag.String("trace", "", "write the run's Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing; one track per rank, store worker, and comm plane)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, and /debug/pprof on this address during the run (e.g. localhost:6060; the bound address is logged)")
 	flag.Parse()
 
 	if err := (trainFlags{
@@ -269,6 +277,13 @@ func run() (err error) {
 	cfg.Activation = superoffload.ActivationConfig{
 		Offload: *actOffload, Dir: *actDir, ResidentLayers: *actResident,
 	}
+	// Tracing turns on when anything consumes it: a trace file or the
+	// live /trace endpoint. Nil otherwise — the engines' zero-cost mode.
+	var tracer *superoffload.Tracer
+	if *traceOut != "" || *obsAddr != "" {
+		tracer = superoffload.NewTracer()
+	}
+	cfg.Tracer = tracer
 
 	var eng engine
 	parallelism := "1 rank"
@@ -320,6 +335,21 @@ func run() (err error) {
 		}
 	}()
 
+	reg := superoffload.NewMetricsRegistry()
+	superoffload.RegisterMetrics(reg, eng)
+	if *obsAddr != "" {
+		ln, lerr := net.Listen("tcp", *obsAddr)
+		if lerr != nil {
+			return fmt.Errorf("observability listener: %w", lerr)
+		}
+		defer ln.Close()
+		// Stderr so -json runs keep stdout machine-readable.
+		fmt.Fprintf(os.Stderr, "supertrain: observability on http://%s (/metrics, /trace, /debug/pprof)\n", ln.Addr())
+		srv := &http.Server{Handler: superoffload.ObsHandler(reg, tracer)}
+		defer srv.Close()
+		go srv.Serve(ln)
+	}
+
 	if !*jsonOut {
 		fmt.Printf("supertrain: %d params in %d buckets, %s schedule, %s, %s offload\n",
 			model.NumParams(), eng.NumBuckets(), *mode, parallelism, *offload)
@@ -339,8 +369,16 @@ func run() (err error) {
 	if err := eng.Flush(); err != nil {
 		return err
 	}
+	if *traceOut != "" {
+		if terr := writeTrace(tracer, *traceOut); terr != nil {
+			return terr
+		}
+		if !*jsonOut {
+			fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *traceOut)
+		}
+	}
 	if *jsonOut {
-		return emitJSON(eng, model.NumParams(), *mode, parallelism, *steps, loss)
+		return emitJSON(eng, reg, model.NumParams(), *mode, parallelism, *steps, loss)
 	}
 	st := eng.Stats()
 	fmt.Printf("done: %d steps, %d commits, %d clip-rollbacks, %d skip-rollbacks, %d forward redos\n",
@@ -379,8 +417,26 @@ func run() (err error) {
 	return nil
 }
 
-// emitJSON writes the machine-readable run summary to stdout.
-func emitJSON(eng engine, params int, mode, parallelism string, steps int, finalLoss float64) error {
+// writeTrace exports the tracer's events as a Chrome trace-event JSON
+// file.
+func writeTrace(tracer *superoffload.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing trace: %w", err)
+	}
+	return nil
+}
+
+// buildReport assembles the machine-readable run summary (split from
+// emitJSON so tests can lock the marshaled shape).
+func buildReport(eng engine, reg *superoffload.MetricsRegistry, params int, mode, parallelism string, steps int, finalLoss float64) jsonReport {
 	rep := jsonReport{
 		Params:      params,
 		Buckets:     eng.NumBuckets(),
@@ -403,9 +459,21 @@ func emitJSON(eng engine, params int, mode, parallelism string, steps int, final
 	if tel, ok := eng.ActTelemetry(); ok {
 		rep.Act = &tel
 	}
+	if reg != nil {
+		samples := reg.Gather()
+		rep.MetricsV1 = make(map[string]float64, len(samples))
+		for _, s := range samples {
+			rep.MetricsV1[s.Name] = s.Value
+		}
+	}
+	return rep
+}
+
+// emitJSON writes the machine-readable run summary to stdout.
+func emitJSON(eng engine, reg *superoffload.MetricsRegistry, params int, mode, parallelism string, steps int, finalLoss float64) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(buildReport(eng, reg, params, mode, parallelism, steps, finalLoss))
 }
 
 func max(a, b int) int {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"superoffload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the -json report golden file")
+
+// fakeEngine is a deterministic engine stand-in with every telemetry
+// surface populated, so the golden report exercises each optional key.
+type fakeEngine struct{}
+
+func (fakeEngine) Step(b superoffload.Batch) (float64, error) { return 0, nil }
+func (fakeEngine) Flush() error                               { return nil }
+func (fakeEngine) Close() error                               { return nil }
+func (fakeEngine) NumBuckets() int                            { return 12 }
+func (fakeEngine) Stats() superoffload.Stats {
+	return superoffload.Stats{Steps: 100, Commits: 97, ClipRolls: 2, SkipRolls: 1, Redos: 3}
+}
+func (fakeEngine) CommStats() superoffload.SPCommStats {
+	return superoffload.SPCommStats{A2APayloads: 64, A2AFloats: 4096, RingHops: 32, RingFloats: 2048}
+}
+func (fakeEngine) StoreTelemetry() (superoffload.StoreTelemetry, bool) {
+	return superoffload.StoreTelemetry{Reads: 10, Writes: 20, BytesRead: 1 << 20, BytesWritten: 2 << 20,
+		ReadSeconds: 0.25, WriteSeconds: 0.5, StallSeconds: 0.125, ComputeSeconds: 1}, true
+}
+func (fakeEngine) PlacementTelemetry() (superoffload.PlacementTelemetry, bool) {
+	var t superoffload.PlacementTelemetry
+	t.Steps = 100
+	t.BackwardSeconds = 2
+	t.PipelinedSeconds = 3
+	t.SerializedSeconds = 4
+	t.Tiers[0].Buckets = 2
+	t.Tiers[1].Buckets = 9
+	t.Tiers[2].Buckets = 1
+	return t, true
+}
+func (fakeEngine) ActTelemetry() (superoffload.ActTelemetry, bool) {
+	return superoffload.ActTelemetry{Passes: 100, Spills: 300, Fetches: 300,
+		BytesSpilled: 3 << 20, BytesFetched: 3 << 20}, true
+}
+
+// TestJSONReportGolden locks the -json output shape — key names, key
+// order, nesting, and the versioned metrics_v1 snapshot — against a
+// golden file. A mismatch means the machine-readable contract changed:
+// bump the metrics_v1 key if the naming scheme moved, and regenerate
+// with -update-golden.
+func TestJSONReportGolden(t *testing.T) {
+	reg := superoffload.NewMetricsRegistry()
+	superoffload.RegisterMetrics(reg, fakeEngine{})
+	rep := buildReport(fakeEngine{}, reg, 218496, "stv", "2×1×2 3-D engine", 100, 3.625)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json report shape drifted from %s\n got:\n%s\nwant:\n%s\n(run go test ./cmd/supertrain -update-golden to accept)", golden, buf.Bytes(), want)
+	}
+}
+
+// TestJSONReportOmitsAbsentTelemetry checks the optional keys stay
+// absent for an engine without those surfaces (no comm/store/placement
+// noise in single-rank DRAM runs).
+func TestJSONReportOmitsAbsentTelemetry(t *testing.T) {
+	rep := buildReport(bareEngine{}, nil, 1, "stv", "1 rank", 1, 0)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"comm", "store", "placement", "act", "metrics_v1"} {
+		if bytes.Contains(b, []byte(`"`+key+`"`)) {
+			t.Errorf("report for a bare engine contains %q: %s", key, b)
+		}
+	}
+}
+
+// bareEngine exposes no optional telemetry surface.
+type bareEngine struct{}
+
+func (bareEngine) Step(b superoffload.Batch) (float64, error) { return 0, nil }
+func (bareEngine) Flush() error                               { return nil }
+func (bareEngine) Close() error                               { return nil }
+func (bareEngine) NumBuckets() int                            { return 1 }
+func (bareEngine) Stats() superoffload.Stats                  { return superoffload.Stats{} }
+func (bareEngine) StoreTelemetry() (superoffload.StoreTelemetry, bool) {
+	return superoffload.StoreTelemetry{}, false
+}
+func (bareEngine) PlacementTelemetry() (superoffload.PlacementTelemetry, bool) {
+	return superoffload.PlacementTelemetry{}, false
+}
+func (bareEngine) ActTelemetry() (superoffload.ActTelemetry, bool) {
+	return superoffload.ActTelemetry{}, false
+}

@@ -1,0 +1,128 @@
+// Tracing: the unified observability layer end to end — record per-op
+// schedule spans and store events with a Tracer, publish every engine
+// telemetry surface into a MetricsRegistry, serve both over HTTP, and
+// validate the Chrome trace export. The example polls its own /metrics
+// endpoint mid-run and re-parses the trace JSON, so it doubles as the
+// CI smoke test for the observability stack (it exits nonzero on any
+// failure).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"superoffload"
+)
+
+func main() {
+	model, err := superoffload.NewModel(superoffload.ModelConfig{
+		Layers: 2, Hidden: 64, Vocab: 128, MaxSeq: 32,
+	}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimizer := superoffload.DefaultOptimizer()
+	optimizer.ClipNorm = 5.0
+	// Step 1: hand the optimizer config a tracer. Every engine records
+	// per-op schedule spans (one track per rank), store IO events, and
+	// collective instants into it; leaving the field nil disables
+	// tracing at zero cost.
+	tracer := superoffload.NewTracer()
+	optimizer.Tracer = tracer
+	optimizer.Offload = superoffload.OffloadConfig{Backend: "nvme"}
+	optimizer.BucketElems = 8192
+
+	engine, err := superoffload.InitDP(model, optimizer, superoffload.DPConfig{Ranks: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: publish the engine's telemetry into a metrics registry.
+	// Each Gather re-reads the engine, so the registry always serves
+	// mid-run values.
+	registry := superoffload.NewMetricsRegistry()
+	superoffload.RegisterMetrics(registry, engine)
+
+	// Step 3: serve /metrics, /trace, and /debug/pprof while training.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: superoffload.ObsHandler(registry, tracer)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("observability on http://%s\n", ln.Addr())
+
+	corpus := superoffload.NewCorpus(128, 11)
+	for step := 1; step <= 60; step++ {
+		if _, err := engine.Step(corpus.NextBatch(4, 16)); err != nil {
+			log.Fatal(err)
+		}
+		if step == 30 {
+			// Mid-run: the endpoint must serve live counters while rank
+			// goroutines are training and store workers are in flight.
+			body := httpGet(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+			if !strings.Contains(body, "superoffload_stv_steps_total") ||
+				!strings.Contains(body, "superoffload_nvme_reads_total") {
+				log.Fatalf("mid-run /metrics missing expected series:\n%s", body)
+			}
+			fmt.Println("mid-run /metrics serves live superoffload_* counters")
+		}
+	}
+	if err := engine.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The export must be valid Chrome trace-event JSON with the per-rank
+	// schedule spans and the store's prefetch/flush instants.
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		log.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	seen := map[string]int{}
+	for _, e := range trace.TraceEvents {
+		seen[e.Name]++
+	}
+	for _, want := range []string{"forward", "backward", "speculate", "prefetch", "flush", "step"} {
+		if seen[want] == 0 {
+			log.Fatalf("trace has no %q events (got %v)", want, seen)
+		}
+	}
+	fmt.Printf("trace: %d events (%d forward spans, %d prefetch instants) — valid Chrome trace JSON\n",
+		len(trace.TraceEvents), seen["forward"], seen["prefetch"])
+}
+
+// httpGet fetches a URL and returns the body, fataling on any error.
+func httpGet(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(b)
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"superoffload/internal/hw"
+	"superoffload/internal/obs"
 )
 
 // Tier selects the spill destination.
@@ -64,6 +65,12 @@ type Config struct {
 	// the compute clock.
 	Hidden int
 	Params int64
+	// Tracer, when non-nil, gives the store a trace track carrying the
+	// worker's wall-clock IO spans and the consumer-side
+	// spill/prefetch/stall instants. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// TrackLabel names the store's trace track (default "act").
+	TrackLabel string
 }
 
 // Telemetry is the store's cumulative modeled-time and traffic
@@ -162,6 +169,9 @@ type Store struct {
 	path string
 	ops  chan *op
 	wg   sync.WaitGroup
+	// track is the store's trace timeline (nil when tracing is off);
+	// immutable after construction, so the worker reads it lock-free.
+	track *obs.Track
 
 	errMu sync.Mutex
 	ioErr error
@@ -193,6 +203,13 @@ func NewStore(cfg Config) (*Store, error) {
 		ops:  make(chan *op, 64),
 		recs: make(map[int]*record),
 	}
+	if cfg.Tracer != nil {
+		label := cfg.TrackLabel
+		if label == "" {
+			label = "act"
+		}
+		s.track = cfg.Tracer.Track(label)
+	}
 	if cfg.Tier == NVMe {
 		f, err := os.CreateTemp(cfg.Dir, "superoffload-act-*.dat")
 		if err != nil {
@@ -212,10 +229,20 @@ func (s *Store) worker() {
 	for o := range s.ops {
 		if o.io {
 			var err error
+			var sp obs.Span
 			if o.write {
+				if s.track != nil {
+					sp = s.track.Begin("write")
+				}
 				_, err = s.file.WriteAt(o.buf, o.off)
 			} else {
+				if s.track != nil {
+					sp = s.track.Begin("read")
+				}
 				_, err = s.file.ReadAt(o.buf, o.off)
+			}
+			if s.track != nil {
+				sp.EndInt("bytes", len(o.buf))
 			}
 			if err != nil {
 				s.errMu.Lock()
@@ -340,6 +367,7 @@ func (s *Store) spillLocked(l int) {
 	s.tel.Spills++
 	s.tel.BytesSpilled += ls.bytes
 	s.tel.WriteSeconds += dur
+	s.track.InstantInt("spill", "layer", l)
 }
 
 // FetchLayer blocks until layer l's activations are back in their
@@ -380,6 +408,7 @@ func (s *Store) FetchLayer(l int) {
 	if o.doneAt > s.cpu {
 		s.tel.StallSeconds += o.doneAt - s.cpu
 		s.cpu = o.doneAt
+		s.track.InstantInt("stall", "layer", l)
 	}
 	s.mu.Unlock()
 	<-o.done
@@ -432,6 +461,7 @@ func (s *Store) issueReadLocked(l int) {
 	s.tel.Fetches++
 	s.tel.BytesFetched += ls.bytes
 	s.tel.ReadSeconds += dur
+	s.track.InstantInt("prefetch", "layer", l)
 }
 
 func (s *Store) writeTime(bytes int64) float64 {

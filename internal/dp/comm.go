@@ -1,10 +1,12 @@
 package dp
 
 import (
+	"fmt"
 	"math"
 
 	"superoffload/internal/data"
 	"superoffload/internal/fp16"
+	"superoffload/internal/obs"
 )
 
 // world is the simulated interconnect core shared by every multi-rank
@@ -38,6 +40,33 @@ type world struct {
 	// verdict per step.
 	partial chan partialMsg
 	val     chan valMsg
+
+	// Tracing (nil when disabled): one track per rank interpreter plus
+	// the coordinator's control-plane track. attachTracer fills them.
+	tracks []*obs.Track
+	ctrack *obs.Track
+}
+
+// attachTracer allocates this world's trace tracks: "rank r" per rank
+// and one coordinator track. A nil tracer leaves every track nil — the
+// zero-overhead disabled mode.
+func (w *world) attachTracer(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	w.ctrack = tr.Track("coordinator")
+	w.tracks = make([]*obs.Track, w.N)
+	for i := range w.tracks {
+		w.tracks[i] = tr.Track(fmt.Sprintf("rank %d", i))
+	}
+}
+
+// track returns rank id's trace track (nil when tracing is disabled).
+func (w *world) track(id int) *obs.Track {
+	if w.tracks == nil {
+		return nil
+	}
+	return w.tracks[id]
 }
 
 // command drives a rank's top-level loop (identical across engines).

@@ -3,10 +3,12 @@ package dp
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/nn"
+	"superoffload/internal/obs"
 	"superoffload/internal/optim"
 	"superoffload/internal/stv"
 )
@@ -24,12 +26,29 @@ type coordinator struct {
 	stepIndex   int
 	pending     bool
 	pendingAdam optim.Config
-	stats       stv.Stats
 	closed      bool
+
+	// statsMu guards stats so the validation counters stay pollable
+	// (the /metrics endpoint, via Stats) while a step is running.
+	statsMu sync.Mutex
+	stats   stv.Stats
 }
 
-// Stats returns the engine's validation counters.
-func (c *coordinator) Stats() stv.Stats { return c.stats }
+// Stats returns the engine's validation counters. Safe to call from
+// another goroutine while training runs (live metrics polling).
+func (c *coordinator) Stats() stv.Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// bumpStats applies one mutation to the validation counters under the
+// polling lock.
+func (c *coordinator) bumpStats(f func(*stv.Stats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
 
 // StepIndex reports how many optimizer steps the engine has attempted.
 func (c *coordinator) StepIndex() int { return c.stepIndex }
@@ -257,6 +276,10 @@ func (c *coordinator) runStep(w *world, micross [][]data.Batch) ([]stepResult, e
 	}
 	c.stepIndex++
 	adam := c.stepAdam()
+	var sp obs.Span
+	if w.ctrack != nil {
+		sp = w.ctrack.Begin("step")
+	}
 	for r := 0; r < w.N; r++ {
 		w.cmd[r] <- command{kind: cmdStep, micros: micross[r], ops: c.sched(r, len(micross[r]))}
 	}
@@ -268,7 +291,7 @@ func (c *coordinator) runStep(w *world, micross [][]data.Batch) ([]stepResult, e
 		w.resolution[r] <- res
 	}
 	if res.weightsChanged() {
-		c.stats.Redos++
+		c.bumpStats(func(s *stv.Stats) { s.Redos++ })
 	}
 	g := goMsg{
 		adam:   adam,
@@ -283,7 +306,10 @@ func (c *coordinator) runStep(w *world, micross [][]data.Batch) ([]stepResult, e
 	for r := 0; r < w.N; r++ {
 		out[r] = <-w.results[r]
 	}
-	c.stats.Steps++
+	if w.ctrack != nil {
+		sp.EndInt("step", c.stepIndex)
+	}
+	c.bumpStats(func(s *stv.Stats) { s.Steps++ })
 	c.pending = true
 	return out, nil
 }
@@ -389,7 +415,7 @@ func (c *coordinator) resolvePending(val <-chan valMsg) resolution {
 	v := <-val
 	c.pending = false
 	if v.bad {
-		c.stats.SkipRolls++
+		c.bumpStats(func(s *stv.Stats) { s.SkipRolls++ })
 		if c.cfg.Scaler != nil {
 			c.cfg.Scaler.Update(true)
 		}
@@ -400,9 +426,9 @@ func (c *coordinator) resolvePending(val <-chan valMsg) resolution {
 	}
 	clip := optim.ClipScale(v.norm, c.cfg.ClipNorm)
 	if clip != 1.0 {
-		c.stats.ClipRolls++
+		c.bumpStats(func(s *stv.Stats) { s.ClipRolls++ })
 		return resolution{action: aClip, clipScale: clip, adam: c.pendingAdam}
 	}
-	c.stats.Commits++
+	c.bumpStats(func(s *stv.Stats) { s.Commits++ })
 	return resolution{action: aCommit}
 }

@@ -28,6 +28,7 @@ package dp
 import (
 	"superoffload/internal/act"
 	"superoffload/internal/hw"
+	"superoffload/internal/obs"
 	"superoffload/internal/optim"
 	"superoffload/internal/place"
 	"superoffload/internal/stv"
@@ -89,6 +90,11 @@ type Config struct {
 	// against; the zero value means hw.DefaultSuperchip(). Ignored when
 	// Placement is nil.
 	Superchip hw.SuperchipSpec
+	// Tracer, when non-nil, records per-op schedule spans (one track per
+	// rank), coordinator step spans, and collective instants for export
+	// as Chrome trace-event JSON. Nil disables tracing at zero cost —
+	// the interpreter's hot path takes one predictable branch per op.
+	Tracer *obs.Tracer
 	// NewActStore, when non-nil, builds each rank's activation offloading
 	// tier (internal/act): per-layer forward activations spill out of the
 	// rank's replica behind the store's resident window and prefetch back

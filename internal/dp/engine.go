@@ -52,6 +52,7 @@ func New(model *nn.GPT, cfg Config) (*Engine, error) {
 		}
 	}
 	w := &dpWorld{world: newWorld(cfg.Ranks, nBuckets), reduce: newReduceLinks(nBuckets, cfg.Ranks)}
+	w.attachTracer(cfg.Tracer)
 	e := &Engine{coordinator: coordinator{cfg: cfg, sched: legacyBuilder}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(cfg.Ranks, cfg.NewStore)
 	if err != nil {

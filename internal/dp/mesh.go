@@ -97,6 +97,8 @@ func NewMesh(model *nn.GPT, cfg Config) (*MeshEngine, error) {
 		}
 	}
 	w := newMeshWorld(r, s, nBuckets)
+	w.attachTracer(cfg.Tracer)
+	w.tel.attach(cfg.Tracer)
 	e := &MeshEngine{coordinator: coordinator{cfg: cfg, sched: legacyBuilder}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(r*s, cfg.NewStore)
 	if err != nil {

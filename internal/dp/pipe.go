@@ -87,6 +87,8 @@ func NewPipe(model *nn.GPT, cfg Config) (*PipeEngine, error) {
 		}
 	}
 	w := newPipeWorld(r, s, p, nBuckets)
+	w.attachTracer(cfg.Tracer)
+	w.tel.attach(cfg.Tracer)
 	e := &PipeEngine{
 		coordinator: coordinator{cfg: cfg, sched: func(rank, micros int) []scheduleOp {
 			return pipeSchedule(rank%p, p, micros)

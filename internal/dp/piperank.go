@@ -155,6 +155,7 @@ func (r *pipeRank) sendAct(m int) {
 	t := r.caches[m].StageOut()
 	r.w.tel.stageSends.Add(1)
 	r.w.tel.stageFloats.Add(int64(len(t.Data)))
+	r.w.tel.track.InstantInt("stageAct", "floats", len(t.Data))
 	r.w.acts[r.stage][r.col()].send(t)
 }
 
@@ -170,6 +171,7 @@ func (r *pipeRank) sendGrad(m int) {
 	t := r.caches[m].StageDIn()
 	r.w.tel.stageSends.Add(1)
 	r.w.tel.stageFloats.Add(int64(len(t.Data)))
+	r.w.tel.track.InstantInt("stageGrad", "floats", len(t.Data))
 	r.w.grads[r.stage-1][r.col()].send(t)
 }
 

@@ -10,7 +10,10 @@ package dp
 // lets one interpreter, one STV redo rule, and one coordinator drive
 // every topology.
 
-import "superoffload/internal/data"
+import (
+	"superoffload/internal/data"
+	"superoffload/internal/obs"
+)
 
 // opKind enumerates the schedule ops a rank can execute in one step.
 type opKind int
@@ -46,6 +49,25 @@ const (
 	// opReport sends the rank's stepResult to the coordinator.
 	opReport
 )
+
+// opSpanNames labels each opKind for the trace span it emits;
+// opHasMicro marks the kinds whose micro field is meaningful (and
+// worth tagging).
+var opSpanNames = [...]string{
+	opForward: "forward", opBackward: "backward", opReduce: "reduce",
+	opResolve: "resolve", opGo: "go", opSendAct: "sendAct",
+	opRecvAct: "recvAct", opSendGrad: "sendGrad", opRecvGrad: "recvGrad",
+	opSpeculate: "speculate", opReport: "report",
+}
+
+// opHasMicro reports whether kind's micro field indexes a micro-batch.
+func opHasMicro(kind opKind) bool {
+	switch kind {
+	case opForward, opBackward, opReduce, opSendAct, opRecvAct, opSendGrad, opRecvGrad:
+		return true
+	}
+	return false
+}
 
 // scheduleOp is one step of a rank's schedule.
 type scheduleOp struct {
@@ -169,10 +191,20 @@ type stageExecutor interface {
 // redo rule: on a weight-changing resolution, every micro that has
 // forwarded but not yet backwarded re-runs its forward — which for the
 // legacy schedules is exactly micro 0, reproducing the old redo loop.
+// Tracing rides the same loop: when the world carries a tracer, every
+// op becomes one span on the rank's track (named after its opKind,
+// tagged with its micro) — which is what gives all five engines a
+// per-rank timeline from a single tap point. With tracing off the
+// track is nil and each op pays exactly one predictable branch.
 func runSchedule(w *world, id int, ops []scheduleOp, ex stepExecutor) {
 	var g goMsg
 	var inFlight []int // forwarded, not yet backwarded, in forward order
+	tk := w.track(id)
 	for _, op := range ops {
+		var sp obs.Span
+		if tk != nil {
+			sp = tk.Begin(opSpanNames[op.kind])
+		}
 		switch op.kind {
 		case opForward:
 			ex.forward(op.micro)
@@ -209,6 +241,13 @@ func runSchedule(w *world, id int, ops []scheduleOp, ex stepExecutor) {
 			ex.speculate(g)
 		case opReport:
 			w.results[id] <- ex.report()
+		}
+		if tk != nil {
+			if opHasMicro(op.kind) {
+				sp.EndMicro(op.micro)
+			} else {
+				sp.End()
+			}
 		}
 	}
 }

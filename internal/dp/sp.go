@@ -61,6 +61,8 @@ func NewSP(model *nn.GPT, cfg Config) (*SPEngine, error) {
 		}
 	}
 	w := newSPWorld(cfg.Ranks, nBuckets)
+	w.attachTracer(cfg.Tracer)
+	w.tel.attach(cfg.Tracer)
 	e := &SPEngine{coordinator: coordinator{cfg: cfg, sched: legacyBuilder}, w: w, buckets: make([]*stv.Bucket, nBuckets)}
 	stores, err := buildStores(cfg.Ranks, cfg.NewStore)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"superoffload/internal/nn"
+	"superoffload/internal/obs"
 )
 
 // linkTelemetry counts sequence-parallel link traffic: all-to-all
@@ -18,6 +19,18 @@ type linkTelemetry struct {
 	ringFloats  atomic.Int64
 	stageSends  atomic.Int64
 	stageFloats atomic.Int64
+
+	// track, when non-nil, receives one instant per collective call on
+	// the engine's "comm" timeline (a2a exchanges, ring broadcasts,
+	// stage-boundary sends), tagged with the float volume moved.
+	track *obs.Track
+}
+
+// attach wires the counters to a tracer's "comm" track (no-op on nil).
+func (t *linkTelemetry) attach(tr *obs.Tracer) {
+	if tr != nil {
+		t.track = tr.Track("comm")
+	}
 }
 
 // snapshot renders the counters as the public stats type.
@@ -79,13 +92,16 @@ func newSPLinks(s int, tel *linkTelemetry) *spLinks {
 // ranks run ahead. Telemetry counts only cross-rank payloads — the
 // rank-to-self shard never crosses a link.
 func (l *spLinks) allToAll(rank int, payloads [][]float32) [][]float32 {
+	sent := 0
 	for d := 0; d < l.S; d++ {
 		if d != rank {
 			l.tel.a2aPayloads.Add(1)
 			l.tel.a2aFloats.Add(int64(len(payloads[d])))
+			sent += len(payloads[d])
 		}
 		l.a2a[d][rank] <- payloads[d]
 	}
+	l.tel.track.InstantInt("a2a", "floats", sent)
 	out := make([][]float32, l.S)
 	for src := 0; src < l.S; src++ {
 		out[src] = <-l.a2a[rank][src]
@@ -115,6 +131,7 @@ func (l *spLinks) ringReduce(local int, cache *nn.SPCache, batchRows int, seed f
 		l.tel.ringHops.Add(1)
 		l.tel.ringFloats.Add(int64(len(buf)))
 		if local == l.S-1 && b == batchRows-1 {
+			l.tel.track.InstantInt("ringBroadcast", "floats", len(buf))
 			for d := 0; d < l.S; d++ {
 				l.flat[d] <- buf
 			}

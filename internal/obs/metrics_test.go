@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInstruments covers counter/gauge/histogram basics and the
+// idempotent named lookup.
+func TestInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("superoffload_test_ops_total")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("superoffload_test_ops_total") != c {
+		t.Fatal("second Counter lookup returned a different instrument")
+	}
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("superoffload_test_depth")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	h := r.Histogram("superoffload_test_step_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	samples := h.Samples()
+	want := map[string]float64{
+		"superoffload_test_step_seconds_count":  3,
+		"superoffload_test_step_seconds_le_0.1": 1,
+		"superoffload_test_step_seconds_le_1":   2,
+		"superoffload_test_step_seconds_le_inf": 3,
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Name] = s.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("histogram sample %s = %v, want %v (all: %v)", name, got[name], v, got)
+		}
+	}
+}
+
+// TestInstrumentKindConflict: rebinding a name to another instrument
+// kind is a programming error and must panic.
+func TestInstrumentKindConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("superoffload_test_x")
+	r.Gauge("superoffload_test_x")
+}
+
+// sliceSource adapts a fixed sample list to Source for tests.
+type sliceSource []Sample
+
+func (s sliceSource) Samples() []Sample { return s }
+
+// TestGatherMergesAndSorts: providers join instruments, same-named
+// samples sum, and the output is name-sorted.
+func TestGatherMergesAndSorts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("superoffload_test_b_total").Add(1)
+	r.Register(func() (Source, bool) {
+		return sliceSource{
+			{Name: "superoffload_test_a_total", Kind: KindCounter, Value: 2},
+			{Name: "superoffload_test_b_total", Kind: KindCounter, Value: 4},
+		}, true
+	})
+	r.Register(func() (Source, bool) { return nil, false }) // dormant source
+	got := r.Gather()
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2: %v", len(got), got)
+	}
+	if got[0].Name != "superoffload_test_a_total" || got[0].Value != 2 {
+		t.Fatalf("sample 0 = %+v", got[0])
+	}
+	if got[1].Name != "superoffload_test_b_total" || got[1].Value != 5 {
+		t.Fatalf("same-named samples did not sum: %+v", got[1])
+	}
+}
+
+// TestWriteText checks the text exposition format.
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("superoffload_test_ops_total").Add(7)
+	r.Gauge("superoffload_test_frac").Set(0.25)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE superoffload_test_frac gauge\nsuperoffload_test_frac 0.25\n",
+		"# TYPE superoffload_test_ops_total counter\nsuperoffload_test_ops_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -62,6 +62,11 @@ func (t Tier) String() string {
 	return "unknown"
 }
 
+// MetricLabel names the tier for embedding in metric identifiers
+// (superoffload_placement_<label>_*): lowercase, no separators, stable
+// across releases.
+func (t Tier) MetricLabel() string { return t.String() }
+
 // Plan assigns a tier to every bucket of a partition, indexed by global
 // bucket index (internal/stv's bucket order).
 type Plan struct {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"superoffload/internal/hw"
+	"superoffload/internal/obs"
 	"superoffload/internal/optim"
 )
 
@@ -75,6 +76,14 @@ type MLPStoreConfig struct {
 	// quarantined, and the bucket recovers from its DRAM replica. Zero
 	// disables the watchdog.
 	SlowOpWall time.Duration
+	// Tracer, when non-nil, gives the store one trace track per path
+	// (worker read/write spans) plus a store track carrying the
+	// consumer-side prefetch/flush/stall/cache instants and the
+	// degradation events (quarantine/reroute/recover/pin). Nil disables
+	// tracing at zero cost.
+	Tracer *obs.Tracer
+	// TrackLabel prefixes the store's trace track names (default "mlp").
+	TrackLabel string
 }
 
 // PathEvent records one degradation event in the multi-path store's
@@ -174,6 +183,10 @@ type MLPStore struct {
 	names []string // backing file paths, for cleanup
 	ops   []chan *mlpOp
 	wg    sync.WaitGroup
+	// tracks[i] is path i's trace timeline, track the store-level one;
+	// both nil when tracing is off, immutable after construction.
+	tracks []*obs.Track
+	track  *obs.Track
 
 	// pathMu guards the quarantine flags, the latched first error, and
 	// the event log — the only state workers share with the consumer.
@@ -229,6 +242,16 @@ func NewMLPStore(cfg MLPStoreConfig) (*MLPStore, error) {
 	}
 	s.tel.PathReadSeconds = make([]float64, n)
 	s.tel.PathWriteSeconds = make([]float64, n)
+	if cfg.Tracer != nil {
+		label := cfg.TrackLabel
+		if label == "" {
+			label = "mlp"
+		}
+		s.track = cfg.Tracer.Track(label)
+		for i := 0; i < n; i++ {
+			s.tracks = append(s.tracks, cfg.Tracer.Track(fmt.Sprintf("%s path %d", label, i)))
+		}
+	}
 	for i := 0; i < n; i++ {
 		f, err := os.CreateTemp(dir, fmt.Sprintf("superoffload-mlp-p%d-*.bin", i))
 		if err != nil {
@@ -294,7 +317,16 @@ func (s *MLPStore) Err() error {
 func (s *MLPStore) worker(i int) {
 	defer s.wg.Done()
 	f := s.files[i]
+	var tk *obs.Track
+	if s.tracks != nil {
+		tk = s.tracks[i]
+	}
 	for op := range s.ops[i] {
+		name := "read"
+		if op.write {
+			name = "write"
+		}
+		sp := tk.Begin(name)
 		if op.write {
 			_, op.err = f.WriteAt(op.buf, op.off)
 		} else {
@@ -303,6 +335,7 @@ func (s *MLPStore) worker(i int) {
 				op.err = fmt.Errorf("stv: bucket %d record checksum mismatch on path %d", op.idx, i)
 			}
 		}
+		sp.EndInt("bucket", op.idx)
 		if op.err != nil {
 			s.quarantine(i, op.idx, op.err.Error())
 		}
@@ -323,6 +356,7 @@ func (s *MLPStore) quarantine(i, bucket int, detail string) {
 	}
 	s.dead[i] = true
 	s.events = append(s.events, PathEvent{Path: i, Kind: "quarantine", Bucket: bucket, Detail: detail})
+	s.track.InstantInt("quarantine", "path", i)
 }
 
 // event appends to the degradation log.
@@ -330,6 +364,7 @@ func (s *MLPStore) event(e PathEvent) {
 	s.pathMu.Lock()
 	s.events = append(s.events, e)
 	s.pathMu.Unlock()
+	s.track.InstantInt(e.Kind, "bucket", e.Bucket)
 }
 
 // deadPaths snapshots the quarantine flags.
@@ -419,6 +454,9 @@ func (s *MLPStore) flushLocked(rec *mlpRecord, idx int, st *BucketState, path in
 			Detail: fmt.Sprintf("record moved to path %d", path)})
 	}
 	rec.path = path
+	if modeled {
+		s.track.InstantInt("flush", "bucket", idx)
+	}
 	s.enqueueLocked(true, rec, idx, buf, path, modeled)
 }
 
@@ -539,6 +577,7 @@ func (s *MLPStore) prefetchLocked(idx int) {
 	if len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && !s.evictLocked(rec.path) {
 		return
 	}
+	s.track.InstantInt("prefetch", "bucket", idx)
 	rec.read = s.enqueueLocked(false, rec, idx, rec.ioBuf(), rec.path, true)
 	s.inflight++
 }
@@ -611,6 +650,7 @@ func (s *MLPStore) Acquire(idx int) *BucketState {
 		delete(s.cache, idx)
 		delete(s.cacheUse, idx)
 		s.tel.CacheHits++
+		s.track.InstantInt("cacheHit", "bucket", idx)
 		s.insertLocked(idx, st, false)
 		s.mu.Unlock()
 		return st
@@ -635,6 +675,7 @@ func (s *MLPStore) Acquire(idx int) *BucketState {
 	if op.doneAt > s.cpu {
 		s.tel.StallSeconds += op.doneAt - s.cpu
 		s.cpu = op.doneAt
+		s.track.InstantInt("stall", "bucket", idx)
 	}
 	s.mu.Unlock()
 

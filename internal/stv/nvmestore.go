@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"superoffload/internal/hw"
+	"superoffload/internal/obs"
 	"superoffload/internal/optim"
 )
 
@@ -42,6 +43,13 @@ type NVMeStoreConfig struct {
 	// step, in seconds for an elems-sized bucket (default: GraceAdam on
 	// the GH200 Grace CPU via hw.AdamStepTime).
 	ComputeTime func(elems int) float64
+	// Tracer, when non-nil, gives the store a trace track carrying the
+	// worker's wall-clock read/write spans and the consumer-side
+	// prefetch/flush/stall instants. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// TrackLabel names the store's trace track (default "nvme"); engines
+	// running one store per rank disambiguate with it.
+	TrackLabel string
 }
 
 // StoreTelemetry is the NVMe store's modeled-time accounting. All seconds
@@ -151,6 +159,9 @@ type NVMeStore struct {
 	path string
 	ops  chan *nvmeOp
 	wg   sync.WaitGroup
+	// track is the store's trace timeline (nil when tracing is off);
+	// immutable after construction, so the worker reads it lock-free.
+	track *obs.Track
 
 	// errMu/ioErr latch the first background IO failure. A separate
 	// mutex: the worker must never take mu (enqueueLocked can block on
@@ -202,6 +213,13 @@ func NewNVMeStore(cfg NVMeStoreConfig) (*NVMeStore, error) {
 		recs:     map[int]*nvmeRecord{},
 		resident: map[int]*nvmeResident{},
 	}
+	if cfg.Tracer != nil {
+		label := cfg.TrackLabel
+		if label == "" {
+			label = "nvme"
+		}
+		s.track = cfg.Tracer.Track(label)
+	}
 	s.wg.Add(1)
 	go s.worker()
 	return s, nil
@@ -227,11 +245,17 @@ func (s *NVMeStore) NVMeTelemetry() (StoreTelemetry, bool) { return s.Telemetry(
 func (s *NVMeStore) worker() {
 	defer s.wg.Done()
 	for op := range s.ops {
+		name := "read"
+		if op.write {
+			name = "write"
+		}
+		sp := s.track.Begin(name)
 		if op.write {
 			_, op.err = s.file.WriteAt(op.buf, op.off)
 		} else {
 			_, op.err = s.file.ReadAt(op.buf, op.off)
 		}
+		sp.EndInt("bytes", len(op.buf))
 		if op.err != nil {
 			s.errMu.Lock()
 			if s.ioErr == nil {
@@ -338,6 +362,7 @@ func (s *NVMeStore) evictLocked() bool {
 	delete(s.resident, victim)
 	rec := s.recs[victim]
 	if r.modified {
+		s.track.InstantInt("flush", "bucket", victim)
 		s.enqueueLocked(true, rec, s.encode(rec, r.st), true)
 	}
 	rec.spare = r.st // decode reuses the slices on the next fetch
@@ -356,6 +381,7 @@ func (s *NVMeStore) prefetchLocked(idx int) {
 	if len(s.resident)+s.inflight >= s.cfg.ResidentBuckets && !s.evictLocked() {
 		return
 	}
+	s.track.InstantInt("prefetch", "bucket", idx)
 	rec.read = s.enqueueLocked(false, rec, rec.ioBuf(), true)
 	s.inflight++
 }
@@ -401,6 +427,7 @@ func (s *NVMeStore) Acquire(idx int) *BucketState {
 	if op.doneAt > s.cpu {
 		s.tel.StallSeconds += op.doneAt - s.cpu
 		s.cpu = op.doneAt
+		s.track.InstantInt("stall", "bucket", idx)
 	}
 	s.mu.Unlock()
 

@@ -3,11 +3,13 @@ package stv
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"superoffload/internal/act"
 	"superoffload/internal/data"
 	"superoffload/internal/hw"
 	"superoffload/internal/nn"
+	"superoffload/internal/obs"
 	"superoffload/internal/optim"
 	"superoffload/internal/place"
 )
@@ -78,6 +80,10 @@ type Config struct {
 	// invisible (restores are bit-exact); the trainer owns the store and
 	// attaches it to the model — Close closes it.
 	Act *act.Store
+	// Tracer, when non-nil, gives the trainer a "trainer" trace track
+	// with one span per step phase (forward, resolve, backward,
+	// speculate). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // WarmupCosine returns the standard warm-up + cosine-decay schedule used
@@ -128,6 +134,11 @@ type Trainer struct {
 	store   BucketStore
 	buckets []*Bucket
 	exec    *PlacementExecutor // nil without a placement plan
+	track   *obs.Track         // step-phase spans; nil when tracing is off
+
+	// stats sits behind statsMu so an observability endpoint can poll
+	// Stats concurrently with a running step.
+	statsMu sync.Mutex
 	stats   Stats
 
 	// STV pipeline state: an in-flight validation for the last
@@ -190,6 +201,7 @@ func NewTrainer(m *nn.GPT, cfg Config) *Trainer {
 		store:   store,
 		buckets: partitionParams(m.Params(), cfg.BucketElems, store),
 		validCh: make(chan valResult, 1),
+		track:   cfg.Tracer.Track("trainer"),
 	}
 	if cfg.Placement != nil {
 		if err := cfg.Placement.Validate(len(t.buckets)); err != nil {
@@ -253,8 +265,21 @@ func (t *Trainer) ActTelemetry() (act.Telemetry, bool) {
 	return t.Cfg.Act.Telemetry(), true
 }
 
-// Stats returns validation counters.
-func (t *Trainer) Stats() Stats { return t.stats }
+// Stats returns validation counters. Safe to call concurrently with a
+// running step (telemetry pollers).
+func (t *Trainer) Stats() Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats
+}
+
+// bumpStats applies a mutation to the validation counters under the
+// stats lock.
+func (t *Trainer) bumpStats(f func(*Stats)) {
+	t.statsMu.Lock()
+	f(&t.stats)
+	t.statsMu.Unlock()
+}
 
 // PlacementTelemetry returns the virtual-clock superchip executor's
 // modeled accounting; ok is false without a placement plan.
@@ -293,9 +318,13 @@ func (t *Trainer) scale() float64 {
 // backwardAndStage runs backward and stages unscaled gradients in every
 // bucket.
 func (t *Trainer) backwardAndStage(b data.Batch) float64 {
+	sp := t.track.Begin("forward")
 	loss, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+	sp.End()
 	t.Model.Params().ZeroGrads()
+	sp = t.track.Begin("backward")
 	t.Model.Backward(cache, t.scale())
+	sp.End()
 	t.maybeInject()
 	inv := float32(1 / t.scale())
 	for _, bk := range t.buckets {
@@ -322,13 +351,15 @@ func (t *Trainer) validate() valResult {
 func (t *Trainer) stepSTE(b data.Batch) (float64, error) {
 	t.stepIndex++
 	loss := t.backwardAndStage(b)
-	t.stats.Steps++
+	t.bumpStats(func(s *Stats) { s.Steps++ })
 
 	// Synchronize: full validation before any optimizer work (Fig. 3's
 	// gray block on the critical path).
+	sp := t.track.Begin("resolve")
 	v := t.validate()
+	sp.End()
 	if v.bad {
-		t.stats.SkipRolls++
+		t.bumpStats(func(s *Stats) { s.SkipRolls++ })
 		if t.Cfg.Scaler != nil {
 			t.Cfg.Scaler.Update(true)
 		}
@@ -347,14 +378,16 @@ func (t *Trainer) stepSTE(b data.Batch) (float64, error) {
 func (t *Trainer) applyDirectStep(v valResult) {
 	clip := optim.ClipScale(v.globalNorm, t.Cfg.ClipNorm)
 	if clip != 1.0 {
-		t.stats.ClipRolls++ // a clip event, for comparability with STV
+		t.bumpStats(func(s *Stats) { s.ClipRolls++ }) // a clip event, for comparability with STV
 	} else {
-		t.stats.Commits++
+		t.bumpStats(func(s *Stats) { s.Commits++ })
 	}
 	adam := t.stepAdam()
+	sp := t.track.Begin("speculate")
 	for _, bk := range t.buckets {
 		bk.DirectStep(adam, t.Cfg.Impl, clip)
 	}
+	sp.End()
 }
 
 // ---- STV (SuperOffload schedule) ----
@@ -364,30 +397,38 @@ func (t *Trainer) stepSTV(b data.Batch) (float64, error) {
 	// Forward; resolve the previous iteration's validation "after the
 	// forward pass" (§4.4). A rollback changes weights ⇒ redo forward.
 	for {
+		sp := t.track.Begin("forward")
 		loss, cache := t.Model.Forward(b.Tokens, b.Targets, b.BatchSize, b.Seq)
+		sp.End()
+		sp = t.track.Begin("resolve")
 		rolledBack, err := t.resolvePending()
+		sp.End()
 		if err != nil {
 			return 0, err
 		}
 		if rolledBack {
-			t.stats.Redos++
+			t.bumpStats(func(s *Stats) { s.Redos++ })
 			continue
 		}
 		t.lastLoss = loss
 		t.Model.Params().ZeroGrads()
+		sp = t.track.Begin("backward")
 		t.Model.Backward(cache, t.scale())
+		sp.End()
 		break
 	}
 	t.maybeInject()
 	inv := float32(1 / t.scale())
 	adam := t.stepAdam()
+	sp := t.track.Begin("speculate")
 	for _, bk := range t.buckets {
 		bk.StageGrads(inv)
 		// Speculative per-bucket step: in the real system this
 		// overlaps the remaining backward on the GPU.
 		bk.SpeculativeStep(adam, t.Cfg.Impl)
 	}
-	t.stats.Steps++
+	sp.End()
+	t.bumpStats(func(s *Stats) { s.Steps++ })
 	t.exec.Record(b.BatchSize*b.Seq, b.Seq)
 	t.launchValidation()
 	return t.lastLoss, nil
@@ -423,7 +464,7 @@ func (t *Trainer) resolvePending() (bool, error) {
 		for _, bk := range t.buckets {
 			bk.Rollback()
 		}
-		t.stats.SkipRolls++
+		t.bumpStats(func(s *Stats) { s.SkipRolls++ })
 		if t.Cfg.Scaler != nil {
 			t.Cfg.Scaler.Update(true)
 		}
@@ -440,13 +481,13 @@ func (t *Trainer) resolvePending() (bool, error) {
 		for _, bk := range t.buckets {
 			bk.ReExecuteClipped(t.pendingAdam, t.Cfg.Impl, clip)
 		}
-		t.stats.ClipRolls++
+		t.bumpStats(func(s *Stats) { s.ClipRolls++ })
 		return true, nil
 	}
 	for _, bk := range t.buckets {
 		bk.Commit()
 	}
-	t.stats.Commits++
+	t.bumpStats(func(s *Stats) { s.Commits++ })
 	return false, nil
 }
 

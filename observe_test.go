@@ -1,0 +1,119 @@
+package superoffload
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"superoffload/internal/obs"
+	"superoffload/internal/place"
+)
+
+// populatedSources returns every telemetry struct the engines publish
+// through the obs.Source interface, with enough fields set that
+// conditional samples (per-path occupancy, per-tier breakdowns) emit.
+func populatedSources() map[string]MetricSource {
+	var pt PlacementTelemetry
+	pt.Steps = 3
+	for i := range pt.Tiers {
+		pt.Tiers[i].Buckets = i + 1
+	}
+	return map[string]MetricSource{
+		"nvme": StoreTelemetry{Reads: 1, Writes: 2, ReadSeconds: 0.5},
+		"mlp": MLPTelemetry{
+			StoreTelemetry:   StoreTelemetry{Reads: 4},
+			CacheHits:        2,
+			PathReadSeconds:  []float64{0.1, 0.2},
+			PathWriteSeconds: []float64{0.3, 0.4},
+			Events:           []PathEvent{{Kind: "quarantine"}},
+		},
+		"act":       ActTelemetry{Passes: 2, Spills: 5, Fetches: 5},
+		"placement": pt,
+		"comm":      SPCommStats{A2APayloads: 7, RingHops: 3},
+		"stv":       Stats{Steps: 9, Commits: 8, ClipRolls: 1},
+	}
+}
+
+// TestMetricSourceConformance locks the unified naming scheme: every
+// telemetry struct publishes superoffload_<subsystem>_* samples with
+// its own subsystem prefix, names stay within the metric charset,
+// counters end in _total, and no two structs collide on a name.
+func TestMetricSourceConformance(t *testing.T) {
+	nameRe := regexp.MustCompile(`^superoffload_[a-z0-9_]+$`)
+	owner := map[string]string{}
+	for subsystem, src := range populatedSources() {
+		samples := src.Samples()
+		if len(samples) == 0 {
+			t.Errorf("%s: no samples", subsystem)
+		}
+		for _, s := range samples {
+			if !nameRe.MatchString(s.Name) {
+				t.Errorf("%s: metric %q outside the superoffload_[a-z0-9_]+ charset", subsystem, s.Name)
+			}
+			if !strings.HasPrefix(s.Name, "superoffload_"+subsystem+"_") {
+				t.Errorf("%s: metric %q missing its subsystem prefix", subsystem, s.Name)
+			}
+			switch s.Kind {
+			case obs.KindCounter:
+				if !strings.HasSuffix(s.Name, "_total") {
+					t.Errorf("%s: counter %q missing _total suffix", subsystem, s.Name)
+				}
+			case obs.KindGauge:
+			default:
+				t.Errorf("%s: metric %q has unknown kind %v", subsystem, s.Name, s.Kind)
+			}
+			if prev, dup := owner[s.Name]; dup && prev != subsystem {
+				t.Errorf("metric %q published by both %s and %s", s.Name, prev, subsystem)
+			} else if dup {
+				t.Errorf("%s: metric %q published twice", subsystem, s.Name)
+			}
+			owner[s.Name] = subsystem
+		}
+	}
+}
+
+// TestPlacementTierMetricLabels locks the tier labels the placement
+// samples embed in their names.
+func TestPlacementTierMetricLabels(t *testing.T) {
+	want := []string{"gpu", "cpu", "nvme"}
+	for i, w := range want {
+		if got := place.Tier(i).MetricLabel(); got != w {
+			t.Errorf("tier %d label = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestRegisterMetricsLiveProviders wires a real engine into a registry
+// and checks Gather serves its live counters.
+func TestRegisterMetricsLiveProviders(t *testing.T) {
+	m, err := NewModel(ModelConfig{Layers: 1, Hidden: 32, Vocab: 64, MaxSeq: 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultOptimizer()
+	cfg.BucketElems = 4096
+	eng, err := Init(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	reg := NewMetricsRegistry()
+	RegisterMetrics(reg, eng)
+
+	corpus := NewCorpus(64, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Step(corpus.NextBatch(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, s := range reg.Gather() {
+		got[s.Name] = s.Value
+	}
+	if got["superoffload_stv_steps_total"] != 3 {
+		t.Errorf("superoffload_stv_steps_total = %v, want 3 (all samples: %v)", got["superoffload_stv_steps_total"], got)
+	}
+}

@@ -122,6 +122,12 @@ type OptimizerConfig struct {
 	// forward activations spill behind a write-behind window and prefetch
 	// back ahead of backward, SSDTrain-style).
 	Activation ActivationConfig
+	// Tracer, when non-nil, records per-op schedule spans, store IO
+	// events, and collective instants across whichever engine InitX
+	// builds (one track per rank, store worker, and comm plane); export
+	// with Tracer.WriteJSON or serve live through ObsHandler. Nil — the
+	// default — disables tracing at zero cost.
+	Tracer *Tracer
 }
 
 // ActivationConfig selects the activation offloading tier: per-layer
@@ -171,7 +177,8 @@ func (a ActivationConfig) window(layers int) int {
 
 // storeFactory translates the activation selection into a per-rank store
 // constructor (nil means resident activations, the engines' default).
-func (a ActivationConfig) storeFactory(m *Model) (func(rank int) (*act.Store, error), error) {
+// The tracer, when non-nil, gives each rank's store its own trace track.
+func (a ActivationConfig) storeFactory(m *Model, tracer *Tracer) (func(rank int) (*act.Store, error), error) {
 	var tier act.Tier
 	switch a.Offload {
 	case "":
@@ -188,6 +195,7 @@ func (a ActivationConfig) storeFactory(m *Model) (func(rank int) (*act.Store, er
 		return act.NewStore(act.Config{
 			Tier: tier, Dir: a.Dir, ResidentLayers: a.ResidentLayers,
 			Hidden: hidden, Params: params,
+			Tracer: tracer, TrackLabel: fmt.Sprintf("rank %d act", rank),
 		})
 	}, nil
 }
@@ -282,8 +290,11 @@ type OffloadConfig struct {
 
 // nvmeConfig translates the offload knobs into the windowed store's
 // configuration (shared by the homogeneous and placement-routed paths).
-func (o OffloadConfig) nvmeConfig() stv.NVMeStoreConfig {
-	return stv.NVMeStoreConfig{Dir: o.Dir, ResidentBuckets: o.ResidentBuckets}
+func (o OffloadConfig) nvmeConfig(tracer *Tracer, label string) stv.NVMeStoreConfig {
+	return stv.NVMeStoreConfig{
+		Dir: o.Dir, ResidentBuckets: o.ResidentBuckets,
+		Tracer: tracer, TrackLabel: label,
+	}
 }
 
 // multipath reports whether the nvme backend should build the
@@ -292,7 +303,7 @@ func (o OffloadConfig) multipath() bool { return o.IOPaths > 1 || o.CacheBuckets
 
 // mlpConfig translates the offload knobs into the multi-path store's
 // configuration.
-func (o OffloadConfig) mlpConfig() stv.MLPStoreConfig {
+func (o OffloadConfig) mlpConfig(tracer *Tracer, label string) stv.MLPStoreConfig {
 	n := o.IOPaths
 	if n < 1 {
 		n = 1
@@ -302,27 +313,31 @@ func (o OffloadConfig) mlpConfig() stv.MLPStoreConfig {
 		Paths:           hw.NodeIOPaths(n),
 		ResidentBuckets: o.ResidentBuckets,
 		CacheBuckets:    o.CacheBuckets,
+		Tracer:          tracer,
+		TrackLabel:      label,
 	}
 }
 
 // newFlashStore builds the flash-tier store the nvme backend selected:
-// multi-path when any MLP knob is set, else the single-lane store.
-func (o OffloadConfig) newFlashStore() (stv.BucketStore, error) {
+// multi-path when any MLP knob is set, else the single-lane store. The
+// label names the store's trace track(s) when the tracer is on.
+func (o OffloadConfig) newFlashStore(tracer *Tracer, label string) (stv.BucketStore, error) {
 	if o.multipath() {
-		return stv.NewMLPStore(o.mlpConfig())
+		return stv.NewMLPStore(o.mlpConfig(tracer, label))
 	}
-	return stv.NewNVMeStore(o.nvmeConfig())
+	return stv.NewNVMeStore(o.nvmeConfig(tracer, label))
 }
 
 // storeFactory translates the offload selection into a per-rank bucket
 // store constructor (nil means DRAM-resident, the engines' default).
-func (o OffloadConfig) storeFactory() (func(rank int) (stv.BucketStore, error), error) {
+// The tracer, when non-nil, gives each rank's store its own trace track.
+func (o OffloadConfig) storeFactory(tracer *Tracer) (func(rank int) (stv.BucketStore, error), error) {
 	switch o.Backend {
 	case "", "dram":
 		return nil, nil
 	case "nvme":
 		return func(rank int) (stv.BucketStore, error) {
-			return o.newFlashStore()
+			return o.newFlashStore(tracer, fmt.Sprintf("rank %d nvme", rank))
 		}, nil
 	}
 	return nil, fmt.Errorf("superoffload: unknown offload backend %q (want dram or nvme)", o.Backend)
@@ -404,7 +419,7 @@ func (cfg OptimizerConfig) placementPlan(m *Model) (*place.Plan, error) {
 // applies unchanged; with one, the GPU/CPU tiers stay resident and only
 // an nvme backend's body buckets spill (through a per-rank PlacedStore).
 func (cfg OptimizerConfig) trainSetup(m *Model) (*place.Plan, func(rank int) (stv.BucketStore, error), func(rank int) (*act.Store, error), error) {
-	actFactory, err := cfg.Activation.storeFactory(m)
+	actFactory, err := cfg.Activation.storeFactory(m, cfg.Tracer)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -413,20 +428,22 @@ func (cfg OptimizerConfig) trainSetup(m *Model) (*place.Plan, func(rank int) (st
 		return nil, nil, nil, err
 	}
 	if plan == nil {
-		factory, err := cfg.Offload.storeFactory()
+		factory, err := cfg.Offload.storeFactory(cfg.Tracer)
 		return nil, factory, actFactory, err
 	}
 	// Reuse storeFactory's backend dispatch (one switch, one error
 	// message); a non-nil factory means the nvme backend, which the
 	// placement re-routes through a tier-aware PlacedStore so only the
 	// plan's NVMe-tier body spills.
-	factory, err := cfg.Offload.storeFactory()
+	factory, err := cfg.Offload.storeFactory(cfg.Tracer)
 	if err != nil || factory == nil {
 		return plan, nil, actFactory, err
 	}
 	p := *plan
 	return plan, func(rank int) (stv.BucketStore, error) {
-		return stv.NewPlacedStoreFlash(p, cfg.Offload.newFlashStore)
+		return stv.NewPlacedStoreFlash(p, func() (stv.BucketStore, error) {
+			return cfg.Offload.newFlashStore(cfg.Tracer, fmt.Sprintf("rank %d nvme", rank))
+		})
 	}, actFactory, nil
 }
 
@@ -538,6 +555,7 @@ func Init(m *Model, cfg OptimizerConfig) (*Engine, error) {
 		Adam: a, Impl: optim.GraceAdam, ClipNorm: cfg.ClipNorm,
 		BucketElems: cfg.BucketElems, Mode: mode, Scaler: scaler,
 		Schedule: schedule, Store: store, Placement: plan, Act: actStore,
+		Tracer: cfg.Tracer,
 	})
 	return &Engine{trainer: tr, guard: cfg.newHBMGuard(m, 1, 1)}, nil
 }
@@ -658,6 +676,7 @@ func InitDP(m *Model, cfg OptimizerConfig, dpc DPConfig) (*DPEngine, error) {
 		NewStore:    factory,
 		NewActStore: actFactory,
 		Placement:   plan,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -778,6 +797,7 @@ func InitSP(m *Model, cfg OptimizerConfig, spc SPConfig) (*SPEngine, error) {
 		NewStore:    factory,
 		NewActStore: actFactory,
 		Placement:   plan,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -913,6 +933,7 @@ func InitMesh(m *Model, cfg OptimizerConfig, mc MeshConfig) (*MeshEngine, error)
 		NewStore:    factory,
 		NewActStore: actFactory,
 		Placement:   plan,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -1033,6 +1054,7 @@ func InitPipe(m *Model, cfg OptimizerConfig, mc MeshConfig) (*PipeEngine, error)
 		NewStore:    factory,
 		NewActStore: actFactory,
 		Placement:   plan,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
